@@ -1,0 +1,60 @@
+//! Criterion benches wrapping the figure experiments at reduced sizes, so
+//! `cargo bench` exercises every table/figure path end-to-end:
+//! Figure 10 (Gemmini Eq. 3 proxy), Figure 11/12 (OpenGeMM measured), and
+//! the output-stationary extension the paper forecasts in §6.1.
+use accfg::pipeline::OptLevel;
+use accfg_bench::{measure, run_gemmini, run_opengemm, GemminiFlavor};
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::{matmul_ir, MatmulSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig10_gemmini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_gemmini");
+    group.sample_size(10);
+    for size in [32i64, 128] {
+        for flavor in [GemminiFlavor::CBaseline, GemminiFlavor::Accfg] {
+            group.bench_function(
+                BenchmarkId::new(flavor.label().replace(' ', "_"), size),
+                |b| b.iter(|| run_gemmini(size, flavor)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig11_opengemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_opengemm");
+    group.sample_size(10);
+    for size in [16i64, 64] {
+        for level in [OptLevel::Base, OptLevel::All] {
+            group.bench_function(BenchmarkId::new(level.label(), size), |b| {
+                b.iter(|| run_opengemm(size, level))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// §6.1 extension: the output-stationary-style flow (accumulating k-tiles,
+/// more per-invocation configuration) — the paper predicts larger dedup
+/// gains than the WS flow shows.
+fn bench_output_stationary_extension(c: &mut Criterion) {
+    let desc = AcceleratorDescriptor::opengemm();
+    let spec = MatmulSpec::new((32, 32, 32), (8, 8, 8)).unwrap();
+    let mut group = c.benchmark_group("output_stationary_extension");
+    group.sample_size(10);
+    for level in [OptLevel::Base, OptLevel::Dedup, OptLevel::All] {
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter(|| measure(&desc, &spec, matmul_ir(&desc, &spec), Some(level), level.label()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig10_gemmini,
+    bench_fig11_opengemm,
+    bench_output_stationary_extension
+);
+criterion_main!(benches);

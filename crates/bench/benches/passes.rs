@@ -1,0 +1,49 @@
+//! Criterion benches for the compiler itself: how fast the accfg pass
+//! pipeline processes tiled-matmul IR of growing size.
+use accfg::pipeline::{pipeline, OptLevel};
+use accfg::AccelFilter;
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::{matmul_ir, tiled_collapsed_ir, MatmulSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline_levels(c: &mut Criterion) {
+    let desc = AcceleratorDescriptor::opengemm();
+    let spec = MatmulSpec::opengemm_paper(64).unwrap();
+    let mut group = c.benchmark_group("pipeline_levels");
+    for level in [OptLevel::Base, OptLevel::Dedup, OptLevel::Overlap, OptLevel::All] {
+        group.bench_function(BenchmarkId::from_parameter(level.label()), |b| {
+            b.iter_batched(
+                || matmul_ir(&desc, &spec),
+                |mut m| {
+                    pipeline(level, AccelFilter::All).run(&mut m).unwrap();
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_dedup_scaling(c: &mut Criterion) {
+    // dedup's loop-entry fixpoint over growing collapsed loops
+    let desc = AcceleratorDescriptor::opengemm();
+    let mut group = c.benchmark_group("dedup_scaling");
+    for size in [16i64, 32, 64] {
+        let spec = MatmulSpec::opengemm_paper(size).unwrap();
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter_batched(
+                || tiled_collapsed_ir(&desc, &spec),
+                |mut m| {
+                    pipeline(OptLevel::Dedup, AccelFilter::All).run(&mut m).unwrap();
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_levels, bench_dedup_scaling);
+criterion_main!(benches);

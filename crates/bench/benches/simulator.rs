@@ -1,0 +1,96 @@
+//! Criterion benches for the simulator substrate: end-to-end co-simulation
+//! throughput, and the host-CPI sensitivity ablation.
+use accfg::pipeline::OptLevel;
+use accfg::AccelFilter;
+use accfg_sim::{AccelSim, HostModel, Machine};
+use accfg_targets::{compile, AcceleratorDescriptor};
+use accfg_workloads::{fill_inputs, matmul_ir, MatmulLayout, MatmulSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn prepared_program(
+    desc: &AcceleratorDescriptor,
+    size: i64,
+) -> (accfg_sim::Program, MatmulSpec, MatmulLayout) {
+    let spec = MatmulSpec::opengemm_paper(size).unwrap();
+    let mut m = matmul_ir(desc, &spec);
+    accfg::pipeline::pipeline(OptLevel::All, AccelFilter::All)
+        .run(&mut m)
+        .unwrap();
+    let layout = MatmulLayout::at(0x1000, &spec);
+    let prog = compile(&m, "matmul", desc, &[layout.a_addr, layout.b_addr, layout.c_addr]).unwrap();
+    (prog, spec, layout)
+}
+
+fn bench_cosimulation(c: &mut Criterion) {
+    let desc = AcceleratorDescriptor::opengemm();
+    let mut group = c.benchmark_group("cosimulation");
+    for size in [16i64, 32, 64] {
+        let (prog, spec, layout) = prepared_program(&desc, size);
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter_batched(
+                || {
+                    let mut machine = Machine::new(
+                        desc.host.clone(),
+                        AccelSim::new(desc.accel.clone()),
+                        layout.end as usize,
+                    );
+                    fill_inputs(&mut machine.mem, &spec, &layout, 7).unwrap();
+                    machine
+                },
+                |mut machine| machine.run(&prog, 100_000_000).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Host-CPI sensitivity (extension): the effective configuration bandwidth
+/// of the Gemmini platform scales inversely with host CPI, so a slower host
+/// pushes the knee right. This bench records the cycle totals per CPI.
+fn bench_cpi_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_cpi_sensitivity");
+    for cpi in [1u64, 3, 5] {
+        let mut desc = AcceleratorDescriptor::gemmini();
+        desc.host = HostModel {
+            name: format!("rocket-cpi{cpi}"),
+            alu: cpi,
+            li: cpi,
+            mem: cpi,
+            branch: cpi,
+            jump: cpi,
+            csr_write: cpi,
+            rocc: cpi,
+            launch: cpi,
+            poll: cpi,
+        };
+        let spec = MatmulSpec::gemmini_paper(64).unwrap();
+        let mut module = accfg_workloads::gemmini_ws_ir(&desc, &spec);
+        accfg::pipeline::pipeline(OptLevel::Dedup, AccelFilter::Only(vec![]))
+            .run(&mut module)
+            .unwrap();
+        let layout = MatmulLayout::at(0x1000, &spec);
+        let prog =
+            compile(&module, "matmul", &desc, &[layout.a_addr, layout.b_addr, layout.c_addr])
+                .unwrap();
+        group.bench_function(BenchmarkId::from_parameter(cpi), |b| {
+            b.iter_batched(
+                || {
+                    let mut machine = Machine::new(
+                        desc.host.clone(),
+                        AccelSim::new(desc.accel.clone()),
+                        layout.end as usize,
+                    );
+                    fill_inputs(&mut machine.mem, &spec, &layout, 7).unwrap();
+                    machine
+                },
+                |mut machine| machine.run(&prog, 100_000_000).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosimulation, bench_cpi_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Reproduces Figure 3: the classical processor roofline model, showing the
+//! memory-bound and compute-bound regions.
+use accfg_roofline::{render, PlotConfig, ProcessorRoofline, Series};
+
+fn main() {
+    let r = ProcessorRoofline {
+        peak: 512.0,
+        memory_bandwidth: 32.0,
+    };
+    println!("Figure 3: processor roofline (P_peak = {} ops/cycle, BW_mem = {} B/cycle)", r.peak, r.memory_bandwidth);
+    println!("knee at I_op = {} ops/byte\n", r.knee());
+    let att = |x: f64| r.attainable(x);
+    let cfg = PlotConfig {
+        x_range: (0.25, 4096.0),
+        y_range: (4.0, 1024.0),
+        x_label: "I_operational (ops/byte)".into(),
+        y_label: "P (ops/cycle)".into(),
+        ..Default::default()
+    };
+    let series = [
+        Series {
+            label: "memory-bound workload".into(),
+            marker: 'M',
+            points: vec![(2.0, r.attainable(2.0))],
+        },
+        Series {
+            label: "compute-bound workload".into(),
+            marker: 'C',
+            points: vec![(512.0, r.attainable(512.0))],
+        },
+    ];
+    println!("{}", render(&cfg, &[("roofline (Eq. 1)", '-', &att)], &series));
+}

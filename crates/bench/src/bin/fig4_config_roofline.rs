@@ -1,0 +1,70 @@
+//! Reproduces Figure 4: the configuration roofline, with the sequential and
+//! concurrent curves, the knee point, and the A/B/C example workloads.
+use accfg_roofline::{render, Bound, ConfigRoofline, PlotConfig, Series};
+
+fn main() {
+    let r = ConfigRoofline {
+        peak: 512.0,
+        config_bandwidth: 16.0 / 9.0,
+    };
+    println!(
+        "Figure 4: configuration roofline (P_peak = {} ops/cycle, BW_config = {:.2} B/cycle)",
+        r.peak, r.config_bandwidth
+    );
+    println!("knee at I_OC = {:.1} ops/byte\n", r.knee());
+
+    let seq = |x: f64| r.attainable_sequential(x);
+    let conc = |x: f64| r.attainable_concurrent(x);
+    let cfg = PlotConfig {
+        x_range: (4.0, 65536.0),
+        y_range: (4.0, 1024.0),
+        ..Default::default()
+    };
+    // the three example workloads of Figure 4
+    let (a, b, c) = (r.knee() * 16.0, r.knee() / 8.0, r.knee());
+    let series = [
+        Series {
+            label: format!("A: compute bound (I_OC = {a:.0})"),
+            marker: 'A',
+            points: vec![(a, r.attainable_sequential(a))],
+        },
+        Series {
+            label: format!("B: configuration bound (I_OC = {b:.0})"),
+            marker: 'B',
+            points: vec![(b, r.attainable_concurrent(b))],
+        },
+        Series {
+            label: format!("C: knee point (I_OC = {c:.0})"),
+            marker: 'C',
+            points: vec![(c, r.attainable_concurrent(c))],
+        },
+    ];
+    println!(
+        "{}",
+        render(
+            &cfg,
+            &[
+                ("sequential roofline (Eq. 3)", '.', &seq),
+                ("concurrent roofline (Eq. 2)", '-', &conc),
+            ],
+            &series,
+        )
+    );
+    for (label, i_oc) in [("A", a), ("B", b), ("C", c)] {
+        println!(
+            "workload {label}: I_OC = {i_oc:8.1} ops/byte -> {:?} bound; \
+             P_seq = {:6.1}, P_conc = {:6.1} ops/cycle",
+            r.bound(i_oc),
+            r.attainable_sequential(i_oc),
+            r.attainable_concurrent(i_oc),
+        );
+    }
+    let knee = r.knee();
+    assert_eq!(r.bound(knee / 2.0), Bound::Configuration);
+    assert_eq!(r.bound(knee * 2.0), Bound::Compute);
+    println!(
+        "\nAt the knee, sequential configuration attains exactly half of \
+         concurrent: {:.3}",
+        r.attainable_sequential(knee) / r.attainable_concurrent(knee)
+    );
+}

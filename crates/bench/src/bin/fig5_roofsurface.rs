@@ -1,0 +1,27 @@
+//! Reproduces Figure 5: the combined processor + configuration
+//! "roofsurface" — which of the three planes limits performance across the
+//! (I_operational, I_OC) space.
+use accfg_roofline::{render_surface, Roofsurface};
+
+fn main() {
+    let s = Roofsurface {
+        peak: 512.0,
+        memory_bandwidth: 32.0,
+        config_bandwidth: 16.0 / 9.0,
+    };
+    println!(
+        "Figure 5: roofsurface (P_peak = {}, BW_mem = {}, BW_config = {:.2})\n",
+        s.peak, s.memory_bandwidth, s.config_bandwidth
+    );
+    println!("{}", render_surface(&s, (0.25, 4096.0), (1.0, 16384.0), 64, 20));
+    println!(
+        "A system can be perfectly balanced in the processor roofline and\n\
+         still be configuration bound: e.g. at I_op = 64, I_OC = 32:\n\
+         memory allows {:.0}, compute allows {:.0}, but configuration\n\
+         caps performance at {:.1} ops/cycle ({:?}).",
+        s.memory_bandwidth * 64.0,
+        s.peak,
+        s.attainable(64.0, 32.0),
+        s.limiting_factor(64.0, 32.0),
+    );
+}

@@ -1,0 +1,93 @@
+//! Machine-readable experiment output.
+//!
+//! The paper's artifact produces "console prints, figures, data tables";
+//! the harness binaries mirror that by writing their measurements as CSV
+//! next to the human-readable output, so downstream plotting (matplotlib,
+//! gnuplot, ...) can regenerate the figures pixel-for-pixel.
+
+use crate::Measurement;
+use std::fmt::Write as _;
+
+/// The column header shared by all measurement CSVs.
+pub const HEADER: &str = "size,label,cycles,host_cycles,stall_cycles,overlap_cycles,\
+insts_total,insts_config,insts_calc,config_bytes,launches,ops,perf_ops_per_cycle,\
+i_oc_ops_per_byte,bw_eff_bytes_per_cycle";
+
+/// Renders measurements as CSV (with header).
+pub fn to_csv(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for m in measurements {
+        let c = &m.counters;
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.4},{:.4},{:.6}",
+            m.size,
+            m.label,
+            c.cycles,
+            c.host_cycles,
+            c.stall_cycles,
+            c.overlap_cycles,
+            c.insts_total,
+            c.insts_config,
+            c.insts_calc,
+            c.config_bytes,
+            c.launches,
+            m.ops,
+            m.perf(),
+            m.i_oc(),
+            m.bw_eff(),
+        )
+        .expect("string write");
+    }
+    out
+}
+
+/// Writes measurements to `results/<name>.csv`, creating the directory.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, to_csv(measurements))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_opengemm, GemminiFlavor};
+    use accfg::pipeline::OptLevel;
+
+    #[test]
+    fn csv_has_one_row_per_measurement_plus_header() {
+        let ms = vec![
+            run_opengemm(16, OptLevel::Base),
+            run_opengemm(16, OptLevel::All),
+        ];
+        let csv = to_csv(&ms);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("size,label,"));
+        assert!(csv.contains("16,base,"));
+        assert!(csv.contains("16,all,"));
+        // every row has the full column count
+        let cols = HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_values_match_measurement() {
+        let m = crate::run_gemmini(32, GemminiFlavor::CBaseline);
+        let csv = to_csv(std::slice::from_ref(&m));
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields[0], "32");
+        assert_eq!(fields[2], m.counters.cycles.to_string());
+        assert_eq!(fields[11], m.ops.to_string());
+    }
+}

@@ -1,0 +1,515 @@
+//! Configuration deduplication (Section 5.4): remove writes of values that
+//! the accelerator's configuration registers already hold.
+//!
+//! The analysis walks the use-def chain of state values backwards to build,
+//! for every `accfg.setup`, a map of fields whose contents are statically
+//! known at its input. SSA-value equality is the proxy for runtime-value
+//! equality (Section 5.4: "the same SSA-value will always contain the same
+//! value at runtime"). Loop-carried states are solved with a shrinking
+//! fixpoint: the registers known at loop entry are the intersection of what
+//! is known at the initial state and at the back-edge (yield) state.
+//!
+//! Two cleanup rewrites from the paper follow: [`RemoveEmptySetups`] and
+//! [`MergeSetups`].
+
+use crate::dialect::{
+    self, setup_fields, setup_input_state, setup_set_fields, setup_set_input_state, setup_state,
+    StateEffect,
+};
+use accfg_ir::{Changed, Module, OpId, Opcode, Pass, ValueDef, ValueId};
+use std::collections::HashMap;
+
+/// Field name → the SSA value known to be in the register.
+type FieldMap = HashMap<String, ValueId>;
+
+/// Assumptions for loop-carried state values during the fixpoint.
+type Assumptions = HashMap<ValueId, FieldMap>;
+
+/// The configuration-deduplication pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deduplicate;
+
+impl Pass for Deduplicate {
+    fn name(&self) -> &str {
+        "accfg-dedup"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        for op in m.walk_module() {
+            if !m.is_alive(op) || m.op(op).opcode != Opcode::AccfgSetup {
+                continue;
+            }
+            let Some(input) = setup_input_state(m, op) else {
+                continue;
+            };
+            let known = known_fields(m, input, &mut Assumptions::new());
+            let fields = setup_fields(m, op);
+            let retained: Vec<(String, ValueId)> = fields
+                .iter()
+                .filter(|(name, value)| known.get(name) != Some(value))
+                .cloned()
+                .collect();
+            if retained.len() < fields.len() {
+                setup_set_fields(m, op, &retained);
+                changed = Changed::Yes;
+            }
+        }
+        changed
+    }
+}
+
+/// Computes the register contents statically known in `state`.
+///
+/// `assumptions` carries optimistic in-progress facts for loop block
+/// arguments, refined by the shrinking fixpoint in [`block_arg_fields`].
+pub fn known_fields(m: &Module, state: ValueId, assumptions: &mut Assumptions) -> FieldMap {
+    if let Some(a) = assumptions.get(&state) {
+        return a.clone();
+    }
+    match m.value(state).def {
+        ValueDef::OpResult { op, index } => match m.op(op).opcode {
+            Opcode::AccfgSetup => {
+                let mut known = match setup_input_state(m, op) {
+                    Some(input) => known_fields(m, input, assumptions),
+                    None => FieldMap::new(),
+                };
+                for (name, value) in setup_fields(m, op) {
+                    known.insert(name, value);
+                }
+                known
+            }
+            Opcode::If => {
+                let a = branch_yield_operand(m, op, 0, index as usize);
+                let b = branch_yield_operand(m, op, 1, index as usize);
+                let ka = known_fields(m, a, assumptions);
+                let kb = known_fields(m, b, assumptions);
+                intersect(&ka, &kb)
+            }
+            Opcode::For => {
+                // state after the loop = state at the back edge, but the
+                // loop may run zero iterations, so intersect with the init
+                let init = m.op(op).operands[3 + index as usize];
+                let body = m.body_block(op, 0);
+                let yielded = m.op(m.terminator(body)).operands[index as usize];
+                let arg = m.block(body).args[1 + index as usize];
+                let entry = block_arg_fields(m, arg, init, yielded, assumptions);
+                assumptions.insert(arg, entry);
+                let kb = known_fields(m, yielded, assumptions);
+                assumptions.remove(&arg);
+                let ki = known_fields(m, init, assumptions);
+                intersect(&ki, &kb)
+            }
+            _ => FieldMap::new(),
+        },
+        ValueDef::BlockArg { block, index } => {
+            let Some(owner) = m.block_parent_op(block) else {
+                return FieldMap::new(); // function argument: nothing known
+            };
+            if m.op(owner).opcode != Opcode::For || index == 0 {
+                return FieldMap::new();
+            }
+            let init = m.op(owner).operands[3 + (index as usize - 1)];
+            let yielded = m.op(m.terminator(block)).operands[index as usize - 1];
+            block_arg_fields(m, state, init, yielded, assumptions)
+        }
+    }
+}
+
+/// Shrinking fixpoint for a loop-carried state block argument: start from
+/// everything known at the init state, then repeatedly intersect with what
+/// the back edge provides under the current assumption, until stable.
+fn block_arg_fields(
+    m: &Module,
+    arg: ValueId,
+    init: ValueId,
+    yielded: ValueId,
+    assumptions: &mut Assumptions,
+) -> FieldMap {
+    if let Some(a) = assumptions.get(&arg) {
+        return a.clone();
+    }
+    let mut current = known_fields(m, init, assumptions);
+    loop {
+        assumptions.insert(arg, current.clone());
+        let back = known_fields(m, yielded, assumptions);
+        assumptions.remove(&arg);
+        let next = intersect(&current, &back);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+fn branch_yield_operand(m: &Module, if_op: OpId, region: usize, index: usize) -> ValueId {
+    let block = m.body_block(if_op, region);
+    m.op(m.terminator(block)).operands[index]
+}
+
+fn intersect(a: &FieldMap, b: &FieldMap) -> FieldMap {
+    a.iter()
+        .filter(|(k, v)| b.get(*k) == Some(v))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Removes `accfg.setup` ops that write no fields (Section 5.4.1's first
+/// cleanup): a field-less setup with an input state is the identity and its
+/// result can be replaced by that input; a field-less, input-less setup with
+/// no uses is simply dead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RemoveEmptySetups;
+
+impl Pass for RemoveEmptySetups {
+    fn name(&self) -> &str {
+        "accfg-remove-empty-setups"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        for op in m.walk_module() {
+            if !m.is_alive(op) || m.op(op).opcode != Opcode::AccfgSetup {
+                continue;
+            }
+            if !setup_fields(m, op).is_empty() {
+                continue;
+            }
+            let state = setup_state(m, op);
+            match setup_input_state(m, op) {
+                Some(input) => {
+                    m.replace_all_uses(state, input);
+                    m.erase_op(op);
+                    changed = Changed::Yes;
+                }
+                None => {
+                    // an input-less empty setup carries no information: any
+                    // setup chained from it can simply drop its input
+                    for u in m.uses_of(state) {
+                        if m.op(u.op).opcode == Opcode::AccfgSetup
+                            && u.operand_index == 0
+                            && setup_input_state(m, u.op) == Some(state)
+                        {
+                            setup_set_input_state(m, u.op, None);
+                            changed = Changed::Yes;
+                        }
+                    }
+                    if m.uses_of(state).is_empty() {
+                        m.erase_op(op);
+                        changed = Changed::Yes;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}
+
+/// Merges chained setups with no launch in between (Section 5.4.1's second
+/// cleanup): if setup `S2` consumes the state of `S1`, `S1`'s state has no
+/// other user, both sit in the same block, and nothing between them clobbers
+/// accelerator state, then the two register-write groups collapse into one
+/// setup at `S2`'s position (later writes win on name collisions).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeSetups;
+
+impl Pass for MergeSetups {
+    fn name(&self) -> &str {
+        "accfg-merge-setups"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        // repeat so chains of three or more setups collapse fully
+        loop {
+            let mut merged_any = false;
+            for s2 in m.walk_module() {
+                if !m.is_alive(s2) || m.op(s2).opcode != Opcode::AccfgSetup {
+                    continue;
+                }
+                if try_merge_into(m, s2) {
+                    merged_any = true;
+                    changed = Changed::Yes;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+fn try_merge_into(m: &mut Module, s2: OpId) -> bool {
+    let Some(input) = setup_input_state(m, s2) else {
+        return false;
+    };
+    let ValueDef::OpResult { op: s1, .. } = m.value(input).def else {
+        return false;
+    };
+    if m.op(s1).opcode != Opcode::AccfgSetup {
+        return false;
+    }
+    // S1's state must feed only S2
+    if m.uses_of(input).len() != 1 {
+        return false;
+    }
+    // same block, nothing in between that could clobber accelerator state
+    let (Some(b1), Some(b2)) = (m.op(s1).parent, m.op(s2).parent) else {
+        return false;
+    };
+    if b1 != b2 {
+        return false;
+    }
+    let p1 = m.op_position(s1).expect("attached");
+    let p2 = m.op_position(s2).expect("attached");
+    if p1 >= p2 {
+        return false;
+    }
+    let between = &m.block(b1).ops[p1 + 1..p2];
+    if between
+        .iter()
+        .any(|&o| dialect::state_effect(m, o) == StateEffect::Clobbers)
+    {
+        return false;
+    }
+
+    // merged field list: S1's fields, overridden/extended by S2's
+    let mut merged = setup_fields(m, s1);
+    for (name, value) in setup_fields(m, s2) {
+        if let Some(slot) = merged.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            merged.push((name, value));
+        }
+    }
+    let s1_input = setup_input_state(m, s1);
+    setup_set_input_state(m, s2, s1_input);
+    setup_set_fields(m, s2, &merged);
+    m.erase_op(s1);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::interpret;
+    use crate::trace_states::TraceStates;
+    use accfg_ir::{parse_module, print_module, verify, FuncBuilder};
+
+    fn dedup_all(m: &mut Module) {
+        TraceStates.run(m);
+        Deduplicate.run(m);
+        RemoveEmptySetups.run(m);
+        MergeSetups.run(m);
+        accfg_ir::passes::Dce.run(m);
+        verify(m).expect("deduped IR verifies");
+    }
+
+    #[test]
+    fn removes_repeated_field_writes() {
+        let text = r#"
+        func.func @f(%p: i64) {
+          %c = arith.constant() {value = 3} : i64
+          %s1 = accfg.setup "acc" to ("A" = %p, "mode" = %c) : !accfg.state<"acc">
+          %t1 = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+          accfg.await "acc" %t1
+          %s2 = accfg.setup "acc" from %s1 to ("A" = %p, "mode" = %c) : !accfg.state<"acc">
+          %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+          accfg.await "acc" %t2
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        let before = interpret(&m, "f", &[42], 1000).unwrap();
+        dedup_all(&mut m);
+        let after = interpret(&m, "f", &[42], 1000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        assert_eq!(before.setup_writes, 4);
+        assert_eq!(after.setup_writes, 2); // second setup fully deduplicated
+    }
+
+    #[test]
+    fn keeps_changed_fields() {
+        let text = r#"
+        func.func @f(%p: i64, %q: i64) {
+          %s1 = accfg.setup "acc" to ("A" = %p) : !accfg.state<"acc">
+          %t1 = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+          accfg.await "acc" %t1
+          %s2 = accfg.setup "acc" from %s1 to ("A" = %q) : !accfg.state<"acc">
+          %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+          accfg.await "acc" %t2
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        let before = interpret(&m, "f", &[1, 2], 1000).unwrap();
+        dedup_all(&mut m);
+        let after = interpret(&m, "f", &[1, 2], 1000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        assert_eq!(after.setup_writes, 2); // both writes necessary
+    }
+
+    #[test]
+    fn dedups_loop_invariant_fields_carried_by_iter_args() {
+        // after tracing, the loop state is an iter_arg; the "A" field is
+        // written every iteration with the same SSA value -> all but the
+        // first write are redundant
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![accfg_ir::Type::I64]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let one = b.const_index(1);
+        b.build_for(lb, ub, one, vec![], |b, iv, _| {
+            let s = b.setup("acc", &[("A", args[0]), ("i", iv)]);
+            let t = b.launch("acc", s);
+            b.await_token("acc", t);
+            vec![]
+        });
+        b.ret(vec![]);
+
+        let before = interpret(&m, "f", &[9], 10_000).unwrap();
+        assert_eq!(before.setup_writes, 8);
+
+        TraceStates.run(&mut m);
+        verify(&m).unwrap();
+        Deduplicate.run(&mut m);
+        verify(&m).unwrap();
+        let after = interpret(&m, "f", &[9], 10_000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        // "A" deduplicated in iterations 2..4 — but kept in iteration 1?
+        // No: the loop-entry intersection includes the init (empty setup),
+        // where "A" is unknown, so the in-loop write stays. The hoist pass
+        // (not run here) is what moves it out. Writes: 4×i + 4×A = 8 → the
+        // dedup alone cannot remove loop writes without hoisting.
+        assert_eq!(after.setup_writes, 8);
+    }
+
+    #[test]
+    fn dedups_across_if_join_when_both_branches_agree() {
+        let text = r#"
+        func.func @f(%c: i1, %p: i64) {
+          %k = arith.constant() {value = 5} : i64
+          %s0 = accfg.setup "acc" to ("base" = %p) : !accfg.state<"acc">
+          %t0 = accfg.launch "acc" with %s0 : !accfg.token<"acc">
+          accfg.await "acc" %t0
+          %s3 = scf.if %c -> (!accfg.state<"acc">) then {
+            %s1 = accfg.setup "acc" from %s0 to ("mode" = %k) : !accfg.state<"acc">
+            scf.yield(%s1)
+          } else {
+            %s2 = accfg.setup "acc" from %s0 to ("mode" = %k) : !accfg.state<"acc">
+            scf.yield(%s2)
+          }
+          %s4 = accfg.setup "acc" from %s3 to ("base" = %p, "mode" = %k) : !accfg.state<"acc">
+          %t4 = accfg.launch "acc" with %s4 : !accfg.token<"acc">
+          accfg.await "acc" %t4
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        for c in [0, 1] {
+            let before = interpret(&m, "f", &[c, 7], 1000).unwrap();
+            let mut m2 = m.clone();
+            dedup_all(&mut m2);
+            let after = interpret(&m2, "f", &[c, 7], 1000).unwrap();
+            assert_eq!(before.launches, after.launches, "c={c}");
+        }
+        dedup_all(&mut m);
+        // both "base" (from s0, preserved through the if) and "mode" (agreed
+        // by both branches) are redundant in s4 — it disappears entirely
+        let text2 = print_module(&m);
+        assert_eq!(text2.matches("accfg.setup").count(), 3, "{text2}");
+    }
+
+    #[test]
+    fn does_not_dedup_when_branches_disagree() {
+        let text = r#"
+        func.func @f(%c: i1, %p: i64, %q: i64) {
+          %s0 = accfg.setup "acc" to ("base" = %p) : !accfg.state<"acc">
+          %s3 = scf.if %c -> (!accfg.state<"acc">) then {
+            %s1 = accfg.setup "acc" from %s0 to ("mode" = %p) : !accfg.state<"acc">
+            scf.yield(%s1)
+          } else {
+            %s2 = accfg.setup "acc" from %s0 to ("mode" = %q) : !accfg.state<"acc">
+            scf.yield(%s2)
+          }
+          %s4 = accfg.setup "acc" from %s3 to ("mode" = %p) : !accfg.state<"acc">
+          %t4 = accfg.launch "acc" with %s4 : !accfg.token<"acc">
+          accfg.await "acc" %t4
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        for c in [0, 1] {
+            let before = interpret(&m, "f", &[c, 7, 8], 1000).unwrap();
+            let mut m2 = m.clone();
+            dedup_all(&mut m2);
+            let after = interpret(&m2, "f", &[c, 7, 8], 1000).unwrap();
+            assert_eq!(before.launches, after.launches, "c={c}");
+        }
+        dedup_all(&mut m);
+        let text2 = print_module(&m);
+        // s4's "mode" write must survive: the else branch wrote %q
+        assert_eq!(text2.matches("accfg.setup").count(), 4, "{text2}");
+    }
+
+    #[test]
+    fn removes_empty_setup_with_input() {
+        let text = r#"
+        func.func @f(%p: i64) {
+          %s1 = accfg.setup "acc" to ("A" = %p) : !accfg.state<"acc">
+          %s2 = accfg.setup "acc" from %s1 to () : !accfg.state<"acc">
+          %t = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+          accfg.await "acc" %t
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        assert!(RemoveEmptySetups.run(&mut m).changed());
+        verify(&m).unwrap();
+        let text2 = print_module(&m);
+        assert_eq!(text2.matches("accfg.setup").count(), 1, "{text2}");
+    }
+
+    #[test]
+    fn merges_setup_chains_without_launches() {
+        let text = r#"
+        func.func @f(%p: i64, %q: i64) {
+          %s1 = accfg.setup "acc" to ("A" = %p) : !accfg.state<"acc">
+          %s2 = accfg.setup "acc" from %s1 to ("B" = %q) : !accfg.state<"acc">
+          %s3 = accfg.setup "acc" from %s2 to ("A" = %q) : !accfg.state<"acc">
+          %t = accfg.launch "acc" with %s3 : !accfg.token<"acc">
+          accfg.await "acc" %t
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        let before = interpret(&m, "f", &[1, 2], 1000).unwrap();
+        assert!(MergeSetups.run(&mut m).changed());
+        verify(&m).unwrap();
+        let after = interpret(&m, "f", &[1, 2], 1000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        let text2 = print_module(&m);
+        assert_eq!(text2.matches("accfg.setup").count(), 1, "{text2}");
+        // later write of "A" won
+        assert!(text2.contains("\"A\" = %1"), "{text2}");
+    }
+
+    #[test]
+    fn does_not_merge_across_launch() {
+        let text = r#"
+        func.func @f(%p: i64, %q: i64) {
+          %s1 = accfg.setup "acc" to ("A" = %p) : !accfg.state<"acc">
+          %t1 = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+          accfg.await "acc" %t1
+          %s2 = accfg.setup "acc" from %s1 to ("A" = %q) : !accfg.state<"acc">
+          %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+          accfg.await "acc" %t2
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        // s1's state is used by both the launch and s2 -> two uses -> no merge
+        assert!(!MergeSetups.run(&mut m).changed());
+    }
+}

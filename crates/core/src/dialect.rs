@@ -1,0 +1,294 @@
+//! Typed views and mutators for `accfg` dialect operations.
+//!
+//! The ops themselves are defined in `accfg-ir` (so the printer/parser and
+//! verifier know them); this module adds the accessors the optimization
+//! passes need: reading a setup's field list, rewiring input states,
+//! removing deduplicated fields, and classifying which ops preserve
+//! accelerator configuration state (Section 5.1's effects model).
+
+use accfg_ir::{AttrMap, Attribute, Effects, Module, OpId, Opcode, Type, ValueId};
+
+/// Reads the `accelerator` attribute of any accfg op.
+///
+/// # Panics
+/// Panics if the op lacks the attribute (such ops do not pass the verifier).
+pub fn accelerator(m: &Module, op: OpId) -> String {
+    m.str_attr(op, "accelerator")
+        .expect("accfg op has an `accelerator` attribute")
+        .to_string()
+}
+
+/// The `(name, value)` field pairs of an `accfg.setup`.
+pub fn setup_fields(m: &Module, setup: OpId) -> Vec<(String, ValueId)> {
+    debug_assert_eq!(m.op(setup).opcode, Opcode::AccfgSetup);
+    let names: Vec<String> = m
+        .attr(setup, "fields")
+        .and_then(Attribute::as_array)
+        .map(|a| {
+            a.iter()
+                .filter_map(|x| x.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let skip = usize::from(setup_input_state(m, setup).is_some());
+    names
+        .into_iter()
+        .zip(m.op(setup).operands[skip..].iter().copied())
+        .collect()
+}
+
+/// The input state operand of an `accfg.setup`, if it has one.
+pub fn setup_input_state(m: &Module, setup: OpId) -> Option<ValueId> {
+    debug_assert_eq!(m.op(setup).opcode, Opcode::AccfgSetup);
+    let has = m
+        .attr(setup, "has_input_state")
+        .and_then(Attribute::as_bool)
+        .unwrap_or(false);
+    has.then(|| m.op(setup).operands[0])
+}
+
+/// The state produced by an `accfg.setup`.
+pub fn setup_state(m: &Module, setup: OpId) -> ValueId {
+    debug_assert_eq!(m.op(setup).opcode, Opcode::AccfgSetup);
+    m.op(setup).results[0]
+}
+
+/// Sets or clears the input state of a setup, keeping fields unchanged.
+pub fn setup_set_input_state(m: &mut Module, setup: OpId, input: Option<ValueId>) {
+    let fields: Vec<ValueId> = {
+        let skip = usize::from(setup_input_state(m, setup).is_some());
+        m.op(setup).operands[skip..].to_vec()
+    };
+    let mut operands = Vec::with_capacity(fields.len() + 1);
+    if let Some(s) = input {
+        operands.push(s);
+    }
+    operands.extend(fields);
+    m.set_operands(setup, operands);
+    m.set_attr(setup, "has_input_state", Attribute::Bool(input.is_some()));
+}
+
+/// Replaces the full field list of a setup (keeping its input state).
+pub fn setup_set_fields(m: &mut Module, setup: OpId, fields: &[(String, ValueId)]) {
+    let input = setup_input_state(m, setup);
+    let mut operands = Vec::with_capacity(fields.len() + 1);
+    if let Some(s) = input {
+        operands.push(s);
+    }
+    operands.extend(fields.iter().map(|(_, v)| *v));
+    m.set_operands(setup, operands);
+    m.set_attr(
+        setup,
+        "fields",
+        Attribute::str_array(fields.iter().map(|(n, _)| n.clone())),
+    );
+}
+
+/// Creates a detached `accfg.setup` op.
+pub fn make_setup(
+    m: &mut Module,
+    accelerator: &str,
+    input: Option<ValueId>,
+    fields: &[(String, ValueId)],
+) -> OpId {
+    let mut attrs = AttrMap::new();
+    attrs.insert("accelerator".into(), Attribute::Str(accelerator.into()));
+    attrs.insert(
+        "fields".into(),
+        Attribute::str_array(fields.iter().map(|(n, _)| n.clone())),
+    );
+    attrs.insert("has_input_state".into(), Attribute::Bool(input.is_some()));
+    let mut operands = Vec::with_capacity(fields.len() + 1);
+    if let Some(s) = input {
+        operands.push(s);
+    }
+    operands.extend(fields.iter().map(|(_, v)| *v));
+    m.create_op(
+        Opcode::AccfgSetup,
+        operands,
+        vec![Type::state(accelerator)],
+        attrs,
+        vec![],
+    )
+}
+
+/// How an op interacts with accelerator configuration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateEffect {
+    /// Cannot touch accelerator state (pure ops, annotated foreign ops).
+    Preserves,
+    /// Part of the accfg dialect: modeled precisely by the passes.
+    Accfg,
+    /// Structured control flow: effect determined by region contents.
+    Structural,
+    /// May clobber any accelerator state (unannotated calls, opaque ops,
+    /// raw target-level config writes).
+    Clobbers,
+}
+
+/// Classifies `op` per the paper's effects model: pure ops and
+/// `#accfg.effects<none>`-annotated ops preserve state; unannotated foreign
+/// ops (and anything marked `#accfg.effects<all>`) clobber it.
+pub fn state_effect(m: &Module, op: OpId) -> StateEffect {
+    // an explicit annotation wins, either way
+    if let Some(e) = m.attr(op, "effects").and_then(Attribute::as_effects) {
+        return match e {
+            Effects::None => StateEffect::Preserves,
+            Effects::All => StateEffect::Clobbers,
+        };
+    }
+    let opcode = m.op(op).opcode;
+    if opcode.is_pure() {
+        return StateEffect::Preserves;
+    }
+    match opcode {
+        Opcode::AccfgSetup | Opcode::AccfgLaunch | Opcode::AccfgAwait => StateEffect::Accfg,
+        Opcode::For | Opcode::If => StateEffect::Structural,
+        Opcode::Yield | Opcode::Return | Opcode::Func => StateEffect::Preserves,
+        _ => StateEffect::Clobbers,
+    }
+}
+
+/// `true` if any op nested under `root` (inclusive) may clobber the state of
+/// `accel` — i.e. a [`StateEffect::Clobbers`] op, or a setup for the same
+/// accelerator that the caller is not already tracking.
+pub fn subtree_has_clobber(m: &Module, root: OpId) -> bool {
+    let mut found = false;
+    m.walk(root, &mut |op| {
+        if state_effect(m, op) == StateEffect::Clobbers {
+            found = true;
+        }
+    });
+    found
+}
+
+/// All `accfg.setup` ops for `accel` nested under `root` (inclusive).
+pub fn setups_for(m: &Module, root: OpId, accel: &str) -> Vec<OpId> {
+    m.walk_collect(root)
+        .into_iter()
+        .filter(|&o| {
+            m.op(o).opcode == Opcode::AccfgSetup && m.str_attr(o, "accelerator") == Some(accel)
+        })
+        .collect()
+}
+
+/// The accelerator names referenced by any accfg op under `root`.
+pub fn accelerators_used(m: &Module, root: OpId) -> Vec<String> {
+    let mut names: Vec<String> = m
+        .walk_collect(root)
+        .into_iter()
+        .filter(|&o| m.op(o).opcode.is_accfg())
+        .filter_map(|o| m.str_attr(o, "accelerator").map(str::to_string))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accfg_ir::FuncBuilder;
+
+    fn setup_module() -> (Module, OpId) {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let x = b.const_index(4);
+        let y = b.const_index(8);
+        let s = b.setup("gemm", &[("x", x), ("y", y)]);
+        let t = b.launch("gemm", s);
+        b.await_token("gemm", t);
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        let setup = setups_for(&m, func, "gemm")[0];
+        (m, setup)
+    }
+
+    #[test]
+    fn reads_fields() {
+        let (m, setup) = setup_module();
+        let fields = setup_fields(&m, setup);
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "x");
+        assert_eq!(fields[1].0, "y");
+        assert_eq!(setup_input_state(&m, setup), None);
+    }
+
+    #[test]
+    fn rewires_input_state() {
+        let (mut m, setup) = setup_module();
+        let state = setup_state(&m, setup);
+        // nonsensical self-input, but exercises the plumbing
+        setup_set_input_state(&mut m, setup, Some(state));
+        assert_eq!(setup_input_state(&m, setup), Some(state));
+        assert_eq!(setup_fields(&m, setup).len(), 2);
+        setup_set_input_state(&mut m, setup, None);
+        assert_eq!(setup_input_state(&m, setup), None);
+        assert_eq!(setup_fields(&m, setup).len(), 2);
+    }
+
+    #[test]
+    fn replaces_field_list() {
+        let (mut m, setup) = setup_module();
+        let fields = setup_fields(&m, setup);
+        setup_set_fields(&mut m, setup, &fields[..1]);
+        assert_eq!(setup_fields(&m, setup).len(), 1);
+        assert_eq!(setup_fields(&m, setup)[0].0, "x");
+    }
+
+    #[test]
+    fn effects_classification() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let c = b.const_index(1);
+        let s = b.setup("a", &[("x", c)]);
+        let t = b.launch("a", s);
+        b.await_token("a", t);
+        b.opaque("printf", vec![], vec![], Some(Effects::None));
+        b.opaque("mystery", vec![], vec![], None);
+        b.call("ext", vec![], vec![]);
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        let ops = m.walk_collect(func);
+        let effects: Vec<StateEffect> = ops.iter().map(|&o| state_effect(&m, o)).collect();
+        assert_eq!(effects[1], StateEffect::Preserves); // constant
+        assert_eq!(effects[2], StateEffect::Accfg); // setup
+        assert_eq!(effects[3], StateEffect::Accfg); // launch
+        assert_eq!(effects[4], StateEffect::Accfg); // await
+        assert_eq!(effects[5], StateEffect::Preserves); // printf w/ effects<none>
+        assert_eq!(effects[6], StateEffect::Clobbers); // mystery
+        assert_eq!(effects[7], StateEffect::Clobbers); // unannotated call
+    }
+
+    #[test]
+    fn clobber_detection_in_subtrees() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let zero = b.const_index(0);
+        let four = b.const_index(4);
+        let one = b.const_index(1);
+        b.build_for(zero, four, one, vec![], |b, _, _| {
+            b.call("ext", vec![], vec![]);
+            vec![]
+        });
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        assert!(subtree_has_clobber(&m, func));
+    }
+
+    #[test]
+    fn accelerator_inventory() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let c = b.const_index(1);
+        let s1 = b.setup("beta", &[("x", c)]);
+        let t1 = b.launch("beta", s1);
+        b.await_token("beta", t1);
+        let s2 = b.setup("alpha", &[("x", c)]);
+        let t2 = b.launch("alpha", s2);
+        b.await_token("alpha", t2);
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        assert_eq!(accelerators_used(&m, func), vec!["alpha", "beta"]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Control-flow hoisting rewrites (Section 5.4.1), run right before
+//! deduplication to expose more redundant writes:
+//!
+//! - [`HoistSetupIntoBranch`]: a setup consuming an `scf.if`'s joined state
+//!   is sunk into both branches, restoring linear setup chains on each path.
+//! - [`HoistInvariantSetupFields`]: setup fields that are written with the
+//!   same loop-invariant SSA value by every setup in a loop move to a new
+//!   setup in front of the loop (Figure 9, middle) — the accfg analogue of
+//!   LICM, with the paper's extra "constant throughout the whole body"
+//!   constraint.
+
+use crate::dialect::{
+    self, make_setup, setup_fields, setup_input_state, setup_set_fields, setup_state,
+};
+use accfg_ir::analysis::value_visible_at;
+use accfg_ir::{Changed, Module, OpId, Opcode, Pass, Type, ValueDef, ValueId};
+
+/// Sinks setups into the branches of the `scf.if` producing their input
+/// state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoistSetupIntoBranch;
+
+impl Pass for HoistSetupIntoBranch {
+    fn name(&self) -> &str {
+        "accfg-hoist-setup-into-branch"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        loop {
+            let candidate = m.walk_module().into_iter().find(|&op| {
+                m.is_alive(op) && m.op(op).opcode == Opcode::AccfgSetup && can_sink(m, op)
+            });
+            match candidate {
+                Some(setup) => {
+                    sink_into_branches(m, setup);
+                    changed = Changed::Yes;
+                }
+                None => break,
+            }
+        }
+        changed
+    }
+}
+
+fn input_if(m: &Module, setup: OpId) -> Option<(OpId, u32)> {
+    let input = setup_input_state(m, setup)?;
+    match m.value(input).def {
+        ValueDef::OpResult { op, index } if m.op(op).opcode == Opcode::If => Some((op, index)),
+        _ => None,
+    }
+}
+
+fn can_sink(m: &Module, setup: OpId) -> bool {
+    let Some((if_op, index)) = input_if(m, setup) else {
+        return false;
+    };
+    // the joined state must feed only this setup (a launch in between would
+    // observe the pre-setup state and pin the order)
+    let state = m.op(if_op).results[index as usize];
+    if m.uses_of(state).len() != 1 {
+        return false;
+    }
+    // same block, and every field operand visible inside both branches
+    if m.op(setup).parent != m.op(if_op).parent {
+        return false;
+    }
+    setup_fields(m, setup).iter().all(|(_, v)| {
+        (0..2).all(|r| {
+            let yield_op = m.terminator(m.body_block(if_op, r));
+            value_visible_at(m, *v, yield_op)
+        })
+    })
+}
+
+fn sink_into_branches(m: &mut Module, setup: OpId) {
+    let (if_op, index) = input_if(m, setup).expect("checked by can_sink");
+    let accel = dialect::accelerator(m, setup);
+    let fields = setup_fields(m, setup);
+    for r in 0..2 {
+        let block = m.body_block(if_op, r);
+        let yield_op = m.terminator(block);
+        let branch_state = m.op(yield_op).operands[index as usize];
+        let clone = make_setup(m, &accel, Some(branch_state), &fields);
+        m.move_op_before(clone, yield_op);
+        let mut operands = m.op(yield_op).operands.clone();
+        operands[index as usize] = setup_state(m, clone);
+        m.set_operands(yield_op, operands);
+    }
+    let joined = m.op(if_op).results[index as usize];
+    let result = setup_state(m, setup);
+    m.replace_all_uses(result, joined);
+    m.erase_op(setup);
+}
+
+/// Moves loop-invariant setup fields in front of the loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoistInvariantSetupFields;
+
+impl Pass for HoistInvariantSetupFields {
+    fn name(&self) -> &str {
+        "accfg-hoist-invariant-setup-fields"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        // innermost loops first, so fields can bubble out level by level
+        let mut loops: Vec<OpId> = m
+            .walk_module()
+            .into_iter()
+            .filter(|&op| m.op(op).opcode == Opcode::For)
+            .collect();
+        loops.reverse();
+        for for_op in loops {
+            if !m.is_alive(for_op) {
+                continue;
+            }
+            changed = changed.or(hoist_from_loop(m, for_op));
+        }
+        changed
+    }
+}
+
+fn hoist_from_loop(m: &mut Module, for_op: OpId) -> Changed {
+    if dialect::subtree_has_clobber(m, for_op) {
+        return Changed::No;
+    }
+    let mut changed = Changed::No;
+    // one threaded state per accelerator: find state-typed iter args
+    let body = m.body_block(for_op, 0);
+    let state_args: Vec<(usize, String)> = m
+        .block(body)
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &a)| match m.value_type(a) {
+            Type::State(accel) => Some((i, accel.clone())),
+            _ => None,
+        })
+        .collect();
+    for (arg_index, accel) in state_args {
+        changed = changed.or(hoist_accel_fields(m, for_op, arg_index, &accel));
+    }
+    changed
+}
+
+fn hoist_accel_fields(m: &mut Module, for_op: OpId, arg_index: usize, accel: &str) -> Changed {
+    let setups = dialect::setups_for(m, for_op, accel);
+    if setups.is_empty() {
+        return Changed::No;
+    }
+    // candidate fields: written by some setup with a loop-invariant value
+    // that is visible before the loop, and never written with a *different*
+    // value by any setup in the body
+    let mut candidates: Vec<(String, ValueId)> = Vec::new();
+    let mut conflicted: Vec<String> = Vec::new();
+    for &s in &setups {
+        for (name, value) in setup_fields(m, s) {
+            if conflicted.contains(&name) {
+                continue;
+            }
+            match candidates.iter().find(|(n, _)| *n == name) {
+                Some((_, existing)) if *existing == value => {}
+                Some(_) => {
+                    candidates.retain(|(n, _)| *n != name);
+                    conflicted.push(name);
+                }
+                None => {
+                    let invariant = !m.is_defined_inside(value, for_op)
+                        && value_visible_at(m, value, for_op);
+                    if invariant {
+                        candidates.push((name, value));
+                    } else {
+                        conflicted.push(name);
+                    }
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Changed::No;
+    }
+
+    // build the pre-loop setup, splicing it into the loop's init chain
+    let init_operand_index = 3 + (arg_index - 1);
+    let init = m.op(for_op).operands[init_operand_index];
+    let pre = make_setup(m, accel, Some(init), &candidates);
+    m.move_op_before(pre, for_op);
+    m.set_operand(for_op, init_operand_index, setup_state(m, pre));
+
+    // strip the hoisted fields from every in-loop writer
+    for &s in &setups {
+        let remaining: Vec<(String, ValueId)> = setup_fields(m, s)
+            .into_iter()
+            .filter(|(n, _)| !candidates.iter().any(|(c, _)| c == n))
+            .collect();
+        if remaining.len() != setup_fields(m, s).len() {
+            setup_set_fields(m, s, &remaining);
+        }
+    }
+    Changed::Yes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dedup::{Deduplicate, MergeSetups, RemoveEmptySetups};
+    use crate::interp::interpret;
+    use crate::trace_states::TraceStates;
+    use accfg_ir::passes::Dce;
+    use accfg_ir::{parse_module, print_module, verify, FuncBuilder};
+
+    /// The paper's step-3 sub-pipeline: hoist, then dedup, then clean up.
+    fn optimize(m: &mut Module) {
+        TraceStates.run(m);
+        HoistSetupIntoBranch.run(m);
+        HoistInvariantSetupFields.run(m);
+        Deduplicate.run(m);
+        RemoveEmptySetups.run(m);
+        MergeSetups.run(m);
+        Dce.run(m);
+        verify(m).expect("optimized IR verifies");
+    }
+
+    #[test]
+    fn figure9_loop_invariant_field_hoists() {
+        // the exact scenario of Figure 9: "A" is loop-invariant, "i" is not
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![accfg_ir::Type::I64]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(10);
+        let one = b.const_index(1);
+        b.build_for(lb, ub, one, vec![], |b, iv, _| {
+            let s = b.setup("acc", &[("A", args[0]), ("i", iv)]);
+            let t = b.launch("acc", s);
+            b.await_token("acc", t);
+            vec![]
+        });
+        b.ret(vec![]);
+
+        let before = interpret(&m, "f", &[77], 10_000).unwrap();
+        assert_eq!(before.setup_writes, 20); // 10 × (A, i)
+        optimize(&mut m);
+        let after = interpret(&m, "f", &[77], 10_000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        assert_eq!(after.setup_writes, 11); // 1 × A + 10 × i
+
+        let text = print_module(&m);
+        // pre-loop setup carries "A"; in-loop setup only "i"
+        assert!(text.contains("accfg.setup \"acc\" to (\"A\" = %0)"), "{text}");
+        assert!(text.contains("to (\"i\" ="), "{text}");
+    }
+
+    #[test]
+    fn conflicting_writers_block_hoisting() {
+        // two launches per iteration with different "mode" values: the paper
+        // explicitly forbids hoisting even though each value is invariant
+        let text = r#"
+        func.func @f(%p: i64, %q: i64) {
+          %lb = arith.constant() {value = 0} : index
+          %ub = arith.constant() {value = 4} : index
+          %st = arith.constant() {value = 1} : index
+          scf.for %i = %lb to %ub step %st {
+            %s1 = accfg.setup "acc" to ("mode" = %p) : !accfg.state<"acc">
+            %t1 = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+            accfg.await "acc" %t1
+            %s2 = accfg.setup "acc" from %s1 to ("mode" = %q) : !accfg.state<"acc">
+            %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+            accfg.await "acc" %t2
+            scf.yield()
+          }
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        let before = interpret(&m, "f", &[5, 6], 10_000).unwrap();
+        optimize(&mut m);
+        let after = interpret(&m, "f", &[5, 6], 10_000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        // mode flips every launch; no write can be elided
+        assert_eq!(after.setup_writes, before.setup_writes);
+    }
+
+    #[test]
+    fn partial_agreement_hoists_only_agreed_fields() {
+        let text = r#"
+        func.func @f(%p: i64, %q: i64) {
+          %lb = arith.constant() {value = 0} : index
+          %ub = arith.constant() {value = 4} : index
+          %st = arith.constant() {value = 1} : index
+          scf.for %i = %lb to %ub step %st {
+            %s1 = accfg.setup "acc" to ("base" = %p, "mode" = %p) : !accfg.state<"acc">
+            %t1 = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+            accfg.await "acc" %t1
+            %s2 = accfg.setup "acc" from %s1 to ("base" = %p, "mode" = %q) : !accfg.state<"acc">
+            %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+            accfg.await "acc" %t2
+            scf.yield()
+          }
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        let before = interpret(&m, "f", &[5, 6], 10_000).unwrap();
+        assert_eq!(before.setup_writes, 16);
+        optimize(&mut m);
+        let after = interpret(&m, "f", &[5, 6], 10_000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        // "base" hoisted (1 write); "mode" alternates (8 writes)
+        assert_eq!(after.setup_writes, 9);
+    }
+
+    #[test]
+    fn sinks_setup_into_branches_for_linear_chains() {
+        let text = r#"
+        func.func @f(%c: i1, %p: i64, %q: i64) {
+          %s0 = accfg.setup "acc" to ("base" = %p) : !accfg.state<"acc">
+          %t0 = accfg.launch "acc" with %s0 : !accfg.token<"acc">
+          accfg.await "acc" %t0
+          %sj = scf.if %c -> (!accfg.state<"acc">) then {
+            %s1 = accfg.setup "acc" from %s0 to ("mode" = %p) : !accfg.state<"acc">
+            scf.yield(%s1)
+          } else {
+            scf.yield(%s0)
+          }
+          %s2 = accfg.setup "acc" from %sj to ("base" = %p, "mode" = %p) : !accfg.state<"acc">
+          %t2 = accfg.launch "acc" with %s2 : !accfg.token<"acc">
+          accfg.await "acc" %t2
+          func.return()
+        }
+        "#;
+        let m = parse_module(text).unwrap();
+        for c in [0, 1] {
+            let before = interpret(&m, "f", &[c, 3, 4], 1000).unwrap();
+            let mut m2 = m.clone();
+            optimize(&mut m2);
+            let after = interpret(&m2, "f", &[c, 3, 4], 1000).unwrap();
+            assert_eq!(before.launches, after.launches, "c={c}");
+        }
+        let mut m3 = m.clone();
+        optimize(&mut m3);
+        // after sinking + dedup: the then-branch setup writes "mode" once,
+        // the sunk copy dedups "base" (known from s0) and "mode" in the then
+        // branch; in the else branch only "mode" survives
+        let t = print_module(&m3);
+        assert!(!t.contains("\"base\" = %1, \"mode\""), "base write must be gone: {t}");
+    }
+
+    #[test]
+    fn does_not_sink_when_state_also_launched() {
+        let text = r#"
+        func.func @f(%c: i1, %p: i64) {
+          %sj = scf.if %c -> (!accfg.state<"acc">) then {
+            %s1 = accfg.setup "acc" to ("mode" = %p) : !accfg.state<"acc">
+            scf.yield(%s1)
+          } else {
+            %s2 = accfg.setup "acc" to ("mode" = %p) : !accfg.state<"acc">
+            scf.yield(%s2)
+          }
+          %tj = accfg.launch "acc" with %sj : !accfg.token<"acc">
+          accfg.await "acc" %tj
+          %s3 = accfg.setup "acc" from %sj to ("mode" = %p) : !accfg.state<"acc">
+          %t3 = accfg.launch "acc" with %s3 : !accfg.token<"acc">
+          accfg.await "acc" %t3
+          func.return()
+        }
+        "#;
+        let mut m = parse_module(text).unwrap();
+        assert!(!HoistSetupIntoBranch.run(&mut m).changed());
+    }
+
+    #[test]
+    fn nested_loops_hoist_through_both_levels() {
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![accfg_ir::Type::I64]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(3);
+        let one = b.const_index(1);
+        b.build_for(lb, ub, one, vec![], |b, i, _| {
+            b.build_for(lb, ub, one, vec![], |b, j, _| {
+                let s = b.setup("acc", &[("A", args[0]), ("i", i), ("j", j)]);
+                let t = b.launch("acc", s);
+                b.await_token("acc", t);
+                vec![]
+            });
+            vec![]
+        });
+        b.ret(vec![]);
+
+        let before = interpret(&m, "f", &[42], 100_000).unwrap();
+        assert_eq!(before.setup_writes, 27);
+        optimize(&mut m);
+        let after = interpret(&m, "f", &[42], 100_000).unwrap();
+        assert_eq!(before.launches, after.launches);
+        // A: 1 write; i: 3 writes (hoisted to outer body); j: 9 writes
+        assert_eq!(after.setup_writes, 13);
+    }
+}

@@ -1,0 +1,403 @@
+//! A reference interpreter for accfg-level IR.
+//!
+//! This is the semantic oracle of the test suite: the observable behaviour
+//! of a program is the *sequence of launches*, each with the full contents
+//! of the accelerator's configuration registers at launch time (exactly what
+//! the hardware sees). Every accfg optimization pass must preserve this
+//! trace — deduplication may remove writes, overlap may reorder them, but
+//! the register file at each launch must be identical.
+//!
+//! Configuration registers retain their values across setups (the property
+//! deduplication exploits, Section 3.2); clobbering ops (unannotated calls,
+//! `#accfg.effects<all>`) poison all registers so that any pass illegally
+//! deduplicating across them produces a detectably different trace.
+
+use accfg_ir::passes::eval_binary;
+use accfg_ir::{CmpPredicate, Module, OpId, Opcode, ValueId};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use crate::dialect;
+
+/// The poison value written to every register by a clobbering op.
+pub const CLOBBER_POISON: i64 = i64::MIN + 0xC10BB;
+
+/// One recorded `accfg.launch`: which accelerator, and the complete
+/// configuration register file it observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// The launched accelerator.
+    pub accelerator: String,
+    /// Register name → value at launch time.
+    pub registers: BTreeMap<String, i64>,
+}
+
+/// The observable result of executing a function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Launches, in program order.
+    pub launches: Vec<LaunchRecord>,
+    /// Total number of individual configuration field writes executed.
+    /// Deduplication lowers this; it must never raise it between equivalent
+    /// programs ... modulo overlap's one extra prologue/epilogue setup.
+    pub setup_writes: usize,
+}
+
+/// Why interpretation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The per-run op budget was exhausted (runaway loop).
+    OutOfFuel,
+    /// An op that only exists after target lowering was encountered.
+    NotAccfgLevel(String),
+    /// Wrong number of function arguments.
+    ArgCount {
+        /// What the function declares.
+        expected: usize,
+        /// What the caller passed.
+        provided: usize,
+    },
+    /// The named function does not exist.
+    NoSuchFunc(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfFuel => write!(f, "interpreter ran out of fuel"),
+            InterpError::NotAccfgLevel(op) => {
+                write!(f, "op `{op}` cannot be interpreted at accfg level")
+            }
+            InterpError::ArgCount { expected, provided } => {
+                write!(f, "function expects {expected} arguments, got {provided}")
+            }
+            InterpError::NoSuchFunc(name) => write!(f, "no function named `{name}`"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Interprets the function named `name` with integer arguments, returning
+/// its launch trace.
+///
+/// # Errors
+///
+/// See [`InterpError`]. `fuel` bounds the total op count; use a few million
+/// for real workloads.
+pub fn interpret(
+    m: &Module,
+    name: &str,
+    args: &[i64],
+    fuel: u64,
+) -> Result<ExecTrace, InterpError> {
+    let func = m
+        .func_by_name(name)
+        .ok_or_else(|| InterpError::NoSuchFunc(name.to_string()))?;
+    let mut interp = Interp {
+        m,
+        env: HashMap::new(),
+        regs: HashMap::new(),
+        trace: ExecTrace::default(),
+        fuel,
+    };
+    let block = m.body_block(func, 0);
+    let params = m.block(block).args.clone();
+    if params.len() != args.len() {
+        return Err(InterpError::ArgCount {
+            expected: params.len(),
+            provided: args.len(),
+        });
+    }
+    for (&p, &a) in params.iter().zip(args.iter()) {
+        interp.env.insert(p, a);
+    }
+    interp.run_block(block)?;
+    Ok(interp.trace)
+}
+
+struct Interp<'m> {
+    m: &'m Module,
+    env: HashMap<ValueId, i64>,
+    /// accelerator name → persistent configuration register file
+    regs: HashMap<String, BTreeMap<String, i64>>,
+    trace: ExecTrace,
+    fuel: u64,
+}
+
+impl<'m> Interp<'m> {
+    fn get(&self, v: ValueId) -> i64 {
+        // state/token values carry no integer; they default to 0 when (never
+        // validly) read as integers
+        *self.env.get(&v).unwrap_or(&0)
+    }
+
+    /// Runs every op in `block`; returns the yield/return operand values.
+    fn run_block(&mut self, block: accfg_ir::BlockId) -> Result<Vec<i64>, InterpError> {
+        let mut terminator_values = Vec::new();
+        for op in self.m.block_ops(block) {
+            if self.fuel == 0 {
+                return Err(InterpError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            let opcode = self.m.op(op).opcode;
+            match opcode {
+                Opcode::Yield | Opcode::Return => {
+                    terminator_values = self
+                        .m
+                        .op(op)
+                        .operands
+                        .iter()
+                        .map(|&v| self.get(v))
+                        .collect();
+                }
+                _ => self.run_op(op)?,
+            }
+        }
+        Ok(terminator_values)
+    }
+
+    fn run_op(&mut self, op: OpId) -> Result<(), InterpError> {
+        let m = self.m;
+        let data = m.op(op);
+        let opcode = data.opcode;
+        match opcode {
+            Opcode::Constant => {
+                let v = m.int_attr(op, "value").expect("verified constant");
+                self.env.insert(data.results[0], v);
+            }
+            o if o.is_binary_arith() => {
+                let l = self.get(data.operands[0]);
+                let r = self.get(data.operands[1]);
+                let v = eval_binary(o, l, r).expect("binary arith evaluates");
+                self.env.insert(data.results[0], v);
+            }
+            Opcode::CmpI => {
+                let pred = m
+                    .str_attr(op, "predicate")
+                    .and_then(CmpPredicate::from_name)
+                    .expect("verified predicate");
+                let l = self.get(data.operands[0]);
+                let r = self.get(data.operands[1]);
+                self.env.insert(data.results[0], i64::from(pred.eval(l, r)));
+            }
+            Opcode::Select => {
+                let c = self.get(data.operands[0]);
+                let v = if c != 0 {
+                    self.get(data.operands[1])
+                } else {
+                    self.get(data.operands[2])
+                };
+                self.env.insert(data.results[0], v);
+            }
+            Opcode::AccfgSetup => {
+                let accel = dialect::accelerator(m, op);
+                let fields = dialect::setup_fields(m, op);
+                let file = self.regs.entry(accel).or_default();
+                for (name, value_id) in fields {
+                    let value = *self.env.get(&value_id).unwrap_or(&0);
+                    file.insert(name, value);
+                    self.trace.setup_writes += 1;
+                }
+            }
+            Opcode::AccfgLaunch => {
+                let accel = dialect::accelerator(m, op);
+                let registers = self.regs.entry(accel.clone()).or_default().clone();
+                self.trace.launches.push(LaunchRecord {
+                    accelerator: accel,
+                    registers,
+                });
+            }
+            Opcode::AccfgAwait => {}
+            Opcode::For => {
+                let lb = self.get(data.operands[0]);
+                let ub = self.get(data.operands[1]);
+                let step = self.get(data.operands[2]).max(1);
+                let inits: Vec<i64> = data.operands[3..].iter().map(|&v| self.get(v)).collect();
+                let body = m.body_block(op, 0);
+                let args = m.block(body).args.clone();
+                let mut iters = inits;
+                let mut iv = lb;
+                while iv < ub {
+                    self.env.insert(args[0], iv);
+                    for (&a, &v) in args[1..].iter().zip(iters.iter()) {
+                        self.env.insert(a, v);
+                    }
+                    iters = self.run_block(body)?;
+                    iv += step;
+                }
+                let results = m.op(op).results.clone();
+                for (&r, &v) in results.iter().zip(iters.iter()) {
+                    self.env.insert(r, v);
+                }
+            }
+            Opcode::If => {
+                let cond = self.get(data.operands[0]);
+                let block = m.body_block(op, if cond != 0 { 0 } else { 1 });
+                let yields = self.run_block(block)?;
+                let results = m.op(op).results.clone();
+                for (&r, &v) in results.iter().zip(yields.iter()) {
+                    self.env.insert(r, v);
+                }
+            }
+            Opcode::Call | Opcode::Opaque => {
+                match dialect::state_effect(m, op) {
+                    dialect::StateEffect::Preserves => {}
+                    _ => {
+                        // poison every known register so illegal dedup
+                        // across this op changes the trace
+                        for file in self.regs.values_mut() {
+                            for v in file.values_mut() {
+                                *v = CLOBBER_POISON;
+                            }
+                        }
+                    }
+                }
+                // foreign results are deterministic zeros
+                for &r in &m.op(op).results {
+                    self.env.insert(r, 0);
+                }
+            }
+            Opcode::Func | Opcode::Return | Opcode::Yield => unreachable!("handled by caller"),
+            Opcode::CsrWrite | Opcode::RoccCmd | Opcode::TargetLaunch | Opcode::TargetAwait => {
+                return Err(InterpError::NotAccfgLevel(opcode.name().to_string()))
+            }
+            _ => unreachable!("exhaustive opcode handling"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accfg_ir::{Effects, FuncBuilder, Type};
+
+    #[test]
+    fn records_launch_snapshots() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let a = b.const_index(5);
+        let c = b.const_index(9);
+        let s1 = b.setup("acc", &[("x", a), ("y", c)]);
+        let t1 = b.launch("acc", s1);
+        b.await_token("acc", t1);
+        // second setup only changes y; x is retained by the register file
+        let s2 = b.setup_from("acc", s1, &[("y", a)]);
+        let t2 = b.launch("acc", s2);
+        b.await_token("acc", t2);
+        b.ret(vec![]);
+
+        let trace = interpret(&m, "f", &[], 1000).unwrap();
+        assert_eq!(trace.launches.len(), 2);
+        assert_eq!(trace.launches[0].registers["x"], 5);
+        assert_eq!(trace.launches[0].registers["y"], 9);
+        assert_eq!(trace.launches[1].registers["x"], 5); // retained
+        assert_eq!(trace.launches[1].registers["y"], 5);
+        assert_eq!(trace.setup_writes, 3);
+    }
+
+    #[test]
+    fn loops_iterate_with_iter_args() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(3);
+        let one = b.const_index(1);
+        b.build_for(lb, ub, one, vec![], |b, iv, _| {
+            let s = b.setup("acc", &[("i", iv)]);
+            let t = b.launch("acc", s);
+            b.await_token("acc", t);
+            vec![]
+        });
+        b.ret(vec![]);
+        let trace = interpret(&m, "f", &[], 1000).unwrap();
+        assert_eq!(trace.launches.len(), 3);
+        for (i, l) in trace.launches.iter().enumerate() {
+            assert_eq!(l.registers["i"], i as i64);
+        }
+    }
+
+    #[test]
+    fn if_branches_select_configs() {
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![Type::I1]);
+        let ten = b.const_index(10);
+        let twenty = b.const_index(20);
+        let chosen = b.build_if(args[0], |_| vec![ten], |_| vec![twenty]);
+        let s = b.setup("acc", &[("v", chosen[0])]);
+        let t = b.launch("acc", s);
+        b.await_token("acc", t);
+        b.ret(vec![]);
+        let t1 = interpret(&m, "f", &[1], 1000).unwrap();
+        let t0 = interpret(&m, "f", &[0], 1000).unwrap();
+        assert_eq!(t1.launches[0].registers["v"], 10);
+        assert_eq!(t0.launches[0].registers["v"], 20);
+    }
+
+    #[test]
+    fn clobbers_poison_registers() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let a = b.const_index(5);
+        let s1 = b.setup("acc", &[("x", a)]);
+        let t1 = b.launch("acc", s1);
+        b.await_token("acc", t1);
+        b.call("mystery", vec![], vec![]); // clobber
+        let s2 = b.setup_from("acc", s1, &[]);
+        let t2 = b.launch("acc", s2);
+        b.await_token("acc", t2);
+        b.ret(vec![]);
+        let trace = interpret(&m, "f", &[], 1000).unwrap();
+        assert_eq!(trace.launches[0].registers["x"], 5);
+        assert_eq!(trace.launches[1].registers["x"], CLOBBER_POISON);
+    }
+
+    #[test]
+    fn annotated_calls_preserve_registers() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let a = b.const_index(5);
+        let s1 = b.setup("acc", &[("x", a)]);
+        let t1 = b.launch("acc", s1);
+        b.await_token("acc", t1);
+        b.opaque("printf", vec![], vec![], Some(Effects::None));
+        let s2 = b.setup_from("acc", s1, &[]);
+        let t2 = b.launch("acc", s2);
+        b.await_token("acc", t2);
+        b.ret(vec![]);
+        let trace = interpret(&m, "f", &[], 1000).unwrap();
+        assert_eq!(trace.launches[1].registers["x"], 5);
+    }
+
+    #[test]
+    fn fuel_bounds_execution() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(1_000_000);
+        let one = b.const_index(1);
+        b.build_for(lb, ub, one, vec![], |b, iv, _| {
+            b.addi(iv, iv);
+            vec![]
+        });
+        b.ret(vec![]);
+        assert_eq!(interpret(&m, "f", &[], 100), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn missing_function_and_arg_mismatch() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![Type::I64]);
+        b.ret(vec![]);
+        assert!(matches!(
+            interpret(&m, "g", &[], 10),
+            Err(InterpError::NoSuchFunc(_))
+        ));
+        assert!(matches!(
+            interpret(&m, "f", &[], 10),
+            Err(InterpError::ArgCount { .. })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Lightweight analyses over the structured IR.
+
+use crate::module::{BlockId, Module, OpId, ValueDef, ValueId};
+
+/// The chain of blocks enclosing `op`, innermost first, paired with the
+/// position (within that block) of the op — or of the ancestor op that
+/// contains `op` — at that level.
+fn enclosing_positions(m: &Module, op: OpId) -> Vec<(BlockId, usize)> {
+    let mut out = Vec::new();
+    let mut cur = op;
+    while let Some(block) = m.op(cur).parent {
+        let pos = m.op_position(cur).expect("attached op has a position");
+        out.push((block, pos));
+        match m.block_parent_op(block) {
+            Some(parent) => cur = parent,
+            None => break,
+        }
+    }
+    out
+}
+
+/// `true` if `value` is visible (defined and in scope) at the program point
+/// just before `op` — the structured-IR equivalent of SSA dominance.
+///
+/// A block argument is visible to every op nested under its block; an op
+/// result is visible to ops that come later in the same block, and to
+/// anything nested under those later ops.
+///
+/// # Examples
+///
+/// ```
+/// use accfg_ir::{Module, FuncBuilder, Type, analysis::value_visible_at};
+///
+/// let mut m = Module::new();
+/// let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+/// let c = b.const_index(4);
+/// let zero = b.const_index(0);
+/// let one = b.const_index(1);
+/// b.build_for(zero, c, one, vec![], |b, iv, _| {
+///     b.addi(iv, c); // `c` from outside is visible here
+///     vec![]
+/// });
+/// b.ret(vec![]);
+/// let func = m.func_by_name("f").unwrap();
+/// let add = m.walk_collect(func).into_iter()
+///     .find(|&o| m.op(o).opcode == accfg_ir::Opcode::AddI).unwrap();
+/// assert!(value_visible_at(&m, c, add));
+/// ```
+pub fn value_visible_at(m: &Module, value: ValueId, op: OpId) -> bool {
+    match m.value(value).def {
+        ValueDef::BlockArg { block, .. } => {
+            // visible iff `block` is one of op's enclosing blocks
+            enclosing_positions(m, op).iter().any(|&(b, _)| b == block)
+        }
+        ValueDef::OpResult { op: def_op, .. } => {
+            if def_op == op {
+                return false;
+            }
+            let Some(def_block) = m.op(def_op).parent else {
+                return false;
+            };
+            let Some(def_pos) = m.op_position(def_op) else {
+                return false;
+            };
+            for (b, pos) in enclosing_positions(m, op) {
+                if b == def_block {
+                    return def_pos < pos;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// All ops of the given opcode nested under `root` (inclusive), pre-order.
+pub fn ops_with_opcode(m: &Module, root: OpId, opcode: crate::Opcode) -> Vec<OpId> {
+    m.walk_collect(root)
+        .into_iter()
+        .filter(|&o| m.op(o).opcode == opcode)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::op::Opcode;
+    use crate::types::Type;
+
+    #[test]
+    fn earlier_op_results_are_visible() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let a = b.const_int(1, Type::I64);
+        let sum = b.addi(a, a);
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        let add = ops_with_opcode(&m, func, Opcode::AddI)[0];
+        assert!(value_visible_at(&m, a, add));
+        assert!(!value_visible_at(&m, sum, add)); // own result not visible to itself
+    }
+
+    #[test]
+    fn later_results_are_not_visible() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let a = b.const_int(1, Type::I64);
+        let s = b.addi(a, a);
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        let const_op = ops_with_opcode(&m, func, Opcode::Constant)[0];
+        assert!(!value_visible_at(&m, s, const_op));
+    }
+
+    #[test]
+    fn loop_locals_invisible_outside() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let zero = b.const_index(0);
+        let four = b.const_index(4);
+        let one = b.const_index(1);
+        let mut inner_val = None;
+        b.build_for(zero, four, one, vec![], |b, iv, _| {
+            inner_val = Some(b.addi(iv, iv));
+            vec![]
+        });
+        let ret = b.ret(vec![]);
+        assert!(!value_visible_at(&m, inner_val.unwrap(), ret));
+    }
+
+    #[test]
+    fn function_args_visible_everywhere_inside() {
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![Type::I64]);
+        let zero = b.const_index(0);
+        let four = b.const_index(4);
+        let one = b.const_index(1);
+        b.build_for(zero, four, one, vec![], |b, _iv, _| {
+            b.addi(args[0], args[0]);
+            vec![]
+        });
+        b.ret(vec![]);
+        let func = m.func_by_name("f").unwrap();
+        let add = ops_with_opcode(&m, func, Opcode::AddI)[0];
+        assert!(value_visible_at(&m, args[0], add));
+    }
+}

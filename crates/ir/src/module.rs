@@ -1,0 +1,822 @@
+//! The IR container: an arena of values, operations, blocks, and regions.
+//!
+//! A [`Module`] owns everything. Entities are referenced by lightweight
+//! copyable ids ([`ValueId`], [`OpId`], [`BlockId`], [`RegionId`]); erased
+//! operations leave tombstones so ids stay stable across mutations — the
+//! same strategy MLIR uses, minus the pointer chasing.
+//!
+//! Regions in this IR always contain exactly one block (structured control
+//! flow only: `scf.for` / `scf.if`), which is all the paper's passes need.
+
+use crate::attrs::{AttrMap, Attribute};
+use crate::op::{OpData, Opcode};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw arena index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies an SSA value (an op result or a block argument).
+    ValueId, "%v"
+);
+id_type!(
+    /// Identifies an operation.
+    OpId, "op"
+);
+id_type!(
+    /// Identifies a basic block.
+    BlockId, "^bb"
+);
+id_type!(
+    /// Identifies a region (a single-block scope nested under an op).
+    RegionId, "region"
+);
+
+/// Where an SSA value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueDef {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Producing operation.
+        op: OpId,
+        /// Result position.
+        index: u32,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockId,
+        /// Argument position.
+        index: u32,
+    },
+}
+
+/// Storage for one SSA value.
+#[derive(Debug, Clone)]
+pub struct ValueData {
+    /// The defining entity.
+    pub def: ValueDef,
+    /// The value's type.
+    pub ty: Type,
+}
+
+/// Storage for one block.
+#[derive(Debug, Clone, Default)]
+pub struct BlockData {
+    /// Block arguments (e.g. the induction variable of an `scf.for`).
+    pub args: Vec<ValueId>,
+    /// Operations, in execution order.
+    pub ops: Vec<OpId>,
+    /// Owning region, if attached.
+    pub parent: Option<RegionId>,
+}
+
+/// Storage for one region.
+#[derive(Debug, Clone, Default)]
+pub struct RegionData {
+    /// The blocks of the region. Always exactly one in well-formed IR.
+    pub blocks: Vec<BlockId>,
+    /// The op owning this region, if attached.
+    pub parent: Option<OpId>,
+}
+
+/// A use of a value: which op uses it, at which operand position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Use {
+    /// The using operation.
+    pub op: OpId,
+    /// The operand index within that operation.
+    pub operand_index: usize,
+}
+
+/// The IR module: the arena that owns all IR entities plus the list of
+/// top-level functions.
+///
+/// # Examples
+///
+/// ```
+/// use accfg_ir::{Module, Opcode, Type, Attribute};
+///
+/// let mut m = Module::new();
+/// let region = m.create_region();
+/// let block = m.create_block(region);
+/// let func = m.create_op(Opcode::Func, vec![], vec![], Default::default(), vec![region]);
+/// m.set_attr(func, "sym_name", Attribute::Str("main".into()));
+/// m.add_func(func);
+/// assert_eq!(m.funcs().len(), 1);
+/// # let _ = block;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    values: Vec<ValueData>,
+    ops: Vec<OpData>,
+    blocks: Vec<BlockData>,
+    regions: Vec<RegionData>,
+    funcs: Vec<OpId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// The data of a value.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this module.
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// The type of a value.
+    pub fn value_type(&self, v: ValueId) -> &Type {
+        &self.values[v.index()].ty
+    }
+
+    /// The data of an op.
+    pub fn op(&self, op: OpId) -> &OpData {
+        &self.ops[op.index()]
+    }
+
+    /// Mutable access to an op's data.
+    ///
+    /// Prefer the structured mutators ([`Module::set_attr`],
+    /// [`Module::set_operand`], ...) where available.
+    pub fn op_mut(&mut self, op: OpId) -> &mut OpData {
+        &mut self.ops[op.index()]
+    }
+
+    /// The data of a block.
+    pub fn block(&self, b: BlockId) -> &BlockData {
+        &self.blocks[b.index()]
+    }
+
+    /// The data of a region.
+    pub fn region(&self, r: RegionId) -> &RegionData {
+        &self.regions[r.index()]
+    }
+
+    /// Top-level functions, in insertion order.
+    pub fn funcs(&self) -> &[OpId] {
+        &self.funcs
+    }
+
+    /// Looks up a function by its `sym_name` attribute.
+    pub fn func_by_name(&self, name: &str) -> Option<OpId> {
+        self.funcs
+            .iter()
+            .copied()
+            .find(|&f| self.attr(f, "sym_name").and_then(Attribute::as_str) == Some(name))
+    }
+
+    /// An attribute of an op, if present.
+    pub fn attr(&self, op: OpId, name: &str) -> Option<&Attribute> {
+        self.ops[op.index()].attrs.get(name)
+    }
+
+    /// Shorthand for an integer attribute.
+    pub fn int_attr(&self, op: OpId, name: &str) -> Option<i64> {
+        self.attr(op, name).and_then(Attribute::as_int)
+    }
+
+    /// Shorthand for a string attribute.
+    pub fn str_attr(&self, op: OpId, name: &str) -> Option<&str> {
+        self.attr(op, name).and_then(Attribute::as_str)
+    }
+
+    /// `true` if the op has not been erased.
+    pub fn is_alive(&self, op: OpId) -> bool {
+        self.ops[op.index()].alive
+    }
+
+    /// Number of live operations in the whole module (all nesting levels).
+    pub fn live_op_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.alive).count()
+    }
+
+    // --- construction ------------------------------------------------------
+
+    /// Creates a detached region.
+    pub fn create_region(&mut self) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionData::default());
+        id
+    }
+
+    /// Creates a block and appends it to `region`.
+    pub fn create_block(&mut self, region: RegionId) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockData {
+            parent: Some(region),
+            ..Default::default()
+        });
+        self.regions[region.index()].blocks.push(id);
+        id
+    }
+
+    /// Appends a new argument of type `ty` to `block`, returning its value.
+    pub fn add_block_arg(&mut self, block: BlockId, ty: Type) -> ValueId {
+        let index = self.blocks[block.index()].args.len() as u32;
+        let v = ValueId(self.values.len() as u32);
+        self.values.push(ValueData {
+            def: ValueDef::BlockArg { block, index },
+            ty,
+        });
+        self.blocks[block.index()].args.push(v);
+        v
+    }
+
+    /// Creates a detached operation, materializing one result value per type
+    /// in `result_types`.
+    pub fn create_op(
+        &mut self,
+        opcode: Opcode,
+        operands: Vec<ValueId>,
+        result_types: Vec<Type>,
+        attrs: AttrMap,
+        regions: Vec<RegionId>,
+    ) -> OpId {
+        let op = OpId(self.ops.len() as u32);
+        let results = result_types
+            .into_iter()
+            .enumerate()
+            .map(|(index, ty)| {
+                let v = ValueId(self.values.len() as u32);
+                self.values.push(ValueData {
+                    def: ValueDef::OpResult {
+                        op,
+                        index: index as u32,
+                    },
+                    ty,
+                });
+                v
+            })
+            .collect();
+        for &r in &regions {
+            self.regions[r.index()].parent = Some(op);
+        }
+        self.ops.push(OpData {
+            opcode,
+            operands,
+            results,
+            attrs,
+            regions,
+            parent: None,
+            alive: true,
+        });
+        op
+    }
+
+    /// Registers `func` (an op with opcode [`Opcode::Func`]) as a top-level
+    /// function of the module.
+    pub fn add_func(&mut self, func: OpId) {
+        debug_assert_eq!(self.ops[func.index()].opcode, Opcode::Func);
+        self.funcs.push(func);
+    }
+
+    // --- structural mutation -------------------------------------------------
+
+    /// Appends `op` at the end of `block`.
+    ///
+    /// # Panics
+    /// Panics if the op is already attached to a block.
+    pub fn append_op(&mut self, block: BlockId, op: OpId) {
+        assert!(
+            self.ops[op.index()].parent.is_none(),
+            "op already attached; detach first"
+        );
+        self.ops[op.index()].parent = Some(block);
+        self.blocks[block.index()].ops.push(op);
+    }
+
+    /// Inserts `op` into `block` at position `index`.
+    ///
+    /// # Panics
+    /// Panics if the op is already attached, or `index` is out of bounds.
+    pub fn insert_op(&mut self, block: BlockId, index: usize, op: OpId) {
+        assert!(
+            self.ops[op.index()].parent.is_none(),
+            "op already attached; detach first"
+        );
+        self.ops[op.index()].parent = Some(block);
+        self.blocks[block.index()].ops.insert(index, op);
+    }
+
+    /// Detaches `op` from its parent block (keeping it alive).
+    pub fn detach_op(&mut self, op: OpId) {
+        if let Some(block) = self.ops[op.index()].parent.take() {
+            self.blocks[block.index()].ops.retain(|&o| o != op);
+        }
+    }
+
+    /// Moves `op` so it sits immediately before `before` in `before`'s block.
+    pub fn move_op_before(&mut self, op: OpId, before: OpId) {
+        let block = self.ops[before.index()]
+            .parent
+            .expect("`before` must be attached");
+        self.detach_op(op);
+        let index = self.op_position(before).expect("`before` must be attached");
+        self.insert_op(block, index, op);
+    }
+
+    /// Moves `op` so it sits immediately after `after` in `after`'s block.
+    pub fn move_op_after(&mut self, op: OpId, after: OpId) {
+        let block = self.ops[after.index()]
+            .parent
+            .expect("`after` must be attached");
+        self.detach_op(op);
+        let index = self.op_position(after).expect("`after` must be attached") + 1;
+        self.insert_op(block, index, op);
+    }
+
+    /// The position of `op` within its parent block, if attached.
+    pub fn op_position(&self, op: OpId) -> Option<usize> {
+        let block = self.ops[op.index()].parent?;
+        self.blocks[block.index()].ops.iter().position(|&o| o == op)
+    }
+
+    /// Erases `op` and (recursively) everything in its regions.
+    ///
+    /// The op's results must be unused; this is checked with a debug
+    /// assertion (checked builds) because dangling operands would silently
+    /// corrupt later passes.
+    pub fn erase_op(&mut self, op: OpId) {
+        debug_assert!(
+            self.ops[op.index()]
+                .results
+                .iter()
+                .all(|&r| self.uses_of(r).is_empty()),
+            "erasing op {op} whose results still have uses"
+        );
+        self.detach_op(op);
+        let regions = self.ops[op.index()].regions.clone();
+        for r in regions {
+            let blocks = self.regions[r.index()].blocks.clone();
+            for b in blocks {
+                let ops = self.blocks[b.index()].ops.clone();
+                for inner in ops {
+                    // erase without the uses check: the whole subtree dies
+                    self.erase_subtree(inner);
+                }
+            }
+        }
+        self.ops[op.index()].alive = false;
+        self.ops[op.index()].operands.clear();
+    }
+
+    fn erase_subtree(&mut self, op: OpId) {
+        self.detach_op(op);
+        let regions = self.ops[op.index()].regions.clone();
+        for r in regions {
+            let blocks = self.regions[r.index()].blocks.clone();
+            for b in blocks {
+                let ops = self.blocks[b.index()].ops.clone();
+                for inner in ops {
+                    self.erase_subtree(inner);
+                }
+            }
+        }
+        self.ops[op.index()].alive = false;
+        self.ops[op.index()].operands.clear();
+    }
+
+    /// Sets (or replaces) an attribute on `op`.
+    pub fn set_attr(&mut self, op: OpId, name: impl Into<String>, attr: Attribute) {
+        self.ops[op.index()].attrs.insert(name.into(), attr);
+    }
+
+    /// Removes an attribute from `op`, returning it if present.
+    pub fn remove_attr(&mut self, op: OpId, name: &str) -> Option<Attribute> {
+        self.ops[op.index()].attrs.remove(name)
+    }
+
+    /// Replaces operand `index` of `op` with `value`.
+    pub fn set_operand(&mut self, op: OpId, index: usize, value: ValueId) {
+        self.ops[op.index()].operands[index] = value;
+    }
+
+    /// Replaces the full operand list of `op`.
+    pub fn set_operands(&mut self, op: OpId, operands: Vec<ValueId>) {
+        self.ops[op.index()].operands = operands;
+    }
+
+    // --- use-def -------------------------------------------------------------
+
+    /// All uses of `value` across the module (live ops only).
+    ///
+    /// Computed by a linear scan; modules in this codebase are small (tiling
+    /// loops, not whole programs), so this is cheap and always consistent.
+    pub fn uses_of(&self, value: ValueId) -> Vec<Use> {
+        let mut uses = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if !op.alive {
+                continue;
+            }
+            for (operand_index, &operand) in op.operands.iter().enumerate() {
+                if operand == value {
+                    uses.push(Use {
+                        op: OpId(i as u32),
+                        operand_index,
+                    });
+                }
+            }
+        }
+        uses
+    }
+
+    /// Replaces every use of `old` with `new`.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for op in self.ops.iter_mut().filter(|o| o.alive) {
+            for operand in op.operands.iter_mut() {
+                if *operand == old {
+                    *operand = new;
+                }
+            }
+        }
+    }
+
+    // --- traversal -------------------------------------------------------------
+
+    /// Pre-order walk over every live op nested under `root` (inclusive).
+    pub fn walk(&self, root: OpId, visit: &mut dyn FnMut(OpId)) {
+        if !self.ops[root.index()].alive {
+            return;
+        }
+        visit(root);
+        for &r in &self.ops[root.index()].regions {
+            for &b in &self.regions[r.index()].blocks {
+                for &op in &self.blocks[b.index()].ops {
+                    self.walk(op, visit);
+                }
+            }
+        }
+    }
+
+    /// Collects every live op nested under `root` (inclusive), pre-order.
+    pub fn walk_collect(&self, root: OpId) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.walk(root, &mut |op| out.push(op));
+        out
+    }
+
+    /// Collects every live op in the module, pre-order per function.
+    pub fn walk_module(&self) -> Vec<OpId> {
+        let mut out = Vec::new();
+        for &f in &self.funcs {
+            self.walk(f, &mut |op| out.push(op));
+        }
+        out
+    }
+
+    /// All live ops in `block`, in order. (Clone of the op list.)
+    pub fn block_ops(&self, block: BlockId) -> Vec<OpId> {
+        self.blocks[block.index()].ops.clone()
+    }
+
+    /// The single block of `region`.
+    ///
+    /// # Panics
+    /// Panics if the region does not have exactly one block.
+    pub fn sole_block(&self, region: RegionId) -> BlockId {
+        let blocks = &self.regions[region.index()].blocks;
+        assert_eq!(blocks.len(), 1, "region {region} must have exactly one block");
+        blocks[0]
+    }
+
+    /// The entry (single) block of a region-holding op's `region_index`-th region.
+    pub fn body_block(&self, op: OpId, region_index: usize) -> BlockId {
+        self.sole_block(self.ops[op.index()].regions[region_index])
+    }
+
+    /// The terminator op of `block`.
+    ///
+    /// # Panics
+    /// Panics if the block is empty.
+    pub fn terminator(&self, block: BlockId) -> OpId {
+        *self.blocks[block.index()]
+            .ops
+            .last()
+            .expect("block has no terminator")
+    }
+
+    /// The op containing `block` (via its region), if any.
+    pub fn block_parent_op(&self, block: BlockId) -> Option<OpId> {
+        let region = self.blocks[block.index()].parent?;
+        self.regions[region.index()].parent
+    }
+
+    /// The innermost op enclosing `op` (its parent block's owner).
+    pub fn parent_op(&self, op: OpId) -> Option<OpId> {
+        let block = self.ops[op.index()].parent?;
+        self.block_parent_op(block)
+    }
+
+    /// `true` if `ancestor` encloses `op` (strictly; an op does not enclose
+    /// itself).
+    pub fn is_ancestor(&self, ancestor: OpId, op: OpId) -> bool {
+        let mut cur = self.parent_op(op);
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.parent_op(p);
+        }
+        false
+    }
+
+    /// `true` if `value` is defined inside the regions of `op` (at any depth).
+    pub fn is_defined_inside(&self, value: ValueId, op: OpId) -> bool {
+        match self.values[value.index()].def {
+            ValueDef::OpResult { op: def_op, .. } => {
+                def_op == op || self.is_ancestor(op, def_op)
+            }
+            ValueDef::BlockArg { block, .. } => match self.block_parent_op(block) {
+                Some(owner) => owner == op || self.is_ancestor(op, owner),
+                None => false,
+            },
+        }
+    }
+
+    /// Rebuilds `op` in place with `new_operands` and `extra_result_types`
+    /// appended after the existing result types, returning the new op id.
+    ///
+    /// Regions are transferred to the new op (not cloned), the new op takes
+    /// the old op's position in its block, and all uses of the old results
+    /// are redirected to the corresponding new results. Used to extend
+    /// `scf.for`/`scf.if` with additional iteration state (e.g. threading an
+    /// `!accfg.state` through a loop).
+    pub fn rebuild_op(
+        &mut self,
+        op: OpId,
+        new_operands: Vec<ValueId>,
+        extra_result_types: Vec<Type>,
+    ) -> OpId {
+        let old = self.ops[op.index()].clone();
+        let mut result_types: Vec<Type> = old
+            .results
+            .iter()
+            .map(|&r| self.values[r.index()].ty.clone())
+            .collect();
+        result_types.extend(extra_result_types);
+        let new_op = self.create_op(
+            old.opcode,
+            new_operands,
+            result_types,
+            old.attrs.clone(),
+            old.regions.clone(),
+        );
+        if let Some(block) = old.parent {
+            let index = self.op_position(op).expect("op attached");
+            self.detach_op(op);
+            self.insert_op(block, index, new_op);
+        }
+        let new_results = self.ops[new_op.index()].results.clone();
+        for (&old_r, &new_r) in old.results.iter().zip(new_results.iter()) {
+            self.replace_all_uses(old_r, new_r);
+        }
+        // tombstone the old op without touching the transferred regions
+        self.ops[op.index()].alive = false;
+        self.ops[op.index()].operands.clear();
+        self.ops[op.index()].regions.clear();
+        new_op
+    }
+
+    // --- cloning ------------------------------------------------------------
+
+    /// Deep-clones `op` (attributes, regions, nested ops) as a detached op.
+    ///
+    /// `mapping` translates operand values: any operand present as a key is
+    /// replaced by its mapped value in the clone; results and block args of
+    /// cloned ops are added to `mapping` so intra-clone references stay
+    /// consistent. Operands absent from the mapping are kept as-is (they are
+    /// values defined outside the cloned subtree).
+    pub fn clone_op(&mut self, op: OpId, mapping: &mut HashMap<ValueId, ValueId>) -> OpId {
+        let data = self.ops[op.index()].clone();
+        let operands: Vec<ValueId> = data
+            .operands
+            .iter()
+            .map(|v| *mapping.get(v).unwrap_or(v))
+            .collect();
+        let result_types: Vec<Type> = data
+            .results
+            .iter()
+            .map(|&r| self.values[r.index()].ty.clone())
+            .collect();
+        // Clone regions first (they don't reference the new op's results).
+        let mut new_regions = Vec::with_capacity(data.regions.len());
+        for &r in &data.regions {
+            let new_region = self.create_region();
+            let old_blocks = self.regions[r.index()].blocks.clone();
+            for old_block in old_blocks {
+                let new_block = self.create_block(new_region);
+                let old_args = self.blocks[old_block.index()].args.clone();
+                for old_arg in old_args {
+                    let ty = self.values[old_arg.index()].ty.clone();
+                    let new_arg = self.add_block_arg(new_block, ty);
+                    mapping.insert(old_arg, new_arg);
+                }
+                let old_ops = self.blocks[old_block.index()].ops.clone();
+                for inner in old_ops {
+                    let new_inner = self.clone_op(inner, mapping);
+                    self.append_op(new_block, new_inner);
+                }
+            }
+            new_regions.push(new_region);
+        }
+        let new_op = self.create_op(data.opcode, operands, result_types, data.attrs, new_regions);
+        let new_results = self.ops[new_op.index()].results.clone();
+        for (&old_r, &new_r) in data.results.iter().zip(new_results.iter()) {
+            mapping.insert(old_r, new_r);
+        }
+        new_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+
+    fn int_const(m: &mut Module, block: BlockId, v: i64) -> (OpId, ValueId) {
+        let mut attrs = AttrMap::new();
+        attrs.insert("value".into(), Attribute::Int(v));
+        let op = m.create_op(Opcode::Constant, vec![], vec![Type::I64], attrs, vec![]);
+        m.append_op(block, op);
+        (op, m.op(op).results[0])
+    }
+
+    fn test_func(m: &mut Module) -> (OpId, BlockId) {
+        let region = m.create_region();
+        let block = m.create_block(region);
+        let func = m.create_op(Opcode::Func, vec![], vec![], AttrMap::new(), vec![region]);
+        m.set_attr(func, "sym_name", Attribute::Str("test".into()));
+        m.add_func(func);
+        (func, block)
+    }
+
+    #[test]
+    fn build_and_walk() {
+        let mut m = Module::new();
+        let (func, block) = test_func(&mut m);
+        let (_, a) = int_const(&mut m, block, 1);
+        let (_, b) = int_const(&mut m, block, 2);
+        let add = m.create_op(Opcode::AddI, vec![a, b], vec![Type::I64], AttrMap::new(), vec![]);
+        m.append_op(block, add);
+        let ops = m.walk_collect(func);
+        assert_eq!(ops.len(), 4); // func + 2 constants + add
+        assert_eq!(m.live_op_count(), 4);
+    }
+
+    #[test]
+    fn uses_and_replacement() {
+        let mut m = Module::new();
+        let (_, block) = test_func(&mut m);
+        let (_, a) = int_const(&mut m, block, 1);
+        let (_, b) = int_const(&mut m, block, 2);
+        let add = m.create_op(Opcode::AddI, vec![a, a], vec![Type::I64], AttrMap::new(), vec![]);
+        m.append_op(block, add);
+        assert_eq!(m.uses_of(a).len(), 2);
+        assert_eq!(m.uses_of(b).len(), 0);
+        m.replace_all_uses(a, b);
+        assert_eq!(m.uses_of(a).len(), 0);
+        assert_eq!(m.uses_of(b).len(), 2);
+    }
+
+    #[test]
+    fn erase_detaches_and_tombstones() {
+        let mut m = Module::new();
+        let (func, block) = test_func(&mut m);
+        let (op, _) = int_const(&mut m, block, 1);
+        assert_eq!(m.block(block).ops.len(), 1);
+        m.erase_op(op);
+        assert!(!m.is_alive(op));
+        assert_eq!(m.block(block).ops.len(), 0);
+        assert_eq!(m.walk_collect(func).len(), 1); // just the func
+    }
+
+    #[test]
+    #[should_panic(expected = "still have uses")]
+    #[cfg(debug_assertions)]
+    fn erase_with_uses_panics_in_debug() {
+        let mut m = Module::new();
+        let (_, block) = test_func(&mut m);
+        let (op, a) = int_const(&mut m, block, 1);
+        let add = m.create_op(Opcode::AddI, vec![a, a], vec![Type::I64], AttrMap::new(), vec![]);
+        m.append_op(block, add);
+        m.erase_op(op);
+    }
+
+    #[test]
+    fn move_before_and_after() {
+        let mut m = Module::new();
+        let (_, block) = test_func(&mut m);
+        let (op1, _) = int_const(&mut m, block, 1);
+        let (op2, _) = int_const(&mut m, block, 2);
+        let (op3, _) = int_const(&mut m, block, 3);
+        m.move_op_before(op3, op1);
+        assert_eq!(m.block(block).ops, vec![op3, op1, op2]);
+        m.move_op_after(op3, op2);
+        assert_eq!(m.block(block).ops, vec![op1, op2, op3]);
+        assert_eq!(m.op_position(op2), Some(1));
+    }
+
+    #[test]
+    fn nested_regions_and_ancestry() {
+        let mut m = Module::new();
+        let (func, block) = test_func(&mut m);
+        let (_, lb) = int_const(&mut m, block, 0);
+        let (_, ub) = int_const(&mut m, block, 10);
+        let (_, step) = int_const(&mut m, block, 1);
+        let body_region = m.create_region();
+        let body = m.create_block(body_region);
+        let iv = m.add_block_arg(body, Type::Index);
+        let yield_op = m.create_op(Opcode::Yield, vec![], vec![], AttrMap::new(), vec![]);
+        m.append_op(body, yield_op);
+        let for_op = m.create_op(
+            Opcode::For,
+            vec![lb, ub, step],
+            vec![],
+            AttrMap::new(),
+            vec![body_region],
+        );
+        m.append_op(block, for_op);
+
+        assert!(m.is_ancestor(func, for_op));
+        assert!(m.is_ancestor(func, yield_op));
+        assert!(m.is_ancestor(for_op, yield_op));
+        assert!(!m.is_ancestor(for_op, for_op));
+        assert!(m.is_defined_inside(iv, for_op));
+        assert!(!m.is_defined_inside(lb, for_op));
+        assert_eq!(m.parent_op(yield_op), Some(for_op));
+        assert_eq!(m.body_block(for_op, 0), body);
+        assert_eq!(m.terminator(body), yield_op);
+    }
+
+    #[test]
+    fn deep_clone_remaps_values() {
+        let mut m = Module::new();
+        let (_, block) = test_func(&mut m);
+        let (_, lb) = int_const(&mut m, block, 0);
+        let (_, ub) = int_const(&mut m, block, 4);
+        let (_, step) = int_const(&mut m, block, 1);
+        let body_region = m.create_region();
+        let body = m.create_block(body_region);
+        let iv = m.add_block_arg(body, Type::Index);
+        let dbl = m.create_op(Opcode::AddI, vec![iv, iv], vec![Type::Index], AttrMap::new(), vec![]);
+        m.append_op(body, dbl);
+        let yield_op = m.create_op(Opcode::Yield, vec![], vec![], AttrMap::new(), vec![]);
+        m.append_op(body, yield_op);
+        let for_op = m.create_op(
+            Opcode::For,
+            vec![lb, ub, step],
+            vec![],
+            AttrMap::new(),
+            vec![body_region],
+        );
+        m.append_op(block, for_op);
+
+        let mut mapping = HashMap::new();
+        let clone = m.clone_op(for_op, &mut mapping);
+        assert_ne!(clone, for_op);
+        // outside operands kept:
+        assert_eq!(m.op(clone).operands, vec![lb, ub, step]);
+        // inner op got a remapped induction variable:
+        let new_body = m.body_block(clone, 0);
+        let new_iv = m.block(new_body).args[0];
+        assert_ne!(new_iv, iv);
+        let new_dbl = m.block(new_body).ops[0];
+        assert_eq!(m.op(new_dbl).operands, vec![new_iv, new_iv]);
+        assert_eq!(mapping.get(&iv), Some(&new_iv));
+    }
+
+    #[test]
+    fn func_lookup_by_name() {
+        let mut m = Module::new();
+        let (func, _) = test_func(&mut m);
+        assert_eq!(m.func_by_name("test"), Some(func));
+        assert_eq!(m.func_by_name("missing"), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Pass infrastructure: the [`Pass`] trait and a [`PassManager`] that runs
+//! pipelines with optional verification between passes — a miniature of
+//! MLIR's pass manager, sufficient for the pipeline in Figure 8 of the paper.
+
+use crate::module::Module;
+use crate::verifier::{verify, VerifyError};
+use std::error::Error;
+use std::fmt;
+
+/// Whether a pass changed the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Changed {
+    /// The pass modified the module.
+    Yes,
+    /// The pass left the module untouched.
+    No,
+}
+
+impl Changed {
+    /// Combines two change indicators.
+    pub fn or(self, other: Changed) -> Changed {
+        if self == Changed::Yes || other == Changed::Yes {
+            Changed::Yes
+        } else {
+            Changed::No
+        }
+    }
+
+    /// `true` if this is [`Changed::Yes`].
+    pub fn changed(self) -> bool {
+        self == Changed::Yes
+    }
+}
+
+impl From<bool> for Changed {
+    fn from(b: bool) -> Self {
+        if b {
+            Changed::Yes
+        } else {
+            Changed::No
+        }
+    }
+}
+
+/// A module-level transformation.
+pub trait Pass {
+    /// A short kebab-case identifier (e.g. `"accfg-dedup"`).
+    fn name(&self) -> &str;
+
+    /// Runs the pass, reporting whether the IR changed.
+    fn run(&self, module: &mut Module) -> Changed;
+}
+
+/// Failure while running a pipeline: a pass broke verification.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The pass that produced invalid IR.
+    pub pass: String,
+    /// The underlying verifier failure.
+    pub error: VerifyError,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` produced invalid IR: {}", self.pass, self.error)
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Statistics from one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// For each executed pass: its name and whether it changed the IR.
+    pub passes: Vec<(String, bool)>,
+}
+
+impl PipelineStats {
+    /// `true` if any pass reported a change.
+    pub fn any_changed(&self) -> bool {
+        self.passes.iter().any(|(_, c)| *c)
+    }
+}
+
+/// Runs an ordered list of passes over a module.
+///
+/// # Examples
+///
+/// ```
+/// use accfg_ir::{Module, PassManager, FuncBuilder, Type};
+/// use accfg_ir::passes::Canonicalize;
+///
+/// let mut m = Module::new();
+/// let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+/// let one = b.const_int(1, Type::I64);
+/// let two = b.const_int(2, Type::I64);
+/// b.addi(one, two);
+/// b.ret(vec![]);
+///
+/// let mut pm = PassManager::new();
+/// pm.add(Canonicalize);
+/// let stats = pm.run(&mut m)?;
+/// assert!(stats.any_changed()); // 1 + 2 was folded
+/// # Ok::<(), accfg_ir::PipelineError>(())
+/// ```
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+}
+
+impl PassManager {
+    /// Creates an empty pipeline with per-pass verification enabled.
+    pub fn new() -> Self {
+        Self {
+            passes: Vec::new(),
+            verify_each: true,
+        }
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn add(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Enables or disables verification after every pass.
+    pub fn verify_each(&mut self, enable: bool) -> &mut Self {
+        self.verify_each = enable;
+        self
+    }
+
+    /// The names of the scheduled passes, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass once, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if verification fails after a pass (when
+    /// enabled) or before the first pass.
+    pub fn run(&self, module: &mut Module) -> Result<PipelineStats, PipelineError> {
+        if self.verify_each {
+            verify(module).map_err(|error| PipelineError {
+                pass: "<input>".into(),
+                error,
+            })?;
+        }
+        let mut stats = PipelineStats::default();
+        for pass in &self.passes {
+            let changed = pass.run(module);
+            stats.passes.push((pass.name().to_string(), changed.changed()));
+            if self.verify_each {
+                verify(module).map_err(|error| PipelineError {
+                    pass: pass.name().to_string(),
+                    error,
+                })?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs the pipeline repeatedly until no pass reports a change (fixpoint)
+    /// or `max_iterations` is reached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures like [`PassManager::run`].
+    pub fn run_to_fixpoint(
+        &self,
+        module: &mut Module,
+        max_iterations: usize,
+    ) -> Result<PipelineStats, PipelineError> {
+        let mut all = PipelineStats::default();
+        for _ in 0..max_iterations {
+            let stats = self.run(module)?;
+            let changed = stats.any_changed();
+            all.passes.extend(stats.passes);
+            if !changed {
+                break;
+            }
+        }
+        Ok(all)
+    }
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("verify_each", &self.verify_each)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::Type;
+
+    struct NoOpPass;
+    impl Pass for NoOpPass {
+        fn name(&self) -> &str {
+            "no-op"
+        }
+        fn run(&self, _m: &mut Module) -> Changed {
+            Changed::No
+        }
+    }
+
+    struct BreakingPass;
+    impl Pass for BreakingPass {
+        fn name(&self) -> &str {
+            "breaker"
+        }
+        fn run(&self, m: &mut Module) -> Changed {
+            // erase the terminator, invalidating the IR
+            let func = m.funcs()[0];
+            let block = m.body_block(func, 0);
+            let term = m.terminator(block);
+            m.erase_op(term);
+            Changed::Yes
+        }
+    }
+
+    fn simple_module() -> Module {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        b.const_int(1, Type::I64);
+        b.ret(vec![]);
+        m
+    }
+
+    #[test]
+    fn runs_passes_in_order() {
+        let mut m = simple_module();
+        let mut pm = PassManager::new();
+        pm.add(NoOpPass).add(NoOpPass);
+        let stats = pm.run(&mut m).unwrap();
+        assert_eq!(stats.passes.len(), 2);
+        assert!(!stats.any_changed());
+    }
+
+    #[test]
+    fn detects_broken_pass() {
+        let mut m = simple_module();
+        let mut pm = PassManager::new();
+        pm.add(BreakingPass);
+        let e = pm.run(&mut m).unwrap_err();
+        assert_eq!(e.pass, "breaker");
+    }
+
+    #[test]
+    fn fixpoint_stops_when_stable() {
+        let mut m = simple_module();
+        let mut pm = PassManager::new();
+        pm.add(NoOpPass);
+        let stats = pm.run_to_fixpoint(&mut m, 10).unwrap();
+        assert_eq!(stats.passes.len(), 1); // one iteration, no change, stop
+    }
+
+    #[test]
+    fn changed_combinators() {
+        assert!(Changed::Yes.or(Changed::No).changed());
+        assert!(!Changed::No.or(Changed::No).changed());
+        assert!(Changed::from(true).changed());
+    }
+}

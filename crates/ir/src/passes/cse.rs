@@ -1,0 +1,206 @@
+//! Common-subexpression elimination.
+
+use crate::attrs::Attribute;
+use crate::module::{BlockId, Module, OpId, ValueId};
+use crate::op::Opcode;
+use crate::pass::{Changed, Pass};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Scoped value-numbering CSE over pure operations.
+///
+/// The paper's deduplication (Section 5.4) relies on *SSA-value equality* as
+/// a proxy for runtime-value equality; CSE is what makes that proxy potent,
+/// by merging structurally identical pure expressions (e.g. two identical
+/// address computations in consecutive tile setups) into a single SSA value.
+///
+/// Scoping follows the region tree: an op inside a loop can reuse a value
+/// computed outside it, but values computed inside a region never leak out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cse;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    opcode: Opcode,
+    operands: Vec<ValueId>,
+    attrs: Vec<(String, Attribute)>,
+    result_types: Vec<Type>,
+}
+
+impl Pass for Cse {
+    fn name(&self) -> &str {
+        "cse"
+    }
+
+    fn run(&self, m: &mut Module) -> Changed {
+        let mut changed = Changed::No;
+        for func in m.funcs().to_vec() {
+            let block = m.body_block(func, 0);
+            let mut scopes: Vec<HashMap<Key, Vec<ValueId>>> = vec![HashMap::new()];
+            changed = changed.or(run_block(m, block, &mut scopes));
+        }
+        changed
+    }
+}
+
+fn key_of(m: &Module, op: OpId) -> Key {
+    let data = m.op(op);
+    Key {
+        opcode: data.opcode,
+        operands: data.operands.clone(),
+        attrs: data.attrs.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        result_types: data
+            .results
+            .iter()
+            .map(|&r| m.value_type(r).clone())
+            .collect(),
+    }
+}
+
+fn lookup(scopes: &[HashMap<Key, Vec<ValueId>>], key: &Key) -> Option<Vec<ValueId>> {
+    scopes.iter().rev().find_map(|s| s.get(key).cloned())
+}
+
+fn run_block(
+    m: &mut Module,
+    block: BlockId,
+    scopes: &mut Vec<HashMap<Key, Vec<ValueId>>>,
+) -> Changed {
+    let mut changed = Changed::No;
+    for op in m.block_ops(block) {
+        if !m.is_alive(op) {
+            continue;
+        }
+        let data = m.op(op);
+        if data.opcode.is_pure() && data.regions.is_empty() {
+            let key = key_of(m, op);
+            if let Some(existing) = lookup(scopes, &key) {
+                let results = m.op(op).results.clone();
+                for (&r, &e) in results.iter().zip(existing.iter()) {
+                    m.replace_all_uses(r, e);
+                }
+                m.erase_op(op);
+                changed = Changed::Yes;
+                continue;
+            }
+            let results = m.op(op).results.clone();
+            scopes.last_mut().expect("scope stack").insert(key, results);
+        }
+        // recurse into regions with a fresh scope each
+        for ri in 0..m.op(op).regions.len() {
+            let region = m.op(op).regions[ri];
+            for b in m.region(region).blocks.clone() {
+                scopes.push(HashMap::new());
+                changed = changed.or(run_block(m, b, scopes));
+                scopes.pop();
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::printer::print_module;
+    use crate::verifier::verify;
+
+    #[test]
+    fn merges_identical_constants_and_exprs() {
+        let mut m = Module::new();
+        let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![Type::I64]);
+        let c1 = b.const_int(8, Type::I64);
+        let c2 = b.const_int(8, Type::I64);
+        let a1 = b.addi(args[0], c1);
+        let a2 = b.addi(args[0], c2);
+        let s = b.setup("acc", &[("x", a1), ("y", a2)]);
+        let t = b.launch("acc", s);
+        b.await_token("acc", t);
+        b.ret(vec![]);
+        assert!(Cse.run(&mut m).changed());
+        verify(&m).unwrap();
+        let text = print_module(&m);
+        // both fields now reference the same value
+        assert_eq!(text.matches("arith.addi").count(), 1, "{text}");
+        assert_eq!(text.matches("arith.constant").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn distinguishes_different_attrs() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let c1 = b.const_int(8, Type::I64);
+        let c2 = b.const_int(9, Type::I64);
+        let s = b.setup("acc", &[("x", c1), ("y", c2)]);
+        let t = b.launch("acc", s);
+        b.await_token("acc", t);
+        b.ret(vec![]);
+        assert!(!Cse.run(&mut m).changed());
+    }
+
+    #[test]
+    fn outer_values_reusable_inside_loops() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let step = b.const_index(1);
+        let outer = b.const_int(7, Type::I64);
+        b.build_for(lb, ub, step, vec![], |b, _iv, _| {
+            let inner = b.const_int(7, Type::I64); // same as `outer`
+            let s = b.setup("acc", &[("x", inner)]);
+            let t = b.launch("acc", s);
+            b.await_token("acc", t);
+            vec![]
+        });
+        // keep `outer` alive so CSE has something to share
+        let s = b.setup("acc", &[("x", outer)]);
+        let t = b.launch("acc", s);
+        b.await_token("acc", t);
+        b.ret(vec![]);
+        assert!(Cse.run(&mut m).changed());
+        verify(&m).unwrap();
+        let text = print_module(&m);
+        assert_eq!(text.matches("{value = 7}").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn loop_local_values_do_not_leak_out() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let lb = b.const_index(0);
+        let ub = b.const_index(4);
+        let step = b.const_index(1);
+        b.build_for(lb, ub, step, vec![], |b, _iv, _| {
+            let inner = b.const_int(99, Type::I64);
+            let s = b.setup("acc", &[("x", inner)]);
+            let t = b.launch("acc", s);
+            b.await_token("acc", t);
+            vec![]
+        });
+        // after the loop, the same constant appears again; CSE must NOT
+        // replace it with the loop-local one
+        let after = b.const_int(99, Type::I64);
+        let s = b.setup("acc", &[("x", after)]);
+        let t = b.launch("acc", s);
+        b.await_token("acc", t);
+        b.ret(vec![]);
+        Cse.run(&mut m);
+        verify(&m).unwrap();
+        let text = print_module(&m);
+        assert_eq!(text.matches("{value = 99}").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn never_merges_impure_ops() {
+        let mut m = Module::new();
+        let (mut b, _) = FuncBuilder::new_func(&mut m, "f", vec![]);
+        let c = b.const_int(8, Type::I64);
+        b.csr_write(1, c);
+        b.csr_write(1, c); // identical but impure: must both stay
+        b.ret(vec![]);
+        assert!(!Cse.run(&mut m).changed());
+        assert_eq!(m.live_op_count(), 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! The parser must reject malformed input with an error — never panic.
+
+use accfg_ir::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        let _ = parse_module(&input);
+    }
+
+    #[test]
+    fn mutated_valid_ir_never_panics(cut in 0usize..400, insert in "[%@{}()\\[\\]<>=:,\"a-z0-9 ]{0,8}") {
+        let valid = r#"
+        func.func @f(%p: i64) {
+          %lb = arith.constant() {value = 0} : index
+          %ub = arith.constant() {value = 4} : index
+          %st = arith.constant() {value = 1} : index
+          %s0 = accfg.setup "acc" to ("A" = %p) : !accfg.state<"acc">
+          %r = scf.for %i = %lb to %ub step %st iter_args(%s = %s0) -> (!accfg.state<"acc">) {
+            %s1 = accfg.setup "acc" from %s to ("i" = %i) : !accfg.state<"acc">
+            %t = accfg.launch "acc" with %s1 : !accfg.token<"acc">
+            accfg.await "acc" %t
+            scf.yield(%s1)
+          }
+          func.return()
+        }
+        "#;
+        let cut = cut.min(valid.len());
+        // splice arbitrary characters into the middle of valid IR
+        let mutated: String = valid
+            .chars()
+            .take(cut)
+            .chain(insert.chars())
+            .chain(valid.chars().skip(cut))
+            .collect();
+        let _ = parse_module(&mutated);
+    }
+
+    #[test]
+    fn error_positions_are_in_range(input in "[a-z%@(){}=:0-9\" ]{1,80}") {
+        if let Err(e) = parse_module(&input) {
+            prop_assert!(e.line >= 1);
+            prop_assert!(e.column >= 1);
+            // single-line inputs: the error is on line 1
+            prop_assert!(e.line <= 2, "line {} for single-line input", e.line);
+        }
+    }
+}

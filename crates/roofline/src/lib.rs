@@ -1,0 +1,34 @@
+//! # accfg-roofline: the configuration roofline model
+//!
+//! The analytical contribution of *"The Configuration Wall"* (ASPLOS 2026),
+//! Section 4: an extension of the classical roofline model that treats the
+//! host-to-accelerator *configuration interface* as a first-class
+//! performance ceiling alongside memory bandwidth and peak compute.
+//!
+//! - [`ProcessorRoofline`] — Equation 1 (Williams et al.'s model)
+//! - [`ConfigRoofline`] — Equations 2 (concurrent) and 3 (sequential)
+//! - [`effective_config_bandwidth`] — Equation 4
+//! - [`Roofsurface`] — Equation 5, the combined three-plane model
+//! - [`plot`] — ASCII renderings of Figures 3, 4, 5 and 12
+//!
+//! ```
+//! use accfg_roofline::{ConfigRoofline, Bound};
+//!
+//! // a fast accelerator behind a slow configuration interface
+//! let r = ConfigRoofline { peak: 1024.0, config_bandwidth: 1.0 };
+//! // a small workload: few ops per configured byte → configuration bound
+//! assert_eq!(r.bound(64.0), Bound::Configuration);
+//! // making the accelerator faster would NOT help (the configuration wall):
+//! let faster = ConfigRoofline { peak: 2048.0, ..r };
+//! assert_eq!(faster.attainable_concurrent(64.0), r.attainable_concurrent(64.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod plot;
+
+pub use model::{
+    effective_config_bandwidth, Bound, ConfigRoofline, ProcessorRoofline, Roofsurface,
+};
+pub use plot::{render, render_surface, Curve, PlotConfig, Series};

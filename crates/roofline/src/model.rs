@@ -1,0 +1,323 @@
+//! The configuration roofline model (Section 4 of the paper).
+//!
+//! - Equation 1: the classical processor roofline ([`ProcessorRoofline`])
+//! - Equation 2: the concurrent-configuration roofline
+//! - Equation 3: the sequential-configuration roofline
+//! - Equation 4: effective configuration bandwidth
+//! - Equation 5: the combined "roofsurface" ([`Roofsurface`])
+
+/// What limits performance at a given intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// Left of the memory knee: limited by memory bandwidth.
+    Memory,
+    /// Left of the configuration knee: limited by configuration bandwidth —
+    /// the program hit the configuration wall.
+    Configuration,
+    /// Right of every knee: limited by the datapath.
+    Compute,
+}
+
+/// The classical processor roofline (Williams et al.), Equation 1.
+///
+/// # Examples
+///
+/// ```
+/// use accfg_roofline::ProcessorRoofline;
+///
+/// let r = ProcessorRoofline { peak: 512.0, memory_bandwidth: 16.0 };
+/// assert_eq!(r.attainable(1.0), 16.0);    // memory bound
+/// assert_eq!(r.attainable(1000.0), 512.0); // compute bound
+/// assert_eq!(r.knee(), 32.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorRoofline {
+    /// Peak processor performance `P_peak` in ops/cycle.
+    pub peak: f64,
+    /// Peak memory bandwidth `BW_memory` in bytes/cycle.
+    pub memory_bandwidth: f64,
+}
+
+impl ProcessorRoofline {
+    /// Equation 1: attainable performance at operational intensity
+    /// `i_op` (ops/byte).
+    pub fn attainable(&self, i_op: f64) -> f64 {
+        self.peak.min(self.memory_bandwidth * i_op)
+    }
+
+    /// The knee point: the operational intensity where the memory slope
+    /// meets the compute ceiling.
+    pub fn knee(&self) -> f64 {
+        self.peak / self.memory_bandwidth
+    }
+
+    /// Memory- or compute-bound classification.
+    pub fn bound(&self, i_op: f64) -> Bound {
+        if i_op < self.knee() {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+}
+
+/// The configuration roofline (Sections 4.2–4.3): Equations 2 and 3.
+///
+/// # Examples
+///
+/// The Gemmini worked example of Section 4.6:
+///
+/// ```
+/// use accfg_roofline::ConfigRoofline;
+///
+/// let r = ConfigRoofline {
+///     peak: 512.0,
+///     config_bandwidth: 16.0 / 9.0, // 16 B per RoCC, 3 instrs × 3 cycles
+/// };
+/// let i_oc = 524_288.0 / (160.0 * 16.0); // ops per configuration byte
+/// let utilization = r.attainable_sequential(i_oc) / r.peak;
+/// assert!((utilization - 0.4149).abs() < 0.005); // the paper's 41.49 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigRoofline {
+    /// Peak accelerator performance `P_peak` in ops/cycle.
+    pub peak: f64,
+    /// Configuration bandwidth `BW_config` in bytes/cycle (theoretical, or
+    /// the effective bandwidth of Equation 4).
+    pub config_bandwidth: f64,
+}
+
+impl ConfigRoofline {
+    /// Equation 2: attainable performance with concurrent configuration at
+    /// operation-to-configuration intensity `i_oc` (ops/byte).
+    pub fn attainable_concurrent(&self, i_oc: f64) -> f64 {
+        self.peak.min(self.config_bandwidth * i_oc)
+    }
+
+    /// Equation 3: attainable performance with sequential configuration —
+    /// the harmonic combination; configuration time always adds to total
+    /// time, so this curve lies strictly below Equation 2 and approaches it
+    /// asymptotically.
+    pub fn attainable_sequential(&self, i_oc: f64) -> f64 {
+        let config_term = self.config_bandwidth * i_oc;
+        if config_term == 0.0 {
+            return 0.0;
+        }
+        1.0 / (1.0 / self.peak + 1.0 / config_term)
+    }
+
+    /// The knee point `P_peak / BW_config`: left of it the system is
+    /// configuration bound.
+    pub fn knee(&self) -> f64 {
+        self.peak / self.config_bandwidth
+    }
+
+    /// Configuration- or compute-bound classification (by the concurrent
+    /// roofline's knee, as in Figure 4).
+    pub fn bound(&self, i_oc: f64) -> Bound {
+        if i_oc < self.knee() {
+            Bound::Configuration
+        } else {
+            Bound::Compute
+        }
+    }
+
+    /// Fraction of peak attainable sequentially at `i_oc`.
+    pub fn utilization_sequential(&self, i_oc: f64) -> f64 {
+        self.attainable_sequential(i_oc) / self.peak
+    }
+
+    /// Fraction of peak attainable concurrently at `i_oc`.
+    pub fn utilization_concurrent(&self, i_oc: f64) -> f64 {
+        self.attainable_concurrent(i_oc) / self.peak
+    }
+}
+
+/// Equation 4: effective configuration bandwidth — configuration bytes over
+/// the time to *calculate* them plus the time to *set* them.
+///
+/// # Examples
+///
+/// Section 4.6's Gemmini numbers: 160 setup + 775 calculation instructions
+/// at 3 cycles each for 2560 configuration bytes.
+///
+/// ```
+/// use accfg_roofline::effective_config_bandwidth;
+///
+/// let bw = effective_config_bandwidth(160.0 * 16.0, 775.0 * 3.0, 160.0 * 3.0);
+/// assert!((bw - 0.913).abs() < 0.001);
+/// ```
+pub fn effective_config_bandwidth(config_bytes: f64, calc_cycles: f64, set_cycles: f64) -> f64 {
+    config_bytes / (calc_cycles + set_cycles)
+}
+
+/// Equation 5: the combined processor + configuration "roofsurface"
+/// (Figure 5). Performance is the minimum of the compute ceiling, the
+/// memory slope, and the configuration slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofsurface {
+    /// Peak performance in ops/cycle.
+    pub peak: f64,
+    /// Memory bandwidth in bytes/cycle.
+    pub memory_bandwidth: f64,
+    /// Configuration bandwidth in bytes/cycle.
+    pub config_bandwidth: f64,
+}
+
+impl Roofsurface {
+    /// Equation 5 at operational intensity `i_op` and
+    /// operation-to-configuration intensity `i_oc`.
+    pub fn attainable(&self, i_op: f64, i_oc: f64) -> f64 {
+        self.peak
+            .min(self.memory_bandwidth * i_op)
+            .min(self.config_bandwidth * i_oc)
+    }
+
+    /// Which plane of the roofsurface is the binding constraint.
+    pub fn limiting_factor(&self, i_op: f64, i_oc: f64) -> Bound {
+        let memory = self.memory_bandwidth * i_op;
+        let config = self.config_bandwidth * i_oc;
+        if config <= memory && config < self.peak {
+            Bound::Configuration
+        } else if memory < self.peak {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemmini_roofline() -> ConfigRoofline {
+        ConfigRoofline {
+            peak: 512.0,
+            config_bandwidth: 16.0 / 9.0,
+        }
+    }
+
+    #[test]
+    fn processor_roofline_equation1() {
+        let r = ProcessorRoofline {
+            peak: 512.0,
+            memory_bandwidth: 32.0,
+        };
+        assert_eq!(r.attainable(1.0), 32.0);
+        assert_eq!(r.attainable(16.0), 512.0);
+        assert_eq!(r.knee(), 16.0);
+        assert_eq!(r.bound(1.0), Bound::Memory);
+        assert_eq!(r.bound(100.0), Bound::Compute);
+    }
+
+    #[test]
+    fn section_4_6_theoretical_bandwidth() {
+        // 16 bytes per RoCC command, 3 instructions, 3 cycles each
+        let bw = gemmini_roofline().config_bandwidth;
+        assert!((bw - 1.7778).abs() < 1e-3, "{bw}");
+    }
+
+    #[test]
+    fn section_4_6_sequential_utilization() {
+        // 524,288 ops over 160 RoCC instructions × 16 bytes. (The paper
+        // prints 525,288 and 205.19 ops/byte — a typo for 2·64³ = 524,288,
+        // i.e. 204.8 ops/byte; the resulting utilization matches to <0.5 %.)
+        let r = gemmini_roofline();
+        let i_oc: f64 = 524_288.0 / 2560.0;
+        assert!((i_oc - 204.8).abs() < 1e-9);
+        let u = r.utilization_sequential(i_oc);
+        assert!((u - 0.4149).abs() < 0.007, "utilization {u}");
+    }
+
+    #[test]
+    fn section_4_6_effective_utilization() {
+        // 935 total instructions: 160 setup + 775 calculation
+        let bw_eff = effective_config_bandwidth(2560.0, 775.0 * 3.0, 160.0 * 3.0);
+        assert!((bw_eff - 0.9127).abs() < 1e-3, "{bw_eff}");
+        let r = ConfigRoofline {
+            peak: 512.0,
+            config_bandwidth: bw_eff,
+        };
+        let u = r.utilization_sequential(204.8);
+        assert!((u - 0.2678).abs() < 0.005, "utilization {u}");
+    }
+
+    #[test]
+    fn sequential_is_strictly_below_concurrent() {
+        let r = gemmini_roofline();
+        for i_oc in [0.1, 1.0, 10.0, 100.0, 1_000.0, 100_000.0] {
+            let seq = r.attainable_sequential(i_oc);
+            let conc = r.attainable_concurrent(i_oc);
+            assert!(seq < conc, "i_oc={i_oc}: {seq} !< {conc}");
+        }
+    }
+
+    #[test]
+    fn sequential_approaches_concurrent_asymptotically() {
+        let r = gemmini_roofline();
+        let ratio = r.attainable_sequential(1e9) / r.attainable_concurrent(1e9);
+        assert!(ratio > 0.999, "{ratio}");
+    }
+
+    #[test]
+    fn knee_point_gap_is_exactly_half() {
+        // Section 4.3: the largest discrepancy between sequential and
+        // concurrent is at the knee, where sequential attains exactly half
+        let r = gemmini_roofline();
+        let knee = r.knee();
+        let seq = r.attainable_sequential(knee);
+        let conc = r.attainable_concurrent(knee);
+        assert!((seq / conc - 0.5).abs() < 1e-12, "{}", seq / conc);
+        // and the gap shrinks away from the knee
+        for factor in [0.1, 10.0] {
+            let s = r.attainable_sequential(knee * factor);
+            let c = r.attainable_concurrent(knee * factor);
+            assert!(s / c > 0.5, "factor={factor}");
+        }
+    }
+
+    #[test]
+    fn boundedness_classification() {
+        let r = gemmini_roofline();
+        assert_eq!(r.bound(r.knee() * 0.5), Bound::Configuration);
+        assert_eq!(r.bound(r.knee() * 2.0), Bound::Compute);
+    }
+
+    #[test]
+    fn roofsurface_min_of_three_planes() {
+        let s = Roofsurface {
+            peak: 512.0,
+            memory_bandwidth: 32.0,
+            config_bandwidth: 2.0,
+        };
+        // low I_OC: configuration wall even when memory is fine
+        assert_eq!(s.attainable(1000.0, 10.0), 20.0);
+        assert_eq!(s.limiting_factor(1000.0, 10.0), Bound::Configuration);
+        // low I_op: memory bound
+        assert_eq!(s.attainable(1.0, 1e9), 32.0);
+        assert_eq!(s.limiting_factor(1.0, 1e9), Bound::Memory);
+        // both high: compute bound
+        assert_eq!(s.attainable(1e9, 1e9), 512.0);
+        assert_eq!(s.limiting_factor(1e9, 1e9), Bound::Compute);
+    }
+
+    #[test]
+    fn increasing_config_bandwidth_moves_knee_left() {
+        // Section 4.2: raising BW_config shifts the knee (and thus the
+        // config-bound region boundary) to the left
+        let slow = ConfigRoofline {
+            peak: 512.0,
+            config_bandwidth: 1.0,
+        };
+        let fast = ConfigRoofline {
+            peak: 512.0,
+            config_bandwidth: 4.0,
+        };
+        assert!(fast.knee() < slow.knee());
+        // a workload config-bound on the slow system escapes on the fast one
+        let i_oc = 256.0;
+        assert_eq!(slow.bound(i_oc), Bound::Configuration);
+        assert_eq!(fast.bound(i_oc), Bound::Compute);
+    }
+}

@@ -1,0 +1,244 @@
+//! ASCII rendering of roofline charts.
+//!
+//! The paper's Figures 3, 4, 5 and 12 are log-log roofline plots; the
+//! benchmark harnesses render terminal versions of them with these
+//! utilities (plus machine-readable CSV alongside).
+
+use crate::model::{Bound, Roofsurface};
+
+/// A named scatter series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Marker character.
+    pub marker: char,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A roofline curve: `(label, marker, attainable-performance function)`.
+pub type Curve<'a> = (&'a str, char, &'a dyn Fn(f64) -> f64);
+
+/// Axis and canvas configuration for a log-log plot.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Canvas width in characters.
+    pub width: usize,
+    /// Canvas height in characters.
+    pub height: usize,
+    /// X axis range (must be positive; the axis is logarithmic).
+    pub x_range: (f64, f64),
+    /// Y axis range (must be positive; the axis is logarithmic).
+    pub y_range: (f64, f64),
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            height: 22,
+            x_range: (1.0, 1e4),
+            y_range: (1.0, 2e3),
+            x_label: "I_OC (ops/byte)".into(),
+            y_label: "P (ops/cycle)".into(),
+        }
+    }
+}
+
+fn log_pos(v: f64, range: (f64, f64), cells: usize) -> Option<usize> {
+    if v <= 0.0 || range.0 <= 0.0 || range.1 <= range.0 {
+        return None;
+    }
+    let t = (v.ln() - range.0.ln()) / (range.1.ln() - range.0.ln());
+    if !(0.0..=1.0).contains(&t) {
+        return None;
+    }
+    Some((t * (cells - 1) as f64).round() as usize)
+}
+
+/// Renders a log-log plot with roofline curves (sampled per column) and
+/// scatter series.
+///
+/// Curves are `(label, marker, f)` where `f` maps x to attainable y.
+pub fn render(cfg: &PlotConfig, curves: &[Curve<'_>], series: &[Series]) -> String {
+    let (w, h) = (cfg.width, cfg.height);
+    let mut grid = vec![vec![' '; w]; h];
+
+    // curves: sample x at every column
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..w {
+        let t = col as f64 / (w - 1) as f64;
+        let x = (cfg.x_range.0.ln() + t * (cfg.x_range.1.ln() - cfg.x_range.0.ln())).exp();
+        for (_, marker, f) in curves {
+            let y = f(x);
+            if let Some(row) = log_pos(y, cfg.y_range, h) {
+                let r = h - 1 - row;
+                if grid[r][col] == ' ' {
+                    grid[r][col] = *marker;
+                }
+            }
+        }
+    }
+    // scatter series drawn on top
+    for s in series {
+        for &(x, y) in &s.points {
+            if let (Some(col), Some(row)) = (log_pos(x, cfg.x_range, w), log_pos(y, cfg.y_range, h))
+            {
+                grid[h - 1 - row][col] = s.marker;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} (log scale)\n", cfg.y_label));
+    for (i, row) in grid.iter().enumerate() {
+        let y_tick = if i == 0 {
+            format!("{:>9.1} |", cfg.y_range.1)
+        } else if i == h - 1 {
+            format!("{:>9.1} |", cfg.y_range.0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&y_tick);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(w)));
+    out.push_str(&format!(
+        "{:>10} {:<12.2}{:>width$.1}\n",
+        "",
+        cfg.x_range.0,
+        cfg.x_range.1,
+        width = w - 12
+    ));
+    out.push_str(&format!("{:>10} {} (log scale)\n", "", cfg.x_label));
+    for (label, marker, _) in curves {
+        out.push_str(&format!("    {marker}  {label}\n"));
+    }
+    for s in series {
+        out.push_str(&format!("    {}  {}\n", s.marker, s.label));
+    }
+    out
+}
+
+/// Renders the roofsurface (Figure 5) as a region map over
+/// (I_operational, I_OC): which of the three planes limits performance.
+///
+/// Legend: `#` compute bound, `m` memory bound, `c` configuration bound.
+pub fn render_surface(
+    surface: &Roofsurface,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("I_OC (ops/byte, log scale)\n");
+    for row in (0..height).rev() {
+        let ty = row as f64 / (height - 1) as f64;
+        let i_oc = (y_range.0.ln() + ty * (y_range.1.ln() - y_range.0.ln())).exp();
+        out.push_str(&format!("{i_oc:>9.1} |"));
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            let tx = col as f64 / (width - 1) as f64;
+            let i_op = (x_range.0.ln() + tx * (x_range.1.ln() - x_range.0.ln())).exp();
+            let ch = match surface.limiting_factor(i_op, i_oc) {
+                Bound::Compute => '#',
+                Bound::Memory => 'm',
+                Bound::Configuration => 'c',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>10} {:<10.2}{:>width$.1}   I_operational (ops/byte, log scale)\n",
+        "",
+        x_range.0,
+        x_range.1,
+        width = width - 10
+    ));
+    out.push_str("    # compute bound   m memory bound   c configuration bound\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConfigRoofline;
+
+    #[test]
+    fn renders_rooflines_and_points() {
+        let r = ConfigRoofline {
+            peak: 512.0,
+            config_bandwidth: 1.0,
+        };
+        let cfg = PlotConfig::default();
+        let seq = |x: f64| r.attainable_sequential(x);
+        let conc = |x: f64| r.attainable_concurrent(x);
+        let series = [Series {
+            label: "measured".into(),
+            marker: 'o',
+            points: vec![(100.0, 90.0), (1000.0, 400.0)],
+        }];
+        let text = render(
+            &cfg,
+            &[("sequential", '.', &seq), ("concurrent", '-', &conc)],
+            &series,
+        );
+        assert!(text.contains('o'));
+        assert!(text.contains('-'));
+        assert!(text.contains('.'));
+        assert!(text.contains("measured"));
+        assert!(text.contains("I_OC"));
+    }
+
+    #[test]
+    fn out_of_range_points_are_dropped() {
+        let cfg = PlotConfig {
+            x_range: (1.0, 10.0),
+            y_range: (1.0, 10.0),
+            ..Default::default()
+        };
+        let series = [Series {
+            label: "out".into(),
+            marker: 'X',
+            points: vec![(100.0, 100.0), (0.0, -3.0)],
+        }];
+        let text = render(&cfg, &[], &series);
+        // legend contains the label but no plotted marker row has X
+        let plot_rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        assert!(plot_rows.iter().all(|l| !l.contains('X')), "{text}");
+    }
+
+    #[test]
+    fn surface_shows_three_regions() {
+        let s = Roofsurface {
+            peak: 512.0,
+            memory_bandwidth: 16.0,
+            config_bandwidth: 1.0,
+        };
+        let text = render_surface(&s, (0.1, 1e4), (0.1, 1e5), 40, 12);
+        assert!(text.contains('#'));
+        assert!(text.contains('m'));
+        assert!(text.contains('c'));
+    }
+
+    #[test]
+    fn log_positions_are_monotonic() {
+        let mut last = 0;
+        for v in [1.0, 3.0, 10.0, 100.0, 999.0] {
+            let p = log_pos(v, (1.0, 1000.0), 50).unwrap();
+            assert!(p >= last);
+            last = p;
+        }
+        assert_eq!(log_pos(0.5, (1.0, 1000.0), 50), None);
+        assert_eq!(log_pos(2000.0, (1.0, 1000.0), 50), None);
+    }
+}

@@ -1,0 +1,577 @@
+//! Accelerator models: configuration registers, sequential/concurrent
+//! configuration schemes (Section 2.2), and a functional matrix-multiply
+//! datapath.
+//!
+//! Both evaluation platforms of the paper are instances of one
+//! parameterized model:
+//!
+//! - **Gemmini-like**: sequential configuration, 16×16 systolic array
+//!   (512 ops/cycle), configured by RoCC custom instructions, the last of
+//!   which carries launch semantics;
+//! - **OpenGeMM-like**: concurrent configuration with staging registers,
+//!   8×8×8 GeMM array (1024 ops/cycle), configured by CSR writes with an
+//!   explicit launch register and a polled status register.
+
+use crate::memory::{MemError, Memory};
+
+/// How the accelerator accepts configuration while running (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigScheme {
+    /// The host stalls on any configuration access while the accelerator is
+    /// busy; registers are written directly.
+    Sequential,
+    /// Configuration writes land in staging registers even while the
+    /// accelerator runs; launch atomically adopts the staged configuration.
+    Concurrent,
+}
+
+/// The accelerator's configuration register map (shared by both platforms;
+/// per-target field *names* are mapped onto these indices by the lowering).
+pub mod regmap {
+    /// Base address of matrix A (i8 elements).
+    pub const A_ADDR: u16 = 0;
+    /// Base address of matrix B (i8 elements).
+    pub const B_ADDR: u16 = 1;
+    /// Base address of matrix C (i32 elements).
+    pub const C_ADDR: u16 = 2;
+    /// Base address of bias matrix D (i32 elements); 0 disables the bias.
+    pub const D_ADDR: u16 = 3;
+    /// Output rows.
+    pub const M: u16 = 4;
+    /// Output columns.
+    pub const N: u16 = 5;
+    /// Reduction depth.
+    pub const K: u16 = 6;
+    /// Row stride of A in bytes.
+    pub const STRIDE_A: u16 = 7;
+    /// Row stride of B in bytes.
+    pub const STRIDE_B: u16 = 8;
+    /// Row stride of C in bytes.
+    pub const STRIDE_C: u16 = 9;
+    /// Row stride of D in bytes.
+    pub const STRIDE_D: u16 = 10;
+    /// Flag bits, see [`flags`](super::flags).
+    pub const FLAGS: u16 = 11;
+
+    // Auxiliary registers: functionally inert in this model, but real
+    // accelerators carry them (scratchpad addresses, packed loop bounds,
+    // per-mover configuration words) and the host must compute and write
+    // them — they are a large share of the configuration wall on
+    // Gemmini-class targets.
+
+    /// Scratchpad-local address of A.
+    pub const SPAD_A: u16 = 12;
+    /// Scratchpad-local address of B.
+    pub const SPAD_B: u16 = 13;
+    /// Scratchpad-local address of C (accumulator bank).
+    pub const SPAD_C: u16 = 14;
+    /// Scratchpad-local address of D.
+    pub const SPAD_D: u16 = 15;
+    /// Packed hardware-loop bounds (`I | J<<16 | K<<32`).
+    pub const LOOP_SIZES: u16 = 16;
+    /// Packed hardware-loop padding (`pad_I | pad_J<<16 | pad_K<<32`).
+    pub const LOOP_PADS: u16 = 17;
+    /// Execute-pipeline configuration word (dataflow, activation, transposes).
+    pub const CONFIG_EX: u16 = 18;
+    /// Load-mover configuration for A.
+    pub const CONFIG_LD_A: u16 = 19;
+    /// Load-mover configuration for B.
+    pub const CONFIG_LD_B: u16 = 20;
+    /// Load-mover configuration for D.
+    pub const CONFIG_LD_D: u16 = 21;
+    /// Store-mover configuration for C.
+    pub const CONFIG_ST: u16 = 22;
+    /// Input scale factor for the load movers.
+    pub const MVIN_SCALE: u16 = 23;
+    /// Reserved pair written by the launch-semantic command.
+    pub const LAUNCH_LO: u16 = 26;
+    /// Reserved pair written by the launch-semantic command (high half).
+    pub const LAUNCH_HI: u16 = 27;
+    /// Number of configuration registers.
+    pub const COUNT: usize = 28;
+}
+
+/// Flag bits within [`regmap::FLAGS`].
+pub mod flags {
+    /// Apply ReLU to the output (Table 1's `act`).
+    pub const RELU: i64 = 1 << 0;
+    /// Read A transposed (Table 1's `A_transpose`).
+    pub const TRANSPOSE_A: i64 = 1 << 1;
+    /// Read B transposed (Table 1's `B_transpose`).
+    pub const TRANSPOSE_B: i64 = 1 << 2;
+    /// Accumulate onto the existing C contents instead of overwriting.
+    pub const ACCUMULATE: i64 = 1 << 3;
+}
+
+/// Static parameters of an accelerator instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelParams {
+    /// Accelerator name (matches the accfg dialect's accelerator strings).
+    pub name: String,
+    /// Configuration scheme.
+    pub scheme: ConfigScheme,
+    /// Multiply-accumulates per cycle at peak (peak performance is twice
+    /// this in ops/cycle).
+    pub macs_per_cycle: u64,
+    /// Fixed pipeline fill/drain overhead added to every launch, in cycles.
+    pub launch_overhead: u64,
+    /// Configuration payload bytes carried per CSR write (4 on the RV32
+    /// OpenGeMM host, 8 on RV64).
+    pub csr_payload_bytes: u64,
+    /// RoCC funct value that carries launch semantics (Gemmini-style
+    /// "the last instruction in the sequence implicitly launches"); `None`
+    /// for targets with an explicit launch register.
+    pub rocc_launch_funct: Option<u8>,
+}
+
+impl AccelParams {
+    /// The Gemmini-like platform: 16×16 systolic array, one MAC per PE per
+    /// cycle (P_peak = 512 ops/cycle), sequential configuration via RoCC.
+    pub fn gemmini_like() -> Self {
+        Self {
+            name: "gemmini".into(),
+            scheme: ConfigScheme::Sequential,
+            macs_per_cycle: 256,
+            launch_overhead: 16, // systolic fill/drain
+            csr_payload_bytes: 8,
+            rocc_launch_funct: Some(13),
+        }
+    }
+
+    /// The OpenGeMM-like platform: 8×8×8 GeMM core (P_peak = 1024
+    /// ops/cycle), concurrent configuration via CSR staging registers.
+    pub fn opengemm_like() -> Self {
+        Self {
+            name: "opengemm".into(),
+            scheme: ConfigScheme::Concurrent,
+            macs_per_cycle: 512,
+            launch_overhead: 9, // output pipeline drain
+            csr_payload_bytes: 4,
+            rocc_launch_funct: None,
+        }
+    }
+
+    /// Peak performance in ops/cycle (1 MAC = 2 ops).
+    pub fn peak_ops_per_cycle(&self) -> u64 {
+        self.macs_per_cycle * 2
+    }
+}
+
+/// A decoded macro-operation (one tile matmul `C = act(A·B + D)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileOp {
+    /// Base address of A.
+    pub a_addr: u64,
+    /// Base address of B.
+    pub b_addr: u64,
+    /// Base address of C.
+    pub c_addr: u64,
+    /// Base address of D (0 = no bias).
+    pub d_addr: u64,
+    /// Output rows.
+    pub m: u64,
+    /// Output columns.
+    pub n: u64,
+    /// Reduction depth.
+    pub k: u64,
+    /// Row strides in bytes.
+    pub stride_a: u64,
+    /// Row stride of B in bytes.
+    pub stride_b: u64,
+    /// Row stride of C in bytes.
+    pub stride_c: u64,
+    /// Row stride of D in bytes.
+    pub stride_d: u64,
+    /// Flag bits.
+    pub flags: i64,
+}
+
+/// Errors the accelerator can raise at launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// A matrix access fell outside memory.
+    Mem(MemError),
+    /// A dimension register held zero or a negative value.
+    BadDimensions {
+        /// The decoded (m, n, k).
+        m: i64,
+        /// Columns.
+        n: i64,
+        /// Depth.
+        k: i64,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Mem(e) => write!(f, "accelerator memory fault: {e}"),
+            LaunchError::BadDimensions { m, n, k } => {
+                write!(f, "invalid tile dimensions m={m} n={n} k={k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+impl From<MemError> for LaunchError {
+    fn from(e: MemError) -> Self {
+        LaunchError::Mem(e)
+    }
+}
+
+/// Accelerator execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelStats {
+    /// Number of launches executed.
+    pub launches: u64,
+    /// Total multiply-accumulates performed.
+    pub macs: u64,
+    /// Total busy cycles (compute + launch overhead).
+    pub busy_cycles: u64,
+    /// Total configuration register writes received.
+    pub reg_writes: u64,
+}
+
+impl AccelStats {
+    /// Total arithmetic operations (1 MAC = 2 ops), the paper's `ops`.
+    pub fn ops(&self) -> u64 {
+        self.macs * 2
+    }
+}
+
+/// A simulated accelerator instance: configuration registers plus the
+/// functional matmul datapath.
+#[derive(Debug, Clone)]
+pub struct AccelSim {
+    /// Static parameters.
+    pub params: AccelParams,
+    active: [i64; regmap::COUNT],
+    staging: [i64; regmap::COUNT],
+    busy_until: u64,
+    /// Execution statistics.
+    pub stats: AccelStats,
+}
+
+impl AccelSim {
+    /// Creates an idle accelerator with zeroed registers.
+    pub fn new(params: AccelParams) -> Self {
+        Self {
+            params,
+            active: [0; regmap::COUNT],
+            staging: [0; regmap::COUNT],
+            busy_until: 0,
+            stats: AccelStats::default(),
+        }
+    }
+
+    /// The cycle at which the accelerator becomes idle.
+    pub fn busy_until(&self) -> u64 {
+        self.busy_until
+    }
+
+    /// `true` if the accelerator is still computing at `cycle`.
+    pub fn is_busy(&self, cycle: u64) -> bool {
+        cycle < self.busy_until
+    }
+
+    /// Reads a configuration register (staged value).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn reg(&self, index: u16) -> i64 {
+        self.staging[index as usize]
+    }
+
+    /// Writes a configuration register.
+    ///
+    /// For [`ConfigScheme::Sequential`] the machine must have stalled until
+    /// idle before calling this; the write lands in the active registers.
+    /// For [`ConfigScheme::Concurrent`] it lands in staging only.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn write_reg(&mut self, index: u16, value: i64) {
+        self.staging[index as usize] = value;
+        if self.params.scheme == ConfigScheme::Sequential {
+            self.active[index as usize] = value;
+        }
+        self.stats.reg_writes += 1;
+    }
+
+    /// Decodes the staged configuration into a tile operation.
+    pub fn decode(&self) -> TileOp {
+        let r = &self.staging;
+        TileOp {
+            a_addr: r[regmap::A_ADDR as usize] as u64,
+            b_addr: r[regmap::B_ADDR as usize] as u64,
+            c_addr: r[regmap::C_ADDR as usize] as u64,
+            d_addr: r[regmap::D_ADDR as usize] as u64,
+            m: r[regmap::M as usize] as u64,
+            n: r[regmap::N as usize] as u64,
+            k: r[regmap::K as usize] as u64,
+            stride_a: r[regmap::STRIDE_A as usize] as u64,
+            stride_b: r[regmap::STRIDE_B as usize] as u64,
+            stride_c: r[regmap::STRIDE_C as usize] as u64,
+            stride_d: r[regmap::STRIDE_D as usize] as u64,
+            flags: r[regmap::FLAGS as usize],
+        }
+    }
+
+    /// Launches the staged configuration at `now`, executing the tile
+    /// matmul on `mem` and returning the cycle at which it completes.
+    ///
+    /// The caller (the machine) is responsible for stalling until idle
+    /// before launching — hardware refuses a second in-flight launch.
+    ///
+    /// # Errors
+    /// Fails on invalid dimensions or out-of-bounds matrix accesses.
+    pub fn launch(&mut self, mem: &mut Memory, now: u64) -> Result<u64, LaunchError> {
+        debug_assert!(!self.is_busy(now), "launch while busy");
+        self.active = self.staging;
+        let op = self.decode();
+        let raw = &self.active;
+        if raw[regmap::M as usize] <= 0
+            || raw[regmap::N as usize] <= 0
+            || raw[regmap::K as usize] <= 0
+        {
+            return Err(LaunchError::BadDimensions {
+                m: raw[regmap::M as usize],
+                n: raw[regmap::N as usize],
+                k: raw[regmap::K as usize],
+            });
+        }
+        let macs = execute_tile(&op, mem)?;
+        let compute = macs.div_ceil(self.params.macs_per_cycle);
+        let busy = compute + self.params.launch_overhead;
+        self.busy_until = now + busy;
+        self.stats.launches += 1;
+        self.stats.macs += macs;
+        self.stats.busy_cycles += busy;
+        Ok(self.busy_until)
+    }
+}
+
+/// Functionally executes one tile `C = act(A·B + D)` on memory, returning
+/// the MAC count.
+///
+/// # Errors
+/// Fails when any element access is out of bounds.
+pub fn execute_tile(op: &TileOp, mem: &mut Memory) -> Result<u64, LaunchError> {
+    let transpose_a = op.flags & flags::TRANSPOSE_A != 0;
+    let transpose_b = op.flags & flags::TRANSPOSE_B != 0;
+    let relu = op.flags & flags::RELU != 0;
+    let accumulate = op.flags & flags::ACCUMULATE != 0;
+    for i in 0..op.m {
+        for j in 0..op.n {
+            let mut acc: i32 = if op.d_addr != 0 {
+                mem.read_i32(op.d_addr + i * op.stride_d + 4 * j)?
+            } else {
+                0
+            };
+            for k in 0..op.k {
+                let a_addr = if transpose_a {
+                    op.a_addr + k * op.stride_a + i
+                } else {
+                    op.a_addr + i * op.stride_a + k
+                };
+                let b_addr = if transpose_b {
+                    op.b_addr + j * op.stride_b + k
+                } else {
+                    op.b_addr + k * op.stride_b + j
+                };
+                let a = mem.read_i8(a_addr)? as i32;
+                let b = mem.read_i8(b_addr)? as i32;
+                acc = acc.wrapping_add(a.wrapping_mul(b));
+            }
+            let c_addr = op.c_addr + i * op.stride_c + 4 * j;
+            if accumulate {
+                acc = acc.wrapping_add(mem.read_i32(c_addr)?);
+            }
+            if relu {
+                acc = acc.max(0);
+            }
+            mem.write_i32(c_addr, acc)?;
+        }
+    }
+    Ok(op.m * op.n * op.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_tile(mem: &mut Memory) -> TileOp {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] at i8; C at 0x100
+        mem.write_i8_slice(0x00, &[1, 2, 3, 4]).unwrap();
+        mem.write_i8_slice(0x10, &[5, 6, 7, 8]).unwrap();
+        TileOp {
+            a_addr: 0x00,
+            b_addr: 0x10,
+            c_addr: 0x100,
+            d_addr: 0,
+            m: 2,
+            n: 2,
+            k: 2,
+            stride_a: 2,
+            stride_b: 2,
+            stride_c: 8,
+            stride_d: 0,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn computes_matmul() {
+        let mut mem = Memory::new(0x200);
+        let op = setup_tile(&mut mem);
+        let macs = execute_tile(&op, &mut mem).unwrap();
+        assert_eq!(macs, 8);
+        // C = [[19,22],[43,50]]
+        assert_eq!(mem.read_i32_slice(0x100, 2).unwrap(), vec![19, 22]);
+        assert_eq!(mem.read_i32_slice(0x108, 2).unwrap(), vec![43, 50]);
+    }
+
+    #[test]
+    fn bias_and_accumulate() {
+        let mut mem = Memory::new(0x300);
+        let mut op = setup_tile(&mut mem);
+        op.d_addr = 0x200;
+        op.stride_d = 8;
+        for j in 0..4 {
+            mem.write_i32(0x200 + 4 * j, 100).unwrap();
+        }
+        execute_tile(&op, &mut mem).unwrap();
+        assert_eq!(mem.read_i32(0x100).unwrap(), 119);
+        // run again with ACCUMULATE: doubles on top of existing C
+        op.flags = flags::ACCUMULATE;
+        op.d_addr = 0;
+        execute_tile(&op, &mut mem).unwrap();
+        assert_eq!(mem.read_i32(0x100).unwrap(), 119 + 19);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut mem = Memory::new(0x200);
+        let mut op = setup_tile(&mut mem);
+        mem.write_i8_slice(0x00, &[-1, -2, -3, -4]).unwrap(); // overwrite A
+        op.flags = flags::RELU;
+        execute_tile(&op, &mut mem).unwrap();
+        assert_eq!(mem.read_i32_slice(0x100, 2).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn transpose_a() {
+        let mut mem = Memory::new(0x200);
+        let mut op = setup_tile(&mut mem);
+        op.flags = flags::TRANSPOSE_A; // A^T = [[1,3],[2,4]]
+        execute_tile(&op, &mut mem).unwrap();
+        // A^T · B = [[26,30],[38,44]]
+        assert_eq!(mem.read_i32_slice(0x100, 2).unwrap(), vec![26, 30]);
+        assert_eq!(mem.read_i32_slice(0x108, 2).unwrap(), vec![38, 44]);
+    }
+
+    #[test]
+    fn sequential_writes_hit_active_registers() {
+        let mut acc = AccelSim::new(AccelParams::gemmini_like());
+        acc.write_reg(regmap::M, 4);
+        assert_eq!(acc.reg(regmap::M), 4);
+        assert_eq!(acc.active[regmap::M as usize], 4);
+    }
+
+    #[test]
+    fn concurrent_writes_stage_until_launch() {
+        let mut mem = Memory::new(0x400);
+        mem.write_i8_slice(0x00, &[1; 16]).unwrap();
+        mem.write_i8_slice(0x20, &[1; 16]).unwrap();
+        let mut acc = AccelSim::new(AccelParams::opengemm_like());
+        for (r, v) in [
+            (regmap::A_ADDR, 0x00),
+            (regmap::B_ADDR, 0x20),
+            (regmap::C_ADDR, 0x100),
+            (regmap::M, 4),
+            (regmap::N, 4),
+            (regmap::K, 4),
+            (regmap::STRIDE_A, 4),
+            (regmap::STRIDE_B, 4),
+            (regmap::STRIDE_C, 16),
+        ] {
+            acc.write_reg(r, v);
+        }
+        // staged, not active
+        assert_eq!(acc.active[regmap::M as usize], 0);
+        let done = acc.launch(&mut mem, 100).unwrap();
+        assert!(done > 100);
+        assert_eq!(acc.active[regmap::M as usize], 4);
+        assert_eq!(mem.read_i32(0x100).unwrap(), 4); // 1·1 × 4
+        assert_eq!(acc.stats.launches, 1);
+        assert_eq!(acc.stats.macs, 64);
+    }
+
+    #[test]
+    fn launch_timing_includes_overhead() {
+        let mut mem = Memory::new(0x400);
+        mem.write_i8_slice(0x00, &[1; 16]).unwrap();
+        mem.write_i8_slice(0x20, &[1; 16]).unwrap();
+        let params = AccelParams::opengemm_like();
+        let overhead = params.launch_overhead;
+        let mut acc = AccelSim::new(params);
+        for (r, v) in [
+            (regmap::A_ADDR, 0x00),
+            (regmap::B_ADDR, 0x20),
+            (regmap::C_ADDR, 0x100),
+            (regmap::M, 4),
+            (regmap::N, 4),
+            (regmap::K, 4),
+            (regmap::STRIDE_A, 4),
+            (regmap::STRIDE_B, 4),
+            (regmap::STRIDE_C, 16),
+        ] {
+            acc.write_reg(r, v);
+        }
+        let done = acc.launch(&mut mem, 0).unwrap();
+        // 64 MACs at 512/cycle → 1 compute cycle + overhead
+        assert_eq!(done, 1 + overhead);
+        assert!(acc.is_busy(done - 1));
+        assert!(!acc.is_busy(done));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let mut mem = Memory::new(0x100);
+        let mut acc = AccelSim::new(AccelParams::opengemm_like());
+        acc.write_reg(regmap::M, 0);
+        let e = acc.launch(&mut mem, 0).unwrap_err();
+        assert!(matches!(e, LaunchError::BadDimensions { .. }));
+    }
+
+    #[test]
+    fn oob_matrix_access_rejected() {
+        let mut mem = Memory::new(0x40);
+        let mut acc = AccelSim::new(AccelParams::opengemm_like());
+        for (r, v) in [
+            (regmap::A_ADDR, 0x00),
+            (regmap::B_ADDR, 0x20),
+            (regmap::C_ADDR, 0x1000), // out of bounds
+            (regmap::M, 2),
+            (regmap::N, 2),
+            (regmap::K, 2),
+            (regmap::STRIDE_A, 2),
+            (regmap::STRIDE_B, 2),
+            (regmap::STRIDE_C, 8),
+        ] {
+            acc.write_reg(r, v);
+        }
+        assert!(matches!(
+            acc.launch(&mut mem, 0),
+            Err(LaunchError::Mem(_))
+        ));
+    }
+
+    #[test]
+    fn peak_ops() {
+        assert_eq!(AccelParams::gemmini_like().peak_ops_per_cycle(), 512);
+        assert_eq!(AccelParams::opengemm_like().peak_ops_per_cycle(), 1024);
+    }
+}

@@ -1,0 +1,152 @@
+//! Host CPU cost models.
+//!
+//! The paper approximates the Rocket host at 3 cycles per instruction (the
+//! inverse harmonic mean of the IPC survey it cites) and runs OpenGeMM's
+//! tiny in-order Snitch-like core cycle-accurately. Here both are
+//! per-instruction-class cycle cost tables; the class costs are the
+//! calibration knobs of the reproduction.
+
+use crate::isa::Inst;
+
+/// Per-instruction-class cycle costs for an in-order host core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostModel {
+    /// Model name for reports.
+    pub name: String,
+    /// Register-register / register-immediate ALU ops.
+    pub alu: u64,
+    /// Load-immediate.
+    pub li: u64,
+    /// Loads and stores.
+    pub mem: u64,
+    /// Conditional branches.
+    pub branch: u64,
+    /// Unconditional jumps.
+    pub jump: u64,
+    /// Configuration-register (CSR/MMIO) writes.
+    pub csr_write: u64,
+    /// RoCC custom commands.
+    pub rocc: u64,
+    /// Explicit launch writes.
+    pub launch: u64,
+    /// One status-poll round (final successful poll of an await).
+    pub poll: u64,
+}
+
+impl HostModel {
+    /// The Rocket-like RV64 host of the Gemmini platform: a uniform 3
+    /// cycles/instruction, matching Section 4.6's approximation.
+    pub fn rocket_like() -> Self {
+        Self {
+            name: "rocket".into(),
+            alu: 3,
+            li: 3,
+            mem: 3,
+            branch: 3,
+            jump: 3,
+            csr_write: 3,
+            rocc: 3,
+            launch: 3,
+            poll: 3,
+        }
+    }
+
+    /// The Snitch-like tiny in-order RV32 host of the OpenGeMM platform:
+    /// single-cycle integer ops, single-cycle tightly-coupled CSR accesses
+    /// (OpenGeMM couples the accelerator directly to the core), and
+    /// near-zero-overhead loops (Snitch's hardware-loop/FREP machinery:
+    /// back-edges are folded into the loop body, modeled as free jumps and
+    /// single-cycle compare-and-branch). The configuration wall there is
+    /// the sheer *number* of configuration and parameter-calculation
+    /// instructions per launch.
+    pub fn snitch_like() -> Self {
+        Self {
+            name: "snitch".into(),
+            alu: 1,
+            li: 1,
+            mem: 2,
+            branch: 1,
+            jump: 0,
+            csr_write: 1,
+            rocc: 1,
+            launch: 1,
+            poll: 1,
+        }
+    }
+
+    /// The cycle cost of one instruction (excluding stall time, which the
+    /// machine accounts separately).
+    pub fn cycles_for(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::Li { .. } => self.li,
+            Inst::Alu { .. } | Inst::AluI { .. } => self.alu,
+            Inst::Ld { .. } | Inst::St { .. } => self.mem,
+            Inst::Branch { .. } => self.branch,
+            Inst::Jump { .. } => self.jump,
+            Inst::CsrWrite { .. } => self.csr_write,
+            Inst::RoccCmd { .. } => self.rocc,
+            Inst::Launch => self.launch,
+            Inst::AwaitIdle => self.poll,
+            Inst::Halt => 0,
+        }
+    }
+
+    /// The raw (theoretical) configuration bandwidth in bytes/cycle for a
+    /// payload of `bytes_per_write` bytes needing `instructions_per_write`
+    /// host instructions — Section 4.2's `BW_config`.
+    pub fn config_bandwidth(&self, bytes_per_write: u64, instructions_per_write: u64) -> f64 {
+        let cycles = instructions_per_write as f64 * self.alu as f64;
+        bytes_per_write as f64 / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, Reg};
+
+    #[test]
+    fn rocket_is_uniform_three_cycles() {
+        let h = HostModel::rocket_like();
+        let r = Reg(0);
+        for inst in [
+            Inst::Li { rd: r, imm: 0 },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r,
+                rs1: r,
+                rs2: r,
+            },
+            Inst::RoccCmd {
+                funct: 0,
+                rs1: r,
+                rs2: r,
+            },
+        ] {
+            assert_eq!(h.cycles_for(&inst), 3);
+        }
+        assert_eq!(h.cycles_for(&Inst::Halt), 0);
+    }
+
+    #[test]
+    fn gemmini_paper_config_bandwidth() {
+        // Section 4.6: 16 bytes per RoCC write, 3 instructions at 3 CPI
+        // → 16 / 9 ≈ 1.77 bytes/cycle
+        let h = HostModel::rocket_like();
+        let bw = h.config_bandwidth(16, 3);
+        assert!((bw - 16.0 / 9.0).abs() < 1e-12, "{bw}");
+    }
+
+    #[test]
+    fn snitch_is_single_cycle_on_config() {
+        let h = HostModel::snitch_like();
+        let r = Reg(0);
+        assert_eq!(h.cycles_for(&Inst::CsrWrite { csr: 0, rs: r }), 1);
+        assert_eq!(h.cycles_for(&Inst::Branch {
+            cond: crate::isa::BranchCond::Eq,
+            rs1: r,
+            rs2: r,
+            target: crate::isa::Label(0),
+        }), 1);
+    }
+}

@@ -1,0 +1,586 @@
+//! The cycle-level host + accelerator co-simulator.
+//!
+//! Executes a [`Program`] on a [`HostModel`] connected to one [`AccelSim`],
+//! reproducing the timing structure of Figure 2: host instructions cost
+//! cycles, the accelerator runs in the background from `launch` until its
+//! busy window closes, and the host stalls when it awaits — or, on
+//! sequential-configuration platforms, whenever it touches a configuration
+//! register while the accelerator is busy.
+
+use crate::accel::{AccelSim, ConfigScheme, LaunchError};
+use crate::host::HostModel;
+use crate::isa::{Inst, Program};
+use crate::memory::{MemError, Memory};
+use crate::timeline::{Activity, Timeline};
+use std::error::Error;
+use std::fmt;
+
+/// Why simulation stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Host load/store fault.
+    Mem(MemError),
+    /// Accelerator launch fault.
+    Launch(LaunchError),
+    /// The dynamic instruction budget was exhausted.
+    OutOfFuel {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(e) => write!(f, "host memory fault: {e}"),
+            SimError::Launch(e) => write!(f, "{e}"),
+            SimError::OutOfFuel { executed } => {
+                write!(f, "out of fuel after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+impl From<LaunchError> for SimError {
+    fn from(e: LaunchError) -> Self {
+        SimError::Launch(e)
+    }
+}
+
+/// Cycle and instruction counters from one run — everything the
+/// configuration roofline needs (Section 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// End-to-end cycles (until both host and accelerator are done).
+    pub cycles: u64,
+    /// Cycles the host spent actively executing instructions.
+    pub host_cycles: u64,
+    /// Cycles the host spent stalled waiting for the accelerator.
+    pub stall_cycles: u64,
+    /// Cycles during which host execution and accelerator execution
+    /// overlapped (nonzero only with concurrent configuration).
+    pub overlap_cycles: u64,
+    /// Dynamic instruction count.
+    pub insts_total: u64,
+    /// Dynamic configuration instructions (CSR writes, RoCC commands,
+    /// launches, polls) — the paper's "setup instructions".
+    pub insts_config: u64,
+    /// Dynamic non-configuration instructions — the paper's "parameter
+    /// calculation" instructions.
+    pub insts_calc: u64,
+    /// Cycles spent in configuration instructions.
+    pub config_cycles: u64,
+    /// Cycles spent in calculation instructions.
+    pub calc_cycles: u64,
+    /// Configuration payload bytes transferred to the accelerator.
+    pub config_bytes: u64,
+    /// Accelerator launches.
+    pub launches: u64,
+}
+
+impl Counters {
+    /// Measured performance in ops/cycle given the accelerator's op count.
+    pub fn ops_per_cycle(&self, ops: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Operation-to-configuration intensity `I_OC` in ops/byte
+    /// (Section 4.2).
+    pub fn operation_intensity(&self, ops: u64) -> f64 {
+        if self.config_bytes == 0 {
+            f64::INFINITY
+        } else {
+            ops as f64 / self.config_bytes as f64
+        }
+    }
+
+    /// Effective configuration bandwidth in bytes/cycle (Section 4.4,
+    /// Equation 4): configuration bytes over *all* host time spent
+    /// producing them (calculation + register writes).
+    pub fn effective_config_bandwidth(&self) -> f64 {
+        let t = (self.config_cycles + self.calc_cycles) as f64;
+        if t == 0.0 {
+            f64::INFINITY
+        } else {
+            self.config_bytes as f64 / t
+        }
+    }
+}
+
+/// A host machine wired to one accelerator.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// The host cost model.
+    pub host: HostModel,
+    /// The accelerator.
+    pub accel: AccelSim,
+    /// Shared memory.
+    pub mem: Memory,
+    /// Host register file (sized on demand).
+    pub regs: Vec<i64>,
+}
+
+impl Machine {
+    /// Creates a machine with `mem_bytes` of zeroed memory.
+    pub fn new(host: HostModel, accel: AccelSim, mem_bytes: usize) -> Self {
+        Self {
+            host,
+            accel,
+            mem: Memory::new(mem_bytes),
+            regs: Vec::new(),
+        }
+    }
+
+    /// Runs `program` to completion (Halt or falling off the end).
+    ///
+    /// # Errors
+    ///
+    /// Fails on memory faults, launch faults, or when more than `max_insts`
+    /// dynamic instructions execute (runaway loop).
+    pub fn run(&mut self, program: &Program, max_insts: u64) -> Result<Counters, SimError> {
+        self.run_inner(program, max_insts, None)
+    }
+
+    /// Like [`Machine::run`], additionally recording a Figure 2-style
+    /// execution [`Timeline`] of host and accelerator activity.
+    ///
+    /// # Errors
+    /// Same as [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        max_insts: u64,
+        timeline: &mut Timeline,
+    ) -> Result<Counters, SimError> {
+        self.run_inner(program, max_insts, Some(timeline))
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        max_insts: u64,
+        mut timeline: Option<&mut Timeline>,
+    ) -> Result<Counters, SimError> {
+        if self.regs.len() < program.reg_count() {
+            self.regs.resize(program.reg_count(), 0);
+        }
+        let mut c = Counters::default();
+        let mut cycle: u64 = 0;
+        let mut pc: usize = 0;
+        let insts = program.insts();
+        while pc < insts.len() {
+            if c.insts_total >= max_insts {
+                return Err(SimError::OutOfFuel {
+                    executed: c.insts_total,
+                });
+            }
+            let inst = insts[pc];
+            if matches!(inst, Inst::Halt) {
+                break;
+            }
+            c.insts_total += 1;
+
+            // stalls: sequential config while busy; launches and awaits always
+            let must_wait_idle = match inst {
+                Inst::CsrWrite { .. } | Inst::RoccCmd { .. } => {
+                    self.accel.params.scheme == ConfigScheme::Sequential
+                }
+                Inst::Launch | Inst::AwaitIdle => true,
+                _ => false,
+            };
+            if must_wait_idle && self.accel.is_busy(cycle) {
+                let until = self.accel.busy_until();
+                c.stall_cycles += until - cycle;
+                if let Some(t) = timeline.as_deref_mut() {
+                    t.record_host(cycle, until, Activity::Stall);
+                }
+                cycle = until;
+            }
+
+            let cost = self.host.cycles_for(&inst);
+            // overlap accounting: host active [cycle, cycle+cost) vs busy window
+            let busy_until = self.accel.busy_until();
+            if busy_until > cycle {
+                c.overlap_cycles += busy_until.min(cycle + cost) - cycle;
+            }
+            if inst.is_config() {
+                c.insts_config += 1;
+                c.config_cycles += cost;
+            } else {
+                c.insts_calc += 1;
+                c.calc_cycles += cost;
+            }
+            if let Some(t) = timeline.as_deref_mut() {
+                let activity = if inst.is_config() {
+                    Activity::Config
+                } else {
+                    Activity::Calc
+                };
+                t.record_host(cycle, cycle + cost, activity);
+            }
+            c.host_cycles += cost;
+            cycle += cost;
+
+            let mut next_pc = pc + 1;
+            match inst {
+                Inst::Li { rd, imm } => self.regs[rd.0 as usize] = imm,
+                Inst::Alu { op, rd, rs1, rs2 } => {
+                    self.regs[rd.0 as usize] =
+                        op.eval(self.regs[rs1.0 as usize], self.regs[rs2.0 as usize]);
+                }
+                Inst::AluI { op, rd, rs1, imm } => {
+                    self.regs[rd.0 as usize] = op.eval(self.regs[rs1.0 as usize], imm);
+                }
+                Inst::Ld {
+                    rd,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    let addr = (self.regs[base.0 as usize].wrapping_add(offset)) as u64;
+                    self.regs[rd.0 as usize] = match width {
+                        crate::isa::Width::Byte => i64::from(self.mem.read_i8(addr)?),
+                        crate::isa::Width::Word => i64::from(self.mem.read_i32(addr)?),
+                        crate::isa::Width::Double => self.mem.read_i64(addr)?,
+                    };
+                }
+                Inst::St {
+                    rs,
+                    base,
+                    offset,
+                    width,
+                } => {
+                    let addr = (self.regs[base.0 as usize].wrapping_add(offset)) as u64;
+                    let v = self.regs[rs.0 as usize];
+                    match width {
+                        crate::isa::Width::Byte => self.mem.write_i8(addr, v as i8)?,
+                        crate::isa::Width::Word => self.mem.write_i32(addr, v as i32)?,
+                        crate::isa::Width::Double => self.mem.write_i64(addr, v)?,
+                    }
+                }
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    if cond.eval(self.regs[rs1.0 as usize], self.regs[rs2.0 as usize]) {
+                        next_pc = program.resolve(target);
+                    }
+                }
+                Inst::Jump { target } => next_pc = program.resolve(target),
+                Inst::CsrWrite { csr, rs } => {
+                    self.accel.write_reg(csr, self.regs[rs.0 as usize]);
+                    c.config_bytes += self.accel.params.csr_payload_bytes;
+                }
+                Inst::RoccCmd { funct, rs1, rs2 } => {
+                    // funct f writes the register pair (2f, 2f+1): 16 bytes
+                    self.accel
+                        .write_reg(u16::from(funct) * 2, self.regs[rs1.0 as usize]);
+                    self.accel
+                        .write_reg(u16::from(funct) * 2 + 1, self.regs[rs2.0 as usize]);
+                    c.config_bytes += 16;
+                    if self.accel.params.rocc_launch_funct == Some(funct) {
+                        let done = self.accel.launch(&mut self.mem, cycle)?;
+                        if let Some(t) = timeline.as_deref_mut() {
+                            t.record_accel(cycle, done);
+                        }
+                        c.launches += 1;
+                    }
+                }
+                Inst::Launch => {
+                    let done = self.accel.launch(&mut self.mem, cycle)?;
+                    if let Some(t) = timeline.as_deref_mut() {
+                        t.record_accel(cycle, done);
+                    }
+                    c.config_bytes += self.accel.params.csr_payload_bytes;
+                    c.launches += 1;
+                }
+                Inst::AwaitIdle => {
+                    // already stalled to idle above; this is the final poll
+                }
+                Inst::Halt => unreachable!("handled before execution"),
+            }
+            pc = next_pc;
+        }
+        // the program may end with the accelerator still running
+        if self.accel.busy_until() > cycle {
+            c.stall_cycles += self.accel.busy_until() - cycle;
+            if let Some(t) = timeline {
+                t.record_host(cycle, self.accel.busy_until(), Activity::Stall);
+            }
+            cycle = self.accel.busy_until();
+        }
+        c.cycles = cycle;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::{regmap, AccelParams};
+    use crate::isa::{AluOp, BranchCond, ProgramBuilder, Width};
+
+    fn machine(params: AccelParams) -> Machine {
+        Machine::new(HostModel::snitch_like(), AccelSim::new(params), 0x10000)
+    }
+
+    /// Writes the full tile descriptor via CSRs and launches.
+    fn emit_tile_csr(p: &mut ProgramBuilder, a: i64, b: i64, c: i64, size: i64) {
+        let r = p.reg();
+        for (csr, v) in [
+            (regmap::A_ADDR, a),
+            (regmap::B_ADDR, b),
+            (regmap::C_ADDR, c),
+            (regmap::M, size),
+            (regmap::N, size),
+            (regmap::K, size),
+            (regmap::STRIDE_A, size),
+            (regmap::STRIDE_B, size),
+            (regmap::STRIDE_C, 4 * size),
+        ] {
+            p.li(r, v);
+            p.csr_write(csr, r);
+        }
+        p.launch();
+    }
+
+    #[test]
+    fn functional_matmul_end_to_end() {
+        let mut m = machine(AccelParams::opengemm_like());
+        // A = B = 4×4 identity-ish: fill with 1s
+        for i in 0..16 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x200 + i, 1).unwrap();
+        }
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x200, 0x300, 4);
+        p.await_idle();
+        p.halt();
+        let counters = m.run(&p.finish(), 10_000).unwrap();
+        assert_eq!(counters.launches, 1);
+        // every C element = Σ 1·1 over k=4
+        for j in 0..16 {
+            assert_eq!(m.mem.read_i32(0x300 + 4 * j).unwrap(), 4);
+        }
+        assert_eq!(m.accel.stats.macs, 64);
+    }
+
+    #[test]
+    fn concurrent_config_overlaps_next_setup() {
+        let mut m = machine(AccelParams::opengemm_like());
+        for i in 0..4096 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x1100 + i, 1).unwrap();
+        }
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100, 64); // long-running tile
+        // while busy: reconfigure (should NOT stall on concurrent hardware)
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x6100, 64);
+        p.await_idle();
+        p.halt();
+        let c = m.run(&p.finish(), 100_000).unwrap();
+        assert!(c.overlap_cycles > 0, "{c:?}");
+        assert_eq!(c.launches, 2);
+    }
+
+    #[test]
+    fn sequential_config_stalls_while_busy() {
+        let mut m = machine(AccelParams::gemmini_like());
+        for i in 0..4096 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x1100 + i, 1).unwrap();
+        }
+        // configure + launch via RoCC pairs: functs 0..=5 config, funct 13
+        // (the launch-semantic command) launches
+        let mut p = ProgramBuilder::new();
+        let (r1, r2) = (p.reg(), p.reg());
+        let size = 64i64;
+        let emit = |p: &mut ProgramBuilder, c_addr: i64| {
+            // funct f writes config registers (2f, 2f+1)
+            let pairs: [(i64, i64); 6] = [
+                (0x100, 0x1100),  // A_ADDR, B_ADDR
+                (c_addr, 0),      // C_ADDR, D_ADDR
+                (size, size),     // M, N
+                (size, size),     // K, STRIDE_A
+                (size, 4 * size), // STRIDE_B, STRIDE_C
+                (0, 0),           // STRIDE_D, FLAGS
+            ];
+            for (f, &(v1, v2)) in pairs.iter().enumerate() {
+                p.li(r1, v1);
+                p.li(r2, v2);
+                p.rocc(f as u8, r1, r2);
+            }
+            p.rocc(13, r1, r2); // launch-semantic command
+        };
+        emit(&mut p, 0x2100);
+        emit(&mut p, 0x6100); // reconfigure immediately: must stall
+        p.await_idle();
+        p.halt();
+        let c = m.run(&p.finish(), 100_000).unwrap();
+        assert_eq!(c.launches, 2);
+        assert!(c.stall_cycles > 0, "{c:?}");
+        // the host may overlap its *own* (non-config) work — here just the
+        // two `li`s before it stalls on the first RoCC of the next tile —
+        // but never configuration
+        assert!(c.overlap_cycles <= 4, "{c:?}");
+    }
+
+    #[test]
+    fn await_accounts_stall_cycles() {
+        let mut m = machine(AccelParams::opengemm_like());
+        for i in 0..4096 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x1100 + i, 1).unwrap();
+        }
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100, 64);
+        p.await_idle();
+        p.halt();
+        let c = m.run(&p.finish(), 100_000).unwrap();
+        // 64³ = 262144 MACs at 512/cycle = 512 cycles + overhead; host does
+        // almost nothing in between, so it stalls for most of that
+        assert!(c.stall_cycles > 400, "{c:?}");
+        assert_eq!(c.cycles, c.host_cycles + c.stall_cycles);
+    }
+
+    #[test]
+    fn branch_loops_execute() {
+        let mut m = machine(AccelParams::opengemm_like());
+        let mut p = ProgramBuilder::new();
+        let (i, n, acc) = (p.reg(), p.reg(), p.reg());
+        p.li(i, 0);
+        p.li(n, 10);
+        p.li(acc, 0);
+        let head = p.new_label();
+        p.bind(head);
+        p.alui(AluOp::Add, acc, acc, 5);
+        p.alui(AluOp::Add, i, i, 1);
+        p.branch(BranchCond::Lt, i, n, head);
+        p.halt();
+        let c = m.run(&p.finish(), 1000).unwrap();
+        assert_eq!(m.regs[acc.0 as usize], 50);
+        assert_eq!(c.insts_total, 3 + 30);
+    }
+
+    #[test]
+    fn loads_and_stores_work() {
+        let mut m = machine(AccelParams::opengemm_like());
+        let mut p = ProgramBuilder::new();
+        let (base, v, out) = (p.reg(), p.reg(), p.reg());
+        p.li(base, 0x500);
+        p.li(v, -42);
+        p.st(v, base, 8, Width::Double);
+        p.ld(out, base, 8, Width::Double);
+        p.halt();
+        m.run(&p.finish(), 100).unwrap();
+        assert_eq!(m.regs[out.0 as usize], -42);
+        assert_eq!(m.mem.read_i64(0x508).unwrap(), -42);
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let mut m = machine(AccelParams::opengemm_like());
+        let mut p = ProgramBuilder::new();
+        let head = p.new_label();
+        p.bind(head);
+        p.jump(head);
+        p.halt();
+        assert!(matches!(
+            m.run(&p.finish(), 100),
+            Err(SimError::OutOfFuel { executed: 100 })
+        ));
+    }
+
+    #[test]
+    fn counters_partition_cleanly() {
+        let mut m = machine(AccelParams::opengemm_like());
+        for i in 0..64 {
+            m.mem.write_i8(0x100 + i, 2).unwrap();
+            m.mem.write_i8(0x200 + i, 3).unwrap();
+        }
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x200, 0x300, 8);
+        p.await_idle();
+        p.halt();
+        let c = m.run(&p.finish(), 10_000).unwrap();
+        assert_eq!(c.insts_total, c.insts_config + c.insts_calc);
+        assert_eq!(c.host_cycles, c.config_cycles + c.calc_cycles);
+        // 9 CSR writes × 4 bytes + launch 4 bytes
+        assert_eq!(c.config_bytes, 40);
+        assert_eq!(m.mem.read_i32(0x300).unwrap(), 2 * 3 * 8);
+    }
+
+    #[test]
+    fn traced_run_agrees_with_counters() {
+        use crate::timeline::{Activity, Timeline};
+        let mut m = machine(AccelParams::opengemm_like());
+        for i in 0..256 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x400 + i, 1).unwrap();
+        }
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x400, 0x800, 16);
+        p.await_idle();
+        p.halt();
+        let prog = p.finish();
+        let mut timeline = Timeline::new();
+        let c = m.run_traced(&prog, 100_000, &mut timeline).unwrap();
+        assert_eq!(timeline.cycles_of(Activity::Config), c.config_cycles);
+        assert_eq!(timeline.cycles_of(Activity::Calc), c.calc_cycles);
+        assert_eq!(timeline.cycles_of(Activity::Stall), c.stall_cycles);
+        assert_eq!(timeline.cycles_of(Activity::Busy), m.accel.stats.busy_cycles);
+        assert_eq!(timeline.end(), c.cycles);
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree() {
+        let build = || {
+            let mut p = ProgramBuilder::new();
+            emit_tile_csr(&mut p, 0x100, 0x200, 0x300, 4);
+            p.await_idle();
+            p.halt();
+            p.finish()
+        };
+        let mut m1 = machine(AccelParams::opengemm_like());
+        let mut m2 = machine(AccelParams::opengemm_like());
+        for i in 0..16 {
+            m1.mem.write_i8(0x100 + i, 2).unwrap();
+            m1.mem.write_i8(0x200 + i, 2).unwrap();
+            m2.mem.write_i8(0x100 + i, 2).unwrap();
+            m2.mem.write_i8(0x200 + i, 2).unwrap();
+        }
+        let c1 = m1.run(&build(), 100_000).unwrap();
+        let mut t = crate::timeline::Timeline::new();
+        let c2 = m2.run_traced(&build(), 100_000, &mut t).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(m1.mem, m2.mem);
+    }
+
+    #[test]
+    fn roofline_counter_helpers() {
+        let c = Counters {
+            cycles: 100,
+            config_bytes: 50,
+            config_cycles: 20,
+            calc_cycles: 30,
+            ..Default::default()
+        };
+        assert!((c.ops_per_cycle(800) - 8.0).abs() < 1e-12);
+        assert!((c.operation_intensity(800) - 16.0).abs() < 1e-12);
+        assert!((c.effective_config_bandwidth() - 1.0).abs() < 1e-12);
+    }
+}

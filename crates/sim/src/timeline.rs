@@ -1,0 +1,211 @@
+//! Execution timelines: the simulated counterpart of the paper's Figure 2.
+//!
+//! The machine can record what the host and the accelerator are doing each
+//! cycle; rendering the two lanes side by side makes configuration overhead
+//! visible exactly as in the paper's timeline illustration — and shows it
+//! disappearing once the optimizations are applied.
+
+use std::fmt;
+
+/// What a lane is doing during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// Host: ordinary computation (the paper's `E`).
+    Calc,
+    /// Host: configuring the accelerator (the paper's `C`).
+    Config,
+    /// Host: stalled waiting for the accelerator.
+    Stall,
+    /// Accelerator: executing a macro-operation.
+    Busy,
+}
+
+impl Activity {
+    /// One-character rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            Activity::Calc => 'E',
+            Activity::Config => 'C',
+            Activity::Stall => '.',
+            Activity::Busy => '#',
+        }
+    }
+}
+
+/// A half-open `[start, end)` span of one activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First cycle of the span.
+    pub start: u64,
+    /// First cycle past the span.
+    pub end: u64,
+    /// What was happening.
+    pub activity: Activity,
+}
+
+/// Recorded host and accelerator activity of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// Host lane spans, in time order.
+    pub host: Vec<Span>,
+    /// Accelerator lane spans, in time order.
+    pub accel: Vec<Span>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(lane: &mut Vec<Span>, start: u64, end: u64, activity: Activity) {
+        if end <= start {
+            return;
+        }
+        if let Some(last) = lane.last_mut() {
+            if last.activity == activity && last.end == start {
+                last.end = end;
+                return;
+            }
+        }
+        lane.push(Span {
+            start,
+            end,
+            activity,
+        });
+    }
+
+    /// Records host activity over `[start, end)`, merging adjacent spans.
+    pub fn record_host(&mut self, start: u64, end: u64, activity: Activity) {
+        Self::push(&mut self.host, start, end, activity);
+    }
+
+    /// Records accelerator business over `[start, end)`.
+    pub fn record_accel(&mut self, start: u64, end: u64) {
+        Self::push(&mut self.accel, start, end, Activity::Busy);
+    }
+
+    /// The last recorded cycle.
+    pub fn end(&self) -> u64 {
+        self.host
+            .last()
+            .map(|s| s.end)
+            .into_iter()
+            .chain(self.accel.last().map(|s| s.end))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cycles during which the lane shows the given activity.
+    pub fn cycles_of(&self, activity: Activity) -> u64 {
+        let lane = if activity == Activity::Busy {
+            &self.accel
+        } else {
+            &self.host
+        };
+        lane.iter()
+            .filter(|s| s.activity == activity)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    fn render_lane(lane: &[Span], total: u64, width: usize) -> String {
+        let mut row = vec![' '; width];
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            // dominant activity inside this bucket
+            let from = (col as u64 * total) / width as u64;
+            let to = (((col + 1) as u64 * total) / width as u64).max(from + 1);
+            let mut best: Option<(u64, Activity)> = None;
+            for s in lane {
+                let overlap = s.end.min(to).saturating_sub(s.start.max(from));
+                if overlap > 0 {
+                    let better = match best {
+                        Some((b, _)) => overlap > b,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((overlap, s.activity));
+                    }
+                }
+            }
+            row[col] = best.map_or(' ', |(_, a)| a.glyph());
+        }
+        row.into_iter().collect()
+    }
+
+    /// Renders both lanes, Figure 2-style.
+    pub fn render(&self, width: usize) -> String {
+        let total = self.end().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Host  |{}|\n",
+            Self::render_lane(&self.host, total, width)
+        ));
+        out.push_str(&format!(
+            "Accel |{}|\n",
+            Self::render_lane(&self.accel, total, width)
+        ));
+        out.push_str(&format!(
+            "       0{:>width$}\n",
+            format!("{total} cycles"),
+            width = width - 1
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(72))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_merge_when_adjacent() {
+        let mut t = Timeline::new();
+        t.record_host(0, 5, Activity::Calc);
+        t.record_host(5, 9, Activity::Calc);
+        t.record_host(9, 12, Activity::Config);
+        assert_eq!(t.host.len(), 2);
+        assert_eq!(t.host[0].end, 9);
+        assert_eq!(t.cycles_of(Activity::Calc), 9);
+        assert_eq!(t.cycles_of(Activity::Config), 3);
+    }
+
+    #[test]
+    fn empty_spans_dropped() {
+        let mut t = Timeline::new();
+        t.record_host(5, 5, Activity::Calc);
+        assert!(t.host.is_empty());
+        assert_eq!(t.end(), 0);
+    }
+
+    #[test]
+    fn render_shows_all_activities() {
+        let mut t = Timeline::new();
+        t.record_host(0, 10, Activity::Calc);
+        t.record_host(10, 20, Activity::Config);
+        t.record_host(20, 40, Activity::Stall);
+        t.record_accel(20, 40);
+        let text = t.render(40);
+        assert!(text.contains('E'), "{text}");
+        assert!(text.contains('C'), "{text}");
+        assert!(text.contains('.'), "{text}");
+        assert!(text.contains('#'), "{text}");
+        assert!(text.contains("40 cycles"), "{text}");
+    }
+
+    #[test]
+    fn accel_lane_tracks_busy_cycles() {
+        let mut t = Timeline::new();
+        t.record_accel(10, 30);
+        t.record_accel(50, 60);
+        assert_eq!(t.cycles_of(Activity::Busy), 30);
+        assert_eq!(t.end(), 60);
+    }
+}

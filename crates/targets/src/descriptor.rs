@@ -1,0 +1,225 @@
+//! Accelerator descriptors: the target-specific facts the lowering needs.
+//!
+//! A descriptor lists the accelerator's configuration fields (name, bit
+//! width, configuration register — the shape of the paper's Table 1), its
+//! configuration style (CSR writes vs. RoCC command pairs), and the
+//! simulator parameters of the platform. Adding a new accelerator
+//! ("Your Acc" in Figure 8) means writing one descriptor — the whole accfg
+//! pipeline is reused unchanged; see the `custom_accelerator` example.
+
+use accfg_sim::{regmap, AccelParams, HostModel};
+
+/// How configuration reaches the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigStyle {
+    /// One CSR/MMIO write per field (OpenGeMM-style), with an explicit
+    /// launch register and polled status.
+    Csr,
+    /// RoCC custom instructions carrying a pair of configuration registers
+    /// each (Gemmini-style); the instruction with `launch_funct` implicitly
+    /// launches ("launch-semantic" configuration, Section 2.4).
+    RoccPairs {
+        /// The funct whose command carries launch semantics.
+        launch_funct: u8,
+    },
+}
+
+/// One configuration field, as in Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name used in `accfg.setup` ops.
+    pub name: String,
+    /// Architectural width in bits (for Table 1 and byte accounting).
+    pub bits: u32,
+    /// The simulator configuration register this field maps to.
+    pub reg: u16,
+    /// Human-readable meaning (Table 1's middle column).
+    pub meaning: String,
+}
+
+/// Everything the lowering and benches need to know about one target.
+#[derive(Debug, Clone)]
+pub struct AcceleratorDescriptor {
+    /// The accelerator name, matching `accfg` ops' accelerator strings.
+    pub name: String,
+    /// Simulator-side accelerator parameters.
+    pub accel: AccelParams,
+    /// Host CPU cost model for this platform.
+    pub host: HostModel,
+    /// Configuration style.
+    pub style: ConfigStyle,
+    /// Field table.
+    pub fields: Vec<FieldSpec>,
+}
+
+impl AcceleratorDescriptor {
+    /// The Gemmini-like platform descriptor (Sections 2.4 and 6.1):
+    /// Rocket-like RV64 host at ~3 CPI, 16×16 systolic array, sequential
+    /// RoCC configuration with a launch-semantic final command.
+    pub fn gemmini() -> Self {
+        let f = |name: &str, bits: u32, reg: u16, meaning: &str| FieldSpec {
+            name: name.into(),
+            bits,
+            reg,
+            meaning: meaning.into(),
+        };
+        Self {
+            name: "gemmini".into(),
+            accel: AccelParams::gemmini_like(),
+            host: HostModel::rocket_like(),
+            style: ConfigStyle::RoccPairs { launch_funct: 13 },
+            fields: vec![
+                f("A", 64, regmap::A_ADDR, "Address in main memory of matrix A"),
+                f("B", 64, regmap::B_ADDR, "Address in main memory of matrix B"),
+                f("C", 64, regmap::C_ADDR, "Address in main memory of matrix C"),
+                f("D", 64, regmap::D_ADDR, "Address in main memory of matrix D"),
+                f("I", 16, regmap::M, "Rows of the output tile"),
+                f("J", 16, regmap::N, "Columns of the output tile"),
+                f("K", 16, regmap::K, "Reduction depth of the tile"),
+                f("stride_A", 64, regmap::STRIDE_A, "Row stride to access A"),
+                f("stride_B", 64, regmap::STRIDE_B, "Row stride to access B"),
+                f("stride_C", 64, regmap::STRIDE_C, "Row stride to access C"),
+                f("stride_D", 64, regmap::STRIDE_D, "Row stride to access D"),
+                f("flags", 8, regmap::FLAGS, "act / A_transpose / B_transpose bits"),
+                // the gemmini.h software layer also computes and writes all
+                // of these per invocation — the "parameter calculation" cost
+                // behind the effective configuration bandwidth of §4.4
+                f("spad_A", 32, regmap::SPAD_A, "Scratchpad-local address of A"),
+                f("spad_B", 32, regmap::SPAD_B, "Scratchpad-local address of B"),
+                f("spad_C", 32, regmap::SPAD_C, "Accumulator-bank address of C"),
+                f("spad_D", 32, regmap::SPAD_D, "Scratchpad-local address of D"),
+                f("loop_sizes", 48, regmap::LOOP_SIZES, "Packed I|J<<16|K<<32 bounds"),
+                f("loop_pads", 48, regmap::LOOP_PADS, "Packed pad_I|pad_J<<16|pad_K<<32"),
+                f("config_ex", 64, regmap::CONFIG_EX, "Execute-pipeline config word"),
+                f("config_ld_A", 64, regmap::CONFIG_LD_A, "Load-mover config for A"),
+                f("config_ld_B", 64, regmap::CONFIG_LD_B, "Load-mover config for B"),
+                f("config_ld_D", 64, regmap::CONFIG_LD_D, "Load-mover config for D"),
+                f("config_st", 64, regmap::CONFIG_ST, "Store-mover config for C"),
+                f("mvin_scale", 32, regmap::MVIN_SCALE, "Input scale factor"),
+            ],
+        }
+    }
+
+    /// The OpenGeMM-like platform descriptor (Section 6.2): tiny in-order
+    /// RV32 host, 8×8×8 GeMM core, concurrent CSR configuration.
+    pub fn opengemm() -> Self {
+        let f = |name: &str, bits: u32, reg: u16, meaning: &str| FieldSpec {
+            name: name.into(),
+            bits,
+            reg,
+            meaning: meaning.into(),
+        };
+        Self {
+            name: "opengemm".into(),
+            accel: AccelParams::opengemm_like(),
+            host: HostModel::snitch_like(),
+            style: ConfigStyle::Csr,
+            fields: vec![
+                f("A", 32, regmap::A_ADDR, "Base pointer of matrix A"),
+                f("B", 32, regmap::B_ADDR, "Base pointer of matrix B"),
+                f("C", 32, regmap::C_ADDR, "Base pointer of matrix C"),
+                f("D", 32, regmap::D_ADDR, "Base pointer of bias matrix D"),
+                f("M", 32, regmap::M, "Output rows of the tile"),
+                f("N", 32, regmap::N, "Output columns of the tile"),
+                f("K", 32, regmap::K, "Reduction depth of the tile"),
+                f("stride_A", 32, regmap::STRIDE_A, "Row stride of A in bytes"),
+                f("stride_B", 32, regmap::STRIDE_B, "Row stride of B in bytes"),
+                f("stride_C", 32, regmap::STRIDE_C, "Row stride of C in bytes"),
+                f("stride_D", 32, regmap::STRIDE_D, "Row stride of D in bytes"),
+                f("flags", 8, regmap::FLAGS, "Activation and transpose switches"),
+                // the SNAX data streamers feeding the GeMM core have their
+                // own per-operand CSRs (temporal loop bound + spatial
+                // stride); the host must program all of them per launch
+                f("streamer_A_bound", 32, regmap::SPAD_A, "Streamer A temporal bound"),
+                f("streamer_A_stride", 32, regmap::SPAD_B, "Streamer A spatial stride"),
+                f("streamer_B_bound", 32, regmap::SPAD_C, "Streamer B temporal bound"),
+                f("streamer_B_stride", 32, regmap::SPAD_D, "Streamer B spatial stride"),
+                f("streamer_C_bound", 32, regmap::LOOP_SIZES, "Streamer C temporal bound"),
+                f("streamer_C_stride", 32, regmap::LOOP_PADS, "Streamer C spatial stride"),
+                f("streamer_A_bound2", 32, regmap::CONFIG_EX, "Streamer A inner bound"),
+                f("streamer_A_stride2", 32, regmap::CONFIG_LD_A, "Streamer A inner stride"),
+                f("streamer_B_bound2", 32, regmap::CONFIG_LD_B, "Streamer B inner bound"),
+                f("streamer_B_stride2", 32, regmap::CONFIG_LD_D, "Streamer B inner stride"),
+                f("streamer_C_bound2", 32, regmap::CONFIG_ST, "Streamer C inner bound"),
+                f("streamer_C_stride2", 32, regmap::MVIN_SCALE, "Streamer C inner stride"),
+            ],
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldSpec> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up the field mapped to a given configuration register — how
+    /// target-agnostic code (e.g. the workload generators) finds each
+    /// target's name for a canonical role like [`regmap::M`].
+    pub fn field_by_reg(&self, reg: u16) -> Option<&FieldSpec> {
+        self.fields.iter().find(|f| f.reg == reg)
+    }
+
+    /// Total architectural configuration state in bits.
+    pub fn total_config_bits(&self) -> u32 {
+        self.fields.iter().map(|f| f.bits).sum()
+    }
+
+    /// Renders the field table in the layout of the paper's Table 1.
+    pub fn field_table_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "| Field | Meaning | Bits |").unwrap();
+        writeln!(out, "|---|---|---|").unwrap();
+        for f in &self.fields {
+            writeln!(out, "| {} | {} | {} |", f.name, f.meaning, f.bits).unwrap();
+        }
+        out
+    }
+
+    /// `true` if this platform supports concurrent configuration, i.e. the
+    /// overlap optimization applies (Section 2.2).
+    pub fn supports_overlap(&self) -> bool {
+        self.accel.scheme == accfg_sim::ConfigScheme::Concurrent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemmini_matches_paper_platform() {
+        let d = AcceleratorDescriptor::gemmini();
+        assert_eq!(d.accel.peak_ops_per_cycle(), 512);
+        assert!(!d.supports_overlap());
+        assert!(matches!(d.style, ConfigStyle::RoccPairs { launch_funct: 13 }));
+        assert_eq!(d.host.alu, 3); // the paper's 3 cycles/instruction
+    }
+
+    #[test]
+    fn opengemm_matches_paper_platform() {
+        let d = AcceleratorDescriptor::opengemm();
+        assert_eq!(d.accel.peak_ops_per_cycle(), 1024);
+        assert!(d.supports_overlap());
+        assert_eq!(d.style, ConfigStyle::Csr);
+    }
+
+    #[test]
+    fn field_lookup_and_bits() {
+        let d = AcceleratorDescriptor::gemmini();
+        assert_eq!(d.field("A").unwrap().bits, 64);
+        assert_eq!(d.field("I").unwrap().reg, regmap::M);
+        assert!(d.field("nope").is_none());
+        // Table 1 magnitude: hundreds of bits of configuration state
+        assert!(d.total_config_bits() > 400, "{}", d.total_config_bits());
+    }
+
+    #[test]
+    fn table_markdown_renders_all_fields() {
+        let d = AcceleratorDescriptor::gemmini();
+        let t = d.field_table_markdown();
+        for f in &d.fields {
+            assert!(t.contains(&f.name));
+        }
+        assert!(t.contains("| Field | Meaning | Bits |"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # accfg-targets: accelerator descriptors and target lowering
+//!
+//! Step 5 of the paper's compilation flow (Figure 8): converting optimized
+//! `accfg` IR into the actual per-target configuration instruction
+//! sequences, plus the descriptors that encapsulate everything
+//! target-specific (Table 1-style field tables, configuration style,
+//! platform cost models).
+//!
+//! Two descriptors ship with the crate — [`AcceleratorDescriptor::gemmini`]
+//! (sequential, RoCC, launch-semantic) and
+//! [`AcceleratorDescriptor::opengemm`] (concurrent, CSR, explicit launch) —
+//! and new targets are plain data; see the `custom_accelerator` example at
+//! the workspace root.
+
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod lower;
+
+pub use descriptor::{AcceleratorDescriptor, ConfigStyle, FieldSpec};
+pub use lower::{compile, LowerError};

@@ -1,0 +1,153 @@
+//! Test-data generation and reference results for matmul workloads.
+
+use crate::spec::{MatmulLayout, MatmulSpec};
+use accfg_sim::{MemError, Memory};
+
+/// A tiny deterministic PRNG (SplitMix64-style) so workloads are
+/// reproducible without external dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A small i8 in `[-8, 7]`, keeping i32 accumulators far from overflow
+    /// even at depth 512.
+    pub fn next_small_i8(&mut self) -> i8 {
+        ((self.next_u64() >> 33) % 16) as i8 - 8
+    }
+}
+
+/// Fills A and B with small pseudorandom i8 values.
+///
+/// # Errors
+/// Fails if the layout exceeds the memory capacity.
+pub fn fill_inputs(
+    mem: &mut Memory,
+    spec: &MatmulSpec,
+    layout: &MatmulLayout,
+    seed: u64,
+) -> Result<(), MemError> {
+    let mut rng = SplitMix::new(seed);
+    for i in 0..(spec.m * spec.k) {
+        mem.write_i8(layout.a_addr as u64 + i as u64, rng.next_small_i8())?;
+    }
+    for i in 0..(spec.k * spec.n) {
+        mem.write_i8(layout.b_addr as u64 + i as u64, rng.next_small_i8())?;
+    }
+    Ok(())
+}
+
+/// Computes the reference `C = act(A · B)` from the matrices in memory.
+///
+/// # Errors
+/// Fails on out-of-bounds reads.
+pub fn reference_c(
+    mem: &Memory,
+    spec: &MatmulSpec,
+    layout: &MatmulLayout,
+) -> Result<Vec<i32>, MemError> {
+    let (m, n, k) = (spec.m as u64, spec.n as u64, spec.k as u64);
+    let mut c = vec![0i32; (m * n) as usize];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for kk in 0..k {
+                let a = mem.read_i8(layout.a_addr as u64 + i * k + kk)? as i32;
+                let b = mem.read_i8(layout.b_addr as u64 + kk * n + j)? as i32;
+                acc = acc.wrapping_add(a.wrapping_mul(b));
+            }
+            if spec.relu {
+                acc = acc.max(0);
+            }
+            c[(i * n + j) as usize] = acc;
+        }
+    }
+    Ok(c)
+}
+
+/// Compares the C region in memory against the reference result.
+///
+/// # Errors
+/// Returns a description of the first mismatching element, or a memory
+/// fault.
+pub fn check_result(
+    mem: &Memory,
+    spec: &MatmulSpec,
+    layout: &MatmulLayout,
+) -> Result<(), String> {
+    let expected = reference_c(mem, spec, layout).map_err(|e| e.to_string())?;
+    for (idx, &want) in expected.iter().enumerate() {
+        let addr = layout.c_addr as u64 + 4 * idx as u64;
+        let got = mem.read_i32(addr).map_err(|e| e.to_string())?;
+        if got != want {
+            let (i, j) = (idx as i64 / spec.n, idx as i64 % spec.n);
+            return Err(format!("C[{i}][{j}] = {got}, expected {want}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_small() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..100 {
+            let va = a.next_small_i8();
+            assert_eq!(va, b.next_small_i8());
+            assert!((-8..=7).contains(&va));
+        }
+    }
+
+    #[test]
+    fn reference_matches_hand_computation() {
+        let spec = MatmulSpec::new((2, 2, 2), (2, 2, 2)).unwrap();
+        let layout = MatmulLayout::at(0, &spec);
+        let mut mem = Memory::new(layout.end as usize);
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]]
+        for (i, v) in [1i8, 2, 3, 4].iter().enumerate() {
+            mem.write_i8(layout.a_addr as u64 + i as u64, *v).unwrap();
+        }
+        for (i, v) in [5i8, 6, 7, 8].iter().enumerate() {
+            mem.write_i8(layout.b_addr as u64 + i as u64, *v).unwrap();
+        }
+        let c = reference_c(&mem, &spec, &layout).unwrap();
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn check_result_detects_mismatch() {
+        let spec = MatmulSpec::new((2, 2, 2), (2, 2, 2)).unwrap();
+        let layout = MatmulLayout::at(0, &spec);
+        let mut mem = Memory::new(layout.end as usize);
+        fill_inputs(&mut mem, &spec, &layout, 7).unwrap();
+        // C is all zeros; unless the reference is zero too, this must fail
+        let reference = reference_c(&mem, &spec, &layout).unwrap();
+        if reference.iter().any(|&v| v != 0) {
+            assert!(check_result(&mem, &spec, &layout).is_err());
+        }
+        // write the correct values and it passes
+        for (idx, v) in reference.iter().enumerate() {
+            mem.write_i32(layout.c_addr as u64 + 4 * idx as u64, *v).unwrap();
+        }
+        check_result(&mem, &spec, &layout).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # accfg-workloads: workload generators for the evaluation
+//!
+//! Step 1 of the paper's pipeline (Figure 8): frontends that emit
+//! accelerator dispatches as `accfg` setup/launch/await clusters. The
+//! generators produce the *unoptimized* IR a C frontend with volatile
+//! inline assembly would pin down — every improvement measured in the
+//! evaluation comes from the `accfg` passes.
+//!
+//! - [`MatmulSpec`] / [`MatmulLayout`]: problem shapes, tiling policies
+//!   (including the exact evaluation shapes of Sections 6.1 and 6.2), and
+//!   memory placement;
+//! - [`matmul_ir`] / [`tiled_collapsed_ir`] / [`tiled_nested_ir`]: tiled
+//!   matrix-multiplication kernels;
+//! - [`layer_sequence_ir`]: MLP-style back-to-back layer dispatches;
+//! - [`data`]: deterministic input generation and reference results for
+//!   functional checking.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod gen;
+pub mod spec;
+
+pub use data::{check_result, fill_inputs, reference_c, SplitMix};
+pub use gen::{
+    gemmini_ws_ir, layer_sequence_ir, matmul_ir, single_invocation_ir, tiled_collapsed_ir,
+    tiled_nested_ir,
+};
+pub use spec::{MatmulLayout, MatmulSpec, SpecError};

@@ -1,0 +1,57 @@
+//! The configuration roofline as an analysis tool (Section 4).
+//!
+//! Reproduces the Section 4.6 worked example for Gemmini, classifies a few
+//! workloads against the roofline, and renders the Figure 4 plot.
+//!
+//! Run with: `cargo run --example roofline_analysis`
+
+use configuration_wall::prelude::*;
+use configuration_wall::roofline::{effective_config_bandwidth, render, Bound, PlotConfig, Series};
+
+fn main() {
+    // Gemmini, Section 4.6: 16 B per RoCC command, 3 instructions at 3 CPI
+    let roofline = ConfigRoofline {
+        peak: 512.0,
+        config_bandwidth: 16.0 / 9.0,
+    };
+    println!("Gemmini configuration roofline: knee at I_OC = {:.0} ops/byte\n", roofline.knee());
+
+    // classify matmul workloads of growing size (one 64-wide strip each)
+    let mut points = Vec::new();
+    for size in [16i64, 32, 64, 128, 256] {
+        let ops = 2.0 * 64.0 * 64.0 * size as f64;
+        let config_bytes = 2560.0; // one full loop_ws sequence
+        let i_oc = ops / config_bytes;
+        let bound = roofline.bound(i_oc);
+        let attainable = roofline.attainable_sequential(i_oc);
+        println!(
+            "strip of k={size:4}: I_OC = {i_oc:7.1} ops/byte -> {bound:?} bound, attainable {attainable:6.1} ops/cycle ({:4.1} % of peak)",
+            100.0 * attainable / roofline.peak
+        );
+        points.push((i_oc, attainable));
+        if bound == Bound::Configuration {
+            println!("{:15}^ hit the configuration wall: a faster array would not help", "");
+        }
+    }
+
+    // the effective bandwidth (Eq. 4) with the paper's traced counts
+    let bw_eff = effective_config_bandwidth(2560.0, 775.0 * 3.0, 160.0 * 3.0);
+    println!("\nwith parameter-calculation time included (Eq. 4): BW_eff = {bw_eff:.3} B/cycle");
+    println!(
+        "64x64x64 utilization drops from {:.1} % to {:.1} % (paper: 41.49 % -> 26.78 %)",
+        100.0 * roofline.utilization_sequential(204.8),
+        100.0 * ConfigRoofline { peak: 512.0, config_bandwidth: bw_eff }.utilization_sequential(204.8),
+    );
+
+    let seq = |x: f64| roofline.attainable_sequential(x);
+    let conc = |x: f64| roofline.attainable_concurrent(x);
+    let series = [Series { label: "matmul strips".into(), marker: 'o', points }];
+    println!(
+        "\n{}",
+        render(
+            &PlotConfig { x_range: (16.0, 16384.0), y_range: (8.0, 1024.0), ..Default::default() },
+            &[("sequential (Eq. 3)", '.', &seq), ("concurrent (Eq. 2)", '-', &conc)],
+            &series,
+        )
+    );
+}

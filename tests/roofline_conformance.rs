@@ -1,0 +1,132 @@
+//! Measured results must obey the roofline model — the cross-validation the
+//! paper performs in Section 6.2.1 (Figure 12), as executable assertions.
+
+use accfg_bench::{run_gemmini, run_opengemm, GemminiFlavor};
+use configuration_wall::core::pipeline::OptLevel;
+use configuration_wall::roofline::ConfigRoofline;
+
+const OPENGEMM_PEAK: f64 = 1024.0;
+const GEMMINI_PEAK: f64 = 512.0;
+
+#[test]
+fn measured_performance_never_exceeds_peak() {
+    for size in [16, 64] {
+        for level in OptLevel::ALL_LEVELS {
+            let m = run_opengemm(size, level);
+            assert!(
+                m.perf() < OPENGEMM_PEAK,
+                "size={size} level={level:?}: {} !< peak",
+                m.perf()
+            );
+        }
+    }
+    for flavor in [GemminiFlavor::CBaseline, GemminiFlavor::Accfg] {
+        let m = run_gemmini(64, flavor);
+        assert!(m.perf() < GEMMINI_PEAK);
+        assert!(m.attainable_sequential(GEMMINI_PEAK) < GEMMINI_PEAK);
+    }
+}
+
+#[test]
+fn measured_performance_respects_effective_roofline() {
+    // Equation 3 with the *measured* effective bandwidth is an upper bound
+    // on what a serial schedule can achieve; measured performance includes
+    // launch overhead and loop drains, so it must sit at or below it.
+    for size in [16, 32, 64] {
+        let m = run_opengemm(size, OptLevel::Base);
+        let roofline = ConfigRoofline {
+            peak: OPENGEMM_PEAK,
+            config_bandwidth: m.bw_eff(),
+        };
+        let bound = roofline.attainable_sequential(m.i_oc());
+        assert!(
+            m.perf() <= bound * 1.0001,
+            "size={size}: measured {} exceeds Eq.3 bound {bound}",
+            m.perf()
+        );
+    }
+}
+
+#[test]
+fn dedup_raises_operation_intensity() {
+    // Section 4.7: redundant setup elimination moves the point to the right
+    for size in [32, 64, 128] {
+        let base = run_opengemm(size, OptLevel::Base);
+        let dedup = run_opengemm(size, OptLevel::Dedup);
+        assert!(
+            dedup.i_oc() > base.i_oc() * 1.2,
+            "size={size}: dedup I_OC {} not clearly above base {}",
+            dedup.i_oc(),
+            base.i_oc()
+        );
+        assert!(dedup.perf() > base.perf());
+    }
+}
+
+#[test]
+fn overlap_keeps_operation_intensity_roughly_constant() {
+    // Section 4.7: overlap changes neither ops nor setup bytes — the point
+    // moves (essentially) straight up. Rotation does add one full prologue
+    // configuration per strip plus a speculative epilogue write, so at
+    // small sizes I_OC dips slightly; the movement is still an order of
+    // magnitude smaller than deduplication's rightward jump.
+    for size in [32, 64, 128] {
+        let base = run_opengemm(size, OptLevel::Base);
+        let overlap = run_opengemm(size, OptLevel::Overlap);
+        let dedup = run_opengemm(size, OptLevel::Dedup);
+        let ratio = overlap.i_oc() / base.i_oc();
+        assert!(
+            (0.7..=1.15).contains(&ratio),
+            "size={size}: overlap moved I_OC by {ratio}"
+        );
+        let dedup_move = (dedup.i_oc() / base.i_oc() - 1.0).abs();
+        assert!(
+            (ratio - 1.0).abs() < dedup_move / 2.0,
+            "size={size}: overlap's I_OC movement should be small next to dedup's"
+        );
+        assert!(overlap.perf() > base.perf(), "size={size}");
+    }
+}
+
+#[test]
+fn all_combines_both_movements() {
+    for size in [32, 64] {
+        let base = run_opengemm(size, OptLevel::Base);
+        let dedup = run_opengemm(size, OptLevel::Dedup);
+        let overlap = run_opengemm(size, OptLevel::Overlap);
+        let all = run_opengemm(size, OptLevel::All);
+        // the paper's arrow 3: the biggest speedup comes from both
+        assert!(all.perf() >= dedup.perf().max(overlap.perf()), "size={size}");
+        // and it inherits dedup's intensity gain
+        assert!(all.i_oc() > base.i_oc() * 1.2, "size={size}");
+    }
+}
+
+#[test]
+fn sequential_bound_is_tight_for_gemmini_proxy() {
+    // the Fig. 10 proxy equals Eq. 3 exactly by construction; sanity-check
+    // the plumbing end to end
+    let m = run_gemmini(64, GemminiFlavor::CBaseline);
+    let roofline = ConfigRoofline {
+        peak: GEMMINI_PEAK,
+        config_bandwidth: m.bw_eff(),
+    };
+    let direct = roofline.attainable_sequential(m.i_oc());
+    assert!((direct - m.attainable_sequential(GEMMINI_PEAK)).abs() < 1e-9);
+}
+
+#[test]
+fn knee_point_brackets_the_opengemm_sweep() {
+    // small sizes sit left of the effective knee (config bound), large ones
+    // right of it (compute bound) — the wall exists and is crossed
+    let small = run_opengemm(16, OptLevel::Base);
+    let large = run_opengemm(256, OptLevel::Base);
+    let roofline = ConfigRoofline {
+        peak: OPENGEMM_PEAK,
+        config_bandwidth: small.bw_eff(),
+    };
+    assert!(small.i_oc() < roofline.knee());
+    assert!(large.i_oc() > roofline.knee() / 4.0);
+    assert!(large.perf() / OPENGEMM_PEAK > 0.4);
+    assert!(small.perf() / OPENGEMM_PEAK < 0.1);
+}
