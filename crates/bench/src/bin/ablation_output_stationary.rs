@@ -42,7 +42,14 @@ fn main() {
     }
     print!(
         "{}",
-        markdown_table(&["size", "output-stationary C -> accfg", "weight-stationary C -> accfg"], &rows)
+        markdown_table(
+            &[
+                "size",
+                "output-stationary C -> accfg",
+                "weight-stationary C -> accfg"
+            ],
+            &rows
+        )
     );
     println!(
         "\ngeomean uplift: OS {:+.1} % vs WS {:+.1} % — the paper's forecast holds: \

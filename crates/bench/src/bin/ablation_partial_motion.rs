@@ -75,7 +75,10 @@ fn main() {
 
     for (m, label) in [(&fullonly, "full-or-nothing"), (&partial, "partial motion")] {
         let t = interpret(m, "kernel", &[0x1000], 100_000).unwrap();
-        assert_eq!(t.launches, reference.launches, "{label} must preserve semantics");
+        assert_eq!(
+            t.launches, reference.launches,
+            "{label} must preserve semantics"
+        );
     }
 
     println!("Extension: partial setup motion (Section 5.5 future work)\n");
@@ -83,5 +86,8 @@ fn main() {
     println!("field writes hidden behind accelerator execution:");
     println!("  paper's rewrite (full move or nothing): {full_hidden}");
     println!("  with partial setup motion:              {partial_hidden}");
-    println!("\noptimized IR with partial motion:\n{}", print_module(&partial));
+    println!(
+        "\noptimized IR with partial motion:\n{}",
+        print_module(&partial)
+    );
 }

@@ -34,13 +34,28 @@ fn main() {
     print!(
         "{}",
         markdown_table(
-            &["size", "C (ours)", "accfg (ours)", "uplift (ours)", "C (paper)", "accfg (paper)", "uplift (paper)"],
+            &[
+                "size",
+                "C (ours)",
+                "accfg (ours)",
+                "uplift (ours)",
+                "C (paper)",
+                "accfg (paper)",
+                "uplift (paper)"
+            ],
             &rows,
         )
     );
     let ours = 100.0 * (geomean(&uplifts) - 1.0);
-    let paper: Vec<f64> = PAPER_ACCFG.iter().zip(PAPER_C).map(|(a, c)| a / c).collect();
-    println!("\ngeomean uplift: {ours:+.1} % (paper: {:+.1} %)", 100.0 * (geomean(&paper) - 1.0));
+    let paper: Vec<f64> = PAPER_ACCFG
+        .iter()
+        .zip(PAPER_C)
+        .map(|(a, c)| a / c)
+        .collect();
+    println!(
+        "\ngeomean uplift: {ours:+.1} % (paper: {:+.1} %)",
+        100.0 * (geomean(&paper) - 1.0)
+    );
     if let Ok(path) = accfg_bench::csv::write_csv("fig10_gemmini", &measurements) {
         println!("raw data: {}", path.display());
     }

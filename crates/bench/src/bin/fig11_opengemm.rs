@@ -31,7 +31,13 @@ fn main() {
     print!(
         "{}",
         markdown_table(
-            &["size", "base (ops/cyc)", "optimized (ops/cyc)", "speedup (ours)", "speedup (paper)"],
+            &[
+                "size",
+                "base (ops/cyc)",
+                "optimized (ops/cyc)",
+                "speedup (ours)",
+                "speedup (paper)"
+            ],
             &rows,
         )
     );

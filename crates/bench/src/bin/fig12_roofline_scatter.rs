@@ -22,14 +22,24 @@ fn main() {
     );
 
     let mut series = Vec::new();
-    let markers = [('b', OptLevel::Base), ('d', OptLevel::Dedup), ('o', OptLevel::Overlap), ('a', OptLevel::All)];
+    let markers = [
+        ('b', OptLevel::Base),
+        ('d', OptLevel::Dedup),
+        ('o', OptLevel::Overlap),
+        ('a', OptLevel::All),
+    ];
     println!("| size | level | I_OC (ops/B) | P (ops/cyc) |");
     println!("|---|---|---|---|");
     for (marker, level) in markers {
         let mut points = Vec::new();
         for &size in &FIG12_SIZES {
             let m = run_opengemm(size, level);
-            println!("| {size} | {} | {:.1} | {:.1} |", level.label(), m.i_oc(), m.perf());
+            println!(
+                "| {size} | {} | {:.1} | {:.1} |",
+                level.label(),
+                m.i_oc(),
+                m.perf()
+            );
             points.push((m.i_oc(), m.perf()));
         }
         series.push(Series {
@@ -50,7 +60,10 @@ fn main() {
         "{}",
         render(
             &cfg,
-            &[("sequential roofline", '.', &seq), ("concurrent roofline", '-', &conc)],
+            &[
+                ("sequential roofline", '.', &seq),
+                ("concurrent roofline", '-', &conc)
+            ],
             &series,
         )
     );

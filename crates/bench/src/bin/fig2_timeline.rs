@@ -15,8 +15,13 @@ fn trace(level: OptLevel) -> (Timeline, accfg_sim::Counters) {
     let mut m = matmul_ir(&desc, &spec);
     pipeline(level, AccelFilter::All).run(&mut m).unwrap();
     let layout = MatmulLayout::at(0x1000, &spec);
-    let prog = compile(&m, "matmul", &desc, &[layout.a_addr, layout.b_addr, layout.c_addr])
-        .unwrap();
+    let prog = compile(
+        &m,
+        "matmul",
+        &desc,
+        &[layout.a_addr, layout.b_addr, layout.c_addr],
+    )
+    .unwrap();
     let mut machine = Machine::new(
         desc.host.clone(),
         AccelSim::new(desc.accel.clone()),
@@ -24,7 +29,9 @@ fn trace(level: OptLevel) -> (Timeline, accfg_sim::Counters) {
     );
     fill_inputs(&mut machine.mem, &spec, &layout, 2).unwrap();
     let mut timeline = Timeline::new();
-    let counters = machine.run_traced(&prog, 10_000_000, &mut timeline).unwrap();
+    let counters = machine
+        .run_traced(&prog, 10_000_000, &mut timeline)
+        .unwrap();
     (timeline, counters)
 }
 
@@ -33,7 +40,10 @@ fn main() {
     println!("E host execution   C host configures   # accelerator execution   . waiting\n");
     for (title, level) in [
         ("Unoptimized", OptLevel::Base),
-        ("Proposed Compiler Optimizations (dedup + overlap)", OptLevel::All),
+        (
+            "Proposed Compiler Optimizations (dedup + overlap)",
+            OptLevel::All,
+        ),
     ] {
         let (timeline, counters) = trace(level);
         println!("-- {title} --");

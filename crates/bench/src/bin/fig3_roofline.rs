@@ -7,7 +7,10 @@ fn main() {
         peak: 512.0,
         memory_bandwidth: 32.0,
     };
-    println!("Figure 3: processor roofline (P_peak = {} ops/cycle, BW_mem = {} B/cycle)", r.peak, r.memory_bandwidth);
+    println!(
+        "Figure 3: processor roofline (P_peak = {} ops/cycle, BW_mem = {} B/cycle)",
+        r.peak, r.memory_bandwidth
+    );
     println!("knee at I_op = {} ops/byte\n", r.knee());
     let att = |x: f64| r.attainable(x);
     let cfg = PlotConfig {
@@ -29,5 +32,8 @@ fn main() {
             points: vec![(512.0, r.attainable(512.0))],
         },
     ];
-    println!("{}", render(&cfg, &[("roofline (Eq. 1)", '-', &att)], &series));
+    println!(
+        "{}",
+        render(&cfg, &[("roofline (Eq. 1)", '-', &att)], &series)
+    );
 }

@@ -13,7 +13,10 @@ fn main() {
         "Figure 5: roofsurface (P_peak = {}, BW_mem = {}, BW_config = {:.2})\n",
         s.peak, s.memory_bandwidth, s.config_bandwidth
     );
-    println!("{}", render_surface(&s, (0.25, 4096.0), (1.0, 16384.0), 64, 20));
+    println!(
+        "{}",
+        render_surface(&s, (0.25, 4096.0), (1.0, 16384.0), 64, 20)
+    );
     println!(
         "A system can be perfectly balanced in the processor roofline and\n\
          still be configuration bound: e.g. at I_op = 64, I_OC = 32:\n\

@@ -20,12 +20,18 @@ fn main() {
     println!("BW_config          = {bw_config:.3} B/cycle   (paper: 1.77)");
     println!("I_OC               = {i_oc:.2} ops/byte   (paper: 205.19, incl. its ops typo)");
 
-    let r = ConfigRoofline { peak, config_bandwidth: bw_config };
+    let r = ConfigRoofline {
+        peak,
+        config_bandwidth: bw_config,
+    };
     let util = 100.0 * r.utilization_sequential(i_oc);
     println!("Eq. 3 utilization  = {util:.2} %        (paper: 41.49 %)");
 
     let bw_eff = effective_config_bandwidth(config_bytes, calc_instrs * 3.0, setup_instrs * 3.0);
-    let r_eff = ConfigRoofline { peak, config_bandwidth: bw_eff };
+    let r_eff = ConfigRoofline {
+        peak,
+        config_bandwidth: bw_eff,
+    };
     let util_eff = 100.0 * r_eff.utilization_sequential(i_oc);
     println!("BW_config,eff      = {bw_eff:.3} B/cycle   (paper: 0.913)");
     println!("Eq. 3 (effective)  = {util_eff:.2} %        (paper: 26.78 %)");

@@ -1,0 +1,160 @@
+//! Serving benchmark for the `accfg-runtime` dispatch layer: throughput,
+//! latency, and configuration-write savings of the scheduling policies on
+//! a mixed-shape open-loop stream over both evaluation platforms.
+//!
+//! Policies:
+//!
+//! - `fifo` — the production baseline: round-robin routing, every dispatch
+//!   reprograms its full configuration;
+//! - `fifo+elide` — round-robin routing with resident-state elision
+//!   (isolates the value of cross-request state tracking);
+//! - `fifo+elide+batch` — the above plus adjacent same-shape batching
+//!   (batching's clearest win: it overrides round-robin scattering);
+//! - `affinity` — config-affinity routing plus elision;
+//! - `affinity+batch` — affinity with batching (affinity already keeps
+//!   same-shape runs together, so batching mostly pins them across
+//!   load-balance boundaries).
+//!
+//! Writes the raw per-policy metrics to `BENCH_runtime.json`.
+
+use accfg_bench::markdown_table;
+use accfg_runtime::{Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics};
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::{mixed_serving_classes, TrafficConfig};
+
+const REQUESTS: usize = 12_000;
+
+fn main() {
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: REQUESTS,
+        mean_gap: 200,
+        seed: 0xC0FFEE,
+    }
+    .open_loop_stream()
+    .expect("valid traffic mix");
+
+    let mut runtime = Runtime::new(
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+        .with_workers_per_accelerator(2),
+    );
+
+    let configs: Vec<(&str, ServeConfig)> = vec![
+        (
+            "fifo",
+            ServeConfig {
+                policy: Policy::Fifo,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "fifo+elide",
+            ServeConfig {
+                policy: Policy::FifoElide,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "fifo+elide+batch",
+            ServeConfig {
+                policy: Policy::FifoElide,
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "affinity",
+            ServeConfig {
+                policy: Policy::ConfigAffinity,
+                ..ServeConfig::default()
+            },
+        ),
+        (
+            "affinity+batch",
+            ServeConfig {
+                policy: Policy::ConfigAffinity,
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        ),
+    ];
+
+    println!(
+        "serve_bench: {REQUESTS} requests, {} shape classes, 2 workers/accelerator\n",
+        mixed_serving_classes().len()
+    );
+
+    let mut results: Vec<(String, ServeMetrics)> = Vec::new();
+    for (label, cfg) in &configs {
+        let report = runtime.serve(&stream, cfg).expect("serve succeeds");
+        assert_eq!(
+            report.metrics.check_failures, 0,
+            "{label}: functional checks failed"
+        );
+        assert_eq!(report.metrics.sim_failures, 0, "{label}: simulation failed");
+        results.push((label.to_string(), report.metrics));
+    }
+
+    let baseline = results[0].1.clone();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, m)| {
+            vec![
+                label.clone(),
+                m.setup_writes.to_string(),
+                format!("{:.1}%", 100.0 * m.write_savings_vs(&baseline)),
+                m.config_bytes.to_string(),
+                m.makespan.to_string(),
+                format!("{:.1}", m.throughput_per_mcycle()),
+                m.latency.p50.to_string(),
+                m.latency.p99.to_string(),
+                format!("{:.1}%", 100.0 * m.cache.hit_rate()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "policy",
+                "setup writes",
+                "saved vs fifo",
+                "config bytes",
+                "makespan (cyc)",
+                "req/Mcycle",
+                "p50 lat",
+                "p99 lat",
+                "cache hits",
+            ],
+            &rows,
+        )
+    );
+
+    let affinity = &results
+        .iter()
+        .find(|(label, _)| label == "affinity")
+        .expect("affinity row present")
+        .1;
+    println!(
+        "\nconfig-affinity eliminates {:.1}% of setup register writes vs the FIFO baseline",
+        100.0 * affinity.write_savings_vs(&baseline)
+    );
+
+    let mut json = String::from("{\n");
+    for (i, (label, m)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let body = m
+            .to_json()
+            .lines()
+            .map(|l| format!("  {l}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        json.push_str(&format!("  \"{label}\": {}{comma}\n", body.trim_start()));
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("raw metrics: BENCH_runtime.json");
+}

@@ -24,7 +24,6 @@
 pub mod csv;
 
 use accfg::pipeline::{pipeline, OptLevel};
-use accfg::AccelFilter;
 use accfg_roofline::ConfigRoofline;
 use accfg_sim::{AccelSim, Counters, Machine};
 use accfg_targets::{compile, AcceleratorDescriptor};
@@ -109,12 +108,7 @@ pub fn measure(
     label: impl Into<String>,
 ) -> Measurement {
     if let Some(level) = level {
-        let filter = if desc.supports_overlap() {
-            AccelFilter::All
-        } else {
-            AccelFilter::Only(vec![])
-        };
-        pipeline(level, filter)
+        pipeline(level, desc.overlap_filter())
             .run(&mut module)
             .expect("pipeline runs");
     }

@@ -22,7 +22,11 @@ pub struct DisciplineError {
 
 impl fmt::Display for DisciplineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "accfg discipline violated at {}: {}", self.op, self.message)
+        write!(
+            f,
+            "accfg discipline violated at {}: {}",
+            self.op, self.message
+        )
     }
 }
 

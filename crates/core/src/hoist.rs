@@ -166,8 +166,8 @@ fn hoist_accel_fields(m: &mut Module, for_op: OpId, arg_index: usize, accel: &st
                     conflicted.push(name);
                 }
                 None => {
-                    let invariant = !m.is_defined_inside(value, for_op)
-                        && value_visible_at(m, value, for_op);
+                    let invariant =
+                        !m.is_defined_inside(value, for_op) && value_visible_at(m, value, for_op);
                     if invariant {
                         candidates.push((name, value));
                     } else {
@@ -247,7 +247,10 @@ mod tests {
 
         let text = print_module(&m);
         // pre-loop setup carries "A"; in-loop setup only "i"
-        assert!(text.contains("accfg.setup \"acc\" to (\"A\" = %0)"), "{text}");
+        assert!(
+            text.contains("accfg.setup \"acc\" to (\"A\" = %0)"),
+            "{text}"
+        );
         assert!(text.contains("to (\"i\" ="), "{text}");
     }
 
@@ -343,7 +346,10 @@ mod tests {
         // the sunk copy dedups "base" (known from s0) and "mode" in the then
         // branch; in the else branch only "mode" survives
         let t = print_module(&m3);
-        assert!(!t.contains("\"base\" = %1, \"mode\""), "base write must be gone: {t}");
+        assert!(
+            !t.contains("\"base\" = %1, \"mode\""),
+            "base write must be gone: {t}"
+        );
     }
 
     #[test]

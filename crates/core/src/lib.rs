@@ -71,6 +71,7 @@ pub mod hoist;
 pub mod interp;
 pub mod overlap;
 pub mod pipeline;
+pub mod regstate;
 pub mod trace_states;
 
 pub use dedup::{Deduplicate, MergeSetups, RemoveEmptySetups};
@@ -83,4 +84,5 @@ pub use hoist::{HoistInvariantSetupFields, HoistSetupIntoBranch};
 pub use interp::{interpret, ExecTrace, InterpError, LaunchRecord, CLOBBER_POISON};
 pub use overlap::{AccelFilter, OverlapInBlock, RotateLoops};
 pub use pipeline::{pipeline, OptLevel};
+pub use regstate::{launch_write_plan, RegisterFile};
 pub use trace_states::TraceStates;

@@ -327,12 +327,7 @@ impl Pass for OverlapInBlock {
     }
 }
 
-fn try_move_above_await(
-    m: &mut Module,
-    setup: OpId,
-    filter: &AccelFilter,
-    partial: bool,
-) -> bool {
+fn try_move_above_await(m: &mut Module, setup: OpId, filter: &AccelFilter, partial: bool) -> bool {
     let accel = dialect::accelerator(m, setup);
     if !filter.allows(&accel) {
         return false;
@@ -354,7 +349,10 @@ fn try_move_above_await(
         return false;
     }
     // all launches must be in the setup's own block so positions compare
-    if launches.iter().any(|&l| m.op(l).parent != m.op(setup).parent) {
+    if launches
+        .iter()
+        .any(|&l| m.op(l).parent != m.op(setup).parent)
+    {
         return false;
     }
     let launch = launches
@@ -363,10 +361,13 @@ fn try_move_above_await(
         .max_by_key(|&l| m.op_position(l).expect("attached"))
         .expect("non-empty");
     let token = m.op(launch).results[0];
-    let await_op = m.uses_of(token).into_iter().find_map(|u| {
-        (m.op(u.op).opcode == Opcode::AccfgAwait).then_some(u.op)
-    });
-    let Some(await_op) = await_op else { return false };
+    let await_op = m
+        .uses_of(token)
+        .into_iter()
+        .find_map(|u| (m.op(u.op).opcode == Opcode::AccfgAwait).then_some(u.op));
+    let Some(await_op) = await_op else {
+        return false;
+    };
 
     // same block, await before setup
     let block = m.op(setup).parent;
@@ -532,7 +533,10 @@ mod tests {
             .find(|&o| m.op(o).opcode == Opcode::AccfgLaunch)
             .unwrap();
         let state = m.op(launch).operands[0];
-        assert!(matches!(m.value(state).def, accfg_ir::ValueDef::BlockArg { .. }));
+        assert!(matches!(
+            m.value(state).def,
+            accfg_ir::ValueDef::BlockArg { .. }
+        ));
     }
 
     #[test]
@@ -604,10 +608,8 @@ mod tests {
         let await1 = text.find("accfg.await").unwrap();
         let setup2 = text[await1..].find("accfg.setup").map(|p| p + await1);
         // the second setup (and its muli) moved above the first await
-        let setup_positions: Vec<usize> = text
-            .match_indices("accfg.setup")
-            .map(|(p, _)| p)
-            .collect();
+        let setup_positions: Vec<usize> =
+            text.match_indices("accfg.setup").map(|(p, _)| p).collect();
         assert!(setup_positions[1] < await1, "{text}");
         let _ = setup2;
     }
@@ -678,7 +680,10 @@ mod tests {
         // unrotated first loop: its "i" setup still precedes its launch
         let i_setup = text.find("(\"i\" =").unwrap();
         let first_launch = text.find("accfg.launch").unwrap();
-        assert!(i_setup < first_launch, "first loop must stay unrotated: {text}");
+        assert!(
+            i_setup < first_launch,
+            "first loop must stay unrotated: {text}"
+        );
     }
 
     #[test]

@@ -135,8 +135,8 @@ mod tests {
 
     #[test]
     fn all_levels_preserve_semantics() {
-        let reference = interpret(&workload(), "tiles", &[0x1000, 0x2000, 0x3000], 100_000)
-            .unwrap();
+        let reference =
+            interpret(&workload(), "tiles", &[0x1000, 0x2000, 0x3000], 100_000).unwrap();
         for level in OptLevel::ALL_LEVELS {
             let mut m = workload();
             pipeline(level, AccelFilter::All).run(&mut m).unwrap();

@@ -350,7 +350,10 @@ mod tests {
         }
         run_trace(&mut m);
         let text = print_module(&m);
-        assert!(text.contains("scf.if %0 -> (!accfg.state<\"acc\">)"), "{text}");
+        assert!(
+            text.contains("scf.if %0 -> (!accfg.state<\"acc\">)"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -442,6 +445,9 @@ mod tests {
         let after = interpret(&m, "f", &[], 10_000).unwrap();
         assert_eq!(before.launches, after.launches);
         let text = print_module(&m);
-        assert!(text.contains("!accfg.state<\"north\">, !accfg.state<\"south\">"), "{text}");
+        assert!(
+            text.contains("!accfg.state<\"north\">, !accfg.state<\"south\">"),
+            "{text}"
+        );
     }
 }

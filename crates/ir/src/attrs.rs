@@ -101,7 +101,12 @@ impl Attribute {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Attribute::Array(items.into_iter().map(|s| Attribute::Str(s.into())).collect())
+        Attribute::Array(
+            items
+                .into_iter()
+                .map(|s| Attribute::Str(s.into()))
+                .collect(),
+        )
     }
 }
 
@@ -183,7 +188,10 @@ mod tests {
         assert_eq!(Attribute::Int(7).as_str(), None);
         assert_eq!(Attribute::Str("x".into()).as_str(), Some("x"));
         assert_eq!(Attribute::Bool(true).as_bool(), Some(true));
-        assert_eq!(Attribute::Effects(Effects::All).as_effects(), Some(Effects::All));
+        assert_eq!(
+            Attribute::Effects(Effects::All).as_effects(),
+            Some(Effects::All)
+        );
         let arr = Attribute::str_array(["a", "b"]);
         assert_eq!(arr.as_array().unwrap().len(), 2);
     }
@@ -198,7 +206,10 @@ mod tests {
     fn display_arrays_and_effects() {
         let arr = Attribute::Array(vec![Attribute::Int(1), Attribute::Bool(false)]);
         assert_eq!(arr.to_string(), "[1, false]");
-        assert_eq!(Attribute::Effects(Effects::None).to_string(), "#accfg.effects<none>");
+        assert_eq!(
+            Attribute::Effects(Effects::None).to_string(),
+            "#accfg.effects<none>"
+        );
     }
 
     #[test]
@@ -206,6 +217,9 @@ mod tests {
         assert_eq!(Attribute::from(3i64), Attribute::Int(3));
         assert_eq!(Attribute::from(true), Attribute::Bool(true));
         assert_eq!(Attribute::from("s"), Attribute::Str("s".into()));
-        assert_eq!(Attribute::from(Effects::None), Attribute::Effects(Effects::None));
+        assert_eq!(
+            Attribute::from(Effects::None),
+            Attribute::Effects(Effects::None)
+        );
     }
 }

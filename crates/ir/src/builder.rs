@@ -187,11 +187,7 @@ impl<'m> FuncBuilder<'m> {
     // --- accfg -----------------------------------------------------------------
 
     /// `accfg.setup` without an input state (the first setup in a program).
-    pub fn setup(
-        &mut self,
-        accelerator: &str,
-        fields: &[(&str, ValueId)],
-    ) -> ValueId {
+    pub fn setup(&mut self, accelerator: &str, fields: &[(&str, ValueId)]) -> ValueId {
         self.setup_impl(accelerator, None, fields)
     }
 
@@ -362,7 +358,13 @@ impl<'m> FuncBuilder<'m> {
             .collect();
         let mut operands = vec![lb, ub, step];
         operands.extend(inits);
-        let op = self.push(Opcode::For, operands, result_types, AttrMap::new(), vec![region]);
+        let op = self.push(
+            Opcode::For,
+            operands,
+            result_types,
+            AttrMap::new(),
+            vec![region],
+        );
         self.module.op(op).results.clone()
     }
 
@@ -443,7 +445,10 @@ mod tests {
         };
         let fields = m.attr(setup_op, "fields").unwrap().as_array().unwrap();
         assert_eq!(fields.len(), 2);
-        assert_eq!(m.attr(setup_op, "has_input_state").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            m.attr(setup_op, "has_input_state").unwrap().as_bool(),
+            Some(false)
+        );
     }
 
     #[test]
@@ -459,7 +464,10 @@ mod tests {
             _ => panic!(),
         };
         assert_eq!(m.op(setup1).operands[0], s0);
-        assert_eq!(m.attr(setup1, "has_input_state").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            m.attr(setup1, "has_input_state").unwrap().as_bool(),
+            Some(true)
+        );
     }
 
     #[test]

@@ -502,7 +502,11 @@ impl Module {
     /// Panics if the region does not have exactly one block.
     pub fn sole_block(&self, region: RegionId) -> BlockId {
         let blocks = &self.regions[region.index()].blocks;
-        assert_eq!(blocks.len(), 1, "region {region} must have exactly one block");
+        assert_eq!(
+            blocks.len(),
+            1,
+            "region {region} must have exactly one block"
+        );
         blocks[0]
     }
 
@@ -550,9 +554,7 @@ impl Module {
     /// `true` if `value` is defined inside the regions of `op` (at any depth).
     pub fn is_defined_inside(&self, value: ValueId, op: OpId) -> bool {
         match self.values[value.index()].def {
-            ValueDef::OpResult { op: def_op, .. } => {
-                def_op == op || self.is_ancestor(op, def_op)
-            }
+            ValueDef::OpResult { op: def_op, .. } => def_op == op || self.is_ancestor(op, def_op),
             ValueDef::BlockArg { block, .. } => match self.block_parent_op(block) {
                 Some(owner) => owner == op || self.is_ancestor(op, owner),
                 None => false,
@@ -683,7 +685,13 @@ mod tests {
         let (func, block) = test_func(&mut m);
         let (_, a) = int_const(&mut m, block, 1);
         let (_, b) = int_const(&mut m, block, 2);
-        let add = m.create_op(Opcode::AddI, vec![a, b], vec![Type::I64], AttrMap::new(), vec![]);
+        let add = m.create_op(
+            Opcode::AddI,
+            vec![a, b],
+            vec![Type::I64],
+            AttrMap::new(),
+            vec![],
+        );
         m.append_op(block, add);
         let ops = m.walk_collect(func);
         assert_eq!(ops.len(), 4); // func + 2 constants + add
@@ -696,7 +704,13 @@ mod tests {
         let (_, block) = test_func(&mut m);
         let (_, a) = int_const(&mut m, block, 1);
         let (_, b) = int_const(&mut m, block, 2);
-        let add = m.create_op(Opcode::AddI, vec![a, a], vec![Type::I64], AttrMap::new(), vec![]);
+        let add = m.create_op(
+            Opcode::AddI,
+            vec![a, a],
+            vec![Type::I64],
+            AttrMap::new(),
+            vec![],
+        );
         m.append_op(block, add);
         assert_eq!(m.uses_of(a).len(), 2);
         assert_eq!(m.uses_of(b).len(), 0);
@@ -724,7 +738,13 @@ mod tests {
         let mut m = Module::new();
         let (_, block) = test_func(&mut m);
         let (op, a) = int_const(&mut m, block, 1);
-        let add = m.create_op(Opcode::AddI, vec![a, a], vec![Type::I64], AttrMap::new(), vec![]);
+        let add = m.create_op(
+            Opcode::AddI,
+            vec![a, a],
+            vec![Type::I64],
+            AttrMap::new(),
+            vec![],
+        );
         m.append_op(block, add);
         m.erase_op(op);
     }
@@ -785,7 +805,13 @@ mod tests {
         let body_region = m.create_region();
         let body = m.create_block(body_region);
         let iv = m.add_block_arg(body, Type::Index);
-        let dbl = m.create_op(Opcode::AddI, vec![iv, iv], vec![Type::Index], AttrMap::new(), vec![]);
+        let dbl = m.create_op(
+            Opcode::AddI,
+            vec![iv, iv],
+            vec![Type::Index],
+            AttrMap::new(),
+            vec![],
+        );
         m.append_op(body, dbl);
         let yield_op = m.create_op(Opcode::Yield, vec![], vec![], AttrMap::new(), vec![]);
         m.append_op(body, yield_op);

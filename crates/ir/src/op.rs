@@ -313,9 +313,33 @@ mod tests {
     fn opcode_names_round_trip() {
         use Opcode::*;
         for op in [
-            Func, Return, Call, Constant, AddI, SubI, MulI, DivUI, RemUI, AndI, OrI, XOrI,
-            ShLI, ShRUI, CmpI, Select, For, If, Yield, AccfgSetup, AccfgLaunch, AccfgAwait,
-            CsrWrite, RoccCmd, TargetLaunch, TargetAwait, Opaque,
+            Func,
+            Return,
+            Call,
+            Constant,
+            AddI,
+            SubI,
+            MulI,
+            DivUI,
+            RemUI,
+            AndI,
+            OrI,
+            XOrI,
+            ShLI,
+            ShRUI,
+            CmpI,
+            Select,
+            For,
+            If,
+            Yield,
+            AccfgSetup,
+            AccfgLaunch,
+            AccfgAwait,
+            CsrWrite,
+            RoccCmd,
+            TargetLaunch,
+            TargetAwait,
+            Opaque,
         ] {
             assert_eq!(Opcode::from_name(op.name()), Some(op), "{op}");
         }

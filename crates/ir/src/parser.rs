@@ -25,7 +25,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -453,11 +457,10 @@ impl Parser {
         self.expect(Tok::RParen)?;
         self.expect(Tok::LBrace)?;
         self.parse_block_body(block)?;
-        let func = self
-            .module
-            .create_op(Opcode::Func, vec![], vec![], AttrMap::new(), vec![region]);
-        self.module
-            .set_attr(func, "sym_name", Attribute::Str(name));
+        let func =
+            self.module
+                .create_op(Opcode::Func, vec![], vec![], AttrMap::new(), vec![region]);
+        self.module.set_attr(func, "sym_name", Attribute::Str(name));
         self.module.add_func(func);
         Ok(())
     }
@@ -573,7 +576,10 @@ impl Parser {
         // `{` can also open a region body (scf.for / scf.if). An attr dict is
         // `{ ident = ...` or `{}`; a body starts with `%value` or `ident(`.
         let is_dict = matches!(
-            (self.peek2(), &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].tok),
+            (
+                self.peek2(),
+                &self.tokens[(self.pos + 2).min(self.tokens.len() - 1)].tok
+            ),
             (Tok::RBrace, _) | (Tok::Ident(_), Tok::Equal)
         );
         if !is_dict {
@@ -788,11 +794,7 @@ impl Parser {
         self.bind_results(op, result_names)
     }
 
-    fn parse_for(
-        &mut self,
-        block: BlockId,
-        result_names: Vec<String>,
-    ) -> Result<OpId, ParseError> {
+    fn parse_for(&mut self, block: BlockId, result_names: Vec<String>) -> Result<OpId, ParseError> {
         let iv_name = self.parse_value_name()?;
         self.expect(Tok::Equal)?;
         let lb = self.parse_operand()?;
@@ -851,11 +853,7 @@ impl Parser {
         self.bind_results(op, result_names)
     }
 
-    fn parse_if(
-        &mut self,
-        block: BlockId,
-        result_names: Vec<String>,
-    ) -> Result<OpId, ParseError> {
+    fn parse_if(&mut self, block: BlockId, result_names: Vec<String>) -> Result<OpId, ParseError> {
         let cond = self.parse_operand()?;
         let mut result_types = Vec::new();
         if *self.peek() == Tok::Arrow {

@@ -62,7 +62,11 @@ pub struct PipelineError {
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pass `{}` produced invalid IR: {}", self.pass, self.error)
+        write!(
+            f,
+            "pass `{}` produced invalid IR: {}",
+            self.pass, self.error
+        )
     }
 }
 
@@ -155,7 +159,9 @@ impl PassManager {
         let mut stats = PipelineStats::default();
         for pass in &self.passes {
             let changed = pass.run(module);
-            stats.passes.push((pass.name().to_string(), changed.changed()));
+            stats
+                .passes
+                .push((pass.name().to_string(), changed.changed()));
             if self.verify_each {
                 verify(module).map_err(|error| PipelineError {
                     pass: pass.name().to_string(),

@@ -224,7 +224,10 @@ mod tests {
         assert!(!text.contains("arith.addi"), "{text}");
         assert!(!text.contains("arith.muli"), "{text}");
         // the setup now reads the function argument directly
-        assert!(text.contains("accfg.setup \"acc\" to (\"v\" = %0)"), "{text}");
+        assert!(
+            text.contains("accfg.setup \"acc\" to (\"v\" = %0)"),
+            "{text}"
+        );
     }
 
     #[test]

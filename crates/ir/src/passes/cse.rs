@@ -48,7 +48,11 @@ fn key_of(m: &Module, op: OpId) -> Key {
     Key {
         opcode: data.opcode,
         operands: data.operands.clone(),
-        attrs: data.attrs.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        attrs: data
+            .attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect(),
         result_types: data
             .results
             .iter()

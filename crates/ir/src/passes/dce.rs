@@ -39,11 +39,7 @@ impl Pass for Dce {
                 if !m.is_alive(op) || !m.op(op).opcode.is_pure() {
                     continue;
                 }
-                let dead = m
-                    .op(op)
-                    .results
-                    .iter()
-                    .all(|&r| m.uses_of(r).is_empty());
+                let dead = m.op(op).results.iter().all(|&r| m.uses_of(r).is_empty());
                 if dead {
                     m.erase_op(op);
                     removed_any = true;

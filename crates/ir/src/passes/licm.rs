@@ -1,8 +1,8 @@
 //! Loop-invariant code motion for pure operations.
 
 use crate::module::{Module, OpId};
-use crate::pass::{Changed, Pass};
 use crate::op::Opcode;
+use crate::pass::{Changed, Pass};
 
 /// Hoists pure operations whose operands are all defined outside the loop to
 /// just before the loop.
@@ -147,7 +147,10 @@ mod tests {
         let text = print_module(&m);
         let first_for = text.find("scf.for").unwrap();
         let mul_pos = text.find("arith.muli").unwrap();
-        assert!(mul_pos < first_for, "invariant should escape both loops: {text}");
+        assert!(
+            mul_pos < first_for,
+            "invariant should escape both loops: {text}"
+        );
     }
 
     #[test]

@@ -402,7 +402,10 @@ mod tests {
         b.csr_write(7, c);
         b.ret(vec![]);
         let text = print_module(&m);
-        assert!(text.contains("arith.constant() {value = 42} : i32"), "{text}");
+        assert!(
+            text.contains("arith.constant() {value = 42} : i32"),
+            "{text}"
+        );
         assert!(text.contains("target.csr_write(%0) {csr = 7}"), "{text}");
     }
 }

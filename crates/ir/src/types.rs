@@ -144,7 +144,14 @@ mod tests {
 
     #[test]
     fn integer_like_classification() {
-        for t in [Type::I1, Type::I8, Type::I16, Type::I32, Type::I64, Type::Index] {
+        for t in [
+            Type::I1,
+            Type::I8,
+            Type::I16,
+            Type::I32,
+            Type::I64,
+            Type::Index,
+        ] {
             assert!(t.is_integer_like());
         }
         assert!(!Type::state("a").is_integer_like());

@@ -306,7 +306,10 @@ fn verify_op(m: &Module, op: OpId, block: BlockId) -> Result<(), VerifyError> {
                 .ok_or_else(|| err(op, "accfg.setup requires `accelerator` attribute"))?
                 .to_string();
             if data.results.len() != 1 || result_ty(0) != &Type::state(&accel) {
-                return Err(err(op, "accfg.setup result must be the accelerator's state type"));
+                return Err(err(
+                    op,
+                    "accfg.setup result must be the accelerator's state type",
+                ));
             }
             let has_input = m
                 .attr(op, "has_input_state")

@@ -118,14 +118,12 @@ fn eval(m: &Module, a0: i64, a1: i64) -> i64 {
                 env.insert(data.results[0], m.int_attr(op, "value").unwrap());
             }
             o if o.is_binary_arith() => {
-                let v =
-                    eval_binary(o, get(&env, data.operands[0]), get(&env, data.operands[1]))
-                        .unwrap();
+                let v = eval_binary(o, get(&env, data.operands[0]), get(&env, data.operands[1]))
+                    .unwrap();
                 env.insert(data.results[0], v);
             }
             Opcode::CmpI => {
-                let pred =
-                    CmpPredicate::from_name(m.str_attr(op, "predicate").unwrap()).unwrap();
+                let pred = CmpPredicate::from_name(m.str_attr(op, "predicate").unwrap()).unwrap();
                 let v = pred.eval(get(&env, data.operands[0]), get(&env, data.operands[1]));
                 env.insert(data.results[0], i64::from(v));
             }

@@ -1,0 +1,567 @@
+//! A minimal, deterministic, dependency-free stand-in for the crates.io
+//! `proptest` crate, covering exactly the API surface this workspace's
+//! property tests use.
+//!
+//! Offline builds cannot fetch the real `proptest`; this shim keeps the
+//! property tests compiling and running with the same semantics the tests
+//! rely on:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, tuple/range/`any` strategies,
+//!   [`prop_oneof!`], and `prop::collection::vec`;
+//! - string strategies from a small regex subset (`.{m,n}`,
+//!   `[class]{m,n}`, literals) — enough for the parser-robustness tests;
+//! - the [`proptest!`] macro running a fixed number of cases from a
+//!   deterministic per-test seed (no shrinking: failures print the full
+//!   generated inputs instead).
+//!
+//! Determinism is a feature here: every CI run explores the same cases, so
+//! a green run stays green.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-runner configuration and the deterministic RNG.
+
+    /// Run configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// SplitMix64 — deterministic, seeded per (test name, case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG for one case of one named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut seed = 0xCAFE_F00D_D15E_A5E5u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9);
+            for b in test_name.bytes() {
+                seed = seed
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from(b));
+            }
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T: Strategy + ?Sized> Strategy for Box<T> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Boxes a strategy for use in a heterogeneous [`Union`].
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A uniform choice between same-valued strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from its arms.
+        ///
+        /// # Panics
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the tests draw from.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod string {
+    //! String strategies from a small regex subset.
+    //!
+    //! Supported: a sequence of elements, each a literal character, `.`
+    //! (any printable character except newline), or a `[...]` class (with
+    //! `\`-escapes and `a-z` ranges), optionally followed by `{m}`, or
+    //! `{m,n}` repetition. This covers every pattern used in the
+    //! workspace's tests; anything else panics loudly.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Element {
+        Literal(char),
+        AnyChar,
+        Class(Vec<char>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        element: Element,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let element = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Element::AnyChar
+                }
+                '[' => {
+                    i += 1;
+                    let mut class = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        // `a-z` range (a `-` not at the class edges)
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let end = chars[i + 2];
+                            assert!(c <= end, "bad class range in pattern {pattern:?}");
+                            class.extend(c..=end);
+                            i += 3;
+                        } else {
+                            class.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                    i += 1; // closing ]
+                    Element::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Element::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Element::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repetition in pattern {pattern:?}");
+            pieces.push(Piece { element, min, max });
+        }
+        pieces
+    }
+
+    fn gen_char(element: &Element, rng: &mut TestRng) -> char {
+        match element {
+            Element::Literal(c) => *c,
+            // printable ASCII, tab included, newline excluded (regex `.`)
+            Element::AnyChar => {
+                let n = rng.below(96);
+                if n == 95 {
+                    '\t'
+                } else {
+                    char::from(0x20 + n as u8)
+                }
+            }
+            Element::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse(self) {
+                let count = piece.min + rng.below(piece.max as u64 - piece.min as u64 + 1) as usize;
+                for _ in 0..count {
+                    out.push(gen_char(&piece.element, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniformly chooses between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Defines property tests: each runs `cases` deterministic cases, printing
+/// the generated inputs when a case fails (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        // the user-written `#[test]` (and any doc comments) pass through
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "property {} failed at case {case} with inputs:",
+                        stringify!($name),
+                    );
+                    $( eprintln!("  {} = {:?}", stringify!($arg), $arg); )+
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (-64i64..64).generate(&mut rng);
+            assert!((-64..64).contains(&v));
+            let u = (0usize..5).generate(&mut rng);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_shape() {
+        let mut rng = TestRng::for_case("strings", 1);
+        for _ in 0..500 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+            let t = "[a-c0-1]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| "abc01".contains(c)));
+        }
+    }
+
+    #[test]
+    fn class_escapes_are_literal() {
+        let mut rng = TestRng::for_case("escapes", 2);
+        let s = r#"[%@{}()\[\]<>=:,\"a-z0-9 ]{64,64}"#.generate(&mut rng);
+        assert_eq!(s.chars().count(), 64);
+        for c in s.chars() {
+            assert!(
+                "%@{}()[]<>=:,\" ".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                "unexpected char {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![
+            (0i64..10).prop_map(|v| v * 2),
+            (100i64..110).prop_map(|v| v + 1),
+        ];
+        let mut rng = TestRng::for_case("oneof", 3);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            if v < 20 {
+                assert_eq!(v % 2, 0);
+                low = true;
+            } else {
+                assert!((101..111).contains(&v));
+                high = true;
+            }
+        }
+        assert!(low && high, "both arms should be exercised");
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::for_case("vecs", 4);
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<i8>(), 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let make = || {
+            let mut rng = TestRng::for_case("determinism", 7);
+            (0..32)
+                .map(|_| (0i64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(make(), make());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_runs(a in 0i64..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b & !b, false);
+        }
+    }
+}

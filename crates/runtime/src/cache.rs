@@ -1,0 +1,221 @@
+//! The compiled-module cache: repeated shapes skip the whole
+//! IR-build → pass-pipeline → lower path.
+//!
+//! Serving traffic draws from a small set of shapes, so the expensive part
+//! of a dispatch — generating the tiled IR, running the accfg passes,
+//! lowering to target instructions, and extracting the launch plan — is
+//! done once per distinct `(accelerator, shape, opt level)` and shared
+//! (via [`Arc`]) by every subsequent request. Cached programs are compiled
+//! against the shape's canonical memory layout, so same-shape requests are
+//! byte-identical and their configuration state is maximally reusable
+//! across dispatches.
+
+use crate::error::ServeError;
+use crate::plan::DispatchPlan;
+use accfg::interp::interpret;
+use accfg::pipeline::{pipeline, OptLevel};
+use accfg_sim::Program;
+use accfg_targets::{compile, AcceleratorDescriptor};
+use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interpreter fuel for plan extraction (largest served shapes are a few
+/// hundred launches).
+const PLAN_FUEL: u64 = 50_000_000;
+
+/// The cache key: everything that determines the compiled artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Accelerator (descriptor) name.
+    pub accelerator: String,
+    /// Problem shape and tiling.
+    pub spec: MatmulSpec,
+    /// Optimization level the pipeline ran at.
+    pub opt: OptLevel,
+}
+
+/// One fully compiled, dispatch-ready module.
+#[derive(Debug)]
+pub struct CompiledModule {
+    /// The key this module was built for.
+    pub key: CacheKey,
+    /// Canonical memory placement (every same-shape request reuses it).
+    pub layout: MatmulLayout,
+    /// The lowered target program, with the canonical addresses bound —
+    /// what a cache-less system would execute per request.
+    pub program: Program,
+    /// The launch-level plan the dispatcher diffs against resident state.
+    pub plan: DispatchPlan,
+    /// Field writes the optimized IR performs (the compiler's static count,
+    /// for comparison against the dispatcher's dynamic count).
+    pub ir_setup_writes: usize,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new module.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (1.0 for an all-hit run; 0.0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The module cache itself.
+#[derive(Debug, Default)]
+pub struct ModuleCache {
+    entries: HashMap<CacheKey, Arc<CompiledModule>>,
+    /// Lookup statistics.
+    pub stats: CacheStats,
+}
+
+impl ModuleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct compiled modules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the compiled module for `(desc, spec, opt)`, building it on
+    /// first use.
+    ///
+    /// # Errors
+    /// Propagates pipeline, lowering, and plan-extraction failures.
+    pub fn get_or_build(
+        &mut self,
+        desc: &AcceleratorDescriptor,
+        spec: MatmulSpec,
+        opt: OptLevel,
+    ) -> Result<Arc<CompiledModule>, ServeError> {
+        let key = CacheKey {
+            accelerator: desc.name.clone(),
+            spec,
+            opt,
+        };
+        if let Some(entry) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(entry));
+        }
+        self.stats.misses += 1;
+        let entry = Arc::new(build_module(desc, spec, opt)?);
+        self.entries.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+}
+
+/// Compiles one module end-to-end: IR generation, accfg passes, target
+/// lowering, and plan extraction.
+///
+/// # Errors
+/// See [`ServeError`].
+pub fn build_module(
+    desc: &AcceleratorDescriptor,
+    spec: MatmulSpec,
+    opt: OptLevel,
+) -> Result<CompiledModule, ServeError> {
+    let mut module = matmul_ir(desc, &spec);
+    pipeline(opt, desc.overlap_filter())
+        .run(&mut module)
+        .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+    let layout = MatmulLayout::at(0x1000, &spec);
+    let args = [layout.a_addr, layout.b_addr, layout.c_addr];
+    let program = compile(&module, "matmul", desc, &args)?;
+    let trace = interpret(&module, "matmul", &args, PLAN_FUEL)?;
+    let plan = DispatchPlan::from_trace(&trace, desc)?;
+    Ok(CompiledModule {
+        key: CacheKey {
+            accelerator: desc.name.clone(),
+            spec,
+            opt,
+        },
+        layout,
+        program,
+        plan,
+        ir_setup_writes: trace.setup_writes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(16).unwrap();
+        let mut cache = ModuleCache::new();
+        let a = cache.get_or_build(&desc, spec, OptLevel::All).unwrap();
+        let b = cache.get_or_build(&desc, spec, OptLevel::All).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_modules() {
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(16).unwrap();
+        let mut cache = ModuleCache::new();
+        cache.get_or_build(&desc, spec, OptLevel::All).unwrap();
+        cache.get_or_build(&desc, spec, OptLevel::Base).unwrap();
+        let other = MatmulSpec::opengemm_paper(24).unwrap();
+        cache.get_or_build(&desc, other, OptLevel::All).unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats.misses, 3);
+        assert!((cache.stats.hit_rate() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn plan_matches_program_launch_count() {
+        for (desc, spec) in [
+            (
+                AcceleratorDescriptor::opengemm(),
+                MatmulSpec::opengemm_paper(16).unwrap(),
+            ),
+            (
+                AcceleratorDescriptor::gemmini(),
+                MatmulSpec::gemmini_paper(32).unwrap(),
+            ),
+        ] {
+            let module = build_module(&desc, spec, OptLevel::All).unwrap();
+            assert_eq!(module.plan.launches.len() as i64, spec.invocations());
+            assert!(module.plan.cold_writes > 0);
+            assert!(!module.program.is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_register_files_are_complete() {
+        // every launch's register file carries the full tile descriptor,
+        // whatever the opt level did to the instruction stream
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(16).unwrap();
+        for opt in [OptLevel::Base, OptLevel::All] {
+            let module = build_module(&desc, spec, opt).unwrap();
+            for launch in &module.plan.launches {
+                assert!(launch.registers.len() >= 10, "{:?}", launch.registers);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Runtime error types.
+
+use accfg::interp::InterpError;
+use accfg_targets::LowerError;
+use std::error::Error;
+use std::fmt;
+
+/// Why serving (or compiling a served module) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A request names an accelerator the pool has no descriptor for.
+    UnknownAccelerator(String),
+    /// The optimization pipeline failed on a generated module.
+    Pipeline(String),
+    /// Target lowering failed.
+    Lower(LowerError),
+    /// The accfg interpreter failed while extracting the launch plan.
+    Interp(InterpError),
+    /// The launch trace references a field the descriptor lacks.
+    UnknownField {
+        /// The accelerator.
+        accelerator: String,
+        /// The missing field.
+        field: String,
+    },
+    /// A descriptor maps a field into the RoCC launch-semantic register
+    /// pair, which the dispatcher reserves for the launch command.
+    LaunchPairField {
+        /// The accelerator.
+        accelerator: String,
+        /// The offending field.
+        field: String,
+    },
+    /// The pool was configured without workers.
+    EmptyPool,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownAccelerator(name) => {
+                write!(f, "no descriptor in the pool for accelerator `{name}`")
+            }
+            ServeError::Pipeline(msg) => write!(f, "pass pipeline failed: {msg}"),
+            ServeError::Lower(e) => write!(f, "lowering failed: {e}"),
+            ServeError::Interp(e) => write!(f, "plan extraction failed: {e}"),
+            ServeError::UnknownField { accelerator, field } => {
+                write!(f, "accelerator `{accelerator}` has no field `{field}`")
+            }
+            ServeError::LaunchPairField { accelerator, field } => write!(
+                f,
+                "field `{field}` of `{accelerator}` maps into the launch-semantic register pair"
+            ),
+            ServeError::EmptyPool => write!(f, "pool has no workers"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<LowerError> for ServeError {
+    fn from(e: LowerError) -> Self {
+        ServeError::Lower(e)
+    }
+}
+
+impl From<InterpError> for ServeError {
+    fn from(e: InterpError) -> Self {
+        ServeError::Interp(e)
+    }
+}

@@ -1,0 +1,222 @@
+//! Serving metrics: throughput, latency percentiles, configuration-write
+//! accounting, and cache statistics — plus a dependency-free JSON
+//! rendering for `BENCH_runtime.json`.
+
+use crate::cache::CacheStats;
+use std::fmt::Write as _;
+
+/// Latency distribution over served requests, in simulated cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst case.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencyStats {
+    /// Computes the distribution from raw per-request latencies.
+    pub fn from_latencies(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Self {
+            p50: pick(0.50),
+            p99: pick(0.99),
+            max: *sorted.last().expect("nonempty"),
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+}
+
+/// Per-worker accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerMetrics {
+    /// Pool-wide worker index.
+    pub index: usize,
+    /// The accelerator the worker serves.
+    pub accelerator: String,
+    /// Requests executed.
+    pub requests: u64,
+    /// Simulated cycles spent executing dispatches.
+    pub busy_cycles: u64,
+    /// Simulated cycle at which the worker finished its last dispatch.
+    pub finish: u64,
+}
+
+/// Aggregate metrics of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Policy label ("fifo", "affinity", ...).
+    pub policy: String,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests whose functional check failed (must be 0).
+    pub check_failures: u64,
+    /// Requests whose simulation failed (must be 0).
+    pub sim_failures: u64,
+    /// Configuration register writes emitted after resident-state elision.
+    pub setup_writes: u64,
+    /// Writes the same dispatches would emit onto blank register files.
+    pub cold_setup_writes: u64,
+    /// Configuration bytes transferred (including launch commands).
+    pub config_bytes: u64,
+    /// Accelerator launches executed.
+    pub launches: u64,
+    /// Total simulated execution cycles across all dispatches.
+    pub sim_cycles: u64,
+    /// Simulated cycle at which the last worker finished (open-loop
+    /// makespan).
+    pub makespan: u64,
+    /// Latency distribution (arrival → completion).
+    pub latency: LatencyStats,
+    /// Module-cache statistics for the run.
+    pub cache: CacheStats,
+    /// Requests coalesced into a predecessor's batch.
+    pub batched_requests: u64,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerMetrics>,
+}
+
+impl ServeMetrics {
+    /// Fraction of setup writes elided relative to cold dispatches.
+    pub fn elision_rate(&self) -> f64 {
+        if self.cold_setup_writes == 0 {
+            0.0
+        } else {
+            1.0 - self.setup_writes as f64 / self.cold_setup_writes as f64
+        }
+    }
+
+    /// Fractional reduction of setup writes relative to `baseline`
+    /// (positive = this run wrote less).
+    pub fn write_savings_vs(&self, baseline: &ServeMetrics) -> f64 {
+        if baseline.setup_writes == 0 {
+            0.0
+        } else {
+            1.0 - self.setup_writes as f64 / baseline.setup_writes as f64
+        }
+    }
+
+    /// Served requests per million simulated cycles of makespan.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.makespan == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e6 / self.makespan as f64
+        }
+    }
+
+    /// Renders the metrics as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"policy\": \"{}\",", self.policy);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"check_failures\": {},", self.check_failures);
+        let _ = writeln!(out, "  \"sim_failures\": {},", self.sim_failures);
+        let _ = writeln!(out, "  \"setup_writes\": {},", self.setup_writes);
+        let _ = writeln!(out, "  \"cold_setup_writes\": {},", self.cold_setup_writes);
+        let _ = writeln!(out, "  \"elision_rate\": {:.4},", self.elision_rate());
+        let _ = writeln!(out, "  \"config_bytes\": {},", self.config_bytes);
+        let _ = writeln!(out, "  \"launches\": {},", self.launches);
+        let _ = writeln!(out, "  \"sim_cycles\": {},", self.sim_cycles);
+        let _ = writeln!(out, "  \"makespan\": {},", self.makespan);
+        let _ = writeln!(
+            out,
+            "  \"latency\": {{ \"p50\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }},",
+            self.latency.p50, self.latency.p99, self.latency.max, self.latency.mean
+        );
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate()
+        );
+        let _ = writeln!(out, "  \"batched_requests\": {},", self.batched_requests);
+        out.push_str("  \"workers\": [\n");
+        for (i, w) in self.workers.iter().enumerate() {
+            let comma = if i + 1 == self.workers.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{ \"index\": {}, \"accelerator\": \"{}\", \"requests\": {}, \"busy_cycles\": {}, \"finish\": {} }}{comma}",
+                w.index, w.accelerator, w.requests, w.busy_cycles, w.finish
+            );
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> ServeMetrics {
+        ServeMetrics {
+            policy: "affinity".into(),
+            requests: 100,
+            check_failures: 0,
+            sim_failures: 0,
+            setup_writes: 300,
+            cold_setup_writes: 1000,
+            config_bytes: 4000,
+            launches: 120,
+            sim_cycles: 50_000,
+            makespan: 20_000,
+            latency: LatencyStats::from_latencies(&[10, 20, 30, 40, 1000]),
+            cache: CacheStats {
+                hits: 95,
+                misses: 5,
+            },
+            batched_requests: 12,
+            workers: vec![WorkerMetrics {
+                index: 0,
+                accelerator: "opengemm".into(),
+                requests: 100,
+                busy_cycles: 50_000,
+                finish: 20_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn percentiles_from_latencies() {
+        let l = LatencyStats::from_latencies(&[5, 1, 3, 2, 4]);
+        assert_eq!(l.p50, 3);
+        assert_eq!(l.p99, 5);
+        assert_eq!(l.max, 5);
+        assert!((l.mean - 3.0).abs() < 1e-12);
+        assert_eq!(LatencyStats::from_latencies(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn rates_and_savings() {
+        let m = metrics();
+        assert!((m.elision_rate() - 0.7).abs() < 1e-12);
+        let mut base = metrics();
+        base.setup_writes = 600;
+        assert!((m.write_savings_vs(&base) - 0.5).abs() < 1e-12);
+        assert!((m.throughput_per_mcycle() - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let j = metrics().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"policy\": \"affinity\""));
+        assert!(j.contains("\"hit_rate\": 0.9500"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Dispatch plans: the launch-level view of a compiled module that the
+//! runtime diffs against a worker's resident register state.
+//!
+//! A [`DispatchPlan`] records, for every launch of a compiled request, the
+//! complete configuration register file the accelerator must observe
+//! (hardware register index → value) — exactly the launch trace the accfg
+//! interpreter defines as a program's observable behaviour, mapped through
+//! the target descriptor's field table. Dispatching a plan onto a worker
+//! whose accelerator already holds part of that state only writes the
+//! difference: the paper's deduplication (Section 5.4), applied *across
+//! requests* at serve time via [`accfg::regstate`].
+//!
+//! RoCC-style targets write configuration in register *pairs*; a pair is
+//! rewritten whenever either half differs, which is why pair-granular
+//! interfaces save fewer writes (Section 6.1) — the delta machinery here
+//! reproduces that effect.
+
+use crate::error::ServeError;
+use accfg::interp::ExecTrace;
+use accfg::regstate;
+use accfg_targets::{AcceleratorDescriptor, ConfigStyle};
+use std::collections::BTreeMap;
+
+/// A concrete register file keyed by hardware configuration-register index.
+pub type RegMap = BTreeMap<u16, i64>;
+
+/// The full register file one launch must observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSpec {
+    /// Register index → value at launch time.
+    pub registers: RegMap,
+}
+
+/// Everything the dispatcher needs to replay a compiled request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchPlan {
+    /// The target's configuration style (write granularity and launch
+    /// mechanism).
+    pub style: ConfigStyle,
+    /// Per-launch register files, in program order.
+    pub launches: Vec<LaunchSpec>,
+    /// Register writes a dispatch onto a *blank* register file performs —
+    /// the cost the module cache quotes for a cold worker.
+    pub cold_writes: u64,
+}
+
+/// One emitted configuration write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCmd {
+    /// A single CSR/MMIO register write.
+    Csr {
+        /// Register index.
+        reg: u16,
+        /// Value written.
+        value: i64,
+    },
+    /// A RoCC command carrying one register pair (`2·funct`, `2·funct+1`).
+    Rocc {
+        /// Function selector.
+        funct: u8,
+        /// Low-half payload.
+        lo: i64,
+        /// High-half payload.
+        hi: i64,
+    },
+}
+
+impl DispatchPlan {
+    /// Builds a plan from an interpreter trace, mapping the trace's field
+    /// names to hardware registers through `desc`'s field table.
+    ///
+    /// # Errors
+    /// Fails if the trace references a field the descriptor does not
+    /// declare, or if a field maps into a RoCC launch-semantic pair (those
+    /// registers belong to the launch command).
+    pub fn from_trace(trace: &ExecTrace, desc: &AcceleratorDescriptor) -> Result<Self, ServeError> {
+        let mut launches = Vec::with_capacity(trace.launches.len());
+        for record in &trace.launches {
+            let mut registers = RegMap::new();
+            for (name, &value) in &record.registers {
+                let spec = desc.field(name).ok_or_else(|| ServeError::UnknownField {
+                    accelerator: desc.name.clone(),
+                    field: name.clone(),
+                })?;
+                if let ConfigStyle::RoccPairs { launch_funct } = desc.style {
+                    if spec.reg / 2 == u16::from(launch_funct) {
+                        return Err(ServeError::LaunchPairField {
+                            accelerator: desc.name.clone(),
+                            field: name.clone(),
+                        });
+                    }
+                }
+                registers.insert(spec.reg, value);
+            }
+            launches.push(LaunchSpec { registers });
+        }
+        let mut plan = Self {
+            style: desc.style,
+            launches,
+            cold_writes: 0,
+        };
+        plan.cold_writes = {
+            let mut blank = RegMap::new();
+            plan.launches
+                .iter()
+                .map(|l| delta_writes(&mut blank, l, plan.style).len() as u64)
+                .sum()
+        };
+        Ok(plan)
+    }
+
+    /// The register writes a dispatch would emit against `resident`,
+    /// without mutating it — the affinity scheduler's scoring function.
+    pub fn writes_against(&self, resident: &RegMap) -> u64 {
+        let mut resident = resident.clone();
+        self.launches
+            .iter()
+            .map(|l| delta_writes(&mut resident, l, self.style).len() as u64)
+            .sum()
+    }
+}
+
+/// Computes the writes that move `resident` to `launch`'s register file,
+/// applying them to `resident`.
+///
+/// CSR targets write single registers; RoCC targets write whole pairs, so
+/// a pair with one stale half rewrites both (a half the launch file never
+/// programs is driven to 0, the lowering's zero-register fallback).
+pub fn delta_writes(
+    resident: &mut RegMap,
+    launch: &LaunchSpec,
+    style: ConfigStyle,
+) -> Vec<WriteCmd> {
+    match style {
+        ConfigStyle::Csr => regstate::diff(resident, &launch.registers)
+            .into_iter()
+            .map(|(reg, value)| {
+                resident.insert(reg, value);
+                WriteCmd::Csr { reg, value }
+            })
+            .collect(),
+        ConfigStyle::RoccPairs { .. } => {
+            let mut functs: Vec<u16> = regstate::diff(resident, &launch.registers)
+                .into_iter()
+                .map(|(reg, _)| reg / 2)
+                .collect();
+            functs.dedup(); // diff is reg-sorted, so pair ids arrive grouped
+            functs
+                .into_iter()
+                .map(|funct| {
+                    // halves the launch file never programs are driven to 0
+                    // (the lowering's zero-register fallback); never to the
+                    // resident value, so a warm-start dispatch can only
+                    // write a subset of what a cold one writes
+                    let half = |reg: u16| launch.registers.get(&reg).copied().unwrap_or(0);
+                    let lo = half(funct * 2);
+                    let hi = half(funct * 2 + 1);
+                    resident.insert(funct * 2, lo);
+                    resident.insert(funct * 2 + 1, hi);
+                    WriteCmd::Rocc {
+                        funct: funct as u8,
+                        lo,
+                        hi,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(regs: &[(u16, i64)]) -> LaunchSpec {
+        LaunchSpec {
+            registers: regs.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn csr_delta_writes_only_changes() {
+        let mut resident = RegMap::from([(0, 5), (1, 7)]);
+        let cmds = delta_writes(
+            &mut resident,
+            &launch(&[(0, 5), (1, 8), (2, 9)]),
+            ConfigStyle::Csr,
+        );
+        assert_eq!(
+            cmds,
+            vec![
+                WriteCmd::Csr { reg: 1, value: 8 },
+                WriteCmd::Csr { reg: 2, value: 9 }
+            ]
+        );
+        assert_eq!(resident, RegMap::from([(0, 5), (1, 8), (2, 9)]));
+    }
+
+    #[test]
+    fn rocc_delta_writes_whole_pairs() {
+        let style = ConfigStyle::RoccPairs { launch_funct: 13 };
+        let mut resident = RegMap::from([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        // only register 1 changes: its pair (0, 1) is rewritten, pair (2, 3)
+        // is untouched
+        let cmds = delta_writes(
+            &mut resident,
+            &launch(&[(0, 1), (1, 9), (2, 3), (3, 4)]),
+            style,
+        );
+        assert_eq!(
+            cmds,
+            vec![WriteCmd::Rocc {
+                funct: 0,
+                lo: 1,
+                hi: 9
+            }]
+        );
+        assert_eq!(resident[&1], 9);
+    }
+
+    #[test]
+    fn rocc_unprogrammed_half_defaults_to_zero() {
+        let style = ConfigStyle::RoccPairs { launch_funct: 13 };
+        let mut resident = RegMap::new();
+        let cmds = delta_writes(&mut resident, &launch(&[(4, 7)]), style);
+        assert_eq!(
+            cmds,
+            vec![WriteCmd::Rocc {
+                funct: 2,
+                lo: 7,
+                hi: 0
+            }]
+        );
+        assert_eq!(resident[&5], 0);
+    }
+
+    #[test]
+    fn identical_launch_needs_no_writes() {
+        for style in [
+            ConfigStyle::Csr,
+            ConfigStyle::RoccPairs { launch_funct: 13 },
+        ] {
+            let l = launch(&[(0, 1), (1, 2), (6, 3)]);
+            let mut resident = RegMap::new();
+            let first = delta_writes(&mut resident, &l, style);
+            assert!(!first.is_empty());
+            assert!(delta_writes(&mut resident, &l, style).is_empty());
+        }
+    }
+
+    #[test]
+    fn cold_writes_and_scoring_agree() {
+        let plan = DispatchPlan {
+            style: ConfigStyle::Csr,
+            launches: vec![launch(&[(0, 1), (1, 2)]), launch(&[(0, 3), (1, 2)])],
+            cold_writes: 0,
+        };
+        // cold: 2 writes for the first launch + 1 for the second
+        assert_eq!(plan.writes_against(&RegMap::new()), 3);
+        // a resident file matching launch 0 exactly skips its writes
+        let resident = RegMap::from([(0, 1), (1, 2)]);
+        assert_eq!(plan.writes_against(&resident), 1);
+        // the plan's own final state still pays launch 0's delta (register
+        // 0 cycles 3 → 1) plus launch 1's delta (1 → 3)
+        let warm = RegMap::from([(0, 3), (1, 2)]);
+        assert_eq!(plan.writes_against(&warm), 2);
+    }
+
+    #[test]
+    fn warm_dispatch_never_writes_more_than_cold() {
+        // the guarantee behind Policy::ConfigAffinity vs. the cold FIFO
+        // baseline, exercised over both styles and awkward resident files
+        let plans = [
+            DispatchPlan {
+                style: ConfigStyle::Csr,
+                launches: vec![
+                    launch(&[(0, 1), (1, 2), (4, 0)]),
+                    launch(&[(0, 3), (1, 2), (4, 5)]),
+                    launch(&[(0, 1), (1, 2), (4, 0)]),
+                ],
+                cold_writes: 0,
+            },
+            DispatchPlan {
+                style: ConfigStyle::RoccPairs { launch_funct: 13 },
+                launches: vec![launch(&[(0, 1), (3, 2)]), launch(&[(0, 1), (3, 9), (4, 5)])],
+                cold_writes: 0,
+            },
+        ];
+        let residents = [
+            RegMap::new(),
+            RegMap::from([(0, 1), (1, 2)]),
+            RegMap::from([(0, 99), (1, 98), (3, 97), (4, 96), (5, 95)]),
+            RegMap::from([(2, 7)]),
+        ];
+        for plan in &plans {
+            let cold = plan.writes_against(&RegMap::new());
+            for resident in &residents {
+                assert!(
+                    plan.writes_against(resident) <= cold,
+                    "warm {} > cold {cold} for {resident:?}",
+                    plan.writes_against(resident)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Request routing: FIFO round-robin vs. config-affinity.
+//!
+//! The scheduler mirrors every worker's resident configuration register
+//! file (a shadow copy, updated with exactly the deltas the worker will
+//! apply) and, under [`Policy::ConfigAffinity`], routes each request to
+//! the compatible worker whose resident state minimizes the configuration
+//! writes the dispatch must emit — among workers within [`LOAD_SLACK`]
+//! dispatches of the group's least-loaded, so stickiness cannot starve
+//! the rest of the pool. [`Policy::Fifo`] is the baseline a
+//! config-oblivious load balancer would use: strict round-robin over the
+//! compatible workers, in arrival order.
+//!
+//! Routing decisions are made synchronously in the serve loop — before
+//! jobs reach the worker threads — so scheduling, and with it every
+//! metric, is deterministic regardless of thread interleaving.
+
+use crate::cache::CompiledModule;
+use crate::plan::{delta_writes, RegMap};
+
+/// The routing-and-dispatch policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// The production baseline: round-robin over compatible workers, and
+    /// every dispatch reprograms its full configuration (no cross-request
+    /// state reuse) — what a serving system built on volatile per-request
+    /// kernels does today.
+    Fifo,
+    /// Ablation: round-robin routing, but dispatches elide writes already
+    /// resident on the worker. Isolates the value of state tracking from
+    /// the value of routing.
+    FifoElide,
+    /// Route to the worker whose resident register file minimizes the new
+    /// configuration writes, and elide resident writes. Because a
+    /// warm-start dispatch can only write a subset of what a cold one
+    /// writes, this policy never emits more setup writes than [`Fifo`]
+    /// on the same stream.
+    ///
+    /// [`Fifo`]: Policy::Fifo
+    #[default]
+    ConfigAffinity,
+}
+
+impl Policy {
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::FifoElide => "fifo+elide",
+            Policy::ConfigAffinity => "affinity",
+        }
+    }
+
+    /// `true` if dispatches under this policy skip writes whose values are
+    /// already resident on the worker.
+    pub fn elides(self) -> bool {
+        !matches!(self, Policy::Fifo)
+    }
+}
+
+/// How far (in assigned requests) a worker may run ahead of its group's
+/// least-loaded worker before affinity scoring prefers balance over
+/// resident-state overlap.
+///
+/// Pure min-writes routing degenerates: once one worker is warm it scores
+/// below a blank worker for *every* shape, so the rest of the group
+/// starves and tail latency explodes. Bucketing the load difference by
+/// this slack keeps dispatches sticky over short horizons (where the
+/// write savings are) while bounding imbalance. Elision — not routing —
+/// is what guarantees affinity never writes more than the cold FIFO
+/// baseline, so this trade-off cannot break that property.
+const LOAD_SLACK: u64 = 16;
+
+/// Scheduler state across one serve run.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: Policy,
+    shadows: Vec<RegMap>,
+    load: Vec<u64>,
+    round_robin: Vec<usize>,
+}
+
+impl Scheduler {
+    /// A scheduler for `workers` workers across `groups` accelerator
+    /// groups.
+    pub fn new(policy: Policy, workers: usize, groups: usize) -> Self {
+        Self {
+            policy,
+            shadows: vec![RegMap::new(); workers],
+            load: vec![0; workers],
+            round_robin: vec![0; groups],
+        }
+    }
+
+    /// Picks a worker from `candidates` (the group's workers, ascending)
+    /// for a dispatch of `module`. `group` identifies the accelerator
+    /// group for the round-robin counter.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn choose(&mut self, group: usize, candidates: &[usize], module: &CompiledModule) -> usize {
+        assert!(!candidates.is_empty(), "scheduling against an empty group");
+        match self.policy {
+            Policy::Fifo | Policy::FifoElide => {
+                let slot = self.round_robin[group] % candidates.len();
+                self.round_robin[group] += 1;
+                candidates[slot]
+            }
+            Policy::ConfigAffinity => {
+                let min_load = candidates
+                    .iter()
+                    .map(|&w| self.load[w])
+                    .min()
+                    .expect("nonempty");
+                let mut best = candidates[0];
+                let mut best_key = (u64::MAX, u64::MAX, u64::MAX, usize::MAX);
+                for &w in candidates {
+                    let writes = module.plan.writes_against(&self.shadows[w]);
+                    // workers within LOAD_SLACK of the least-loaded compete
+                    // on writes; beyond that, balance wins
+                    let pressure = (self.load[w] - min_load) / LOAD_SLACK;
+                    let key = (pressure, writes, self.load[w], w);
+                    if key < best_key {
+                        best_key = key;
+                        best = w;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Records a dispatch of `module` to `worker`, updating the shadow
+    /// resident state with the same deltas the worker will apply.
+    pub fn commit(&mut self, worker: usize, module: &CompiledModule) {
+        let shadow = &mut self.shadows[worker];
+        for launch in &module.plan.launches {
+            let _ = delta_writes(shadow, launch, module.plan.style);
+        }
+        self.load[worker] += 1;
+    }
+
+    /// The shadow resident state of `worker` (for tests and diagnostics).
+    pub fn shadow(&self, worker: usize) -> &RegMap {
+        &self.shadows[worker]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::build_module;
+    use accfg::pipeline::OptLevel;
+    use accfg_targets::AcceleratorDescriptor;
+    use accfg_workloads::MatmulSpec;
+
+    /// A single-invocation module: same-shape repeats are zero-write.
+    fn single_tile_module(size: i64) -> CompiledModule {
+        let spec = MatmulSpec::new((size, size, size), (size, size, size)).unwrap();
+        assert_eq!(spec.invocations(), 1);
+        build_module(&AcceleratorDescriptor::opengemm(), spec, OptLevel::All).unwrap()
+    }
+
+    #[test]
+    fn fifo_round_robins_per_group() {
+        let m = single_tile_module(8);
+        for policy in [Policy::Fifo, Policy::FifoElide] {
+            let mut s = Scheduler::new(policy, 4, 2);
+            let picks: Vec<usize> = (0..5).map(|_| s.choose(0, &[0, 1], &m)).collect();
+            assert_eq!(picks, vec![0, 1, 0, 1, 0]);
+            // the second group's counter is independent
+            assert_eq!(s.choose(1, &[2, 3], &m), 2);
+        }
+    }
+
+    #[test]
+    fn affinity_prefers_the_matching_worker() {
+        let m8 = single_tile_module(8);
+        let m16 = single_tile_module(16);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        // first dispatch: both blank, tie broken by load then index
+        let w8 = s.choose(0, &[0, 1], &m8);
+        assert_eq!(w8, 0);
+        s.commit(w8, &m8);
+        // a same-shape repeat stays on the now-free worker 0
+        assert_eq!(m8.plan.writes_against(s.shadow(0)), 0);
+        assert_eq!(s.choose(0, &[0, 1], &m8), 0);
+        s.commit(0, &m8);
+        // the other shape is routed wherever it is cheapest; once
+        // committed, its repeats stick to that worker
+        let w16 = s.choose(0, &[0, 1], &m16);
+        s.commit(w16, &m16);
+        assert_eq!(m16.plan.writes_against(s.shadow(w16)), 0);
+        assert_eq!(s.choose(0, &[0, 1], &m16), w16);
+        // and the first shape still has its warm worker
+        assert_eq!(s.choose(0, &[0, 1], &m8), 0);
+    }
+
+    #[test]
+    fn affinity_bounds_load_imbalance() {
+        // pure min-writes routing would send every same-shape request to
+        // the first worker forever; the load-slack bucket spreads them
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut counts = [0u64; 2];
+        for _ in 0..200 {
+            let w = s.choose(0, &[0, 1], &m);
+            s.commit(w, &m);
+            counts[w] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
+        assert!(
+            counts[0].abs_diff(counts[1]) <= 2 * LOAD_SLACK,
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!Policy::Fifo.elides());
+        assert!(Policy::FifoElide.elides());
+        assert!(Policy::ConfigAffinity.elides());
+        assert_eq!(Policy::Fifo.label(), "fifo");
+        assert_eq!(Policy::FifoElide.label(), "fifo+elide");
+        assert_eq!(Policy::ConfigAffinity.label(), "affinity");
+    }
+
+    #[test]
+    fn shadow_tracks_final_plan_state() {
+        let m = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 1, 1);
+        s.commit(0, &m);
+        // the shadow now holds the last launch's register file
+        let last = &m.plan.launches.last().unwrap().registers;
+        for (reg, value) in last {
+            assert_eq!(s.shadow(0).get(reg), Some(value), "reg {reg}");
+        }
+    }
+}

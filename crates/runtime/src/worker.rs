@@ -1,0 +1,391 @@
+//! Pool workers: each owns a persistent simulated [`Machine`] and executes
+//! dispatched jobs by replaying launch plans as *delta programs*.
+//!
+//! A worker's accelerator keeps its configuration registers across
+//! requests, so the program built for a dispatch contains only the writes
+//! whose values differ from the resident state ([`delta_writes`]), plus
+//! the launches and the final await. Execution is fully functional — the
+//! tile matmuls run on the worker's memory and every request is checked
+//! against the reference result — and cycle-accurate, so per-request
+//! counters feed the latency and throughput metrics directly.
+
+use crate::cache::CompiledModule;
+use crate::plan::{delta_writes, RegMap, WriteCmd};
+use accfg_sim::{AccelSim, Counters, Machine, ProgramBuilder};
+use accfg_targets::{AcceleratorDescriptor, ConfigStyle};
+use accfg_workloads::{check_result, fill_inputs, TrafficRequest};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// One dispatched unit of work.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The request being served.
+    pub request: TrafficRequest,
+    /// The compiled module to replay.
+    pub module: Arc<CompiledModule>,
+    /// Position of the request in the caller's stream slice (echoed back
+    /// in the completion, so results can be collected out of order).
+    pub slot: usize,
+    /// Whether the dispatch may elide writes already resident on the
+    /// worker (`false` under the cold [`Policy::Fifo`] baseline).
+    ///
+    /// [`Policy::Fifo`]: crate::scheduler::Policy::Fifo
+    pub elide: bool,
+}
+
+/// The outcome of one executed job.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The job's stream slot.
+    pub slot: usize,
+    /// Id of the served request.
+    pub request_id: u64,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// Simulator counters for the dispatch (cycles, config bytes, ...).
+    pub counters: Counters,
+    /// Configuration writes actually emitted (after resident-state
+    /// elision).
+    pub emitted_writes: u64,
+    /// Writes a cold (blank-state) dispatch of the same module performs.
+    pub cold_writes: u64,
+    /// Functional-check failure, if any.
+    pub check_error: Option<String>,
+    /// Simulator failure, if any (the functional check is skipped then).
+    pub sim_error: Option<String>,
+}
+
+/// A pool worker: persistent machine plus resident-state tracking.
+#[derive(Debug)]
+pub struct Worker {
+    /// Pool-wide worker index.
+    pub index: usize,
+    desc: AcceleratorDescriptor,
+    machine: Machine,
+    resident: RegMap,
+    fuel: u64,
+}
+
+impl Worker {
+    /// Creates a worker for `desc` with `mem_bytes` of memory and a
+    /// per-dispatch instruction budget of `fuel`.
+    pub fn new(index: usize, desc: AcceleratorDescriptor, mem_bytes: usize, fuel: u64) -> Self {
+        let machine = Machine::new(
+            desc.host.clone(),
+            AccelSim::new(desc.accel.clone()),
+            mem_bytes,
+        );
+        Self {
+            index,
+            desc,
+            machine,
+            resident: RegMap::new(),
+            fuel,
+        }
+    }
+
+    /// The accelerator this worker serves.
+    pub fn accelerator(&self) -> &str {
+        &self.desc.name
+    }
+
+    /// Executes one job: fill inputs, build the delta program, run it, and
+    /// functionally check the result.
+    pub fn execute(&mut self, job: &Job) -> Completion {
+        let module = &job.module;
+        let spec = module.key.spec;
+        let mut completion = Completion {
+            slot: job.slot,
+            request_id: job.request.id,
+            worker: self.index,
+            counters: Counters::default(),
+            emitted_writes: 0,
+            cold_writes: module.plan.cold_writes,
+            check_error: None,
+            sim_error: None,
+        };
+        if let Err(e) = fill_inputs(
+            &mut self.machine.mem,
+            &spec,
+            &module.layout,
+            job.request.seed,
+        ) {
+            completion.sim_error = Some(format!("input fill failed: {e}"));
+            return completion;
+        }
+
+        if !job.elide {
+            // cold-baseline dispatch: forget the resident state so the
+            // program reprograms its full configuration
+            self.resident.clear();
+        }
+        let mut pb = ProgramBuilder::new();
+        for launch in &module.plan.launches {
+            for cmd in delta_writes(&mut self.resident, launch, module.plan.style) {
+                completion.emitted_writes += 1;
+                match cmd {
+                    WriteCmd::Csr { reg, value } => {
+                        let r = pb.reg();
+                        pb.li(r, value);
+                        pb.csr_write(reg, r);
+                    }
+                    WriteCmd::Rocc { funct, lo, hi } => {
+                        let r1 = pb.reg();
+                        let r2 = pb.reg();
+                        pb.li(r1, lo);
+                        pb.li(r2, hi);
+                        pb.rocc(funct, r1, r2);
+                    }
+                }
+            }
+            match module.plan.style {
+                ConfigStyle::Csr => pb.launch(),
+                ConfigStyle::RoccPairs { launch_funct } => {
+                    // the launch-semantic command carries its reserved pair
+                    // with a zero payload: DispatchPlan::from_trace rejects
+                    // any field mapping into this pair, so no resident state
+                    // can ever live there
+                    let r1 = pb.reg();
+                    let r2 = pb.reg();
+                    pb.li(r1, 0);
+                    pb.li(r2, 0);
+                    pb.rocc(launch_funct, r1, r2);
+                }
+            }
+        }
+        pb.await_idle();
+        pb.halt();
+        let program = pb.finish();
+
+        match self.machine.run(&program, self.fuel) {
+            Ok(counters) => {
+                completion.counters = counters;
+                // the program drained the accelerator; re-base its busy
+                // window so the next dispatch starts from a clean clock
+                self.machine.accel.reset_clock(counters.cycles);
+                if let Err(e) = check_result(&self.machine.mem, &spec, &module.layout) {
+                    completion.check_error = Some(e);
+                }
+            }
+            Err(e) => {
+                // recovery: resident tracking is now unreliable, so drop it
+                // (the next dispatch reprograms everything — its emitted
+                // writes equal the cold cost, keeping the ≤-cold guarantee)
+                // and force the accelerator idle so the stale absolute busy
+                // window cannot bleed stall cycles into later dispatches.
+                // The scheduler's shadow copy diverges here, which only
+                // degrades affinity scoring quality for this worker, never
+                // correctness.
+                self.resident.clear();
+                self.machine.accel.reset_clock(u64::MAX);
+                completion.sim_error = Some(e.to_string());
+            }
+        }
+        completion
+    }
+
+    /// Thread entry point: executes jobs until the channel closes.
+    pub fn run_loop(mut self, jobs: Receiver<Job>, results: Sender<Completion>) {
+        while let Ok(job) = jobs.recv() {
+            let completion = self.execute(&job);
+            if results.send(completion).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::build_module;
+    use accfg::pipeline::OptLevel;
+    use accfg_workloads::MatmulSpec;
+
+    fn request(id: u64, accel: &str, spec: MatmulSpec, seed: u64) -> TrafficRequest {
+        TrafficRequest {
+            id,
+            accelerator: accel.into(),
+            spec,
+            arrival: 0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn repeated_single_tile_dispatch_elides_all_configuration() {
+        let desc = AcceleratorDescriptor::opengemm();
+        // a single-invocation shape: the whole register file is identical
+        // across same-shape requests
+        let spec = MatmulSpec::opengemm_paper(8).unwrap();
+        assert_eq!(spec.invocations(), 1);
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+        let mut worker = Worker::new(0, desc, 1 << 20, 10_000_000);
+
+        let first = worker.execute(&Job {
+            request: request(0, "opengemm", spec, 1),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        assert!(first.sim_error.is_none(), "{:?}", first.sim_error);
+        assert!(first.check_error.is_none(), "{:?}", first.check_error);
+        assert_eq!(first.emitted_writes, module.plan.cold_writes);
+
+        let second = worker.execute(&Job {
+            request: request(1, "opengemm", spec, 2),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        assert!(second.check_error.is_none(), "{:?}", second.check_error);
+        // same shape, same canonical addresses: only the launch remains —
+        // the configuration is entirely resident
+        assert_eq!(second.emitted_writes, 0);
+        assert!(second.counters.cycles < first.counters.cycles);
+        assert_eq!(second.counters.launches as i64, spec.invocations());
+    }
+
+    #[test]
+    fn repeated_tiled_dispatch_elides_the_invariant_fields() {
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(16).unwrap();
+        assert!(spec.invocations() > 1);
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+        let mut worker = Worker::new(0, desc, 1 << 20, 10_000_000);
+        let jobs: Vec<Completion> = (0..3)
+            .map(|i| {
+                worker.execute(&Job {
+                    request: request(i, "opengemm", spec, i),
+                    module: Arc::clone(&module),
+                    slot: 0,
+                    elide: true,
+                })
+            })
+            .collect();
+        for c in &jobs {
+            assert!(c.check_error.is_none(), "{:?}", c.check_error);
+        }
+        assert_eq!(jobs[0].emitted_writes, module.plan.cold_writes);
+        // warm repeats still rewrite the per-tile fields of each launch,
+        // but the shape-invariant configuration stays resident
+        assert!(jobs[1].emitted_writes < jobs[0].emitted_writes);
+        // the second and third repeats are in steady state
+        assert_eq!(jobs[1].emitted_writes, jobs[2].emitted_writes);
+    }
+
+    #[test]
+    fn cold_dispatch_ignores_resident_state() {
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(8).unwrap();
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+        let mut worker = Worker::new(0, desc, 1 << 20, 10_000_000);
+        for i in 0..2 {
+            let c = worker.execute(&Job {
+                request: request(i, "opengemm", spec, i),
+                module: Arc::clone(&module),
+                slot: 0,
+                elide: false,
+            });
+            // every non-eliding dispatch pays the full cold cost
+            assert_eq!(c.emitted_writes, module.plan.cold_writes);
+            assert!(c.check_error.is_none());
+        }
+    }
+
+    #[test]
+    fn rocc_worker_is_functionally_correct_across_shapes() {
+        let desc = AcceleratorDescriptor::gemmini();
+        let small = MatmulSpec::gemmini_paper(16).unwrap();
+        let large = MatmulSpec::gemmini_paper(64).unwrap();
+        let small_m = Arc::new(build_module(&desc, small, OptLevel::Dedup).unwrap());
+        let large_m = Arc::new(build_module(&desc, large, OptLevel::Dedup).unwrap());
+        let mut worker = Worker::new(0, desc, 1 << 20, 10_000_000);
+        for (i, (spec, module)) in [(small, &small_m), (large, &large_m), (small, &small_m)]
+            .into_iter()
+            .enumerate()
+        {
+            let c = worker.execute(&Job {
+                request: request(i as u64, "gemmini", spec, 7 + i as u64),
+                module: Arc::clone(module),
+                slot: 0,
+                elide: true,
+            });
+            assert!(c.sim_error.is_none(), "{:?}", c.sim_error);
+            assert!(c.check_error.is_none(), "{:?}", c.check_error);
+        }
+    }
+
+    #[test]
+    fn sim_error_resets_resident_state_and_busy_window() {
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(8).unwrap();
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+        // memory covers A and B but not the C region: input fill succeeds,
+        // the accelerator's store faults mid-run
+        assert!(module.layout.c_addr > 0x2100);
+        let mut worker = Worker::new(0, desc, 0x2100, 10_000_000);
+        let failed = worker.execute(&Job {
+            request: request(0, "opengemm", spec, 1),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        assert!(failed.sim_error.is_some(), "store fault expected");
+        // recovery: accelerator idle, resident dropped — the next dispatch
+        // starts from a clean clock and pays exactly the cold cost
+        assert!(!worker.machine.accel.is_busy(0));
+        assert!(worker.resident.is_empty());
+        let retry = worker.execute(&Job {
+            request: request(1, "opengemm", spec, 2),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        assert_eq!(retry.emitted_writes, module.plan.cold_writes);
+    }
+
+    #[test]
+    fn delta_dispatch_matches_cold_program_results() {
+        // the delta-dispatched result must equal running the full cached
+        // program on a fresh machine
+        let desc = AcceleratorDescriptor::opengemm();
+        let spec = MatmulSpec::opengemm_paper(24).unwrap();
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+
+        let mut worker = Worker::new(0, desc.clone(), 1 << 20, 10_000_000);
+        // warm the worker with a different seed first
+        worker.execute(&Job {
+            request: request(0, "opengemm", spec, 11),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        let delta = worker.execute(&Job {
+            request: request(1, "opengemm", spec, 22),
+            module: Arc::clone(&module),
+            slot: 0,
+            elide: true,
+        });
+        assert!(delta.check_error.is_none());
+        let delta_c = worker
+            .machine
+            .mem
+            .read_i32_slice(module.layout.c_addr as u64, (spec.m * spec.n) as usize)
+            .unwrap();
+
+        let mut fresh = Machine::new(
+            desc.host.clone(),
+            AccelSim::new(desc.accel.clone()),
+            1 << 20,
+        );
+        fill_inputs(&mut fresh.mem, &spec, &module.layout, 22).unwrap();
+        fresh.run(&module.program, 10_000_000).unwrap();
+        let cold_c = fresh
+            .mem
+            .read_i32_slice(module.layout.c_addr as u64, (spec.m * spec.n) as usize)
+            .unwrap();
+        assert_eq!(delta_c, cold_c);
+    }
+}

@@ -284,6 +284,27 @@ impl AccelSim {
         self.staging[index as usize]
     }
 
+    /// Re-bases the accelerator's busy window to cycle 0.
+    ///
+    /// [`Machine::run`](crate::Machine::run) counts cycles from 0 on every
+    /// call, while `busy_until` is absolute; a runtime that dispatches many
+    /// programs onto one persistent machine calls this between programs
+    /// (once the accelerator has drained) so a finished busy window is not
+    /// mistaken for in-flight work. Registers and statistics persist.
+    ///
+    /// # Panics
+    /// Panics if the accelerator still has an in-flight launch, i.e. the
+    /// previous program ended without awaiting completion.
+    pub fn reset_clock(&mut self, program_end_cycle: u64) {
+        assert!(
+            self.busy_until <= program_end_cycle,
+            "reset_clock while the accelerator is busy (busy until {}, program ended at {})",
+            self.busy_until,
+            program_end_cycle
+        );
+        self.busy_until = 0;
+    }
+
     /// Writes a configuration register.
     ///
     /// For [`ConfigScheme::Sequential`] the machine must have stalled until
@@ -563,10 +584,59 @@ mod tests {
         ] {
             acc.write_reg(r, v);
         }
-        assert!(matches!(
-            acc.launch(&mut mem, 0),
-            Err(LaunchError::Mem(_))
-        ));
+        assert!(matches!(acc.launch(&mut mem, 0), Err(LaunchError::Mem(_))));
+    }
+
+    #[test]
+    fn reset_clock_rebases_drained_busy_window() {
+        let mut mem = Memory::new(0x400);
+        mem.write_i8_slice(0x00, &[1; 16]).unwrap();
+        mem.write_i8_slice(0x20, &[1; 16]).unwrap();
+        let mut acc = AccelSim::new(AccelParams::opengemm_like());
+        for (r, v) in [
+            (regmap::A_ADDR, 0x00),
+            (regmap::B_ADDR, 0x20),
+            (regmap::C_ADDR, 0x100),
+            (regmap::M, 4),
+            (regmap::N, 4),
+            (regmap::K, 4),
+            (regmap::STRIDE_A, 4),
+            (regmap::STRIDE_B, 4),
+            (regmap::STRIDE_C, 16),
+        ] {
+            acc.write_reg(r, v);
+        }
+        let done = acc.launch(&mut mem, 0).unwrap();
+        assert!(acc.is_busy(0));
+        acc.reset_clock(done);
+        assert!(!acc.is_busy(0));
+        // registers and stats survive the re-base
+        assert_eq!(acc.reg(regmap::M), 4);
+        assert_eq!(acc.stats.launches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset_clock while the accelerator is busy")]
+    fn reset_clock_rejects_inflight_work() {
+        let mut mem = Memory::new(0x400);
+        mem.write_i8_slice(0x00, &[1; 16]).unwrap();
+        mem.write_i8_slice(0x20, &[1; 16]).unwrap();
+        let mut acc = AccelSim::new(AccelParams::opengemm_like());
+        for (r, v) in [
+            (regmap::A_ADDR, 0x00),
+            (regmap::B_ADDR, 0x20),
+            (regmap::C_ADDR, 0x100),
+            (regmap::M, 4),
+            (regmap::N, 4),
+            (regmap::K, 4),
+            (regmap::STRIDE_A, 4),
+            (regmap::STRIDE_B, 4),
+            (regmap::STRIDE_C, 16),
+        ] {
+            acc.write_reg(r, v);
+        }
+        let done = acc.launch(&mut mem, 0).unwrap();
+        acc.reset_clock(done - 1);
     }
 
     #[test]

@@ -142,11 +142,14 @@ mod tests {
         let h = HostModel::snitch_like();
         let r = Reg(0);
         assert_eq!(h.cycles_for(&Inst::CsrWrite { csr: 0, rs: r }), 1);
-        assert_eq!(h.cycles_for(&Inst::Branch {
-            cond: crate::isa::BranchCond::Eq,
-            rs1: r,
-            rs2: r,
-            target: crate::isa::Label(0),
-        }), 1);
+        assert_eq!(
+            h.cycles_for(&Inst::Branch {
+                cond: crate::isa::BranchCond::Eq,
+                rs1: r,
+                rs2: r,
+                target: crate::isa::Label(0),
+            }),
+            1
+        );
     }
 }

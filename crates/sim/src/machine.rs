@@ -387,8 +387,9 @@ mod tests {
             m.mem.write_i8(0x1100 + i, 1).unwrap();
         }
         let mut p = ProgramBuilder::new();
-        emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100, 64); // long-running tile
-        // while busy: reconfigure (should NOT stall on concurrent hardware)
+        // a long-running tile, then a reconfiguration while it is still
+        // busy (should NOT stall on concurrent hardware)
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100, 64);
         emit_tile_csr(&mut p, 0x100, 0x1100, 0x6100, 64);
         p.await_idle();
         p.halt();
@@ -542,7 +543,10 @@ mod tests {
         assert_eq!(timeline.cycles_of(Activity::Config), c.config_cycles);
         assert_eq!(timeline.cycles_of(Activity::Calc), c.calc_cycles);
         assert_eq!(timeline.cycles_of(Activity::Stall), c.stall_cycles);
-        assert_eq!(timeline.cycles_of(Activity::Busy), m.accel.stats.busy_cycles);
+        assert_eq!(
+            timeline.cycles_of(Activity::Busy),
+            m.accel.stats.busy_cycles
+        );
         assert_eq!(timeline.end(), c.cycles);
     }
 

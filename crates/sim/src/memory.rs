@@ -59,7 +59,9 @@ impl Memory {
 
     fn check(&self, addr: u64, size: usize) -> Result<usize, MemError> {
         let a = addr as usize;
-        if a.checked_add(size).is_some_and(|end| end <= self.bytes.len()) {
+        if a.checked_add(size)
+            .is_some_and(|end| end <= self.bytes.len())
+        {
             Ok(a)
         } else {
             Err(MemError {
@@ -95,7 +97,9 @@ impl Memory {
     /// Fails on out-of-bounds access.
     pub fn read_i32(&self, addr: u64) -> Result<i32, MemError> {
         let a = self.check(addr, 4)?;
-        Ok(i32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("4 bytes")))
+        Ok(i32::from_le_bytes(
+            self.bytes[a..a + 4].try_into().expect("4 bytes"),
+        ))
     }
 
     /// Writes a little-endian i32.
@@ -114,7 +118,9 @@ impl Memory {
     /// Fails on out-of-bounds access.
     pub fn read_i64(&self, addr: u64) -> Result<i64, MemError> {
         let a = self.check(addr, 8)?;
-        Ok(i64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.bytes[a..a + 8].try_into().expect("8 bytes"),
+        ))
     }
 
     /// Writes a little-endian i64.

@@ -69,10 +69,30 @@ impl AcceleratorDescriptor {
             host: HostModel::rocket_like(),
             style: ConfigStyle::RoccPairs { launch_funct: 13 },
             fields: vec![
-                f("A", 64, regmap::A_ADDR, "Address in main memory of matrix A"),
-                f("B", 64, regmap::B_ADDR, "Address in main memory of matrix B"),
-                f("C", 64, regmap::C_ADDR, "Address in main memory of matrix C"),
-                f("D", 64, regmap::D_ADDR, "Address in main memory of matrix D"),
+                f(
+                    "A",
+                    64,
+                    regmap::A_ADDR,
+                    "Address in main memory of matrix A",
+                ),
+                f(
+                    "B",
+                    64,
+                    regmap::B_ADDR,
+                    "Address in main memory of matrix B",
+                ),
+                f(
+                    "C",
+                    64,
+                    regmap::C_ADDR,
+                    "Address in main memory of matrix C",
+                ),
+                f(
+                    "D",
+                    64,
+                    regmap::D_ADDR,
+                    "Address in main memory of matrix D",
+                ),
                 f("I", 16, regmap::M, "Rows of the output tile"),
                 f("J", 16, regmap::N, "Columns of the output tile"),
                 f("K", 16, regmap::K, "Reduction depth of the tile"),
@@ -80,21 +100,81 @@ impl AcceleratorDescriptor {
                 f("stride_B", 64, regmap::STRIDE_B, "Row stride to access B"),
                 f("stride_C", 64, regmap::STRIDE_C, "Row stride to access C"),
                 f("stride_D", 64, regmap::STRIDE_D, "Row stride to access D"),
-                f("flags", 8, regmap::FLAGS, "act / A_transpose / B_transpose bits"),
+                f(
+                    "flags",
+                    8,
+                    regmap::FLAGS,
+                    "act / A_transpose / B_transpose bits",
+                ),
                 // the gemmini.h software layer also computes and writes all
                 // of these per invocation — the "parameter calculation" cost
                 // behind the effective configuration bandwidth of §4.4
-                f("spad_A", 32, regmap::SPAD_A, "Scratchpad-local address of A"),
-                f("spad_B", 32, regmap::SPAD_B, "Scratchpad-local address of B"),
-                f("spad_C", 32, regmap::SPAD_C, "Accumulator-bank address of C"),
-                f("spad_D", 32, regmap::SPAD_D, "Scratchpad-local address of D"),
-                f("loop_sizes", 48, regmap::LOOP_SIZES, "Packed I|J<<16|K<<32 bounds"),
-                f("loop_pads", 48, regmap::LOOP_PADS, "Packed pad_I|pad_J<<16|pad_K<<32"),
-                f("config_ex", 64, regmap::CONFIG_EX, "Execute-pipeline config word"),
-                f("config_ld_A", 64, regmap::CONFIG_LD_A, "Load-mover config for A"),
-                f("config_ld_B", 64, regmap::CONFIG_LD_B, "Load-mover config for B"),
-                f("config_ld_D", 64, regmap::CONFIG_LD_D, "Load-mover config for D"),
-                f("config_st", 64, regmap::CONFIG_ST, "Store-mover config for C"),
+                f(
+                    "spad_A",
+                    32,
+                    regmap::SPAD_A,
+                    "Scratchpad-local address of A",
+                ),
+                f(
+                    "spad_B",
+                    32,
+                    regmap::SPAD_B,
+                    "Scratchpad-local address of B",
+                ),
+                f(
+                    "spad_C",
+                    32,
+                    regmap::SPAD_C,
+                    "Accumulator-bank address of C",
+                ),
+                f(
+                    "spad_D",
+                    32,
+                    regmap::SPAD_D,
+                    "Scratchpad-local address of D",
+                ),
+                f(
+                    "loop_sizes",
+                    48,
+                    regmap::LOOP_SIZES,
+                    "Packed I|J<<16|K<<32 bounds",
+                ),
+                f(
+                    "loop_pads",
+                    48,
+                    regmap::LOOP_PADS,
+                    "Packed pad_I|pad_J<<16|pad_K<<32",
+                ),
+                f(
+                    "config_ex",
+                    64,
+                    regmap::CONFIG_EX,
+                    "Execute-pipeline config word",
+                ),
+                f(
+                    "config_ld_A",
+                    64,
+                    regmap::CONFIG_LD_A,
+                    "Load-mover config for A",
+                ),
+                f(
+                    "config_ld_B",
+                    64,
+                    regmap::CONFIG_LD_B,
+                    "Load-mover config for B",
+                ),
+                f(
+                    "config_ld_D",
+                    64,
+                    regmap::CONFIG_LD_D,
+                    "Load-mover config for D",
+                ),
+                f(
+                    "config_st",
+                    64,
+                    regmap::CONFIG_ST,
+                    "Store-mover config for C",
+                ),
                 f("mvin_scale", 32, regmap::MVIN_SCALE, "Input scale factor"),
             ],
         }
@@ -126,22 +206,87 @@ impl AcceleratorDescriptor {
                 f("stride_B", 32, regmap::STRIDE_B, "Row stride of B in bytes"),
                 f("stride_C", 32, regmap::STRIDE_C, "Row stride of C in bytes"),
                 f("stride_D", 32, regmap::STRIDE_D, "Row stride of D in bytes"),
-                f("flags", 8, regmap::FLAGS, "Activation and transpose switches"),
+                f(
+                    "flags",
+                    8,
+                    regmap::FLAGS,
+                    "Activation and transpose switches",
+                ),
                 // the SNAX data streamers feeding the GeMM core have their
                 // own per-operand CSRs (temporal loop bound + spatial
                 // stride); the host must program all of them per launch
-                f("streamer_A_bound", 32, regmap::SPAD_A, "Streamer A temporal bound"),
-                f("streamer_A_stride", 32, regmap::SPAD_B, "Streamer A spatial stride"),
-                f("streamer_B_bound", 32, regmap::SPAD_C, "Streamer B temporal bound"),
-                f("streamer_B_stride", 32, regmap::SPAD_D, "Streamer B spatial stride"),
-                f("streamer_C_bound", 32, regmap::LOOP_SIZES, "Streamer C temporal bound"),
-                f("streamer_C_stride", 32, regmap::LOOP_PADS, "Streamer C spatial stride"),
-                f("streamer_A_bound2", 32, regmap::CONFIG_EX, "Streamer A inner bound"),
-                f("streamer_A_stride2", 32, regmap::CONFIG_LD_A, "Streamer A inner stride"),
-                f("streamer_B_bound2", 32, regmap::CONFIG_LD_B, "Streamer B inner bound"),
-                f("streamer_B_stride2", 32, regmap::CONFIG_LD_D, "Streamer B inner stride"),
-                f("streamer_C_bound2", 32, regmap::CONFIG_ST, "Streamer C inner bound"),
-                f("streamer_C_stride2", 32, regmap::MVIN_SCALE, "Streamer C inner stride"),
+                f(
+                    "streamer_A_bound",
+                    32,
+                    regmap::SPAD_A,
+                    "Streamer A temporal bound",
+                ),
+                f(
+                    "streamer_A_stride",
+                    32,
+                    regmap::SPAD_B,
+                    "Streamer A spatial stride",
+                ),
+                f(
+                    "streamer_B_bound",
+                    32,
+                    regmap::SPAD_C,
+                    "Streamer B temporal bound",
+                ),
+                f(
+                    "streamer_B_stride",
+                    32,
+                    regmap::SPAD_D,
+                    "Streamer B spatial stride",
+                ),
+                f(
+                    "streamer_C_bound",
+                    32,
+                    regmap::LOOP_SIZES,
+                    "Streamer C temporal bound",
+                ),
+                f(
+                    "streamer_C_stride",
+                    32,
+                    regmap::LOOP_PADS,
+                    "Streamer C spatial stride",
+                ),
+                f(
+                    "streamer_A_bound2",
+                    32,
+                    regmap::CONFIG_EX,
+                    "Streamer A inner bound",
+                ),
+                f(
+                    "streamer_A_stride2",
+                    32,
+                    regmap::CONFIG_LD_A,
+                    "Streamer A inner stride",
+                ),
+                f(
+                    "streamer_B_bound2",
+                    32,
+                    regmap::CONFIG_LD_B,
+                    "Streamer B inner bound",
+                ),
+                f(
+                    "streamer_B_stride2",
+                    32,
+                    regmap::CONFIG_LD_D,
+                    "Streamer B inner stride",
+                ),
+                f(
+                    "streamer_C_bound2",
+                    32,
+                    regmap::CONFIG_ST,
+                    "Streamer C inner bound",
+                ),
+                f(
+                    "streamer_C_stride2",
+                    32,
+                    regmap::MVIN_SCALE,
+                    "Streamer C inner stride",
+                ),
             ],
         }
     }
@@ -180,6 +325,17 @@ impl AcceleratorDescriptor {
     pub fn supports_overlap(&self) -> bool {
         self.accel.scheme == accfg_sim::ConfigScheme::Concurrent
     }
+
+    /// The overlap-pass filter for this target: everything on concurrent
+    /// hardware, nothing on sequential hardware. Pass this to
+    /// [`accfg::pipeline::pipeline`] when compiling for one descriptor.
+    pub fn overlap_filter(&self) -> accfg::AccelFilter {
+        if self.supports_overlap() {
+            accfg::AccelFilter::All
+        } else {
+            accfg::AccelFilter::Only(vec![])
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +347,10 @@ mod tests {
         let d = AcceleratorDescriptor::gemmini();
         assert_eq!(d.accel.peak_ops_per_cycle(), 512);
         assert!(!d.supports_overlap());
-        assert!(matches!(d.style, ConfigStyle::RoccPairs { launch_funct: 13 }));
+        assert!(matches!(
+            d.style,
+            ConfigStyle::RoccPairs { launch_funct: 13 }
+        ));
         assert_eq!(d.host.alu, 3); // the paper's 3 cycles/instruction
     }
 

@@ -16,7 +16,7 @@
 //! reproduces.
 
 use crate::descriptor::{AcceleratorDescriptor, ConfigStyle};
-use accfg::{setup_fields, accelerator as accfg_accel};
+use accfg::{accelerator as accfg_accel, setup_fields};
 use accfg_ir::{BlockId, CmpPredicate, Module, OpId, Opcode, ValueId};
 use accfg_sim::{AluOp, BranchCond, Program, ProgramBuilder, Reg};
 use std::collections::HashMap;
@@ -60,12 +60,14 @@ impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::UnsupportedOp { op } => write!(f, "cannot lower op `{op}`"),
-            LowerError::UnknownField {
-                accelerator,
-                field,
-            } => write!(f, "accelerator `{accelerator}` has no field `{field}`"),
+            LowerError::UnknownField { accelerator, field } => {
+                write!(f, "accelerator `{accelerator}` has no field `{field}`")
+            }
             LowerError::WrongAccelerator { expected, found } => {
-                write!(f, "program targets `{found}` but descriptor is for `{expected}`")
+                write!(
+                    f,
+                    "program targets `{found}` but descriptor is for `{expected}`"
+                )
             }
             LowerError::NoSuchFunc(name) => write!(f, "no function named `{name}`"),
             LowerError::ArgCount { expected, provided } => {
@@ -366,12 +368,13 @@ impl<'a> Lowerer<'a> {
         match self.desc.style {
             ConfigStyle::Csr => {
                 for (name, value) in fields {
-                    let spec = self.desc.field(&name).ok_or_else(|| {
-                        LowerError::UnknownField {
+                    let spec = self
+                        .desc
+                        .field(&name)
+                        .ok_or_else(|| LowerError::UnknownField {
                             accelerator: self.desc.name.clone(),
                             field: name.clone(),
-                        }
-                    })?;
+                        })?;
                     let vr = self.reg_for(value);
                     self.pb.csr_write(spec.reg, vr);
                     self.shadow.insert(spec.reg, vr);
@@ -381,12 +384,13 @@ impl<'a> Lowerer<'a> {
                 // group freshly-written registers into pairs
                 let mut written: HashMap<u16, Reg> = HashMap::new();
                 for (name, value) in fields {
-                    let spec = self.desc.field(&name).ok_or_else(|| {
-                        LowerError::UnknownField {
+                    let spec = self
+                        .desc
+                        .field(&name)
+                        .ok_or_else(|| LowerError::UnknownField {
                             accelerator: self.desc.name.clone(),
                             field: name.clone(),
-                        }
-                    })?;
+                        })?;
                     let vr = self.reg_for(value);
                     written.insert(spec.reg, vr);
                 }
@@ -481,8 +485,14 @@ mod tests {
 
     fn fill_inputs(machine: &mut Machine, a: u64, b: u64, size: usize) {
         for i in 0..size * size {
-            machine.mem.write_i8(a + i as u64, (i % 5) as i8 - 2).unwrap();
-            machine.mem.write_i8(b + i as u64, (i % 7) as i8 - 3).unwrap();
+            machine
+                .mem
+                .write_i8(a + i as u64, (i % 5) as i8 - 2)
+                .unwrap();
+            machine
+                .mem
+                .write_i8(b + i as u64, (i % 7) as i8 - 3)
+                .unwrap();
         }
     }
 
@@ -507,7 +517,8 @@ mod tests {
         let desc = AcceleratorDescriptor::opengemm();
         let m = single_tile_ir(&desc, 8);
         let prog = compile(&m, "kernel", &desc, &[0x100, 0x200, 0x300]).unwrap();
-        let mut machine = Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x1000);
+        let mut machine =
+            Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x1000);
         fill_inputs(&mut machine, 0x100, 0x200, 8);
         let expected = reference_matmul(&machine, 0x100, 0x200, 8);
         let counters = machine.run(&prog, 100_000).unwrap();
@@ -520,7 +531,8 @@ mod tests {
         let desc = AcceleratorDescriptor::gemmini();
         let m = single_tile_ir(&desc, 8);
         let prog = compile(&m, "kernel", &desc, &[0x100, 0x200, 0x300]).unwrap();
-        let mut machine = Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x1000);
+        let mut machine =
+            Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x1000);
         fill_inputs(&mut machine, 0x100, 0x200, 8);
         let expected = reference_matmul(&machine, 0x100, 0x200, 8);
         let counters = machine.run(&prog, 100_000).unwrap();
@@ -595,8 +607,11 @@ mod tests {
             let mut m = tiled_ir(&desc, 8, 8);
             pipeline(level, AccelFilter::All).run(&mut m).unwrap();
             let prog = compile(&m, "tiled", &desc, &[0x100, 0x4000, 0x8000]).unwrap();
-            let mut machine =
-                Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x20000);
+            let mut machine = Machine::new(
+                desc.host.clone(),
+                AccelSim::new(desc.accel.clone()),
+                0x20000,
+            );
             fill_inputs(&mut machine, 0x100, 0x4000, 8);
             machine.run(&prog, 1_000_000).unwrap()
         };
@@ -618,14 +633,22 @@ mod tests {
             let mut m = tiled_ir(&desc, 8, 16);
             pipeline(level, AccelFilter::All).run(&mut m).unwrap();
             let prog = compile(&m, "tiled", &desc, &[0x400, 0x4000, 0x8000]).unwrap();
-            let mut machine =
-                Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x20000);
+            let mut machine = Machine::new(
+                desc.host.clone(),
+                AccelSim::new(desc.accel.clone()),
+                0x20000,
+            );
             fill_inputs(&mut machine, 0x400, 0x4000, 16);
             machine.run(&prog, 1_000_000).unwrap()
         };
         let base = run(OptLevel::Base);
         let all = run(OptLevel::All);
-        assert!(all.cycles < base.cycles, "base={} all={}", base.cycles, all.cycles);
+        assert!(
+            all.cycles < base.cycles,
+            "base={} all={}",
+            base.cycles,
+            all.cycles
+        );
         assert!(all.overlap_cycles > base.overlap_cycles, "{all:?}");
     }
 
@@ -637,8 +660,11 @@ mod tests {
             let mut m = tiled_ir(&desc, 4, 8);
             pipeline(level, AccelFilter::All).run(&mut m).unwrap();
             let prog = compile(&m, "tiled", &desc, &[0x100, 0x4000, 0x8000]).unwrap();
-            let mut machine =
-                Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), 0x20000);
+            let mut machine = Machine::new(
+                desc.host.clone(),
+                AccelSim::new(desc.accel.clone()),
+                0x20000,
+            );
             fill_inputs(&mut machine, 0x100, 0x4000, 8);
             machine.run(&prog, 1_000_000).unwrap();
             let c = machine.mem.read_i32_slice(0x8000, 4 * 64).unwrap();

@@ -85,11 +85,7 @@ pub fn reference_c(
 /// # Errors
 /// Returns a description of the first mismatching element, or a memory
 /// fault.
-pub fn check_result(
-    mem: &Memory,
-    spec: &MatmulSpec,
-    layout: &MatmulLayout,
-) -> Result<(), String> {
+pub fn check_result(mem: &Memory, spec: &MatmulSpec, layout: &MatmulLayout) -> Result<(), String> {
     let expected = reference_c(mem, spec, layout).map_err(|e| e.to_string())?;
     for (idx, &want) in expected.iter().enumerate() {
         let addr = layout.c_addr as u64 + 4 * idx as u64;
@@ -146,7 +142,8 @@ mod tests {
         }
         // write the correct values and it passes
         for (idx, v) in reference.iter().enumerate() {
-            mem.write_i32(layout.c_addr as u64 + 4 * idx as u64, *v).unwrap();
+            mem.write_i32(layout.c_addr as u64 + 4 * idx as u64, *v)
+                .unwrap();
         }
         check_result(&mem, &spec, &layout).unwrap();
     }

@@ -236,7 +236,9 @@ pub fn single_invocation_ir(desc: &AcceleratorDescriptor, spec: &MatmulSpec) -> 
     let mut m = Module::new();
     let (mut b, args) = FuncBuilder::new_func(&mut m, "matmul", vec![Type::I64; 3]);
     let flags = b.const_index(base_flags(spec));
-    emit_invocation(&mut b, &names, &desc.name, spec, args[0], args[1], args[2], flags);
+    emit_invocation(
+        &mut b, &names, &desc.name, spec, args[0], args[1], args[2], flags,
+    );
     b.ret(vec![]);
     m
 }
@@ -710,8 +712,18 @@ mod tests {
                 run_and_check(&desc, &spec, level, m).cycles
             })
             .collect();
-        assert!(cycles[1] < cycles[0], "dedup {} !< base {}", cycles[1], cycles[0]);
-        assert!(cycles[2] < cycles[1], "all {} !< dedup {}", cycles[2], cycles[1]);
+        assert!(
+            cycles[1] < cycles[0],
+            "dedup {} !< base {}",
+            cycles[1],
+            cycles[0]
+        );
+        assert!(
+            cycles[2] < cycles[1],
+            "all {} !< dedup {}",
+            cycles[2],
+            cycles[1]
+        );
     }
 
     #[test]
@@ -732,7 +744,12 @@ mod tests {
         let spec = MatmulSpec::gemmini_paper(128).unwrap();
         let base = run_and_check(&desc, &spec, OptLevel::Base, gemmini_ws_ir(&desc, &spec));
         let dedup = run_and_check(&desc, &spec, OptLevel::Dedup, gemmini_ws_ir(&desc, &spec));
-        assert!(dedup.host_cycles < base.host_cycles, "{} !< {}", dedup.host_cycles, base.host_cycles);
+        assert!(
+            dedup.host_cycles < base.host_cycles,
+            "{} !< {}",
+            dedup.host_cycles,
+            base.host_cycles
+        );
         assert!(dedup.config_bytes < base.config_bytes);
     }
 
@@ -744,7 +761,9 @@ mod tests {
         let l1 = MatmulLayout::at(0x1000, &spec1);
         let l2 = MatmulLayout::at(l1.end, &spec2);
         let mut m = layer_sequence_ir(&desc, &[(spec1, l1), (spec2, l2)]);
-        pipeline(OptLevel::All, AccelFilter::All).run(&mut m).unwrap();
+        pipeline(OptLevel::All, AccelFilter::All)
+            .run(&mut m)
+            .unwrap();
         let prog = compile(&m, "layers", &desc, &[]).unwrap();
         let mut machine = Machine::new(
             desc.host.clone(),

@@ -13,13 +13,16 @@
 //!   matrix-multiplication kernels;
 //! - [`layer_sequence_ir`]: MLP-style back-to-back layer dispatches;
 //! - [`data`]: deterministic input generation and reference results for
-//!   functional checking.
+//!   functional checking;
+//! - [`traffic`]: deterministic open-loop request streams for the
+//!   `accfg-runtime` serving layer.
 
 #![warn(missing_docs)]
 
 pub mod data;
 pub mod gen;
 pub mod spec;
+pub mod traffic;
 
 pub use data::{check_result, fill_inputs, reference_c, SplitMix};
 pub use gen::{
@@ -27,3 +30,4 @@ pub use gen::{
     tiled_nested_ir,
 };
 pub use spec::{MatmulLayout, MatmulSpec, SpecError};
+pub use traffic::{mixed_serving_classes, TrafficClass, TrafficConfig, TrafficRequest};

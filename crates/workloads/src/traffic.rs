@@ -1,0 +1,189 @@
+//! Deterministic open-loop request-stream generation for the serving
+//! runtime.
+//!
+//! The paper eliminates redundant configuration *within* one compiled
+//! program; a serving system sees the same redundancy *across requests* —
+//! consecutive requests with similar shapes reprogram identical registers
+//! on every dispatch. The generators here produce the request streams that
+//! expose that: an open-loop arrival process (arrivals do not wait for
+//! completions) over a weighted mix of matmul shapes per accelerator,
+//! fully determined by a seed so every run, test, and CI job sees the
+//! identical stream.
+
+use crate::data::SplitMix;
+use crate::spec::{MatmulSpec, SpecError};
+
+/// One dispatchable unit of work in a request stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRequest {
+    /// Stream-unique id, increasing in arrival order.
+    pub id: u64,
+    /// Target accelerator (an [`AcceleratorDescriptor`] name).
+    ///
+    /// [`AcceleratorDescriptor`]: accfg_targets::AcceleratorDescriptor
+    pub accelerator: String,
+    /// The matmul to execute.
+    pub spec: MatmulSpec,
+    /// Simulated arrival cycle (open-loop: independent of service times).
+    pub arrival: u64,
+    /// Seed for this request's input data.
+    pub seed: u64,
+}
+
+/// One shape class in the traffic mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficClass {
+    /// Target accelerator name.
+    pub accelerator: String,
+    /// The shape requests of this class carry.
+    pub spec: MatmulSpec,
+    /// Relative draw weight (classes with weight 0 never occur).
+    pub weight: u32,
+}
+
+/// Parameters of an open-loop stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// The shape classes and their weights.
+    pub classes: Vec<TrafficClass>,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean inter-arrival gap in cycles (gaps are uniform in
+    /// `[0, 2·mean_gap]`, so the mean is exact).
+    pub mean_gap: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Generates the stream, sorted by arrival (ids follow arrival order).
+    ///
+    /// # Errors
+    /// Fails if no class has a positive weight.
+    pub fn open_loop_stream(&self) -> Result<Vec<TrafficRequest>, SpecError> {
+        let total_weight: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
+        if total_weight == 0 {
+            return Err(SpecError {
+                message: "traffic mix needs at least one class with positive weight".into(),
+            });
+        }
+        let mut rng = SplitMix::new(self.seed);
+        let mut arrival = 0u64;
+        let mut out = Vec::with_capacity(self.requests);
+        for id in 0..self.requests as u64 {
+            arrival += rng.next_u64() % (2 * self.mean_gap + 1);
+            let mut pick = rng.next_u64() % total_weight;
+            let class = self
+                .classes
+                .iter()
+                .find(|c| {
+                    let w = u64::from(c.weight);
+                    if pick < w {
+                        true
+                    } else {
+                        pick -= w;
+                        false
+                    }
+                })
+                .expect("weighted pick is in range");
+            out.push(TrafficRequest {
+                id,
+                accelerator: class.accelerator.clone(),
+                spec: class.spec,
+                arrival,
+                seed: rng.next_u64(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// The canonical mixed-shape serving mix used by `serve_bench` and the
+/// integration tests: three shapes per platform, biased toward the small
+/// ones (inference-style traffic).
+///
+/// # Panics
+/// Never — the shapes are statically valid.
+pub fn mixed_serving_classes() -> Vec<TrafficClass> {
+    let gemmini = |size: i64, weight: u32| TrafficClass {
+        accelerator: "gemmini".into(),
+        spec: MatmulSpec::gemmini_paper(size).expect("valid gemmini size"),
+        weight,
+    };
+    let opengemm = |size: i64, weight: u32| TrafficClass {
+        accelerator: "opengemm".into(),
+        spec: MatmulSpec::opengemm_paper(size).expect("valid opengemm size"),
+        weight,
+    };
+    vec![
+        gemmini(16, 4),
+        gemmini(32, 2),
+        gemmini(64, 1),
+        opengemm(16, 4),
+        opengemm(24, 2),
+        opengemm(32, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(requests: usize, seed: u64) -> TrafficConfig {
+        TrafficConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            mean_gap: 100,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = config(500, 7).open_loop_stream().unwrap();
+        let b = config(500, 7).open_loop_stream().unwrap();
+        assert_eq!(a, b);
+        let c = config(500, 8).open_loop_stream().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_ids_sequential() {
+        let stream = config(1000, 42).open_loop_stream().unwrap();
+        assert_eq!(stream.len(), 1000);
+        for (i, pair) in stream.windows(2).enumerate() {
+            assert!(pair[0].arrival <= pair[1].arrival, "at {i}");
+        }
+        for (i, r) in stream.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let stream = config(6000, 1).open_loop_stream().unwrap();
+        let count = |accel: &str| stream.iter().filter(|r| r.accelerator == accel).count();
+        let gemmini = count("gemmini");
+        let opengemm = count("opengemm");
+        // equal total weight per platform: each side gets roughly half
+        assert!((2400..=3600).contains(&gemmini), "{gemmini}");
+        assert_eq!(gemmini + opengemm, 6000);
+    }
+
+    #[test]
+    fn mean_gap_is_roughly_honoured() {
+        let stream = config(4000, 3).open_loop_stream().unwrap();
+        let span = stream.last().unwrap().arrival;
+        let mean = span as f64 / 4000.0;
+        assert!((80.0..120.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn zero_weight_mix_is_rejected() {
+        let mut cfg = config(10, 0);
+        for c in &mut cfg.classes {
+            c.weight = 0;
+        }
+        assert!(cfg.open_loop_stream().is_err());
+    }
+}

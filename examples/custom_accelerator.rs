@@ -74,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         peak: desc.accel.peak_ops_per_cycle() as f64,
         config_bandwidth: 4.0 / 8.0,
     };
-    println!("\nroofline: peak {} ops/cycle, knee at I_OC = {} ops/byte", roofline.peak, roofline.knee());
+    println!(
+        "\nroofline: peak {} ops/cycle, knee at I_OC = {} ops/byte",
+        roofline.peak,
+        roofline.knee()
+    );
 
     let spec = MatmulSpec::new((32, 32, 32), (8, 8, 32))?;
     let i_oc = spec.total_ops() as f64 / (spec.invocations() as f64 * 16.0 * 4.0);
@@ -91,8 +95,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for level in [OptLevel::Base, OptLevel::All] {
         let mut m = matmul_ir(&desc, &spec);
         pipeline(level, AccelFilter::All).run(&mut m)?;
-        let prog = compile(&m, "matmul", &desc, &[layout.a_addr, layout.b_addr, layout.c_addr])?;
-        let mut machine = Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), layout.end as usize);
+        let prog = compile(
+            &m,
+            "matmul",
+            &desc,
+            &[layout.a_addr, layout.b_addr, layout.c_addr],
+        )?;
+        let mut machine = Machine::new(
+            desc.host.clone(),
+            AccelSim::new(desc.accel.clone()),
+            layout.end as usize,
+        );
         fill_inputs(&mut machine.mem, &spec, &layout, 9)?;
         let counters = machine.run(&prog, 100_000_000)?;
         check_result(&machine.mem, &spec, &layout).map_err(std::io::Error::other)?;
@@ -104,6 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         cycles.push(counters.cycles);
     }
-    println!("\naccfg speedup on a target it has never seen: x{:.2}", cycles[0] as f64 / cycles[1] as f64);
+    println!(
+        "\naccfg speedup on a target it has never seen: x{:.2}",
+        cycles[0] as f64 / cycles[1] as f64
+    );
     Ok(())
 }

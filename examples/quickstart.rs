@@ -14,7 +14,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = MatmulSpec::opengemm_paper(32)?;
     let layout = MatmulLayout::at(0x1000, &spec);
 
-    println!("== workload: {}x{}x{} matmul, {} tile invocations ==", spec.m, spec.n, spec.k, spec.invocations());
+    println!(
+        "== workload: {}x{}x{} matmul, {} tile invocations ==",
+        spec.m,
+        spec.n,
+        spec.k,
+        spec.invocations()
+    );
 
     // step 1 (Figure 8): the frontend emits setup/launch/await clusters
     let module = matmul_ir(&desc, &spec);
@@ -29,9 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", configuration_wall::ir::print_module(&m));
         }
         // step 5: lowering to the target instruction stream
-        let prog = compile(&m, "matmul", &desc, &[layout.a_addr, layout.b_addr, layout.c_addr])?;
+        let prog = compile(
+            &m,
+            "matmul",
+            &desc,
+            &[layout.a_addr, layout.b_addr, layout.c_addr],
+        )?;
         // cycle-level co-simulation with functional execution
-        let mut machine = Machine::new(desc.host.clone(), AccelSim::new(desc.accel.clone()), layout.end as usize);
+        let mut machine = Machine::new(
+            desc.host.clone(),
+            AccelSim::new(desc.accel.clone()),
+            layout.end as usize,
+        );
         fill_inputs(&mut machine.mem, &spec, &layout, 42)?;
         let counters = machine.run(&prog, 100_000_000)?;
         check_result(&machine.mem, &spec, &layout).map_err(std::io::Error::other)?;
@@ -45,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         results.push(counters.cycles);
     }
-    println!("\nspeedup from accfg optimizations: x{:.2}", results[0] as f64 / results[1] as f64);
+    println!(
+        "\nspeedup from accfg optimizations: x{:.2}",
+        results[0] as f64 / results[1] as f64
+    );
     Ok(())
 }

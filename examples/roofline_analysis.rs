@@ -14,7 +14,10 @@ fn main() {
         peak: 512.0,
         config_bandwidth: 16.0 / 9.0,
     };
-    println!("Gemmini configuration roofline: knee at I_OC = {:.0} ops/byte\n", roofline.knee());
+    println!(
+        "Gemmini configuration roofline: knee at I_OC = {:.0} ops/byte\n",
+        roofline.knee()
+    );
 
     // classify matmul workloads of growing size (one 64-wide strip each)
     let mut points = Vec::new();
@@ -30,7 +33,10 @@ fn main() {
         );
         points.push((i_oc, attainable));
         if bound == Bound::Configuration {
-            println!("{:15}^ hit the configuration wall: a faster array would not help", "");
+            println!(
+                "{:15}^ hit the configuration wall: a faster array would not help",
+                ""
+            );
         }
     }
 
@@ -40,17 +46,33 @@ fn main() {
     println!(
         "64x64x64 utilization drops from {:.1} % to {:.1} % (paper: 41.49 % -> 26.78 %)",
         100.0 * roofline.utilization_sequential(204.8),
-        100.0 * ConfigRoofline { peak: 512.0, config_bandwidth: bw_eff }.utilization_sequential(204.8),
+        100.0
+            * ConfigRoofline {
+                peak: 512.0,
+                config_bandwidth: bw_eff
+            }
+            .utilization_sequential(204.8),
     );
 
     let seq = |x: f64| roofline.attainable_sequential(x);
     let conc = |x: f64| roofline.attainable_concurrent(x);
-    let series = [Series { label: "matmul strips".into(), marker: 'o', points }];
+    let series = [Series {
+        label: "matmul strips".into(),
+        marker: 'o',
+        points,
+    }];
     println!(
         "\n{}",
         render(
-            &PlotConfig { x_range: (16.0, 16384.0), y_range: (8.0, 1024.0), ..Default::default() },
-            &[("sequential (Eq. 3)", '.', &seq), ("concurrent (Eq. 2)", '-', &conc)],
+            &PlotConfig {
+                x_range: (16.0, 16384.0),
+                y_range: (8.0, 1024.0),
+                ..Default::default()
+            },
+            &[
+                ("sequential (Eq. 3)", '.', &seq),
+                ("concurrent (Eq. 2)", '-', &conc)
+            ],
             &series,
         )
     );

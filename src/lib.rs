@@ -14,7 +14,10 @@
 //! - [`sim`] — the cycle-level host + accelerator co-simulator
 //! - [`targets`] — accelerator descriptors and IR → instruction lowering
 //! - [`roofline`] — Equations 1–5 of the paper
-//! - [`workloads`] — tiled-matmul IR generators and reference results
+//! - [`workloads`] — tiled-matmul IR generators, reference results, and
+//!   request-stream traffic generation
+//! - [`runtime`] — the config-affinity serving runtime: compiled-module
+//!   cache, resident-state-aware dispatch, and pooled simulated workers
 //!
 //! See the `examples/` directory for runnable end-to-end walkthroughs and
 //! `crates/bench` for the binaries regenerating every table and figure.
@@ -35,6 +38,7 @@
 pub use accfg as core;
 pub use accfg_ir as ir;
 pub use accfg_roofline as roofline;
+pub use accfg_runtime as runtime;
 pub use accfg_sim as sim;
 pub use accfg_targets as targets;
 pub use accfg_workloads as workloads;
@@ -46,7 +50,8 @@ pub mod prelude {
     pub use accfg::{interpret, AccelFilter};
     pub use accfg_ir::{FuncBuilder, Module, PassManager, Type};
     pub use accfg_roofline::{ConfigRoofline, ProcessorRoofline, Roofsurface};
+    pub use accfg_runtime::{Policy, PoolConfig, Runtime, ServeConfig};
     pub use accfg_sim::{AccelParams, AccelSim, HostModel, Machine};
     pub use accfg_targets::{compile, AcceleratorDescriptor};
-    pub use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec};
+    pub use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec, TrafficConfig};
 }

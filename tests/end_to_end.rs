@@ -146,13 +146,9 @@ fn optimizations_never_change_config_bytes_observed_at_launch() {
     let spec = MatmulSpec::opengemm_paper(16).unwrap();
     let layout = MatmulLayout::at(0x1000, &spec);
     let args = [layout.a_addr, layout.b_addr, layout.c_addr];
-    let reference = configuration_wall::core::interpret(
-        &matmul_ir(&desc, &spec),
-        "matmul",
-        &args,
-        10_000_000,
-    )
-    .unwrap();
+    let reference =
+        configuration_wall::core::interpret(&matmul_ir(&desc, &spec), "matmul", &args, 10_000_000)
+            .unwrap();
     for level in OptLevel::ALL_LEVELS {
         let mut m = matmul_ir(&desc, &spec);
         pipeline(level, AccelFilter::All).run(&mut m).unwrap();

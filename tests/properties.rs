@@ -86,10 +86,9 @@ fn program() -> impl Strategy<Value = Vec<Segment>> {
 /// Materializes a generated program as accfg IR over `f(arg0, arg1, cond)`.
 fn build(segments: &[Segment]) -> Module {
     let mut m = Module::new();
-    let (mut b, args) =
-        FuncBuilder::new_func(&mut m, "f", vec![Type::I64, Type::I64, Type::I1]);
-    let field_value = |b: &mut FuncBuilder<'_>, kind: FieldKind, iv: Option<accfg_ir::ValueId>| {
-        match kind {
+    let (mut b, args) = FuncBuilder::new_func(&mut m, "f", vec![Type::I64, Type::I64, Type::I1]);
+    let field_value =
+        |b: &mut FuncBuilder<'_>, kind: FieldKind, iv: Option<accfg_ir::ValueId>| match kind {
             FieldKind::Const(c) => b.const_index(i64::from(c)),
             FieldKind::Arg(second) => args[usize::from(second)],
             FieldKind::IvDerived(c) => match iv {
@@ -99,8 +98,7 @@ fn build(segments: &[Segment]) -> Module {
                 }
                 None => b.const_index(i64::from(c).wrapping_mul(3)),
             },
-        }
-    };
+        };
     let emit_cluster =
         |b: &mut FuncBuilder<'_>, fs: &[(usize, FieldKind)], iv: Option<accfg_ir::ValueId>| {
             let resolved: Vec<(&str, accfg_ir::ValueId)> = fs

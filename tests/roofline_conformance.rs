@@ -96,7 +96,10 @@ fn all_combines_both_movements() {
         let overlap = run_opengemm(size, OptLevel::Overlap);
         let all = run_opengemm(size, OptLevel::All);
         // the paper's arrow 3: the biggest speedup comes from both
-        assert!(all.perf() >= dedup.perf().max(overlap.perf()), "size={size}");
+        assert!(
+            all.perf() >= dedup.perf().max(overlap.perf()),
+            "size={size}"
+        );
         // and it inherits dedup's intensity gain
         assert!(all.i_oc() > base.i_oc() * 1.2, "size={size}");
     }
