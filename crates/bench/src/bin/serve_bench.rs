@@ -1,6 +1,7 @@
 //! Serving benchmark for the `accfg-runtime` dispatch layer: throughput,
-//! latency, and configuration-write savings of the scheduling policies on
-//! a mixed-shape open-loop stream over both evaluation platforms.
+//! latency, and configuration-write savings of the scheduling policies
+//! across arrival processes and shape mixes, over both evaluation
+//! platforms.
 //!
 //! Policies:
 //!
@@ -10,29 +11,128 @@
 //!   (isolates the value of cross-request state tracking);
 //! - `fifo+elide+batch` — the above plus adjacent same-shape batching
 //!   (batching's clearest win: it overrides round-robin scattering);
-//! - `affinity` — config-affinity routing plus elision;
-//! - `affinity+batch` — affinity with batching (affinity already keeps
-//!   same-shape runs together, so batching mostly pins them across
-//!   load-balance boundaries).
+//! - `affinity` — config-affinity routing (queue-depth-aware, in
+//!   estimated outstanding cycles) plus elision;
+//! - `affinity+batch` — affinity with batching.
 //!
-//! Writes the raw per-policy metrics to `BENCH_runtime.json`.
+//! Streams:
+//!
+//! - `mixed` — the canonical six-shape open-loop mix (routing and balance
+//!   both matter);
+//! - `shape_heavy` — sixteen shapes over four workers: no static
+//!   partition keeps every worker warm, so the routing term dominates;
+//! - `bursty` — on/off arrivals that build deep queues, the worst case
+//!   for sticky routing's tail latency;
+//! - `closed_loop` — a fixed client population, self-limiting arrivals.
+//!
+//! Writes the raw per-stream, per-policy metrics to `BENCH_runtime.json`
+//! (validated as strict JSON before the file lands). Pass
+//! `--requests <n>` for a reduced smoke run and `--out <path>` to write
+//! the report elsewhere (CI uses both to avoid clobbering the committed
+//! artifact).
 
-use accfg_bench::markdown_table;
+use accfg_bench::{json, markdown_table};
 use accfg_runtime::{Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics};
 use accfg_targets::AcceleratorDescriptor;
-use accfg_workloads::{mixed_serving_classes, TrafficConfig};
+use accfg_workloads::{
+    mixed_serving_classes, shape_heavy_classes, BurstyConfig, ClosedLoopConfig, TrafficConfig,
+    TrafficRequest,
+};
 
-const REQUESTS: usize = 12_000;
+const DEFAULT_REQUESTS: usize = 12_000;
 
-fn main() {
-    let stream = TrafficConfig {
+fn policies(include_batch: bool) -> Vec<(&'static str, ServeConfig)> {
+    let base = |policy| ServeConfig {
+        policy,
+        ..ServeConfig::default()
+    };
+    let batched = |policy| ServeConfig {
+        policy,
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    let mut out = vec![
+        ("fifo", base(Policy::Fifo)),
+        ("fifo+elide", base(Policy::FifoElide)),
+    ];
+    if include_batch {
+        out.push(("fifo+elide+batch", batched(Policy::FifoElide)));
+    }
+    out.push(("affinity", base(Policy::ConfigAffinity)));
+    if include_batch {
+        out.push(("affinity+batch", batched(Policy::ConfigAffinity)));
+    }
+    out
+}
+
+fn streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
+    let mixed = TrafficConfig {
         classes: mixed_serving_classes(),
-        requests: REQUESTS,
+        requests,
         mean_gap: 200,
         seed: 0xC0FFEE,
     }
     .open_loop_stream()
     .expect("valid traffic mix");
+    let shape_heavy = TrafficConfig {
+        classes: shape_heavy_classes(),
+        requests,
+        mean_gap: 400,
+        seed: 0x5EED,
+    }
+    .open_loop_stream()
+    .expect("valid shape-heavy mix");
+    let bursty = BurstyConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        burst_len: 24,
+        burst_gap: 60,
+        idle_gap: 12_000,
+        seed: 0xB0257,
+    }
+    .stream()
+    .expect("valid bursty mix");
+    let closed_loop = ClosedLoopConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        clients: 12,
+        think_time: 400,
+        service_estimate: 250,
+        seed: 0xC105ED,
+    }
+    .stream()
+    .expect("valid closed-loop mix");
+    // the batch variants only on the canonical mix: they change placement,
+    // not the routing-vs-balance story the extra streams characterize
+    vec![
+        ("mixed", mixed, true),
+        ("shape_heavy", shape_heavy, false),
+        ("bursty", bursty, false),
+        ("closed_loop", closed_loop, false),
+    ]
+}
+
+fn main() {
+    let mut requests = DEFAULT_REQUESTS;
+    let mut out_path = String::from("BENCH_runtime.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--requests takes a positive integer");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out takes a file path");
+            }
+            other => {
+                panic!("unknown argument `{other}` (supported: --requests <n>, --out <path>)")
+            }
+        }
+    }
 
     let mut runtime = Runtime::new(
         PoolConfig::new(vec![
@@ -42,119 +142,128 @@ fn main() {
         .with_workers_per_accelerator(2),
     );
 
-    let configs: Vec<(&str, ServeConfig)> = vec![
-        (
-            "fifo",
-            ServeConfig {
-                policy: Policy::Fifo,
-                ..ServeConfig::default()
-            },
-        ),
-        (
-            "fifo+elide",
-            ServeConfig {
-                policy: Policy::FifoElide,
-                ..ServeConfig::default()
-            },
-        ),
-        (
-            "fifo+elide+batch",
-            ServeConfig {
-                policy: Policy::FifoElide,
-                max_batch: 8,
-                ..ServeConfig::default()
-            },
-        ),
-        (
-            "affinity",
-            ServeConfig {
-                policy: Policy::ConfigAffinity,
-                ..ServeConfig::default()
-            },
-        ),
-        (
-            "affinity+batch",
-            ServeConfig {
-                policy: Policy::ConfigAffinity,
-                max_batch: 8,
-                ..ServeConfig::default()
-            },
-        ),
-    ];
+    println!("serve_bench: {requests} requests per stream, 2 workers/accelerator\n");
 
-    println!(
-        "serve_bench: {REQUESTS} requests, {} shape classes, 2 workers/accelerator\n",
-        mixed_serving_classes().len()
-    );
+    let mut all: Vec<(&str, Vec<(String, ServeMetrics)>)> = Vec::new();
+    for (stream_name, stream, include_batch) in &streams(requests) {
+        let mut results: Vec<(String, ServeMetrics)> = Vec::new();
+        for (label, cfg) in &policies(*include_batch) {
+            let report = runtime.serve(stream, cfg).expect("serve succeeds");
+            assert_eq!(
+                report.metrics.check_failures, 0,
+                "{stream_name}/{label}: functional checks failed"
+            );
+            assert_eq!(
+                report.metrics.sim_failures, 0,
+                "{stream_name}/{label}: simulation failed"
+            );
+            results.push((label.to_string(), report.metrics));
+        }
 
-    let mut results: Vec<(String, ServeMetrics)> = Vec::new();
-    for (label, cfg) in &configs {
-        let report = runtime.serve(&stream, cfg).expect("serve succeeds");
-        assert_eq!(
-            report.metrics.check_failures, 0,
-            "{label}: functional checks failed"
+        let fifo = results[0].1.clone();
+        let elide_p99 = results
+            .iter()
+            .find(|(l, _)| l == "fifo+elide")
+            .expect("fifo+elide row")
+            .1
+            .latency
+            .p99;
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|(label, m)| {
+                vec![
+                    label.clone(),
+                    m.setup_writes.to_string(),
+                    format!("{:.1}%", 100.0 * m.write_savings_vs(&fifo)),
+                    m.makespan.to_string(),
+                    format!("{:.1}", m.throughput_per_mcycle()),
+                    m.latency.p50.to_string(),
+                    m.latency.p99.to_string(),
+                    format!("{:.2}", m.latency.p99 as f64 / elide_p99.max(1) as f64),
+                    m.queue_depth.max.to_string(),
+                ]
+            })
+            .collect();
+        println!("== {stream_name} ==");
+        print!(
+            "{}",
+            markdown_table(
+                &[
+                    "policy",
+                    "setup writes",
+                    "saved vs fifo",
+                    "makespan (cyc)",
+                    "req/Mcycle",
+                    "p50 lat",
+                    "p99 lat",
+                    "p99 / elide p99",
+                    "max qdepth",
+                ],
+                &rows,
+            )
         );
-        assert_eq!(report.metrics.sim_failures, 0, "{label}: simulation failed");
-        results.push((label.to_string(), report.metrics));
+
+        let affinity = &results
+            .iter()
+            .find(|(label, _)| label == "affinity")
+            .expect("affinity row present")
+            .1;
+        assert!(
+            affinity.setup_writes <= fifo.setup_writes,
+            "{stream_name}: affinity wrote more than fifo"
+        );
+        println!(
+            "affinity: {:.1}% fewer setup writes than fifo, p99 {:.2}x fifo+elide\n",
+            100.0 * affinity.write_savings_vs(&fifo),
+            affinity.latency.p99 as f64 / elide_p99.max(1) as f64,
+        );
+        all.push((stream_name, results));
     }
 
-    let baseline = results[0].1.clone();
-    let rows: Vec<Vec<String>> = results
+    // per-class SLO view of the canonical mix under affinity
+    let mixed_affinity = &all[0]
+        .1
         .iter()
-        .map(|(label, m)| {
+        .find(|(label, _)| label == "affinity")
+        .expect("affinity on mixed")
+        .1;
+    println!("== mixed / affinity, per class ==");
+    let class_rows: Vec<Vec<String>> = mixed_affinity
+        .per_class
+        .iter()
+        .map(|c| {
             vec![
-                label.clone(),
-                m.setup_writes.to_string(),
-                format!("{:.1}%", 100.0 * m.write_savings_vs(&baseline)),
-                m.config_bytes.to_string(),
-                m.makespan.to_string(),
-                format!("{:.1}", m.throughput_per_mcycle()),
-                m.latency.p50.to_string(),
-                m.latency.p99.to_string(),
-                format!("{:.1}%", 100.0 * m.cache.hit_rate()),
+                c.class.clone(),
+                c.requests.to_string(),
+                c.latency.p50.to_string(),
+                c.latency.p99.to_string(),
+                c.latency.max.to_string(),
             ]
         })
         .collect();
     print!(
         "{}",
-        markdown_table(
-            &[
-                "policy",
-                "setup writes",
-                "saved vs fifo",
-                "config bytes",
-                "makespan (cyc)",
-                "req/Mcycle",
-                "p50 lat",
-                "p99 lat",
-                "cache hits",
-            ],
-            &rows,
-        )
+        markdown_table(&["class", "requests", "p50", "p99", "max"], &class_rows)
     );
 
-    let affinity = &results
-        .iter()
-        .find(|(label, _)| label == "affinity")
-        .expect("affinity row present")
-        .1;
-    println!(
-        "\nconfig-affinity eliminates {:.1}% of setup register writes vs the FIFO baseline",
-        100.0 * affinity.write_savings_vs(&baseline)
-    );
-
-    let mut json = String::from("{\n");
-    for (i, (label, m)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let body = m
-            .to_json()
-            .lines()
-            .map(|l| format!("  {l}"))
-            .collect::<Vec<_>>()
-            .join("\n");
-        json.push_str(&format!("  \"{label}\": {}{comma}\n", body.trim_start()));
+    let mut out = String::from("{\n");
+    for (si, (stream_name, results)) in all.iter().enumerate() {
+        let stream_comma = if si + 1 == all.len() { "" } else { "," };
+        out.push_str(&format!("  \"{stream_name}\": {{\n"));
+        for (i, (label, m)) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            let body = m
+                .to_json()
+                .lines()
+                .map(|l| format!("    {l}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            out.push_str(&format!("    \"{label}\": {}{comma}\n", body.trim_start()));
+        }
+        out.push_str(&format!("  }}{stream_comma}\n"));
     }
-    json.push_str("}\n");
-    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
-    println!("raw metrics: BENCH_runtime.json");
+    out.push_str("}\n");
+    json::validate(&out).expect("benchmark report must be strict JSON");
+    std::fs::write(&out_path, &out).expect("write benchmark report");
+    println!("\nraw metrics: {out_path} (validated as strict JSON)");
 }

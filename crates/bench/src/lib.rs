@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod json;
 
 use accfg::pipeline::{pipeline, OptLevel};
 use accfg_roofline::ConfigRoofline;

@@ -1,0 +1,14 @@
+//! The committed `BENCH_runtime.json` artifact must stay strict JSON —
+//! every downstream consumer (plots, dashboards, the paper tables) parses
+//! it with an ordinary JSON parser, and the file is hand-rendered.
+
+#[test]
+fn committed_bench_runtime_json_is_strict_json() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_runtime.json exists");
+    accfg_bench::json::validate(&text).expect("committed BENCH_runtime.json is strict JSON");
+    // and it reports the streams the serving benchmark promises
+    for stream in ["mixed", "shape_heavy", "bursty", "closed_loop"] {
+        assert!(text.contains(&format!("\"{stream}\"")), "missing {stream}");
+    }
+}

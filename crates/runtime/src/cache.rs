@@ -11,10 +11,10 @@
 //! across dispatches.
 
 use crate::error::ServeError;
-use crate::plan::DispatchPlan;
+use crate::plan::{DispatchPlan, RegMap};
 use accfg::interp::interpret;
 use accfg::pipeline::{pipeline, OptLevel};
-use accfg_sim::Program;
+use accfg_sim::{AccelSim, Machine, Program};
 use accfg_targets::{compile, AcceleratorDescriptor};
 use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec};
 use std::collections::HashMap;
@@ -35,6 +35,52 @@ pub struct CacheKey {
     pub opt: OptLevel,
 }
 
+/// Predicted execution cycles of one dispatch as a function of the
+/// configuration writes it must emit.
+///
+/// Built by running the module's dispatch program twice on a scratch
+/// machine at compile time: once against a blank register file (the cold
+/// cost) and once against the plan's own final state (the steady-state
+/// warm repeat). The scheduler interpolates linearly between the two
+/// anchors on the write count — exactly the quantity affinity scoring
+/// already computes — so queue depth can be held in *estimated
+/// outstanding cycles* instead of dispatch counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Writes a dispatch onto a blank register file emits.
+    pub cold_writes: u64,
+    /// Measured cycles of that cold dispatch.
+    pub cold_cycles: u64,
+    /// Writes a steady-state same-module repeat emits.
+    pub warm_writes: u64,
+    /// Measured cycles of that warm repeat.
+    pub warm_cycles: u64,
+}
+
+impl CostModel {
+    /// Predicted cycles for a dispatch that must emit `writes`
+    /// configuration writes.
+    pub fn predict(&self, writes: u64) -> u64 {
+        if self.cold_writes <= self.warm_writes || self.cold_cycles <= self.warm_cycles {
+            // degenerate anchors (e.g. a plan with no elidable state):
+            // every dispatch costs the larger measurement
+            return self.cold_cycles.max(self.warm_cycles);
+        }
+        let span_w = self.cold_writes - self.warm_writes;
+        let span_c = self.cold_cycles - self.warm_cycles;
+        if writes >= self.cold_writes {
+            self.cold_cycles
+        } else if writes >= self.warm_writes {
+            self.warm_cycles + (writes - self.warm_writes) * span_c / span_w
+        } else {
+            // fully-resident dispatches (fewer writes than even the warm
+            // repeat) extrapolate below the warm anchor
+            self.warm_cycles
+                .saturating_sub((self.warm_writes - writes) * span_c / span_w)
+        }
+    }
+}
+
 /// One fully compiled, dispatch-ready module.
 #[derive(Debug)]
 pub struct CompiledModule {
@@ -47,6 +93,8 @@ pub struct CompiledModule {
     pub program: Program,
     /// The launch-level plan the dispatcher diffs against resident state.
     pub plan: DispatchPlan,
+    /// Cold/warm cycle measurements for queue-depth prediction.
+    pub cost: CostModel,
     /// Field writes the optimized IR performs (the compiler's static count,
     /// for comparison against the dispatcher's dynamic count).
     pub ir_setup_writes: usize,
@@ -143,6 +191,7 @@ pub fn build_module(
     let program = compile(&module, "matmul", desc, &args)?;
     let trace = interpret(&module, "matmul", &args, PLAN_FUEL)?;
     let plan = DispatchPlan::from_trace(&trace, desc)?;
+    let cost = measure_cost(desc, &layout, &plan)?;
     Ok(CompiledModule {
         key: CacheKey {
             accelerator: desc.name.clone(),
@@ -152,7 +201,43 @@ pub fn build_module(
         layout,
         program,
         plan,
+        cost,
         ir_setup_writes: trace.setup_writes,
+    })
+}
+
+/// Measures the plan's cold and warm dispatch cycles on a scratch machine
+/// (zeroed inputs — only timing is sampled, not results), anchoring the
+/// [`CostModel`] the scheduler predicts queue depth with.
+fn measure_cost(
+    desc: &AcceleratorDescriptor,
+    layout: &MatmulLayout,
+    plan: &DispatchPlan,
+) -> Result<CostModel, ServeError> {
+    let mut machine = Machine::new(
+        desc.host.clone(),
+        AccelSim::new(desc.accel.clone()),
+        layout.end as usize,
+    );
+    let measure = |machine: &mut Machine, program: &Program| -> Result<u64, ServeError> {
+        let counters = machine
+            .run(program, PLAN_FUEL)
+            .map_err(|e| ServeError::CostMeasurement(e.to_string()))?;
+        // the program drained the accelerator; re-base its busy window so
+        // the warm run starts from a clean clock, like a pool worker
+        machine.accel.reset_clock(counters.cycles);
+        Ok(counters.cycles)
+    };
+    let mut resident = RegMap::new();
+    let (cold_program, cold_writes) = plan.delta_program(&mut resident);
+    let cold_cycles = measure(&mut machine, &cold_program)?;
+    let (warm_program, warm_writes) = plan.delta_program(&mut resident);
+    let warm_cycles = measure(&mut machine, &warm_program)?;
+    Ok(CostModel {
+        cold_writes,
+        cold_cycles,
+        warm_writes,
+        warm_cycles,
     })
 }
 
@@ -203,6 +288,57 @@ mod tests {
             assert!(module.plan.cold_writes > 0);
             assert!(!module.program.is_empty());
         }
+    }
+
+    #[test]
+    fn cost_model_anchors_are_measured_and_ordered() {
+        for (desc, spec) in [
+            (
+                AcceleratorDescriptor::opengemm(),
+                MatmulSpec::opengemm_paper(16).unwrap(),
+            ),
+            (
+                AcceleratorDescriptor::gemmini(),
+                MatmulSpec::gemmini_paper(32).unwrap(),
+            ),
+        ] {
+            let module = build_module(&desc, spec, OptLevel::All).unwrap();
+            let cost = module.cost;
+            assert_eq!(cost.cold_writes, module.plan.cold_writes);
+            assert!(cost.cold_cycles > 0);
+            assert!(cost.warm_cycles > 0);
+            // eliding resident state can only shrink a dispatch
+            assert!(cost.warm_writes <= cost.cold_writes);
+            assert!(cost.warm_cycles <= cost.cold_cycles, "{cost:?}");
+        }
+    }
+
+    #[test]
+    fn cost_prediction_interpolates_between_anchors() {
+        let cost = CostModel {
+            cold_writes: 100,
+            cold_cycles: 1000,
+            warm_writes: 20,
+            warm_cycles: 200,
+        };
+        assert_eq!(cost.predict(100), 1000);
+        assert_eq!(cost.predict(200), 1000); // clamped above the cold anchor
+        assert_eq!(cost.predict(20), 200);
+        assert_eq!(cost.predict(60), 600);
+        // fully-resident dispatches extrapolate below the warm anchor
+        assert!(cost.predict(0) < 200);
+        // prediction is monotone in the write count
+        let preds: Vec<u64> = (0..=120).map(|w| cost.predict(w)).collect();
+        assert!(preds.windows(2).all(|p| p[0] <= p[1]));
+        // degenerate anchors never divide by zero
+        let flat = CostModel {
+            cold_writes: 5,
+            cold_cycles: 50,
+            warm_writes: 5,
+            warm_cycles: 50,
+        };
+        assert_eq!(flat.predict(0), 50);
+        assert_eq!(flat.predict(99), 50);
     }
 
     #[test]

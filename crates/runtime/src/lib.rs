@@ -63,9 +63,12 @@ pub mod runtime;
 pub mod scheduler;
 pub mod worker;
 
-pub use cache::{build_module, CacheKey, CacheStats, CompiledModule, ModuleCache};
+pub use cache::{build_module, CacheKey, CacheStats, CompiledModule, CostModel, ModuleCache};
 pub use error::ServeError;
-pub use metrics::{LatencyStats, ServeMetrics, WorkerMetrics};
+pub use metrics::{
+    class_label, ClassLatency, DepthHistogram, LatencyStats, ServeMetrics, WorkerMetrics,
+    DEPTH_BUCKETS,
+};
 pub use plan::{delta_writes, DispatchPlan, LaunchSpec, RegMap, WriteCmd};
 pub use runtime::{PoolConfig, Runtime, ServeConfig, ServeReport};
 pub use scheduler::{Policy, Scheduler};

@@ -3,7 +3,30 @@
 //! rendering for `BENCH_runtime.json`.
 
 use crate::cache::CacheStats;
+use accfg_workloads::MatmulSpec;
 use std::fmt::Write as _;
+
+/// The class label used in per-class metrics: `<accelerator>/<m>x<n>x<k>`.
+pub fn class_label(accelerator: &str, spec: &MatmulSpec) -> String {
+    format!("{}/{}x{}x{}", accelerator, spec.m, spec.n, spec.k)
+}
+
+/// Escapes a string for embedding in the hand-rendered JSON report
+/// (custom accelerator names are arbitrary user input).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Latency distribution over served requests, in simulated cycles.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -20,6 +43,12 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes the distribution from raw per-request latencies.
+    ///
+    /// Percentiles use the nearest-rank (ceiling) definition: the p-th
+    /// percentile is the smallest sample value such that at least `p` of
+    /// the samples are ≤ it. The earlier `round`-based index selection
+    /// underreported p99 on small samples (e.g. it picked the 66th of 67
+    /// sorted values where nearest-rank requires the 67th).
     pub fn from_latencies(latencies: &[u64]) -> Self {
         if latencies.is_empty() {
             return Self::default();
@@ -27,8 +56,8 @@ impl LatencyStats {
         let mut sorted = latencies.to_vec();
         sorted.sort_unstable();
         let pick = |p: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
+            let rank = (sorted.len() as f64 * p).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
         };
         Self {
             p50: pick(0.50),
@@ -36,6 +65,72 @@ impl LatencyStats {
             max: *sorted.last().expect("nonempty"),
             mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
         }
+    }
+}
+
+/// Latency distribution of one traffic class (accelerator + shape) — the
+/// per-class view an SLO is written against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassLatency {
+    /// Class label, `<accelerator>/<m>x<n>x<k>`.
+    pub class: String,
+    /// Requests of this class served.
+    pub requests: u64,
+    /// Arrival-to-completion latency distribution.
+    pub latency: LatencyStats,
+}
+
+/// Number of exact buckets in a [`DepthHistogram`]; deeper queues fold
+/// into the last bucket.
+pub const DEPTH_BUCKETS: usize = 16;
+
+/// Histogram of the queue depth each request observed at dispatch time —
+/// how many earlier dispatches on its worker were still unfinished at its
+/// arrival. Depths of `DEPTH_BUCKETS - 1` or more share the last bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthHistogram {
+    /// `counts[d]` = requests that saw depth `d` (last bucket: `≥ d`).
+    pub counts: Vec<u64>,
+    /// Deepest queue any request landed behind.
+    pub max: u64,
+}
+
+impl Default for DepthHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; DEPTH_BUCKETS],
+            max: 0,
+        }
+    }
+}
+
+impl DepthHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed queue depth.
+    pub fn record(&mut self, depth: u64) {
+        let bucket = (depth as usize).min(DEPTH_BUCKETS - 1);
+        self.counts[bucket] += 1;
+        self.max = self.max.max(depth);
+    }
+
+    /// Total requests recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of requests that saw a queue depth of at least `depth`
+    /// (clamped to the exact-bucket range).
+    pub fn fraction_at_least(&self, depth: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let from = (depth as usize).min(DEPTH_BUCKETS - 1);
+        self.counts[from..].iter().sum::<u64>() as f64 / total as f64
     }
 }
 
@@ -80,6 +175,10 @@ pub struct ServeMetrics {
     pub makespan: u64,
     /// Latency distribution (arrival → completion).
     pub latency: LatencyStats,
+    /// Per-class latency distributions, sorted by class label.
+    pub per_class: Vec<ClassLatency>,
+    /// Queue depth observed by each request at dispatch time.
+    pub queue_depth: DepthHistogram,
     /// Module-cache statistics for the run.
     pub cache: CacheStats,
     /// Requests coalesced into a predecessor's batch.
@@ -121,7 +220,7 @@ impl ServeMetrics {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"policy\": \"{}\",", self.policy);
+        let _ = writeln!(out, "  \"policy\": \"{}\",", escape_json(&self.policy));
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"check_failures\": {},", self.check_failures);
         let _ = writeln!(out, "  \"sim_failures\": {},", self.sim_failures);
@@ -137,6 +236,36 @@ impl ServeMetrics {
             "  \"latency\": {{ \"p50\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }},",
             self.latency.p50, self.latency.p99, self.latency.max, self.latency.mean
         );
+        out.push_str("  \"per_class\": {\n");
+        for (i, c) in self.per_class.iter().enumerate() {
+            let comma = if i + 1 == self.per_class.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = writeln!(
+                out,
+                "    \"{}\": {{ \"requests\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}, \"mean\": {:.1} }}{comma}",
+                escape_json(&c.class),
+                c.requests,
+                c.latency.p50,
+                c.latency.p99,
+                c.latency.max,
+                c.latency.mean
+            );
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(
+            out,
+            "  \"queue_depth\": {{ \"counts\": [{}], \"max\": {} }},",
+            self.queue_depth
+                .counts
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.queue_depth.max
+        );
         let _ = writeln!(
             out,
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},",
@@ -151,7 +280,11 @@ impl ServeMetrics {
             let _ = writeln!(
                 out,
                 "    {{ \"index\": {}, \"accelerator\": \"{}\", \"requests\": {}, \"busy_cycles\": {}, \"finish\": {} }}{comma}",
-                w.index, w.accelerator, w.requests, w.busy_cycles, w.finish
+                w.index,
+                escape_json(&w.accelerator),
+                w.requests,
+                w.busy_cycles,
+                w.finish
             );
         }
         out.push_str("  ]\n}");
@@ -176,6 +309,18 @@ mod tests {
             sim_cycles: 50_000,
             makespan: 20_000,
             latency: LatencyStats::from_latencies(&[10, 20, 30, 40, 1000]),
+            per_class: vec![ClassLatency {
+                class: "opengemm/16x16x16".into(),
+                requests: 100,
+                latency: LatencyStats::from_latencies(&[10, 20, 30, 40, 1000]),
+            }],
+            queue_depth: {
+                let mut h = DepthHistogram::new();
+                for d in [0, 0, 1, 2, 40] {
+                    h.record(d);
+                }
+                h
+            },
             cache: CacheStats {
                 hits: 95,
                 misses: 5,
@@ -199,6 +344,55 @@ mod tests {
         assert_eq!(l.max, 5);
         assert!((l.mean - 3.0).abs() < 1e-12);
         assert_eq!(LatencyStats::from_latencies(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // even sample count: nearest-rank p50 of 4 samples is the 2nd
+        // value, not the round-to-3rd the old selection produced
+        let l = LatencyStats::from_latencies(&[1, 2, 3, 4]);
+        assert_eq!(l.p50, 2);
+        // 67 samples: ceil(0.99 · 67) = 67 → p99 is the maximum; the old
+        // round((n-1) · 0.99) = 65 picked the 66th value and underreported
+        let sorted: Vec<u64> = (1..=67).collect();
+        let l = LatencyStats::from_latencies(&sorted);
+        assert_eq!(l.p99, 67);
+        assert_eq!(l.p50, 34); // ceil(33.5) = 34th value
+                               // a single sample is every percentile
+        let l = LatencyStats::from_latencies(&[9]);
+        assert_eq!((l.p50, l.p99, l.max), (9, 9, 9));
+        // 100 samples of 0..100: p99 = 99th value = 98
+        let sorted: Vec<u64> = (0..100).collect();
+        assert_eq!(LatencyStats::from_latencies(&sorted).p99, 98);
+    }
+
+    #[test]
+    fn json_escapes_user_controlled_strings() {
+        let mut m = metrics();
+        m.policy = "aff\"in\\ity".into();
+        m.per_class[0].class = "my \"fast\"\naccel/8x8x8".into();
+        m.workers[0].accelerator = "quo\"ted".into();
+        let j = m.to_json();
+        assert!(j.contains(r#""policy": "aff\"in\\ity""#), "{j}");
+        assert!(j.contains(r#""my \"fast\"\u000aaccel/8x8x8""#), "{j}");
+        assert!(j.contains(r#""accelerator": "quo\"ted""#), "{j}");
+    }
+
+    #[test]
+    fn depth_histogram_buckets_and_overflow() {
+        let mut h = DepthHistogram::new();
+        for d in 0..(DEPTH_BUCKETS as u64 + 10) {
+            h.record(d);
+        }
+        assert_eq!(h.total(), DEPTH_BUCKETS as u64 + 10);
+        assert_eq!(h.counts[0], 1);
+        // the last bucket folds every deeper observation
+        assert_eq!(h.counts[DEPTH_BUCKETS - 1], 11);
+        assert_eq!(h.max, DEPTH_BUCKETS as u64 + 9);
+        assert!((h.fraction_at_least(0) - 1.0).abs() < 1e-12);
+        let deep = 11.0 / (DEPTH_BUCKETS as f64 + 10.0);
+        assert!((h.fraction_at_least(DEPTH_BUCKETS as u64 - 1) - deep).abs() < 1e-12);
+        assert_eq!(DepthHistogram::new().fraction_at_least(3), 0.0);
     }
 
     #[test]

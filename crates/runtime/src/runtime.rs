@@ -18,12 +18,15 @@
 
 use crate::cache::{CacheStats, CompiledModule, ModuleCache};
 use crate::error::ServeError;
-use crate::metrics::{LatencyStats, ServeMetrics, WorkerMetrics};
+use crate::metrics::{
+    class_label, ClassLatency, DepthHistogram, LatencyStats, ServeMetrics, WorkerMetrics,
+};
 use crate::scheduler::{Policy, Scheduler};
 use crate::worker::{Completion, Job, Worker};
 use accfg::pipeline::OptLevel;
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::TrafficRequest;
+use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -177,7 +180,9 @@ impl Runtime {
         }
         let module_of = |i: usize| modules[i].as_ref().expect("resolved above");
 
-        // schedule, coalescing adjacent same-module requests into batches
+        // schedule, coalescing adjacent same-module requests into batches;
+        // the serve-loop clock is each head request's arrival cycle, which
+        // drains completed work from the scheduler's queue estimates
         let mut scheduler = Scheduler::new(cfg.policy, workers.len(), groups.len());
         let mut assignment = vec![0usize; stream.len()];
         let mut batched_requests = 0u64;
@@ -191,10 +196,10 @@ impl Runtime {
                 end += 1;
             }
             let g = group_of(&stream[head].accelerator)?;
-            let worker = scheduler.choose(g, &groups[g], module_of(head));
+            let worker = scheduler.choose(g, &groups[g], module_of(head), stream[head].arrival);
             for &slot in &order[pos..end] {
                 assignment[slot] = worker;
-                scheduler.commit(worker, module_of(slot));
+                scheduler.commit(worker, module_of(slot), stream[slot].arrival);
             }
             batched_requests += (end - pos - 1) as u64;
             pos = end;
@@ -245,12 +250,17 @@ impl Runtime {
             .collect();
 
         // deterministic latency replay: each worker executes its dispatch
-        // sequence back-to-back on the simulated clock
+        // sequence back-to-back on the simulated clock; along the way,
+        // record the queue depth each request observed at its arrival
+        // (how many earlier dispatches on its worker were still pending)
         let mut latencies = vec![0u64; stream.len()];
         let mut worker_metrics = Vec::new();
+        let mut queue_depth = DepthHistogram::new();
         for (w, slots) in dispatch_order.iter().enumerate() {
             let mut ready = 0u64;
             let mut busy = 0u64;
+            let mut finishes: Vec<u64> = Vec::with_capacity(slots.len());
+            let mut drained = 0usize;
             for &i in slots {
                 let cycles = completions[i].counters.cycles;
                 let start = ready.max(stream[i].arrival);
@@ -258,6 +268,13 @@ impl Runtime {
                 latencies[i] = finish - stream[i].arrival;
                 ready = finish;
                 busy += cycles;
+                // finishes are monotone and arrivals nondecreasing per
+                // worker, so a single pointer drains completed work
+                while drained < finishes.len() && finishes[drained] <= stream[i].arrival {
+                    drained += 1;
+                }
+                queue_depth.record((finishes.len() - drained) as u64);
+                finishes.push(finish);
             }
             worker_metrics.push(WorkerMetrics {
                 index: w,
@@ -267,6 +284,24 @@ impl Runtime {
                 finish: ready,
             });
         }
+
+        // per-class latency distributions (the SLO view), keyed by
+        // accelerator + shape, in sorted label order
+        let mut class_latencies: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for (i, request) in stream.iter().enumerate() {
+            class_latencies
+                .entry(class_label(&request.accelerator, &request.spec))
+                .or_default()
+                .push(latencies[i]);
+        }
+        let per_class: Vec<ClassLatency> = class_latencies
+            .into_iter()
+            .map(|(class, lat)| ClassLatency {
+                class,
+                requests: lat.len() as u64,
+                latency: LatencyStats::from_latencies(&lat),
+            })
+            .collect();
 
         let cache_after = self.cache.stats;
         let metrics = ServeMetrics {
@@ -284,6 +319,8 @@ impl Runtime {
             sim_cycles: completions.iter().map(|c| c.counters.cycles).sum(),
             makespan: worker_metrics.iter().map(|w| w.finish).max().unwrap_or(0),
             latency: LatencyStats::from_latencies(&latencies),
+            per_class,
+            queue_depth,
             cache: CacheStats {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,

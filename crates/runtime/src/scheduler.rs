@@ -4,15 +4,27 @@
 //! file (a shadow copy, updated with exactly the deltas the worker will
 //! apply) and, under [`Policy::ConfigAffinity`], routes each request to
 //! the compatible worker whose resident state minimizes the configuration
-//! writes the dispatch must emit — among workers within [`LOAD_SLACK`]
-//! dispatches of the group's least-loaded, so stickiness cannot starve
-//! the rest of the pool. [`Policy::Fifo`] is the baseline a
+//! writes the dispatch must emit — among workers whose *estimated
+//! outstanding cycles* are within [`LOAD_SLACK_CYCLES`] of the group's
+//! shortest queue, so stickiness cannot starve the pool or build
+//! head-of-line queues. [`Policy::Fifo`] is the baseline a
 //! config-oblivious load balancer would use: strict round-robin over the
 //! compatible workers, in arrival order.
+//!
+//! Load is tracked as a queue *depth in cycles*, not a dispatch count:
+//! each commit extends the worker's estimated drain time by the module's
+//! predicted execution cycles ([`CostModel::predict`] over the writes the
+//! dispatch will emit), and the serve-loop clock — each request's arrival
+//! cycle — drains completed work. A same-config batch of `k` requests
+//! therefore weighs `k` predicted dispatches, and a heavyweight module
+//! weighs more than a light one, which is what keeps affinity's tail
+//! latency close to round-robin while it still wins on writes.
 //!
 //! Routing decisions are made synchronously in the serve loop — before
 //! jobs reach the worker threads — so scheduling, and with it every
 //! metric, is deterministic regardless of thread interleaving.
+//!
+//! [`CostModel::predict`]: crate::cache::CostModel::predict
 
 use crate::cache::CompiledModule;
 use crate::plan::{delta_writes, RegMap};
@@ -57,25 +69,42 @@ impl Policy {
     }
 }
 
-/// How far (in assigned requests) a worker may run ahead of its group's
-/// least-loaded worker before affinity scoring prefers balance over
+/// How many estimated outstanding *cycles* a worker's queue may run ahead
+/// of its group's shortest before affinity scoring prefers balance over
 /// resident-state overlap.
 ///
 /// Pure min-writes routing degenerates: once one worker is warm it scores
 /// below a blank worker for *every* shape, so the rest of the group
-/// starves and tail latency explodes. Bucketing the load difference by
+/// starves and tail latency explodes. Bucketing the queue-depth gap by
 /// this slack keeps dispatches sticky over short horizons (where the
-/// write savings are) while bounding imbalance. Elision — not routing —
-/// is what guarantees affinity never writes more than the cold FIFO
-/// baseline, so this trade-off cannot break that property.
-const LOAD_SLACK: u64 = 16;
+/// write savings are) while bounding the queue a request can land behind.
+/// The horizon is *exclusive*: a worker whose gap is exactly at the
+/// boundary already falls into the next pressure bucket (see the
+/// `pressure` bucketing below). Elision — not routing — is what guarantees affinity
+/// never writes more than the cold FIFO baseline, so this trade-off
+/// cannot break that property.
+pub const LOAD_SLACK_CYCLES: u64 = 256;
+
+/// Buckets a worker's outstanding-cycle gap over the group's shortest
+/// queue into a balance-pressure class.
+///
+/// Workers whose gap is strictly within [`LOAD_SLACK_CYCLES`] compete on
+/// writes (bucket 0); a worker *exactly at* the slack boundary is not
+/// tied with the least-loaded — it lands in bucket 1, where balance wins.
+/// Earlier revisions expressed this as a raw integer division of dispatch
+/// counts, which left the boundary semantics implicit; the bucketing is
+/// now pinned by a unit test on both sides of the boundary.
+fn pressure(gap: u64) -> u64 {
+    gap / LOAD_SLACK_CYCLES
+}
 
 /// Scheduler state across one serve run.
 #[derive(Debug)]
 pub struct Scheduler {
     policy: Policy,
     shadows: Vec<RegMap>,
-    load: Vec<u64>,
+    /// Estimated cycle at which each worker's committed queue drains.
+    ready: Vec<u64>,
     round_robin: Vec<usize>,
 }
 
@@ -86,18 +115,31 @@ impl Scheduler {
         Self {
             policy,
             shadows: vec![RegMap::new(); workers],
-            load: vec![0; workers],
+            ready: vec![0; workers],
             round_robin: vec![0; groups],
         }
     }
 
+    /// The estimated cycles of committed work still queued on `worker` at
+    /// serve-loop time `now` — completed work has drained.
+    pub fn outstanding(&self, worker: usize, now: u64) -> u64 {
+        self.ready[worker].saturating_sub(now)
+    }
+
     /// Picks a worker from `candidates` (the group's workers, ascending)
-    /// for a dispatch of `module`. `group` identifies the accelerator
-    /// group for the round-robin counter.
+    /// for a dispatch of `module` arriving at serve-loop cycle `now`.
+    /// `group` identifies the accelerator group for the round-robin
+    /// counter.
     ///
     /// # Panics
     /// Panics if `candidates` is empty.
-    pub fn choose(&mut self, group: usize, candidates: &[usize], module: &CompiledModule) -> usize {
+    pub fn choose(
+        &mut self,
+        group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize {
         assert!(!candidates.is_empty(), "scheduling against an empty group");
         match self.policy {
             Policy::Fifo | Policy::FifoElide => {
@@ -106,19 +148,24 @@ impl Scheduler {
                 candidates[slot]
             }
             Policy::ConfigAffinity => {
-                let min_load = candidates
+                let min_outstanding = candidates
                     .iter()
-                    .map(|&w| self.load[w])
+                    .map(|&w| self.outstanding(w, now))
                     .min()
                     .expect("nonempty");
                 let mut best = candidates[0];
                 let mut best_key = (u64::MAX, u64::MAX, u64::MAX, usize::MAX);
                 for &w in candidates {
                     let writes = module.plan.writes_against(&self.shadows[w]);
-                    // workers within LOAD_SLACK of the least-loaded compete
-                    // on writes; beyond that, balance wins
-                    let pressure = (self.load[w] - min_load) / LOAD_SLACK;
-                    let key = (pressure, writes, self.load[w], w);
+                    // workers within the slack horizon of the shortest
+                    // queue compete on writes; beyond it, balance wins
+                    let outstanding = self.outstanding(w, now);
+                    let key = (
+                        pressure(outstanding - min_outstanding),
+                        writes,
+                        outstanding,
+                        w,
+                    );
                     if key < best_key {
                         best_key = key;
                         best = w;
@@ -129,14 +176,26 @@ impl Scheduler {
         }
     }
 
-    /// Records a dispatch of `module` to `worker`, updating the shadow
-    /// resident state with the same deltas the worker will apply.
-    pub fn commit(&mut self, worker: usize, module: &CompiledModule) {
-        let shadow = &mut self.shadows[worker];
-        for launch in &module.plan.launches {
-            let _ = delta_writes(shadow, launch, module.plan.style);
+    /// Records a dispatch of `module` to `worker` at serve-loop cycle
+    /// `now`, updating the shadow resident state with the same deltas the
+    /// worker will apply and extending the worker's queue by the module's
+    /// predicted execution cycles. A no-op under the round-robin policies,
+    /// whose routing never reads this state.
+    pub fn commit(&mut self, worker: usize, module: &CompiledModule, now: u64) {
+        if self.policy != Policy::ConfigAffinity {
+            // round-robin routing never reads shadows or queue estimates;
+            // skip the per-launch delta diff on the serve loop's hot path
+            return;
         }
-        self.load[worker] += 1;
+        let shadow = &mut self.shadows[worker];
+        let mut writes = 0u64;
+        for launch in &module.plan.launches {
+            writes += delta_writes(shadow, launch, module.plan.style).len() as u64;
+        }
+        // affinity always elides, so the dispatch's cost follows the
+        // writes it actually emits
+        let predicted = module.cost.predict(writes);
+        self.ready[worker] = self.ready[worker].max(now) + predicted;
     }
 
     /// The shadow resident state of `worker` (for tests and diagnostics).
@@ -165,10 +224,10 @@ mod tests {
         let m = single_tile_module(8);
         for policy in [Policy::Fifo, Policy::FifoElide] {
             let mut s = Scheduler::new(policy, 4, 2);
-            let picks: Vec<usize> = (0..5).map(|_| s.choose(0, &[0, 1], &m)).collect();
+            let picks: Vec<usize> = (0..5).map(|_| s.choose(0, &[0, 1], &m, 0)).collect();
             assert_eq!(picks, vec![0, 1, 0, 1, 0]);
             // the second group's counter is independent
-            assert_eq!(s.choose(1, &[2, 3], &m), 2);
+            assert_eq!(s.choose(1, &[2, 3], &m, 0), 2);
         }
     }
 
@@ -177,40 +236,147 @@ mod tests {
         let m8 = single_tile_module(8);
         let m16 = single_tile_module(16);
         let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
-        // first dispatch: both blank, tie broken by load then index
-        let w8 = s.choose(0, &[0, 1], &m8);
+        // first dispatch: both blank, tie broken by queue depth then index
+        let w8 = s.choose(0, &[0, 1], &m8, 0);
         assert_eq!(w8, 0);
-        s.commit(w8, &m8);
-        // a same-shape repeat stays on the now-free worker 0
+        s.commit(w8, &m8, 0);
+        // once the first dispatch has drained, a same-shape repeat stays
+        // on the now-warm worker 0
+        let later = s.ready[0];
         assert_eq!(m8.plan.writes_against(s.shadow(0)), 0);
-        assert_eq!(s.choose(0, &[0, 1], &m8), 0);
-        s.commit(0, &m8);
+        assert_eq!(s.choose(0, &[0, 1], &m8, later), 0);
+        s.commit(0, &m8, later);
         // the other shape is routed wherever it is cheapest; once
         // committed, its repeats stick to that worker
-        let w16 = s.choose(0, &[0, 1], &m16);
-        s.commit(w16, &m16);
+        let later = s.ready.iter().copied().max().unwrap();
+        let w16 = s.choose(0, &[0, 1], &m16, later);
+        s.commit(w16, &m16, later);
+        let later = s.ready.iter().copied().max().unwrap();
         assert_eq!(m16.plan.writes_against(s.shadow(w16)), 0);
-        assert_eq!(s.choose(0, &[0, 1], &m16), w16);
+        assert_eq!(s.choose(0, &[0, 1], &m16, later), w16);
         // and the first shape still has its warm worker
-        assert_eq!(s.choose(0, &[0, 1], &m8), 0);
+        assert_eq!(s.choose(0, &[0, 1], &m8, later), 0);
     }
 
     #[test]
-    fn affinity_bounds_load_imbalance() {
+    fn affinity_bounds_queue_imbalance() {
         // pure min-writes routing would send every same-shape request to
-        // the first worker forever; the load-slack bucket spreads them
+        // the first worker forever; the slack bucket spreads them once the
+        // outstanding-cycle gap reaches the horizon. All requests arrive
+        // at cycle 0, so nothing drains and queues only grow.
         let m = single_tile_module(8);
         let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
         let mut counts = [0u64; 2];
         for _ in 0..200 {
-            let w = s.choose(0, &[0, 1], &m);
-            s.commit(w, &m);
+            let w = s.choose(0, &[0, 1], &m, 0);
+            s.commit(w, &m, 0);
             counts[w] += 1;
         }
         assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
+        // the drain-time gap can never exceed the slack horizon plus one
+        // dispatch's predicted cycles
+        let max_dispatch = m.cost.cold_cycles;
         assert!(
-            counts[0].abs_diff(counts[1]) <= 2 * LOAD_SLACK,
-            "{counts:?}"
+            s.ready[0].abs_diff(s.ready[1]) <= LOAD_SLACK_CYCLES + max_dispatch,
+            "ready {:?}",
+            s.ready
+        );
+    }
+
+    #[test]
+    fn drained_queues_compete_as_idle() {
+        // a worker whose committed work has drained by `now` is
+        // indistinguishable from an idle one, so affinity wins again
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        for _ in 0..50 {
+            let w = s.choose(0, &[0, 1], &m, 0);
+            s.commit(w, &m, 0);
+        }
+        let drained = s.ready.iter().copied().max().unwrap();
+        assert_eq!(s.outstanding(0, drained), 0);
+        assert_eq!(s.outstanding(1, drained), 0);
+        // worker 0 is the warm one (first pick); with both queues drained
+        // the zero-write worker wins regardless of its busier past
+        assert_eq!(m.plan.writes_against(s.shadow(0)), 0);
+        assert_eq!(s.choose(0, &[0, 1], &m, drained), 0);
+    }
+
+    #[test]
+    fn slack_boundary_prefers_balance() {
+        // a warm worker exactly at the slack boundary is NOT tied with the
+        // least-loaded: balance beats affinity there, while one cycle
+        // inside the horizon affinity still wins
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        s.commit(0, &m, 0); // worker 0 warm (zero further writes), worker 1 blank
+        assert_eq!(m.plan.writes_against(s.shadow(0)), 0);
+        assert!(m.plan.writes_against(s.shadow(1)) > 0);
+
+        // one cycle inside the horizon: stickiness wins despite the queue
+        s.ready[0] = LOAD_SLACK_CYCLES - 1;
+        s.ready[1] = 0;
+        assert_eq!(s.choose(0, &[0, 1], &m, 0), 0);
+
+        // exactly at the boundary: the warm worker falls into pressure
+        // bucket 1 and the blank-but-short queue wins
+        s.ready[0] = LOAD_SLACK_CYCLES;
+        assert_eq!(s.choose(0, &[0, 1], &m, 0), 1);
+
+        // the boundary drains with the clock: the same gap measured later
+        // is back inside the horizon
+        s.ready[0] = LOAD_SLACK_CYCLES + 10;
+        s.ready[1] = 11;
+        assert_eq!(s.choose(0, &[0, 1], &m, 11), 0);
+    }
+
+    #[test]
+    fn pressure_buckets_pin_the_boundary() {
+        assert_eq!(pressure(0), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES - 1), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES - 1), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES), 2);
+    }
+
+    #[test]
+    fn batched_commits_accumulate_per_request_cycles() {
+        // a same-config batch of k requests weighs k predicted dispatches
+        // (one cold + k-1 warm), not one — the accounting skew that made
+        // dispatch-count load undercharge batched workers
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let cold = m.cost.predict(m.plan.cold_writes);
+        let mut shadow = RegMap::new();
+        for launch in &m.plan.launches {
+            let _ = delta_writes(&mut shadow, launch, m.plan.style);
+        }
+        let warm = m.cost.predict(m.plan.writes_against(&shadow));
+        for _ in 0..4 {
+            s.commit(0, &m, 0);
+        }
+        assert_eq!(s.ready[0], cold + 3 * warm);
+        assert!(s.outstanding(0, 0) > cold, "batch must weigh more than 1");
+        // and the unbatched worker's queue is judged on the same scale
+        s.commit(1, &m, 0);
+        assert_eq!(s.ready[1], cold);
+    }
+
+    #[test]
+    fn heavy_modules_weigh_more_than_light_ones() {
+        let light = single_tile_module(8);
+        let heavy = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(32).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        s.commit(0, &light, 0);
+        s.commit(1, &heavy, 0);
+        assert!(
+            s.outstanding(1, 0) > s.outstanding(0, 0),
+            "a 16-launch module must queue longer than a single-tile one"
         );
     }
 
@@ -233,7 +399,7 @@ mod tests {
         )
         .unwrap();
         let mut s = Scheduler::new(Policy::ConfigAffinity, 1, 1);
-        s.commit(0, &m);
+        s.commit(0, &m, 0);
         // the shadow now holds the last launch's register file
         let last = &m.plan.launches.last().unwrap().registers;
         for (reg, value) in last {

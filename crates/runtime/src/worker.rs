@@ -3,16 +3,19 @@
 //!
 //! A worker's accelerator keeps its configuration registers across
 //! requests, so the program built for a dispatch contains only the writes
-//! whose values differ from the resident state ([`delta_writes`]), plus
-//! the launches and the final await. Execution is fully functional — the
-//! tile matmuls run on the worker's memory and every request is checked
-//! against the reference result — and cycle-accurate, so per-request
-//! counters feed the latency and throughput metrics directly.
+//! whose values differ from the resident state
+//! ([`DispatchPlan::delta_program`]), plus the launches and the final
+//! await. Execution is fully functional — the tile matmuls run on the
+//! worker's memory and every request is checked against the reference
+//! result — and cycle-accurate, so per-request counters feed the latency
+//! and throughput metrics directly.
+//!
+//! [`DispatchPlan::delta_program`]: crate::plan::DispatchPlan::delta_program
 
 use crate::cache::CompiledModule;
-use crate::plan::{delta_writes, RegMap, WriteCmd};
-use accfg_sim::{AccelSim, Counters, Machine, ProgramBuilder};
-use accfg_targets::{AcceleratorDescriptor, ConfigStyle};
+use crate::plan::RegMap;
+use accfg_sim::{AccelSim, Counters, Machine};
+use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{check_result, fill_inputs, TrafficRequest};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -120,43 +123,8 @@ impl Worker {
             // program reprograms its full configuration
             self.resident.clear();
         }
-        let mut pb = ProgramBuilder::new();
-        for launch in &module.plan.launches {
-            for cmd in delta_writes(&mut self.resident, launch, module.plan.style) {
-                completion.emitted_writes += 1;
-                match cmd {
-                    WriteCmd::Csr { reg, value } => {
-                        let r = pb.reg();
-                        pb.li(r, value);
-                        pb.csr_write(reg, r);
-                    }
-                    WriteCmd::Rocc { funct, lo, hi } => {
-                        let r1 = pb.reg();
-                        let r2 = pb.reg();
-                        pb.li(r1, lo);
-                        pb.li(r2, hi);
-                        pb.rocc(funct, r1, r2);
-                    }
-                }
-            }
-            match module.plan.style {
-                ConfigStyle::Csr => pb.launch(),
-                ConfigStyle::RoccPairs { launch_funct } => {
-                    // the launch-semantic command carries its reserved pair
-                    // with a zero payload: DispatchPlan::from_trace rejects
-                    // any field mapping into this pair, so no resident state
-                    // can ever live there
-                    let r1 = pb.reg();
-                    let r2 = pb.reg();
-                    pb.li(r1, 0);
-                    pb.li(r2, 0);
-                    pb.rocc(launch_funct, r1, r2);
-                }
-            }
-        }
-        pb.await_idle();
-        pb.halt();
-        let program = pb.finish();
+        let (program, emitted_writes) = module.plan.delta_program(&mut self.resident);
+        completion.emitted_writes = emitted_writes;
 
         match self.machine.run(&program, self.fuel) {
             Ok(counters) => {

@@ -30,4 +30,7 @@ pub use gen::{
     tiled_nested_ir,
 };
 pub use spec::{MatmulLayout, MatmulSpec, SpecError};
-pub use traffic::{mixed_serving_classes, TrafficClass, TrafficConfig, TrafficRequest};
+pub use traffic::{
+    mixed_serving_classes, shape_heavy_classes, BurstyConfig, ClosedLoopConfig, TrafficClass,
+    TrafficConfig, TrafficRequest,
+};

@@ -5,10 +5,23 @@
 //! program; a serving system sees the same redundancy *across requests* —
 //! consecutive requests with similar shapes reprogram identical registers
 //! on every dispatch. The generators here produce the request streams that
-//! expose that: an open-loop arrival process (arrivals do not wait for
-//! completions) over a weighted mix of matmul shapes per accelerator,
+//! expose that, over a weighted mix of matmul shapes per accelerator,
 //! fully determined by a seed so every run, test, and CI job sees the
-//! identical stream.
+//! identical stream:
+//!
+//! - [`TrafficConfig::open_loop_stream`] — open-loop arrivals (uniform
+//!   inter-arrival gaps, independent of service times);
+//! - [`BurstyConfig::stream`] — an on/off arrival process: tight bursts
+//!   separated by long idle gaps, the pattern that stresses queue-depth
+//!   scheduling hardest;
+//! - [`ClosedLoopConfig::stream`] — a fixed population of clients, each
+//!   issuing its next request one estimated service time plus a think gap
+//!   after the previous, the arrival process of an RPC fan-in tier.
+//!
+//! Two canonical mixes feed the serving benchmark:
+//! [`mixed_serving_classes`] (few shapes, inference-style skew) and
+//! [`shape_heavy_classes`] (shapes ≫ workers, where affinity's routing
+//! term dominates scheduling).
 
 use crate::data::SplitMix;
 use crate::spec::{MatmulSpec, SpecError};
@@ -55,37 +68,47 @@ pub struct TrafficConfig {
     pub seed: u64,
 }
 
+/// Validates a mix and returns its total weight.
+fn total_weight(classes: &[TrafficClass]) -> Result<u64, SpecError> {
+    let total: u64 = classes.iter().map(|c| u64::from(c.weight)).sum();
+    if total == 0 {
+        return Err(SpecError {
+            message: "traffic mix needs at least one class with positive weight".into(),
+        });
+    }
+    Ok(total)
+}
+
+/// Draws one class by weight.
+fn pick_class<'a>(classes: &'a [TrafficClass], total: u64, rng: &mut SplitMix) -> &'a TrafficClass {
+    let mut pick = rng.next_u64() % total;
+    classes
+        .iter()
+        .find(|c| {
+            let w = u64::from(c.weight);
+            if pick < w {
+                true
+            } else {
+                pick -= w;
+                false
+            }
+        })
+        .expect("weighted pick is in range")
+}
+
 impl TrafficConfig {
     /// Generates the stream, sorted by arrival (ids follow arrival order).
     ///
     /// # Errors
     /// Fails if no class has a positive weight.
     pub fn open_loop_stream(&self) -> Result<Vec<TrafficRequest>, SpecError> {
-        let total_weight: u64 = self.classes.iter().map(|c| u64::from(c.weight)).sum();
-        if total_weight == 0 {
-            return Err(SpecError {
-                message: "traffic mix needs at least one class with positive weight".into(),
-            });
-        }
+        let total = total_weight(&self.classes)?;
         let mut rng = SplitMix::new(self.seed);
         let mut arrival = 0u64;
         let mut out = Vec::with_capacity(self.requests);
         for id in 0..self.requests as u64 {
             arrival += rng.next_u64() % (2 * self.mean_gap + 1);
-            let mut pick = rng.next_u64() % total_weight;
-            let class = self
-                .classes
-                .iter()
-                .find(|c| {
-                    let w = u64::from(c.weight);
-                    if pick < w {
-                        true
-                    } else {
-                        pick -= w;
-                        false
-                    }
-                })
-                .expect("weighted pick is in range");
+            let class = pick_class(&self.classes, total, &mut rng);
             out.push(TrafficRequest {
                 id,
                 accelerator: class.accelerator.clone(),
@@ -95,6 +118,140 @@ impl TrafficConfig {
             });
         }
         Ok(out)
+    }
+}
+
+/// Parameters of a bursty (on/off) arrival process: requests arrive in
+/// tight bursts separated by long idle gaps — the diurnal / retry-storm
+/// shape that builds the deepest queues for a given mean rate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BurstyConfig {
+    /// The shape classes and their weights.
+    pub classes: Vec<TrafficClass>,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Mean requests per ON burst (burst lengths are uniform in
+    /// `[1, 2·burst_len]`).
+    pub burst_len: usize,
+    /// Mean inter-arrival gap within a burst, in cycles (uniform in
+    /// `[0, 2·burst_gap]`).
+    pub burst_gap: u64,
+    /// Mean OFF gap between bursts, in cycles (uniform in
+    /// `[0, 2·idle_gap]`, added on top of one within-burst gap).
+    pub idle_gap: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl BurstyConfig {
+    /// Generates the stream, sorted by arrival (ids follow arrival order).
+    ///
+    /// # Errors
+    /// Fails if no class has a positive weight or `burst_len` is zero.
+    pub fn stream(&self) -> Result<Vec<TrafficRequest>, SpecError> {
+        let total = total_weight(&self.classes)?;
+        if self.burst_len == 0 {
+            return Err(SpecError {
+                message: "bursty traffic needs burst_len >= 1".into(),
+            });
+        }
+        let mut rng = SplitMix::new(self.seed);
+        let mut arrival = 0u64;
+        let mut out = Vec::with_capacity(self.requests);
+        let mut burst_left = 0usize;
+        for id in 0..self.requests as u64 {
+            if burst_left == 0 {
+                // a fresh burst: pay the OFF gap, then resample its length
+                arrival += rng.next_u64() % (2 * self.idle_gap + 1);
+                burst_left = 1 + (rng.next_u64() % (2 * self.burst_len as u64)) as usize;
+            }
+            arrival += rng.next_u64() % (2 * self.burst_gap + 1);
+            burst_left -= 1;
+            let class = pick_class(&self.classes, total, &mut rng);
+            out.push(TrafficRequest {
+                id,
+                accelerator: class.accelerator.clone(),
+                spec: class.spec,
+                arrival,
+                seed: rng.next_u64(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Parameters of a closed-loop arrival process: a fixed population of
+/// `clients`, each issuing its next request one (estimated) service time
+/// plus a think gap after issuing the previous one. Arrival rate is
+/// self-limiting — load cannot outrun the population — which is the
+/// regime an RPC fan-in tier serves.
+///
+/// The feedback loop is driven by `service_estimate` rather than measured
+/// completions so the stream stays a pure, pre-computable function of the
+/// seed (the serving runtime replays latencies deterministically either
+/// way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedLoopConfig {
+    /// The shape classes and their weights.
+    pub classes: Vec<TrafficClass>,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Concurrent client population.
+    pub clients: usize,
+    /// Mean client think time between requests, in cycles (uniform in
+    /// `[0, 2·think_time]`).
+    pub think_time: u64,
+    /// Estimated per-request service time, in cycles, driving the
+    /// closed-loop feedback.
+    pub service_estimate: u64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl ClosedLoopConfig {
+    /// Generates the stream, sorted by arrival (ids follow arrival order,
+    /// ties broken by client index).
+    ///
+    /// # Errors
+    /// Fails if no class has a positive weight or `clients` is zero.
+    pub fn stream(&self) -> Result<Vec<TrafficRequest>, SpecError> {
+        let total = total_weight(&self.classes)?;
+        if self.clients == 0 {
+            return Err(SpecError {
+                message: "closed-loop traffic needs at least one client".into(),
+            });
+        }
+        let mut rng = SplitMix::new(self.seed);
+        // stagger the population's first issues like think times
+        let mut next_issue: Vec<u64> = (0..self.clients)
+            .map(|_| rng.next_u64() % (2 * self.think_time + 1))
+            .collect();
+        let mut issued: Vec<TrafficRequest> = Vec::with_capacity(self.requests);
+        for _ in 0..self.requests {
+            // the next client to act is the one with the earliest issue
+            // time (ties by index) — a deterministic event loop
+            let client = (0..self.clients)
+                .min_by_key(|&c| (next_issue[c], c))
+                .expect("at least one client");
+            let arrival = next_issue[client];
+            let class = pick_class(&self.classes, total, &mut rng);
+            issued.push(TrafficRequest {
+                id: 0, // assigned after the arrival sort
+                accelerator: class.accelerator.clone(),
+                spec: class.spec,
+                arrival,
+                seed: rng.next_u64(),
+            });
+            let think = rng.next_u64() % (2 * self.think_time + 1);
+            next_issue[client] = arrival + self.service_estimate + think;
+        }
+        // the event loop issues in nondecreasing time; the stable sort
+        // keeps its tie order
+        issued.sort_by_key(|r| r.arrival);
+        for (id, request) in issued.iter_mut().enumerate() {
+            request.id = id as u64;
+        }
+        Ok(issued)
     }
 }
 
@@ -123,6 +280,38 @@ pub fn mixed_serving_classes() -> Vec<TrafficClass> {
         opengemm(24, 2),
         opengemm(32, 1),
     ]
+}
+
+/// A shape-rich serving mix: eight distinct shapes per platform, far more
+/// than the workers in a group, with a gently decaying popularity skew.
+/// With shapes ≫ workers no static partition keeps every worker warm for
+/// its whole mix, so the scheduler's routing term — not elision alone —
+/// determines how many configuration writes survive; this is the stream
+/// that characterizes the routing/balance crossover.
+///
+/// # Panics
+/// Never — the shapes are statically valid.
+pub fn shape_heavy_classes() -> Vec<TrafficClass> {
+    let mut classes = Vec::new();
+    // sizes ≤ 64 are valid on both platforms (gemmini tiles at
+    // min(size, 64); opengemm needs multiples of 8)
+    let gemmini_sizes = [8, 16, 24, 32, 40, 48, 56, 64];
+    let opengemm_sizes = [8, 16, 24, 32, 40, 48, 56, 64];
+    for (i, &size) in gemmini_sizes.iter().enumerate() {
+        classes.push(TrafficClass {
+            accelerator: "gemmini".into(),
+            spec: MatmulSpec::gemmini_paper(size).expect("valid gemmini size"),
+            weight: (gemmini_sizes.len() - i) as u32,
+        });
+    }
+    for (i, &size) in opengemm_sizes.iter().enumerate() {
+        classes.push(TrafficClass {
+            accelerator: "opengemm".into(),
+            spec: MatmulSpec::opengemm_paper(size).expect("valid opengemm size"),
+            weight: (opengemm_sizes.len() - i) as u32,
+        });
+    }
+    classes
 }
 
 #[cfg(test)]
@@ -185,5 +374,129 @@ mod tests {
             c.weight = 0;
         }
         assert!(cfg.open_loop_stream().is_err());
+        assert!(bursty(10, 0, |c| {
+            for class in &mut c.classes {
+                class.weight = 0;
+            }
+        })
+        .is_err());
+        assert!(closed(10, 0, |c| {
+            for class in &mut c.classes {
+                class.weight = 0;
+            }
+        })
+        .is_err());
+    }
+
+    fn bursty(
+        requests: usize,
+        seed: u64,
+        tweak: impl FnOnce(&mut BurstyConfig),
+    ) -> Result<Vec<TrafficRequest>, SpecError> {
+        let mut cfg = BurstyConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            burst_len: 16,
+            burst_gap: 20,
+            idle_gap: 2_000,
+            seed,
+        };
+        tweak(&mut cfg);
+        cfg.stream()
+    }
+
+    fn closed(
+        requests: usize,
+        seed: u64,
+        tweak: impl FnOnce(&mut ClosedLoopConfig),
+    ) -> Result<Vec<TrafficRequest>, SpecError> {
+        let mut cfg = ClosedLoopConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            clients: 8,
+            think_time: 100,
+            service_estimate: 200,
+            seed,
+        };
+        tweak(&mut cfg);
+        cfg.stream()
+    }
+
+    #[test]
+    fn bursty_stream_is_deterministic_and_sorted() {
+        let a = bursty(800, 9, |_| {}).unwrap();
+        let b = bursty(800, 9, |_| {}).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, bursty(800, 10, |_| {}).unwrap());
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn bursty_stream_actually_bursts() {
+        // with idle gaps two orders beyond burst gaps, the inter-arrival
+        // distribution must be bimodal: mostly tight, with rare long gaps
+        let stream = bursty(2_000, 3, |_| {}).unwrap();
+        let gaps: Vec<u64> = stream
+            .windows(2)
+            .map(|p| p[1].arrival - p[0].arrival)
+            .collect();
+        let tight = gaps.iter().filter(|&&g| g <= 2 * 20).count();
+        let idle = gaps.iter().filter(|&&g| g > 1_000).count();
+        assert!(tight > gaps.len() * 8 / 10, "tight {tight}/{}", gaps.len());
+        let bursts = 2_000 / 16; // ≈ requests / mean burst length
+        assert!(idle > bursts / 4, "idle gaps {idle}");
+        assert!(idle < bursts * 4, "idle gaps {idle}");
+    }
+
+    #[test]
+    fn bursty_rejects_zero_burst_len() {
+        assert!(bursty(10, 1, |c| c.burst_len = 0).is_err());
+    }
+
+    #[test]
+    fn closed_loop_stream_is_deterministic_and_self_limiting() {
+        let a = closed(1_000, 5, |_| {}).unwrap();
+        let b = closed(1_000, 5, |_| {}).unwrap();
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+        }
+        // the population bounds concurrency: no window of clients+1
+        // consecutive requests fits inside one service time
+        let clients = 8usize;
+        for w in a.windows(clients + 1) {
+            assert!(w[clients].arrival >= w[0].arrival + 200 - 1);
+        }
+    }
+
+    #[test]
+    fn closed_loop_rejects_zero_clients() {
+        assert!(closed(10, 1, |c| c.clients = 0).is_err());
+    }
+
+    #[test]
+    fn shape_heavy_mix_has_many_shapes() {
+        let classes = shape_heavy_classes();
+        assert_eq!(classes.len(), 16);
+        let mut keys: Vec<(String, i64, i64, i64)> = classes
+            .iter()
+            .map(|c| (c.accelerator.clone(), c.spec.m, c.spec.n, c.spec.k))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 16, "all classes are distinct shapes");
+        assert!(classes.iter().all(|c| c.weight > 0));
+        // the skew is gentle: the most popular shape is at most 8× the rarest
+        let max = classes.iter().map(|c| c.weight).max().unwrap();
+        let min = classes.iter().map(|c| c.weight).min().unwrap();
+        assert!(max <= 8 * min);
     }
 }

@@ -1,11 +1,15 @@
 //! Integration tests for the `accfg-runtime` serving layer: functional
 //! correctness at scale, the ≥30% configuration-write reduction of
-//! config-affinity dispatch, and the property that affinity routing never
-//! writes more setup registers than the FIFO baseline.
+//! config-affinity dispatch, the tail-latency bound of queue-depth-aware
+//! affinity routing, and the property that affinity never writes more
+//! setup registers than the FIFO baseline — on arbitrary open-loop *and*
+//! bursty streams.
 
 use configuration_wall::prelude::*;
 use configuration_wall::runtime::{Policy, ServeReport};
-use configuration_wall::workloads::{mixed_serving_classes, TrafficClass, TrafficRequest};
+use configuration_wall::workloads::{
+    mixed_serving_classes, shape_heavy_classes, BurstyConfig, TrafficClass, TrafficRequest,
+};
 use proptest::prelude::*;
 
 fn runtime() -> Runtime {
@@ -96,6 +100,94 @@ fn policies_agree_functionally() {
     assert!(affinity.metrics.sim_cycles <= fifo.metrics.sim_cycles);
 }
 
+/// The tail-latency acceptance bound of queue-depth-aware affinity: on
+/// the canonical mixed stream, affinity's p99 stays within 1.15× of
+/// round-robin-with-elision while still cutting ≥ 50% of setup writes
+/// against the cold FIFO baseline. (The full 12k-request crossover
+/// characterization lives in `serve_bench` / `BENCH_runtime.json`.)
+#[test]
+fn affinity_tail_latency_stays_near_round_robin() {
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 4_000,
+        mean_gap: 200,
+        seed: 0xC0FFEE,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut rt = runtime();
+    let fifo = serve(&mut rt, &stream, Policy::Fifo);
+    let elide = serve(&mut rt, &stream, Policy::FifoElide);
+    let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
+    let p99_ratio = affinity.metrics.latency.p99 as f64 / elide.metrics.latency.p99 as f64;
+    assert!(
+        p99_ratio <= 1.15,
+        "affinity p99 {} vs fifo+elide p99 {} ({p99_ratio:.2}x)",
+        affinity.metrics.latency.p99,
+        elide.metrics.latency.p99
+    );
+    let savings = affinity.metrics.write_savings_vs(&fifo.metrics);
+    assert!(savings >= 0.50, "write savings {:.1}%", 100.0 * savings);
+}
+
+/// With shapes ≫ workers no static partition keeps every worker warm, so
+/// routing decides what elision can reuse; affinity must still beat plain
+/// elision on writes and hold the p99 bound there.
+#[test]
+fn shape_heavy_stream_keeps_both_properties() {
+    let stream = TrafficConfig {
+        classes: shape_heavy_classes(),
+        requests: 2_000,
+        mean_gap: 400,
+        seed: 0x5EED,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut rt = runtime();
+    let elide = serve(&mut rt, &stream, Policy::FifoElide);
+    let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
+    assert!(affinity.metrics.setup_writes <= elide.metrics.setup_writes);
+    assert!(
+        affinity.metrics.latency.p99 as f64 <= 1.15 * elide.metrics.latency.p99 as f64,
+        "affinity p99 {} vs elide p99 {}",
+        affinity.metrics.latency.p99,
+        elide.metrics.latency.p99
+    );
+    // per-class accounting covers the whole stream
+    let per_class_total: u64 = affinity.metrics.per_class.iter().map(|c| c.requests).sum();
+    assert_eq!(per_class_total, 2_000);
+    assert!(affinity.metrics.per_class.len() >= 8);
+}
+
+/// Bursty (on/off) arrivals are deterministic end to end: the generator
+/// reproduces the stream and two serves of it produce identical metrics,
+/// latencies, and queue-depth histograms.
+#[test]
+fn bursty_serving_is_reproducible() {
+    let cfg = BurstyConfig {
+        classes: mixed_serving_classes(),
+        requests: 1_500,
+        burst_len: 24,
+        burst_gap: 60,
+        idle_gap: 12_000,
+        seed: 0xB0257,
+    };
+    let stream = cfg.stream().unwrap();
+    assert_eq!(stream, cfg.stream().unwrap());
+    let run = || {
+        let mut rt = runtime();
+        let report = serve(&mut rt, &stream, Policy::ConfigAffinity);
+        assert_eq!(report.metrics.check_failures, 0);
+        (report.metrics.clone(), report.latencies.clone())
+    };
+    let (metrics_a, latencies_a) = run();
+    let (metrics_b, latencies_b) = run();
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(latencies_a, latencies_b);
+    assert_eq!(metrics_a.queue_depth, metrics_b.queue_depth);
+    assert_eq!(metrics_a.queue_depth.total(), 1_500);
+}
+
 /// Serving is deterministic end to end: two runs of the same stream give
 /// identical metrics and latencies.
 #[test]
@@ -162,6 +254,44 @@ proptest! {
             fifo.metrics.setup_writes
         );
         // per-request, the warm dispatch never exceeds the cold cost
+        for c in &affinity.completions {
+            prop_assert!(c.emitted_writes <= c.cold_writes);
+        }
+    }
+
+    /// The same guarantee under bursty (on/off) arrivals — the arrival
+    /// process that drives queue-depth-aware scoring hardest, so routing
+    /// decisions differ most from the open-loop case. Elision, not
+    /// routing, owns the bound, so it must hold regardless.
+    #[test]
+    fn affinity_never_writes_more_than_fifo_on_bursty_streams(
+        requests in 20usize..120,
+        burst_len in 1usize..32,
+        burst_gap in 0u64..100,
+        idle_gap in 0u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let stream = BurstyConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            burst_len,
+            burst_gap,
+            idle_gap,
+            seed,
+        }
+        .stream()
+        .unwrap();
+        let mut rt = runtime();
+        let fifo = serve(&mut rt, &stream, Policy::Fifo);
+        let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
+        prop_assert_eq!(fifo.metrics.check_failures, 0);
+        prop_assert_eq!(affinity.metrics.check_failures, 0);
+        prop_assert!(
+            affinity.metrics.setup_writes <= fifo.metrics.setup_writes,
+            "affinity wrote {} setup registers, fifo {}",
+            affinity.metrics.setup_writes,
+            fifo.metrics.setup_writes
+        );
         for c in &affinity.completions {
             prop_assert!(c.emitted_writes <= c.cold_writes);
         }
