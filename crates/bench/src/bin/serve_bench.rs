@@ -181,6 +181,8 @@ fn main() {
                     m.latency.p99.to_string(),
                     format!("{:.2}", m.latency.p99 as f64 / elide_p99.max(1) as f64),
                     m.queue_depth.max.to_string(),
+                    format!("{:.1}", m.prediction.anchor_mae()),
+                    format!("{:.1}", m.prediction.ewma_mae()),
                 ]
             })
             .collect();
@@ -198,6 +200,8 @@ fn main() {
                     "p99 lat",
                     "p99 / elide p99",
                     "max qdepth",
+                    "anchor MAE",
+                    "ewma MAE",
                 ],
                 &rows,
             )
@@ -212,6 +216,16 @@ fn main() {
             affinity.setup_writes <= fifo.setup_writes,
             "{stream_name}: affinity wrote more than fifo"
         );
+        // the refined estimates must not be worse than the static anchors
+        // on the dispatches the scheduler actually charged for
+        for (label, m) in results.iter().filter(|(_, m)| m.prediction.samples > 0) {
+            assert!(
+                m.prediction.ewma_abs_error <= m.prediction.anchor_abs_error,
+                "{stream_name}/{label}: ewma MAE {:.1} > anchor MAE {:.1}",
+                m.prediction.ewma_mae(),
+                m.prediction.anchor_mae()
+            );
+        }
         println!(
             "affinity: {:.1}% fewer setup writes than fifo, p99 {:.2}x fifo+elide\n",
             100.0 * affinity.write_savings_vs(&fifo),

@@ -62,7 +62,7 @@ impl Pass for Deduplicate {
 /// Computes the register contents statically known in `state`.
 ///
 /// `assumptions` carries optimistic in-progress facts for loop block
-/// arguments, refined by the shrinking fixpoint in [`block_arg_fields`].
+/// arguments, refined by the shrinking fixpoint in `block_arg_fields`.
 pub fn known_fields(m: &Module, state: ValueId, assumptions: &mut Assumptions) -> FieldMap {
     if let Some(a) = assumptions.get(&state) {
         return a.clone();

@@ -132,7 +132,7 @@ pub mod strategy {
         Box::new(s)
     }
 
-    /// A uniform choice between same-valued strategies ([`prop_oneof!`]).
+    /// A uniform choice between same-valued strategies (`prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<Box<dyn Strategy<Value = T>>>,
     }
@@ -373,7 +373,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

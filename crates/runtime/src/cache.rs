@@ -14,8 +14,8 @@ use crate::error::ServeError;
 use crate::plan::{DispatchPlan, RegMap};
 use accfg::interp::interpret;
 use accfg::pipeline::{pipeline, OptLevel};
-use accfg_sim::{AccelSim, Machine, Program};
-use accfg_targets::{compile, AcceleratorDescriptor};
+use accfg_sim::Program;
+use accfg_targets::{compile, AcceleratorDescriptor, ConfigStyle};
 use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,16 +35,45 @@ pub struct CacheKey {
     pub opt: OptLevel,
 }
 
+/// Number of warmth buckets the online cost refiner learns per module.
+///
+/// A dispatch's *warmth* is its predicted write count relative to the
+/// module's cold cost: bucket 0 holds fully-resident repeats, the last
+/// bucket holds cold (blank-state) dispatches, and the buckets between
+/// hold the partially-warm dispatches whose cycles the static anchors can
+/// only interpolate. Eight buckets are enough to separate the clusters a
+/// serving mix actually produces (cold first dispatch, steady-state
+/// repeat, cross-shape partial overlap) without diluting any bucket's
+/// sample stream.
+pub const WARMTH_BUCKETS: usize = 8;
+
+/// Binary exponent of the EWMA smoothing factor: each observation moves
+/// the estimate by `1/2^EWMA_ALPHA_SHIFT` of the residual (α = 1/8).
+const EWMA_ALPHA_SHIFT: u32 = 3;
+
+/// Fixed-point fractional bits of the stored EWMA estimates. Integer
+/// fixed-point keeps the refiner bit-deterministic: the same request
+/// stream always produces the same estimates, on any host.
+const EWMA_FRAC_BITS: u32 = 8;
+
 /// Predicted execution cycles of one dispatch as a function of the
 /// configuration writes it must emit.
 ///
-/// Built by running the module's dispatch program twice on a scratch
-/// machine at compile time: once against a blank register file (the cold
-/// cost) and once against the plan's own final state (the steady-state
-/// warm repeat). The scheduler interpolates linearly between the two
-/// anchors on the write count — exactly the quantity affinity scoring
-/// already computes — so queue depth can be held in *estimated
-/// outstanding cycles* instead of dispatch counts.
+/// The anchors are *analytic*, derived at build time from the descriptor's
+/// host instruction costs, launch overhead, and peak compute rate — a
+/// serial-sum estimate that costs nothing to produce (earlier revisions
+/// ran the dispatch program twice on a scratch machine per module build,
+/// two full simulations the serve path paid before the first request).
+/// The scheduler interpolates linearly between the cold and warm anchors
+/// on the write count — exactly the quantity affinity scoring already
+/// computes — so queue depth can be held in *estimated outstanding
+/// cycles* instead of dispatch counts.
+///
+/// Being analytic, the anchors drift where timing has microstructure the
+/// serial sum ignores — on concurrently-configured targets, writes issued
+/// while the accelerator is busy hide under its busy window, so the
+/// estimate overshoots by the hidden overlap. The [`CostRefiner`] closes
+/// that gap online from the measured cycles of retired dispatches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CostModel {
     /// Writes a dispatch onto a blank register file emits.
@@ -78,6 +107,124 @@ impl CostModel {
             self.warm_cycles
                 .saturating_sub((self.warm_writes - writes) * span_c / span_w)
         }
+    }
+
+    /// Maps a dispatch's predicted write count to its warmth bucket:
+    /// `0` for fully-resident repeats up to `WARMTH_BUCKETS - 1` for cold
+    /// (blank-state) dispatches. Write counts above the cold anchor clamp
+    /// into the cold bucket.
+    pub fn bucket(&self, writes: u64) -> usize {
+        if self.cold_writes == 0 {
+            return WARMTH_BUCKETS - 1;
+        }
+        (writes.min(self.cold_writes) * (WARMTH_BUCKETS as u64 - 1) / self.cold_writes) as usize
+    }
+
+    /// Builds the analytic anchors for `plan` on `desc`: configuration
+    /// writes cost their host instruction sequence, every launch pays its
+    /// issue cost plus the accelerator's pipeline overhead, and compute is
+    /// charged at the peak MAC rate. A deliberate *serial* sum — it
+    /// ignores config/compute overlap, which is exactly the drift the
+    /// online refiner measures away.
+    pub fn estimate(desc: &AcceleratorDescriptor, spec: &MatmulSpec, plan: &DispatchPlan) -> Self {
+        let host = &desc.host;
+        let accel = &desc.accel;
+        let per_write = match plan.style {
+            // materialize the value, then write the register
+            ConfigStyle::Csr => host.li + host.csr_write,
+            // materialize both halves, then issue the pair command
+            ConfigStyle::RoccPairs { .. } => 2 * host.li + host.rocc,
+        };
+        let per_launch = accel.launch_overhead
+            + match plan.style {
+                ConfigStyle::Csr => host.launch,
+                // the launch-semantic RoCC command carries a zero pair
+                ConfigStyle::RoccPairs { .. } => 2 * host.li + host.rocc,
+            };
+        let launches = plan.launches.len() as u64;
+        let compute = ((spec.m * spec.n * spec.k) as u64) / accel.macs_per_cycle.max(1);
+        let base = launches * per_launch + compute + host.poll;
+        let mut warm_state = RegMap::new();
+        plan.apply_writes(&mut warm_state);
+        let warm_writes = plan.writes_against(&warm_state);
+        Self {
+            cold_writes: plan.cold_writes,
+            cold_cycles: plan.cold_writes * per_write + base,
+            warm_writes,
+            warm_cycles: warm_writes * per_write + base,
+        }
+    }
+}
+
+/// Online refinement of [`CostModel`] predictions: an exponentially
+/// weighted moving average of *measured* dispatch cycles per
+/// `(module, warmth bucket)`, updated as the serve loop retires completed
+/// dispatches.
+///
+/// The static anchors are measured once at build time and interpolated
+/// linearly, which is exact at the cold and steady-state-warm extremes but
+/// drifts for partially-warm dispatches. The refiner learns each bucket's
+/// actual cycle cost from the stream itself; once a bucket has an
+/// observation, [`CostRefiner::predict`] quotes the EWMA instead of the
+/// interpolation, and the scheduler's outstanding-cycle estimates — and
+/// with them the affinity slack horizon and the batch cutoff — sharpen as
+/// the run warms up.
+///
+/// Estimates are integer fixed-point, so refinement is a pure function of
+/// the request stream: two serves of the same stream produce bit-identical
+/// estimates, predictions, and therefore schedules.
+#[derive(Debug, Clone, Default)]
+pub struct CostRefiner {
+    /// Per-module fixed-point EWMA cycles, `UNSEEN` where no dispatch of
+    /// that warmth has retired yet.
+    ewma: HashMap<CacheKey, [i64; WARMTH_BUCKETS]>,
+}
+
+/// Sentinel for a bucket with no observations (cycles are nonnegative).
+const UNSEEN: i64 = -1;
+
+impl CostRefiner {
+    /// A refiner with no observations: every prediction falls back to the
+    /// static anchors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one measured dispatch (`cycles`, landing in `bucket`) into
+    /// the module's estimate. The first observation seeds the EWMA
+    /// exactly; later ones move it by α = 1/8 of the residual.
+    pub fn observe(&mut self, key: &CacheKey, bucket: usize, cycles: u64) {
+        let buckets = self
+            .ewma
+            .entry(key.clone())
+            .or_insert([UNSEEN; WARMTH_BUCKETS]);
+        let slot = &mut buckets[bucket.min(WARMTH_BUCKETS - 1)];
+        let observed = (cycles as i64) << EWMA_FRAC_BITS;
+        if *slot == UNSEEN {
+            *slot = observed;
+        } else {
+            *slot += (observed - *slot) >> EWMA_ALPHA_SHIFT;
+        }
+    }
+
+    /// The refined estimate for `bucket` of the module keyed by `key`, or
+    /// `None` while the bucket has no observations.
+    pub fn refined(&self, key: &CacheKey, bucket: usize) -> Option<u64> {
+        let slot = *self.ewma.get(key)?.get(bucket)?;
+        (slot != UNSEEN).then_some((slot >> EWMA_FRAC_BITS) as u64)
+    }
+
+    /// Predicted cycles for a dispatch of `module` emitting `writes`
+    /// configuration writes: the warmth bucket's EWMA when it has been
+    /// observed, the static anchor interpolation otherwise.
+    pub fn predict(&self, module: &CompiledModule, writes: u64) -> u64 {
+        self.refined(&module.key, module.cost.bucket(writes))
+            .unwrap_or_else(|| module.cost.predict(writes))
+    }
+
+    /// Number of modules with at least one observed bucket.
+    pub fn modules_observed(&self) -> usize {
+        self.ewma.len()
     }
 }
 
@@ -191,7 +338,7 @@ pub fn build_module(
     let program = compile(&module, "matmul", desc, &args)?;
     let trace = interpret(&module, "matmul", &args, PLAN_FUEL)?;
     let plan = DispatchPlan::from_trace(&trace, desc)?;
-    let cost = measure_cost(desc, &layout, &plan)?;
+    let cost = CostModel::estimate(desc, &spec, &plan);
     Ok(CompiledModule {
         key: CacheKey {
             accelerator: desc.name.clone(),
@@ -203,41 +350,6 @@ pub fn build_module(
         plan,
         cost,
         ir_setup_writes: trace.setup_writes,
-    })
-}
-
-/// Measures the plan's cold and warm dispatch cycles on a scratch machine
-/// (zeroed inputs — only timing is sampled, not results), anchoring the
-/// [`CostModel`] the scheduler predicts queue depth with.
-fn measure_cost(
-    desc: &AcceleratorDescriptor,
-    layout: &MatmulLayout,
-    plan: &DispatchPlan,
-) -> Result<CostModel, ServeError> {
-    let mut machine = Machine::new(
-        desc.host.clone(),
-        AccelSim::new(desc.accel.clone()),
-        layout.end as usize,
-    );
-    let measure = |machine: &mut Machine, program: &Program| -> Result<u64, ServeError> {
-        let counters = machine
-            .run(program, PLAN_FUEL)
-            .map_err(|e| ServeError::CostMeasurement(e.to_string()))?;
-        // the program drained the accelerator; re-base its busy window so
-        // the warm run starts from a clean clock, like a pool worker
-        machine.accel.reset_clock(counters.cycles);
-        Ok(counters.cycles)
-    };
-    let mut resident = RegMap::new();
-    let (cold_program, cold_writes) = plan.delta_program(&mut resident);
-    let cold_cycles = measure(&mut machine, &cold_program)?;
-    let (warm_program, warm_writes) = plan.delta_program(&mut resident);
-    let warm_cycles = measure(&mut machine, &warm_program)?;
-    Ok(CostModel {
-        cold_writes,
-        cold_cycles,
-        warm_writes,
-        warm_cycles,
     })
 }
 
@@ -291,7 +403,7 @@ mod tests {
     }
 
     #[test]
-    fn cost_model_anchors_are_measured_and_ordered() {
+    fn cost_model_anchors_are_estimated_and_ordered() {
         for (desc, spec) in [
             (
                 AcceleratorDescriptor::opengemm(),
@@ -310,7 +422,34 @@ mod tests {
             // eliding resident state can only shrink a dispatch
             assert!(cost.warm_writes <= cost.cold_writes);
             assert!(cost.warm_cycles <= cost.cold_cycles, "{cost:?}");
+            // the steady-state warm repeat of a tiled module still pays
+            // its per-tile writes, launches, and compute
+            assert!(cost.warm_cycles >= module.plan.launches.len() as u64);
         }
+    }
+
+    #[test]
+    fn analytic_anchors_track_the_write_and_launch_structure() {
+        // the estimate must scale with what it models: more launches and
+        // more writes cost more, and the warm anchor differs from cold by
+        // exactly the elided writes' host cost
+        let desc = AcceleratorDescriptor::opengemm();
+        let small = build_module(
+            &desc,
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let large = build_module(
+            &desc,
+            MatmulSpec::opengemm_paper(32).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        assert!(large.cost.cold_cycles > small.cost.cold_cycles);
+        let span_w = small.cost.cold_writes - small.cost.warm_writes;
+        let span_c = small.cost.cold_cycles - small.cost.warm_cycles;
+        assert_eq!(span_c % span_w, 0, "cold-warm gap is per-write linear");
     }
 
     #[test]
@@ -339,6 +478,83 @@ mod tests {
         };
         assert_eq!(flat.predict(0), 50);
         assert_eq!(flat.predict(99), 50);
+    }
+
+    #[test]
+    fn warmth_buckets_span_the_write_range() {
+        let cost = CostModel {
+            cold_writes: 100,
+            cold_cycles: 1000,
+            warm_writes: 20,
+            warm_cycles: 200,
+        };
+        assert_eq!(cost.bucket(0), 0);
+        assert_eq!(cost.bucket(100), WARMTH_BUCKETS - 1);
+        // above-cold write counts clamp into the cold bucket
+        assert_eq!(cost.bucket(500), WARMTH_BUCKETS - 1);
+        // buckets are monotone in the write count
+        let buckets: Vec<usize> = (0..=100).map(|w| cost.bucket(w)).collect();
+        assert!(buckets.windows(2).all(|b| b[0] <= b[1]));
+        // a degenerate all-launch plan has only the cold bucket
+        let flat = CostModel {
+            cold_writes: 0,
+            cold_cycles: 50,
+            warm_writes: 0,
+            warm_cycles: 50,
+        };
+        assert_eq!(flat.bucket(0), WARMTH_BUCKETS - 1);
+    }
+
+    #[test]
+    fn refiner_seeds_then_tracks_observations() {
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut refiner = CostRefiner::new();
+        // unseen: falls back to the static anchors
+        assert_eq!(
+            refiner.predict(&module, module.cost.cold_writes),
+            module.cost.cold_cycles
+        );
+        assert_eq!(refiner.modules_observed(), 0);
+        // the first observation seeds the bucket exactly
+        let cold_bucket = module.cost.bucket(module.cost.cold_writes);
+        refiner.observe(&module.key, cold_bucket, 400);
+        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(400));
+        assert_eq!(refiner.predict(&module, module.cost.cold_writes), 400);
+        assert_eq!(refiner.modules_observed(), 1);
+        // repeated identical observations keep the estimate fixed
+        refiner.observe(&module.key, cold_bucket, 400);
+        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(400));
+        // a shifted observation moves the estimate toward it by α = 1/8
+        refiner.observe(&module.key, cold_bucket, 480);
+        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(410));
+        // other buckets are untouched
+        assert_eq!(refiner.refined(&module.key, 0), None);
+        assert_eq!(refiner.predict(&module, 0), module.cost.predict(0));
+    }
+
+    #[test]
+    fn refiner_converges_to_a_steady_observation() {
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut refiner = CostRefiner::new();
+        refiner.observe(&module.key, 0, 1000);
+        for _ in 0..64 {
+            refiner.observe(&module.key, 0, 200);
+        }
+        let estimate = refiner.refined(&module.key, 0).unwrap();
+        assert!(
+            estimate.abs_diff(200) <= 2,
+            "estimate {estimate} far from 200"
+        );
     }
 
     #[test]

@@ -31,9 +31,6 @@ pub enum ServeError {
         /// The offending field.
         field: String,
     },
-    /// The build-time cold/warm cycle measurement of a compiled module
-    /// failed in the simulator.
-    CostMeasurement(String),
     /// The pool was configured without workers.
     EmptyPool,
 }
@@ -54,9 +51,6 @@ impl fmt::Display for ServeError {
                 f,
                 "field `{field}` of `{accelerator}` maps into the launch-semantic register pair"
             ),
-            ServeError::CostMeasurement(msg) => {
-                write!(f, "cost-model measurement failed: {msg}")
-            }
             ServeError::EmptyPool => write!(f, "pool has no workers"),
         }
     }

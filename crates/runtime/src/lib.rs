@@ -15,9 +15,21 @@
 //! - a **config-affinity scheduler** ([`Scheduler`], [`Policy`]) that
 //!   mirrors each worker's last-programmed register file and routes each
 //!   request to the worker whose resident state minimizes new
-//!   configuration writes, with a FIFO round-robin baseline;
-//! - **same-config batching** (`max_batch` in [`ServeConfig`]) coalescing
-//!   adjacent same-module requests onto one worker;
+//!   configuration writes, with a FIFO round-robin baseline. Load is
+//!   held in *estimated outstanding cycles* per worker, predicted by
+//!   each module's [`CostModel`] and bounded by the
+//!   [`LOAD_SLACK_CYCLES`] affinity horizon;
+//! - an **online cost refiner** ([`CostRefiner`]): the cost model's
+//!   analytic anchors are refined as the run executes, by an EWMA of
+//!   measured dispatch cycles per `(module, warmth bucket)` — queue
+//!   estimates learn the stream's true costs without any build-time
+//!   profiling runs (`refine_cost` in [`ServeConfig`]);
+//! - **same-config batching with a queue-depth-aware cutoff**
+//!   (`max_batch` / `batch_cutoff` in [`ServeConfig`]): same-module
+//!   requests adjacent in their group's arrival order coalesce onto one
+//!   worker, until the target's estimated outstanding cycles reach the
+//!   slack horizon — amortizing configuration without building the deep
+//!   tail queues uncapped batching pays;
 //! - **delta dispatch** ([`Worker`], [`DispatchPlan`]): workers own
 //!   persistent [`Machine`](accfg_sim::Machine)s whose configuration
 //!   registers survive between requests, so dispatched programs carry only
@@ -25,11 +37,14 @@
 //!   `accfg-dedup` pass, built on [`accfg::regstate`];
 //! - **metrics** ([`ServeMetrics`]): requests, simulated cycles, p50/p99
 //!   latency, configuration writes and bytes (vs. the cold cost), cache
-//!   hit rate.
+//!   hit rate, and observed-vs-predicted cycle error for both predictors
+//!   ([`PredictionStats`]).
 //!
-//! Everything is deterministic: routing happens before jobs reach the
-//! worker threads and latencies are replayed from per-request cycle
-//! counts, so a stream serves to bit-identical reports on every run.
+//! Everything is deterministic: routing happens at simulated-time decision
+//! points before jobs reach the worker threads, cost observations retire
+//! on the simulated clock, and latencies are replayed from per-request
+//! cycle counts — so a stream serves to bit-identical reports on every
+//! run. The full design is documented in `docs/ARCHITECTURE.md`.
 //!
 //! ```
 //! use accfg_runtime::{PoolConfig, Runtime, ServeConfig};
@@ -52,6 +67,64 @@
 //! assert!(report.metrics.setup_writes < report.metrics.cold_setup_writes);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! A minimal serve over a hand-built three-shape mix (the skeleton of
+//! `examples/serving.rs`), batching enabled with the default cutoff —
+//! note the warm repeats land as cache hits and the refined estimates
+//! end up strictly closer to the observed cycles than the anchors:
+//!
+//! ```
+//! use accfg_runtime::{Policy, PoolConfig, Runtime, ServeConfig};
+//! use accfg_targets::AcceleratorDescriptor;
+//! use accfg_workloads::{MatmulSpec, TrafficClass, TrafficConfig};
+//!
+//! let classes = vec![
+//!     TrafficClass {
+//!         accelerator: "opengemm".into(),
+//!         spec: MatmulSpec::opengemm_paper(16)?,
+//!         weight: 4,
+//!     },
+//!     TrafficClass {
+//!         accelerator: "opengemm".into(),
+//!         spec: MatmulSpec::opengemm_paper(24)?,
+//!         weight: 2,
+//!     },
+//!     TrafficClass {
+//!         accelerator: "gemmini".into(),
+//!         spec: MatmulSpec::gemmini_paper(32)?,
+//!         weight: 2,
+//!     },
+//! ];
+//! let stream = TrafficConfig {
+//!     classes,
+//!     requests: 96,
+//!     mean_gap: 120,
+//!     seed: 11,
+//! }
+//! .open_loop_stream()?;
+//!
+//! let mut runtime = Runtime::new(PoolConfig::new(vec![
+//!     AcceleratorDescriptor::gemmini(),
+//!     AcceleratorDescriptor::opengemm(),
+//! ]));
+//! let report = runtime.serve(
+//!     &stream,
+//!     &ServeConfig {
+//!         policy: Policy::ConfigAffinity,
+//!         max_batch: 8,
+//!         ..ServeConfig::default()
+//!     },
+//! )?;
+//!
+//! assert_eq!(report.metrics.requests, 96);
+//! assert_eq!(report.metrics.check_failures, 0);
+//! // three shapes compile once; everything else hits the module cache
+//! assert_eq!(report.metrics.cache.misses, 3);
+//! // online refinement beats the static anchors on this stream
+//! let p = report.metrics.prediction;
+//! assert!(p.ewma_abs_error < p.anchor_abs_error);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -63,13 +136,16 @@ pub mod runtime;
 pub mod scheduler;
 pub mod worker;
 
-pub use cache::{build_module, CacheKey, CacheStats, CompiledModule, CostModel, ModuleCache};
+pub use cache::{
+    build_module, CacheKey, CacheStats, CompiledModule, CostModel, CostRefiner, ModuleCache,
+    WARMTH_BUCKETS,
+};
 pub use error::ServeError;
 pub use metrics::{
-    class_label, ClassLatency, DepthHistogram, LatencyStats, ServeMetrics, WorkerMetrics,
-    DEPTH_BUCKETS,
+    class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
+    WorkerMetrics, DEPTH_BUCKETS,
 };
 pub use plan::{delta_writes, DispatchPlan, LaunchSpec, RegMap, WriteCmd};
-pub use runtime::{PoolConfig, Runtime, ServeConfig, ServeReport};
-pub use scheduler::{Policy, Scheduler};
+pub use runtime::{PoolConfig, PredictionSample, Runtime, ServeConfig, ServeReport};
+pub use scheduler::{CommitOutcome, Policy, Scheduler, LOAD_SLACK_CYCLES};
 pub use worker::{Completion, Job, Worker};

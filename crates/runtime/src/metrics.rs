@@ -134,6 +134,44 @@ impl DepthHistogram {
     }
 }
 
+/// Observed-vs-predicted dispatch-cycle error over one serve run,
+/// accumulated for *both* predictors on the same dispatch sequence: the
+/// static build-time anchors and the online EWMA refinement the scheduler
+/// actually charged queues with. Comparing the two on identical dispatches
+/// is what lets one run quantify how much refinement sharpens the
+/// estimates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Dispatches with a measured execution (simulation failures are
+    /// excluded — their counters are not a dispatch cost).
+    pub samples: u64,
+    /// Summed `|anchor prediction − observed cycles|`.
+    pub anchor_abs_error: u64,
+    /// Summed `|refined prediction − observed cycles|`. Equals the anchor
+    /// sum when refinement is disabled.
+    pub ewma_abs_error: u64,
+}
+
+impl PredictionStats {
+    /// Mean absolute error of the static anchor predictions, in cycles.
+    pub fn anchor_mae(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.anchor_abs_error as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean absolute error of the refined (EWMA) predictions, in cycles.
+    pub fn ewma_mae(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.ewma_abs_error as f64 / self.samples as f64
+        }
+    }
+}
+
 /// Per-worker accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerMetrics {
@@ -179,6 +217,8 @@ pub struct ServeMetrics {
     pub per_class: Vec<ClassLatency>,
     /// Queue depth observed by each request at dispatch time.
     pub queue_depth: DepthHistogram,
+    /// Observed-vs-predicted dispatch-cycle error (anchors vs. EWMA).
+    pub prediction: PredictionStats,
     /// Module-cache statistics for the run.
     pub cache: CacheStats,
     /// Requests coalesced into a predecessor's batch.
@@ -268,6 +308,13 @@ impl ServeMetrics {
         );
         let _ = writeln!(
             out,
+            "  \"prediction\": {{ \"samples\": {}, \"anchor_mae\": {:.2}, \"ewma_mae\": {:.2} }},",
+            self.prediction.samples,
+            self.prediction.anchor_mae(),
+            self.prediction.ewma_mae()
+        );
+        let _ = writeln!(
+            out,
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},",
             self.cache.hits,
             self.cache.misses,
@@ -320,6 +367,11 @@ mod tests {
                     h.record(d);
                 }
                 h
+            },
+            prediction: PredictionStats {
+                samples: 100,
+                anchor_abs_error: 2_000,
+                ewma_abs_error: 500,
             },
             cache: CacheStats {
                 hits: 95,
@@ -412,5 +464,25 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"policy\": \"affinity\""));
         assert!(j.contains("\"hit_rate\": 0.9500"));
+        assert!(
+            j.contains(
+                "\"prediction\": { \"samples\": 100, \"anchor_mae\": 20.00, \"ewma_mae\": 5.00 }"
+            ),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn prediction_maes_average_over_samples() {
+        let p = PredictionStats {
+            samples: 4,
+            anchor_abs_error: 10,
+            ewma_abs_error: 2,
+        };
+        assert!((p.anchor_mae() - 2.5).abs() < 1e-12);
+        assert!((p.ewma_mae() - 0.5).abs() < 1e-12);
+        let empty = PredictionStats::default();
+        assert_eq!(empty.anchor_mae(), 0.0);
+        assert_eq!(empty.ewma_mae(), 0.0);
     }
 }

@@ -114,9 +114,17 @@ impl DispatchPlan {
     /// without mutating it — the affinity scheduler's scoring function.
     pub fn writes_against(&self, resident: &RegMap) -> u64 {
         let mut resident = resident.clone();
+        self.apply_writes(&mut resident)
+    }
+
+    /// Counts the register writes a dispatch emits against `resident`
+    /// while advancing `resident` to the plan's final launch state — the
+    /// scheduler's shadow-commit step, and the write count the cost model
+    /// maps to a warmth bucket.
+    pub fn apply_writes(&self, resident: &mut RegMap) -> u64 {
         self.launches
             .iter()
-            .map(|l| delta_writes(&mut resident, l, self.style).len() as u64)
+            .map(|l| delta_writes(resident, l, self.style).len() as u64)
             .sum()
     }
 

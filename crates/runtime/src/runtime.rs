@@ -5,28 +5,36 @@
 //!
 //! 1. every request's module is resolved through the compiled-module
 //!    cache (repeated shapes skip IR build, passes, and lowering);
-//! 2. the scheduler assigns each request — or each *batch* of adjacent
-//!    same-module requests — to a worker, FIFO or config-affinity;
+//! 2. the scheduler assigns each request — or each *batch* of same-module
+//!    requests adjacent in their group's arrival order — to a worker,
+//!    FIFO or config-affinity, cutting a batch off once the target
+//!    worker's estimated outstanding cycles reach the slack horizon;
 //! 3. worker threads execute their dispatch sequences on persistent
 //!    simulated machines, eliding configuration writes already resident;
-//! 4. completions are folded into [`ServeMetrics`], with latencies
+//! 4. as the simulated clock passes each dispatch's completion, its
+//!    *measured* cycles retire into the scheduler's online cost refiner,
+//!    sharpening the queue estimates later routing decisions use;
+//! 5. completions are folded into [`ServeMetrics`], with latencies
 //!    replayed deterministically from per-request cycle counts.
 //!
-//! All scheduling decisions happen before jobs reach the threads, so two
-//! serves of the same stream produce bit-identical reports regardless of
-//! thread interleaving.
+//! Scheduling interleaves with execution — the serve loop blocks on a
+//! worker's next completion exactly when the simulated clock proves that
+//! dispatch has started — but every decision point is a function of
+//! simulated time only, so two serves of the same stream produce
+//! bit-identical reports regardless of thread interleaving.
 
 use crate::cache::{CacheStats, CompiledModule, ModuleCache};
 use crate::error::ServeError;
 use crate::metrics::{
-    class_label, ClassLatency, DepthHistogram, LatencyStats, ServeMetrics, WorkerMetrics,
+    class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
+    WorkerMetrics,
 };
-use crate::scheduler::{Policy, Scheduler};
+use crate::scheduler::{CommitOutcome, Policy, Scheduler, LOAD_SLACK_CYCLES};
 use crate::worker::{Completion, Job, Worker};
 use accfg::pipeline::OptLevel;
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::TrafficRequest;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -71,9 +79,21 @@ pub struct ServeConfig {
     pub policy: Policy,
     /// Optimization level for compiled modules.
     pub opt: OptLevel,
-    /// Maximum adjacent same-module requests coalesced into one batch
-    /// (1 disables batching).
+    /// Maximum same-module requests (adjacent in their group's arrival
+    /// order) coalesced into one batch (1 disables batching).
     pub max_batch: usize,
+    /// Queue-depth-aware batch cutoff: stop coalescing further requests
+    /// into a batch once the target worker's estimated outstanding cycles
+    /// (measured at the candidate's arrival) reach this horizon. `None`
+    /// coalesces up to `max_batch` unconditionally — the pre-cutoff
+    /// behaviour whose tail cost `serve_bench` documents.
+    pub batch_cutoff: Option<u64>,
+    /// Online cost refinement: feed each retired dispatch's measured
+    /// cycles into a per-`(module, warmth bucket)` EWMA and let it sharpen
+    /// the scheduler's queue estimates. `false` pins the estimates to the
+    /// static build-time anchors (the ablation the prediction-error
+    /// metrics compare against).
+    pub refine_cost: bool,
 }
 
 impl Default for ServeConfig {
@@ -82,8 +102,24 @@ impl Default for ServeConfig {
             policy: Policy::ConfigAffinity,
             opt: OptLevel::All,
             max_batch: 1,
+            batch_cutoff: Some(LOAD_SLACK_CYCLES),
+            refine_cost: true,
         }
     }
+}
+
+/// The per-dispatch cycle predictions recorded at commit time, kept so
+/// observed-vs-predicted error can be examined request by request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionSample {
+    /// Cycles the static build-time anchors predicted.
+    pub anchor: u64,
+    /// Cycles the scheduler charged (the EWMA estimate once the warmth
+    /// bucket has observations; the anchor prediction before, or always
+    /// when refinement is off).
+    pub ewma: u64,
+    /// Cycles the dispatch actually took (0 if its simulation failed).
+    pub observed: u64,
 }
 
 /// The outcome of one serve run.
@@ -95,6 +131,8 @@ pub struct ServeReport {
     pub completions: Vec<Completion>,
     /// Arrival-to-completion latency per request, in stream order.
     pub latencies: Vec<u64>,
+    /// Per-request cycle predictions vs. observations, in stream order.
+    pub predictions: Vec<PredictionSample>,
 }
 
 /// A pooled serving runtime with a persistent module cache.
@@ -168,8 +206,9 @@ impl Runtime {
         let mut order: Vec<usize> = (0..stream.len()).collect();
         order.sort_by_key(|&i| (stream[i].arrival, stream[i].id, i));
 
-        // resolve modules through the cache, in dispatch order
+        // resolve modules (and groups) through the cache, in dispatch order
         let mut modules: Vec<Option<Arc<CompiledModule>>> = vec![None; stream.len()];
+        let mut group_idx = vec![0usize; stream.len()];
         for &i in &order {
             let request = &stream[i];
             let g = group_of(&request.accelerator)?;
@@ -177,77 +216,167 @@ impl Runtime {
                 self.cache
                     .get_or_build(&self.pool.descriptors[g], request.spec, cfg.opt)?;
             modules[i] = Some(module);
+            group_idx[i] = g;
         }
         let module_of = |i: usize| modules[i].as_ref().expect("resolved above");
 
-        // schedule, coalescing adjacent same-module requests into batches;
-        // the serve-loop clock is each head request's arrival cycle, which
-        // drains completed work from the scheduler's queue estimates
-        let mut scheduler = Scheduler::new(cfg.policy, workers.len(), groups.len());
-        let mut assignment = vec![0usize; stream.len()];
-        let mut batched_requests = 0u64;
-        let max_batch = cfg.max_batch.max(1);
-        let mut pos = 0;
-        while pos < order.len() {
-            let head = order[pos];
-            let key = &module_of(head).key;
-            let mut end = pos + 1;
-            while end < order.len() && end - pos < max_batch && module_of(order[end]).key == *key {
-                end += 1;
-            }
-            let g = group_of(&stream[head].accelerator)?;
-            let worker = scheduler.choose(g, &groups[g], module_of(head), stream[head].arrival);
-            for &slot in &order[pos..end] {
-                assignment[slot] = worker;
-                scheduler.commit(worker, module_of(slot), stream[slot].arrival);
-            }
-            batched_requests += (end - pos - 1) as u64;
-            pos = end;
-        }
-
-        // per-worker dispatch sequences (for latency replay) and metadata
-        let mut dispatch_order: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
-        for &i in &order {
-            dispatch_order[assignment[i]].push(i);
-        }
         let accel_of_worker: Vec<String> = workers
             .iter()
             .map(|w| w.accelerator().to_string())
             .collect();
+        let worker_count = workers.len();
 
-        // execute: one thread per worker, jobs sent in dispatch order
+        // The serve loop proper: scheduling interleaved with execution.
+        // Each batch head's arrival cycle advances the simulated clock;
+        // before routing, every dispatch the clock proves *complete*
+        // retires its measured cycles into the scheduler's cost refiner,
+        // so later queue estimates learn from the stream itself. All
+        // blocking points are functions of simulated time, which keeps
+        // the schedule — and every metric — deterministic.
+        let mut scheduler =
+            Scheduler::new(cfg.policy, worker_count, groups.len()).with_refinement(cfg.refine_cost);
+        let mut assignment = vec![0usize; stream.len()];
+        let mut outcomes = vec![CommitOutcome::default(); stream.len()];
+        let mut batched_requests = 0u64;
+        let max_batch = cfg.max_batch.max(1);
         let mut completions: Vec<Option<Completion>> = (0..stream.len()).map(|_| None).collect();
         thread::scope(|scope| {
-            let (result_tx, result_rx) = mpsc::channel::<Completion>();
             let mut job_txs = Vec::new();
+            let mut result_rxs = Vec::new();
             for worker in workers {
-                let (tx, rx) = mpsc::channel::<Job>();
-                job_txs.push(tx);
-                let results = result_tx.clone();
-                scope.spawn(move || worker.run_loop(rx, results));
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (result_tx, result_rx) = mpsc::channel::<Completion>();
+                job_txs.push(job_tx);
+                result_rxs.push(result_rx);
+                scope.spawn(move || worker.run_loop(job_rx, result_tx));
             }
-            drop(result_tx);
-            for &i in &order {
-                let job = Job {
-                    request: stream[i].clone(),
-                    module: Arc::clone(module_of(i)),
-                    slot: i,
-                    elide: cfg.policy.elides(),
-                };
-                job_txs[assignment[i]]
-                    .send(job)
-                    .expect("worker thread alive while jobs pend");
+
+            // per-worker dispatches sent but not yet pulled back, oldest
+            // first; `finish_known[w]` is the simulated finish of the last
+            // pulled dispatch, so the head's start cycle is exact
+            let mut inflight: Vec<VecDeque<usize>> = vec![VecDeque::new(); worker_count];
+            let mut finish_known = vec![0u64; worker_count];
+            // pulled completions whose finish is still in the future,
+            // retired in deterministic (finish, slot) order
+            let mut unretired: BTreeSet<(u64, usize)> = BTreeSet::new();
+            let mut scheduled = vec![false; stream.len()];
+
+            let mut cursor = 0usize;
+            loop {
+                while cursor < order.len() && scheduled[order[cursor]] {
+                    cursor += 1;
+                }
+                if cursor == order.len() {
+                    break;
+                }
+                // heads are taken at advancing positions of the
+                // arrival-sorted order (batch coalescing skips ahead only
+                // for *members*), so this clock is monotone
+                let head = order[cursor];
+                let now = stream[head].arrival;
+
+                // pull every completion the clock proves has *started*
+                // (its worker-queue predecessors all finished by now) —
+                // the worker thread is already executing it, so the recv
+                // blocks at most for real work already in progress
+                for w in 0..worker_count {
+                    while let Some(&slot) = inflight[w].front() {
+                        let start = finish_known[w].max(stream[slot].arrival);
+                        if start > now {
+                            break;
+                        }
+                        let completion =
+                            result_rxs[w].recv().expect("worker alive while jobs pend");
+                        debug_assert_eq!(completion.slot, slot);
+                        let finish = start + completion.counters.cycles;
+                        finish_known[w] = finish;
+                        if completion.sim_error.is_none() {
+                            unretired.insert((finish, slot));
+                        }
+                        completions[slot] = Some(completion);
+                        inflight[w].pop_front();
+                    }
+                }
+                // retire completed dispatches into the cost refiner, in
+                // simulated completion order
+                while let Some(&(finish, slot)) = unretired.iter().next() {
+                    if finish > now {
+                        break;
+                    }
+                    unretired.remove(&(finish, slot));
+                    let cycles = completions[slot]
+                        .as_ref()
+                        .expect("pulled above")
+                        .counters
+                        .cycles;
+                    scheduler.observe(module_of(slot), outcomes[slot].bucket, cycles);
+                }
+
+                // route the batch head, then coalesce same-module requests
+                // adjacent in this group's arrival order (requests bound
+                // for other accelerator groups never interpose), stopping
+                // at the batch cutoff: once the worker's estimated
+                // outstanding cycles reach the horizon, further requests
+                // are better served by a fresh routing decision than by
+                // joining the queue
+                let g = group_idx[head];
+                let worker = scheduler.choose(g, &groups[g], module_of(head), now);
+                let mut members = 0usize;
+                let mut scan = cursor;
+                while scan < order.len() {
+                    let slot = order[scan];
+                    scan += 1;
+                    if scheduled[slot] || group_idx[slot] != g {
+                        continue;
+                    }
+                    if members > 0 {
+                        if members >= max_batch || module_of(slot).key != module_of(head).key {
+                            break;
+                        }
+                        if let Some(cutoff) = cfg.batch_cutoff {
+                            if scheduler.outstanding(worker, stream[slot].arrival) >= cutoff {
+                                break;
+                            }
+                        }
+                    }
+                    outcomes[slot] =
+                        scheduler.commit(worker, module_of(slot), stream[slot].arrival);
+                    assignment[slot] = worker;
+                    scheduled[slot] = true;
+                    inflight[worker].push_back(slot);
+                    job_txs[worker]
+                        .send(Job {
+                            request: stream[slot].clone(),
+                            module: Arc::clone(module_of(slot)),
+                            slot,
+                            elide: cfg.policy.elides(),
+                        })
+                        .expect("worker thread alive while jobs pend");
+                    members += 1;
+                }
+                batched_requests += (members - 1) as u64;
             }
+
+            // drain the tail: close the job channels and collect whatever
+            // is still in flight
             drop(job_txs);
-            for completion in result_rx {
-                let slot = completion.slot;
-                completions[slot] = Some(completion);
+            for result_rx in result_rxs {
+                while let Ok(completion) = result_rx.recv() {
+                    let slot = completion.slot;
+                    completions[slot] = Some(completion);
+                }
             }
         });
         let completions: Vec<Completion> = completions
             .into_iter()
             .map(|c| c.expect("every dispatched job completes"))
             .collect();
+
+        // per-worker dispatch sequences (for latency replay)
+        let mut dispatch_order: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
+        for &i in &order {
+            dispatch_order[assignment[i]].push(i);
+        }
 
         // deterministic latency replay: each worker executes its dispatch
         // sequence back-to-back on the simulated clock; along the way,
@@ -303,6 +432,31 @@ impl Runtime {
             })
             .collect();
 
+        // observed-vs-predicted error, for both predictors on the same
+        // dispatch sequence (simulation failures carry no valid cycles)
+        let mut prediction = PredictionStats::default();
+        let predictions: Vec<PredictionSample> = completions
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let sample = PredictionSample {
+                    anchor: outcomes[i].anchor_cycles,
+                    ewma: outcomes[i].predicted_cycles,
+                    observed: if c.sim_error.is_none() {
+                        c.counters.cycles
+                    } else {
+                        0
+                    },
+                };
+                if c.sim_error.is_none() {
+                    prediction.samples += 1;
+                    prediction.anchor_abs_error += sample.anchor.abs_diff(sample.observed);
+                    prediction.ewma_abs_error += sample.ewma.abs_diff(sample.observed);
+                }
+                sample
+            })
+            .collect();
+
         let cache_after = self.cache.stats;
         let metrics = ServeMetrics {
             policy: cfg.policy.label().to_string(),
@@ -321,6 +475,7 @@ impl Runtime {
             latency: LatencyStats::from_latencies(&latencies),
             per_class,
             queue_depth,
+            prediction,
             cache: CacheStats {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,
@@ -332,6 +487,7 @@ impl Runtime {
             metrics,
             completions,
             latencies,
+            predictions,
         })
     }
 }

@@ -20,14 +20,24 @@
 //! weighs more than a light one, which is what keeps affinity's tail
 //! latency close to round-robin while it still wins on writes.
 //!
+//! Predictions start from the module's build-time anchors and are
+//! *refined online*: as the serve loop retires completed dispatches it
+//! feeds their measured cycles back through [`Scheduler::observe`], and
+//! the per-`(module, warmth bucket)` EWMA held by [`CostRefiner`] takes
+//! over from the static interpolation wherever it has data. Because
+//! retirement happens at deterministic points of the simulated clock, the
+//! refined estimates — and every routing decision made from them — remain
+//! a pure function of the request stream.
+//!
 //! Routing decisions are made synchronously in the serve loop — before
 //! jobs reach the worker threads — so scheduling, and with it every
 //! metric, is deterministic regardless of thread interleaving.
 //!
 //! [`CostModel::predict`]: crate::cache::CostModel::predict
+//! [`CostRefiner`]: crate::cache::CostRefiner
 
-use crate::cache::CompiledModule;
-use crate::plan::{delta_writes, RegMap};
+use crate::cache::{CompiledModule, CostRefiner};
+use crate::plan::RegMap;
 
 /// The routing-and-dispatch policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -98,6 +108,26 @@ fn pressure(gap: u64) -> u64 {
     gap / LOAD_SLACK_CYCLES
 }
 
+/// What one [`Scheduler::commit`] predicted for its dispatch — recorded by
+/// the serve loop so observed-vs-predicted error can be measured and the
+/// retirement path can attribute the observation to the right warmth
+/// bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Configuration writes the dispatch is predicted to emit.
+    pub writes: u64,
+    /// Warmth bucket those writes land in (see [`CostModel::bucket`]).
+    ///
+    /// [`CostModel::bucket`]: crate::cache::CostModel::bucket
+    pub bucket: usize,
+    /// Cycles the static build-time anchors predict.
+    pub anchor_cycles: u64,
+    /// Cycles the scheduler actually charged the worker's queue: the
+    /// refined (EWMA) estimate when refinement is on and the bucket has
+    /// been observed, the anchor prediction otherwise.
+    pub predicted_cycles: u64,
+}
+
 /// Scheduler state across one serve run.
 #[derive(Debug)]
 pub struct Scheduler {
@@ -106,18 +136,46 @@ pub struct Scheduler {
     /// Estimated cycle at which each worker's committed queue drains.
     ready: Vec<u64>,
     round_robin: Vec<usize>,
+    refine: bool,
+    refiner: CostRefiner,
 }
 
 impl Scheduler {
     /// A scheduler for `workers` workers across `groups` accelerator
-    /// groups.
+    /// groups, with online cost refinement enabled.
     pub fn new(policy: Policy, workers: usize, groups: usize) -> Self {
         Self {
             policy,
             shadows: vec![RegMap::new(); workers],
             ready: vec![0; workers],
             round_robin: vec![0; groups],
+            refine: true,
+            refiner: CostRefiner::new(),
         }
+    }
+
+    /// Enables or disables online cost refinement (on by default). With
+    /// refinement off, queue estimates use only the static build-time
+    /// anchors — the ablation `serve_bench` quantifies prediction error
+    /// against.
+    #[must_use]
+    pub fn with_refinement(mut self, refine: bool) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Feeds one retired dispatch's measured `cycles` (landing in
+    /// `bucket`) back into the cost refiner. A no-op when refinement is
+    /// disabled.
+    pub fn observe(&mut self, module: &CompiledModule, bucket: usize, cycles: u64) {
+        if self.refine {
+            self.refiner.observe(&module.key, bucket, cycles);
+        }
+    }
+
+    /// The cost refiner's current estimates (for tests and diagnostics).
+    pub fn refiner(&self) -> &CostRefiner {
+        &self.refiner
     }
 
     /// The estimated cycles of committed work still queued on `worker` at
@@ -177,25 +235,38 @@ impl Scheduler {
     }
 
     /// Records a dispatch of `module` to `worker` at serve-loop cycle
-    /// `now`, updating the shadow resident state with the same deltas the
-    /// worker will apply and extending the worker's queue by the module's
-    /// predicted execution cycles. A no-op under the round-robin policies,
-    /// whose routing never reads this state.
-    pub fn commit(&mut self, worker: usize, module: &CompiledModule, now: u64) {
-        if self.policy != Policy::ConfigAffinity {
-            // round-robin routing never reads shadows or queue estimates;
-            // skip the per-launch delta diff on the serve loop's hot path
-            return;
+    /// `now`: updates the shadow resident state with the same deltas the
+    /// worker will apply (under eliding policies), extends the worker's
+    /// queue by the dispatch's predicted execution cycles, and returns
+    /// what was predicted so the serve loop can measure it against the
+    /// observed cost.
+    ///
+    /// Queue accounting now runs under *every* policy — the round-robin
+    /// policies never read it for routing, but the batch cutoff and the
+    /// prediction-error metrics do.
+    pub fn commit(&mut self, worker: usize, module: &CompiledModule, now: u64) -> CommitOutcome {
+        let writes = if self.policy.elides() {
+            // the dispatch's cost follows the writes it actually emits
+            // against this worker's resident state
+            module.plan.apply_writes(&mut self.shadows[worker])
+        } else {
+            // the cold baseline reprograms everything, every time
+            module.plan.cold_writes
+        };
+        let bucket = module.cost.bucket(writes);
+        let anchor_cycles = module.cost.predict(writes);
+        let predicted_cycles = if self.refine {
+            self.refiner.predict(module, writes)
+        } else {
+            anchor_cycles
+        };
+        self.ready[worker] = self.ready[worker].max(now) + predicted_cycles;
+        CommitOutcome {
+            writes,
+            bucket,
+            anchor_cycles,
+            predicted_cycles,
         }
-        let shadow = &mut self.shadows[worker];
-        let mut writes = 0u64;
-        for launch in &module.plan.launches {
-            writes += delta_writes(shadow, launch, module.plan.style).len() as u64;
-        }
-        // affinity always elides, so the dispatch's cost follows the
-        // writes it actually emits
-        let predicted = module.cost.predict(writes);
-        self.ready[worker] = self.ready[worker].max(now) + predicted;
     }
 
     /// The shadow resident state of `worker` (for tests and diagnostics).
@@ -348,9 +419,7 @@ mod tests {
         let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
         let cold = m.cost.predict(m.plan.cold_writes);
         let mut shadow = RegMap::new();
-        for launch in &m.plan.launches {
-            let _ = delta_writes(&mut shadow, launch, m.plan.style);
-        }
+        m.plan.apply_writes(&mut shadow);
         let warm = m.cost.predict(m.plan.writes_against(&shadow));
         for _ in 0..4 {
             s.commit(0, &m, 0);
@@ -378,6 +447,56 @@ mod tests {
             s.outstanding(1, 0) > s.outstanding(0, 0),
             "a 16-launch module must queue longer than a single-tile one"
         );
+    }
+
+    #[test]
+    fn round_robin_commits_still_track_queues_and_shadows() {
+        // the batch cutoff and the prediction metrics read queue estimates
+        // under every policy, so commit can no longer early-out for the
+        // round-robin policies
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::FifoElide, 2, 1);
+        let first = s.commit(0, &m, 0);
+        assert_eq!(first.writes, m.plan.cold_writes);
+        assert_eq!(s.outstanding(0, 0), first.predicted_cycles);
+        // the shadow advanced, so a repeat is scored (and charged) warm
+        let second = s.commit(0, &m, 0);
+        assert_eq!(second.writes, m.plan.writes_against(s.shadow(0)));
+        assert!(second.writes < first.writes);
+        assert!(second.predicted_cycles < first.predicted_cycles);
+        // the cold baseline never elides: every commit charges cold
+        let mut cold = Scheduler::new(Policy::Fifo, 1, 1);
+        for _ in 0..2 {
+            let outcome = cold.commit(0, &m, 0);
+            assert_eq!(outcome.writes, m.plan.cold_writes);
+            assert_eq!(outcome.predicted_cycles, m.cost.cold_cycles);
+        }
+        assert_eq!(cold.outstanding(0, 0), 2 * m.cost.cold_cycles);
+    }
+
+    #[test]
+    fn observed_cycles_refine_commit_predictions() {
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, 1, 1);
+        let first = s.commit(0, &m, 0);
+        // nothing observed yet: the charge equals the anchor prediction
+        assert_eq!(first.predicted_cycles, first.anchor_cycles);
+        // a retired dispatch reports very different measured cycles for
+        // the warm bucket; the next warm commit quotes the EWMA
+        let warm_probe = s.commit(0, &m, 0);
+        s.observe(&m, warm_probe.bucket, warm_probe.anchor_cycles + 500);
+        let refined = s.commit(0, &m, 0);
+        assert_eq!(refined.bucket, warm_probe.bucket);
+        assert_eq!(refined.predicted_cycles, warm_probe.anchor_cycles + 500);
+        assert_eq!(refined.anchor_cycles, warm_probe.anchor_cycles);
+        // with refinement disabled the same observation changes nothing
+        let mut fixed = Scheduler::new(Policy::ConfigAffinity, 1, 1).with_refinement(false);
+        fixed.commit(0, &m, 0);
+        let probe = fixed.commit(0, &m, 0);
+        fixed.observe(&m, probe.bucket, probe.anchor_cycles + 500);
+        assert_eq!(fixed.refiner().modules_observed(), 0);
+        let unrefined = fixed.commit(0, &m, 0);
+        assert_eq!(unrefined.predicted_cycles, unrefined.anchor_cycles);
     }
 
     #[test]

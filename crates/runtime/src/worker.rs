@@ -7,10 +7,14 @@
 //! ([`DispatchPlan::delta_program`]), plus the launches and the final
 //! await. Execution is fully functional — the tile matmuls run on the
 //! worker's memory and every request is checked against the reference
-//! result — and cycle-accurate, so per-request counters feed the latency
-//! and throughput metrics directly.
+//! result — and cycle-accurate: per-request counters feed the latency and
+//! throughput metrics directly, and each completion's measured cycles are
+//! what the serve loop retires into the scheduler's online cost refiner
+//! ([`CostRefiner`]), making the workers the runtime's measurement plane
+//! as well as its execution plane.
 //!
 //! [`DispatchPlan::delta_program`]: crate::plan::DispatchPlan::delta_program
+//! [`CostRefiner`]: crate::cache::CostRefiner
 
 use crate::cache::CompiledModule;
 use crate::plan::RegMap;
@@ -47,6 +51,8 @@ pub struct Completion {
     /// Worker that executed it.
     pub worker: usize,
     /// Simulator counters for the dispatch (cycles, config bytes, ...).
+    /// `counters.cycles` is the measured dispatch cost the online cost
+    /// refiner learns from once this completion retires.
     pub counters: Counters,
     /// Configuration writes actually emitted (after resident-state
     /// elision).

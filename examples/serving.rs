@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. config-affinity: requests are routed to the worker whose resident
     //    register file needs the fewest new writes, and dispatches skip
-    //    everything already resident
+    //    everything already resident; batches stop coalescing at the
+    //    queue-depth cutoff, and the scheduler's cycle estimates refine
+    //    online from each dispatch's measured cost (both on by default)
     let affinity = runtime.serve(
         &stream,
         &ServeConfig {
@@ -75,6 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "module cache          : {} modules, {:.1}% hit rate",
         affinity.metrics.cache.misses + fifo.metrics.cache.misses,
         100.0 * affinity.metrics.cache.hit_rate()
+    );
+    println!(
+        "cycle prediction MAE  : {:.1} static anchors -> {:.2} with online EWMA",
+        affinity.metrics.prediction.anchor_mae(),
+        affinity.metrics.prediction.ewma_mae()
     );
 
     // 5. every request was functionally checked against the reference
