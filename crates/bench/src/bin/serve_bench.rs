@@ -1,7 +1,7 @@
 //! Serving benchmark for the `accfg-runtime` dispatch layer: throughput,
 //! latency, and configuration-write savings of the scheduling policies
-//! across arrival processes and shape mixes, over both evaluation
-//! platforms.
+//! across arrival processes, shape mixes, and pool provisioning — over
+//! both evaluation platforms and their heterogeneous variants.
 //!
 //! Policies:
 //!
@@ -13,7 +13,10 @@
 //!   (batching's clearest win: it overrides round-robin scattering);
 //! - `affinity` — config-affinity routing (queue-depth-aware, in
 //!   estimated outstanding cycles) plus elision;
-//! - `affinity+batch` — affinity with batching.
+//! - `affinity+batch` — affinity with batching;
+//! - `cost` — cycle-cost routing: minimize refined predicted cycles to
+//!   completion over per-platform cost models, the policy heterogeneous
+//!   pools need.
 //!
 //! Streams:
 //!
@@ -23,20 +26,33 @@
 //!   partition keeps every worker warm, so the routing term dominates;
 //! - `bursty` — on/off arrivals that build deep queues, the worst case
 //!   for sticky routing's tail latency;
-//! - `closed_loop` — a fixed client population, self-limiting arrivals.
+//! - `closed_loop` — a fixed client population, self-limiting arrivals
+//!   driven by a static per-request service estimate;
+//! - `closed_loop_measured` — the same population, but each client's
+//!   feedback uses the *measured* mean service time of its request's
+//!   class (from a `fifo+elide` calibration serve of the static stream),
+//!   so heavy shapes hold their clients proportionally longer;
+//! - `hetero` — the mixed-platform mix served by a *heterogeneous* pool:
+//!   each family pairs its base platform with a differently provisioned
+//!   variant (`gemmini`+`gemmini-turbo`, `opengemm`+`opengemm-lite`),
+//!   where write-count affinity scoring is blind to provisioning and
+//!   cycle-cost routing earns its keep.
 //!
 //! Writes the raw per-stream, per-policy metrics to `BENCH_runtime.json`
 //! (validated as strict JSON before the file lands). Pass
-//! `--requests <n>` for a reduced smoke run and `--out <path>` to write
-//! the report elsewhere (CI uses both to avoid clobbering the committed
-//! artifact).
+//! `--requests <n>` for a reduced smoke run, `--out <path>` to write the
+//! report elsewhere (CI uses both to avoid clobbering the committed
+//! artifact), and `--policies <a,b,...>` to exercise a subset of the
+//! policy labels without paying for all of them.
 
 use accfg_bench::{json, markdown_table};
-use accfg_runtime::{Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics};
+use accfg_runtime::{
+    measured_class_service_times, Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics,
+};
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{
-    mixed_serving_classes, shape_heavy_classes, BurstyConfig, ClosedLoopConfig, TrafficConfig,
-    TrafficRequest,
+    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
+    ClosedLoopConfig, TrafficConfig, TrafficRequest,
 };
 
 const DEFAULT_REQUESTS: usize = 12_000;
@@ -62,10 +78,11 @@ fn policies(include_batch: bool) -> Vec<(&'static str, ServeConfig)> {
     if include_batch {
         out.push(("affinity+batch", batched(Policy::ConfigAffinity)));
     }
+    out.push(("cost", base(Policy::Cost)));
     out
 }
 
-fn streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
+fn uniform_streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
     let mixed = TrafficConfig {
         classes: mixed_serving_classes(),
         requests,
@@ -92,16 +109,9 @@ fn streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
     }
     .stream()
     .expect("valid bursty mix");
-    let closed_loop = ClosedLoopConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        clients: 12,
-        think_time: 400,
-        service_estimate: 250,
-        seed: 0xC105ED,
-    }
-    .stream()
-    .expect("valid closed-loop mix");
+    let closed_loop = closed_loop_config(requests)
+        .stream()
+        .expect("valid closed-loop mix");
     // the batch variants only on the canonical mix: they change placement,
     // not the routing-vs-balance story the extra streams characterize
     vec![
@@ -112,9 +122,145 @@ fn streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
     ]
 }
 
+fn closed_loop_config(requests: usize) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        clients: 12,
+        think_time: 400,
+        service_estimate: 250,
+        seed: 0xC105ED,
+    }
+}
+
+fn hetero_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ])
+    .with_workers_per_accelerator(2)
+    .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+    .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
+}
+
+/// Runs every (selected) policy over one stream and prints its table.
+fn run_stream(
+    runtime: &mut Runtime,
+    stream_name: &str,
+    stream: &[TrafficRequest],
+    include_batch: bool,
+    filter: Option<&[String]>,
+) -> Vec<(String, ServeMetrics)> {
+    let mut results: Vec<(String, ServeMetrics)> = Vec::new();
+    for (label, cfg) in &policies(include_batch) {
+        if let Some(filter) = filter {
+            if !filter.iter().any(|f| f == label) {
+                continue;
+            }
+        }
+        let report = runtime.serve(stream, cfg).expect("serve succeeds");
+        assert_eq!(
+            report.metrics.check_failures, 0,
+            "{stream_name}/{label}: functional checks failed"
+        );
+        assert_eq!(
+            report.metrics.sim_failures, 0,
+            "{stream_name}/{label}: simulation failed"
+        );
+        results.push((label.to_string(), report.metrics));
+    }
+    if results.is_empty() {
+        // e.g. --policies affinity+batch on a stream that runs no batch
+        // variants: nothing to measure here, the caller skips the stream
+        println!("== {stream_name} == (skipped: no selected policy applies)\n");
+        return results;
+    }
+
+    let find = |label: &str| results.iter().find(|(l, _)| l == label).map(|(_, m)| m);
+    let fifo = find("fifo").cloned();
+    let elide_p99 = find("fifo+elide").map(|m| m.latency.p99);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(label, m)| {
+            vec![
+                label.clone(),
+                m.setup_writes.to_string(),
+                fifo.as_ref()
+                    .map(|f| format!("{:.1}%", 100.0 * m.write_savings_vs(f)))
+                    .unwrap_or_else(|| "-".into()),
+                m.makespan.to_string(),
+                format!("{:.1}", m.throughput_per_mcycle()),
+                m.latency.p50.to_string(),
+                m.latency.p99.to_string(),
+                elide_p99
+                    .map(|e| format!("{:.2}", m.latency.p99 as f64 / e.max(1) as f64))
+                    .unwrap_or_else(|| "-".into()),
+                m.queue_depth.max.to_string(),
+                format!("{:.1}", m.prediction.anchor_mae()),
+                format!("{:.1}", m.prediction.ewma_mae()),
+            ]
+        })
+        .collect();
+    println!("== {stream_name} ==");
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "policy",
+                "setup writes",
+                "saved vs fifo",
+                "makespan (cyc)",
+                "req/Mcycle",
+                "p50 lat",
+                "p99 lat",
+                "p99 / elide p99",
+                "max qdepth",
+                "anchor MAE",
+                "ewma MAE",
+            ],
+            &rows,
+        )
+    );
+
+    // the refined estimates must not be worse than the static anchors on
+    // the dispatches the scheduler actually charged for
+    for (label, m) in results.iter().filter(|(_, m)| m.prediction.samples > 0) {
+        assert!(
+            m.prediction.ewma_abs_error <= m.prediction.anchor_abs_error,
+            "{stream_name}/{label}: ewma MAE {:.1} > anchor MAE {:.1}",
+            m.prediction.ewma_mae(),
+            m.prediction.anchor_mae()
+        );
+    }
+    if let Some(fifo) = &fifo {
+        // elision guarantees the resident-aware policies never write more
+        // than the cold baseline
+        for label in ["affinity", "cost"] {
+            if let Some(m) = find(label) {
+                assert!(
+                    m.setup_writes <= fifo.setup_writes,
+                    "{stream_name}: {label} wrote more than fifo"
+                );
+            }
+        }
+        if let (Some(affinity), Some(elide_p99)) = (find("affinity"), elide_p99) {
+            println!(
+                "affinity: {:.1}% fewer setup writes than fifo, p99 {:.2}x fifo+elide",
+                100.0 * affinity.write_savings_vs(fifo),
+                affinity.latency.p99 as f64 / elide_p99.max(1) as f64,
+            );
+        }
+    }
+    println!();
+    results
+}
+
+const DEFAULT_OUT: &str = "BENCH_runtime.json";
+
 fn main() {
     let mut requests = DEFAULT_REQUESTS;
-    let mut out_path = String::from("BENCH_runtime.json");
+    let mut out_path = String::from(DEFAULT_OUT);
+    let mut policy_filter: Option<Vec<String>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -128,11 +274,38 @@ fn main() {
             "--out" => {
                 out_path = args.next().expect("--out takes a file path");
             }
-            other => {
-                panic!("unknown argument `{other}` (supported: --requests <n>, --out <path>)")
+            "--policies" => {
+                let list = args
+                    .next()
+                    .expect("--policies takes a comma-separated list");
+                let known: Vec<&str> = policies(true).iter().map(|(l, _)| *l).collect();
+                let selected: Vec<String> = list.split(',').map(str::to_string).collect();
+                for label in &selected {
+                    assert!(
+                        known.contains(&label.as_str()),
+                        "unknown policy `{label}` (known: {})",
+                        known.join(", ")
+                    );
+                }
+                policy_filter = Some(selected);
             }
+            other => panic!(
+                "unknown argument `{other}` \
+                 (supported: --requests <n>, --out <path>, --policies <a,b,...>)"
+            ),
         }
     }
+    // a filtered run produces a partial report: refuse to overwrite the
+    // committed full artifact with it (by file name, so alternate
+    // spellings of the same path cannot slip past)
+    assert!(
+        policy_filter.is_none()
+            || std::path::Path::new(&out_path).file_name()
+                != std::path::Path::new(DEFAULT_OUT).file_name(),
+        "--policies writes a partial report; pass --out with a file name \
+         other than {DEFAULT_OUT} so it cannot clobber the committed artifact"
+    );
+    let filter = policy_filter.as_deref();
 
     let mut runtime = Runtime::new(
         PoolConfig::new(vec![
@@ -145,120 +318,122 @@ fn main() {
     println!("serve_bench: {requests} requests per stream, 2 workers/accelerator\n");
 
     let mut all: Vec<(&str, Vec<(String, ServeMetrics)>)> = Vec::new();
-    for (stream_name, stream, include_batch) in &streams(requests) {
-        let mut results: Vec<(String, ServeMetrics)> = Vec::new();
-        for (label, cfg) in &policies(*include_batch) {
-            let report = runtime.serve(stream, cfg).expect("serve succeeds");
-            assert_eq!(
-                report.metrics.check_failures, 0,
-                "{stream_name}/{label}: functional checks failed"
-            );
-            assert_eq!(
-                report.metrics.sim_failures, 0,
-                "{stream_name}/{label}: simulation failed"
-            );
-            results.push((label.to_string(), report.metrics));
+    for (stream_name, stream, include_batch) in &uniform_streams(requests) {
+        let results = run_stream(&mut runtime, stream_name, stream, *include_batch, filter);
+        if !results.is_empty() {
+            all.push((stream_name, results));
         }
+    }
 
-        let fifo = results[0].1.clone();
-        let elide_p99 = results
+    // closed-loop fidelity: re-drive the client feedback with the
+    // *measured* mean service time of each class, taken from a
+    // calibration serve (fifo+elide — routing-neutral state tracking) of
+    // the static-estimate stream above
+    let closed_cfg = closed_loop_config(requests);
+    let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
+    let calibration = runtime
+        .serve(
+            &calibration_stream,
+            &ServeConfig {
+                policy: Policy::FifoElide,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("calibration serve succeeds");
+    let service_times = measured_class_service_times(
+        &closed_cfg.classes,
+        &calibration_stream,
+        &calibration,
+        closed_cfg.service_estimate,
+    );
+    println!(
+        "closed-loop calibration: measured per-class service times {service_times:?} \
+         (static estimate was {})\n",
+        closed_cfg.service_estimate
+    );
+    let measured_stream = closed_cfg
+        .stream_with_service_times(&service_times)
+        .expect("valid measured closed-loop mix");
+    let measured_results = run_stream(
+        &mut runtime,
+        "closed_loop_measured",
+        &measured_stream,
+        false,
+        filter,
+    );
+    if !measured_results.is_empty() {
+        all.push(("closed_loop_measured", measured_results));
+    }
+
+    // the heterogeneous pool: same capacity (2 workers/family), but each
+    // family pairs its base platform with a differently provisioned
+    // variant — its own runtime, so module caches stay per-pool
+    let mut hetero_runtime = Runtime::new(hetero_pool());
+    let hetero_stream = TrafficConfig {
+        classes: mixed_platform_classes(),
+        requests,
+        mean_gap: 300,
+        seed: 0x4E7E60,
+    }
+    .open_loop_stream()
+    .expect("valid mixed-platform mix");
+    let hetero_results = run_stream(&mut hetero_runtime, "hetero", &hetero_stream, false, filter);
+    let hetero_find = |label: &str| {
+        hetero_results
             .iter()
-            .find(|(l, _)| l == "fifo+elide")
-            .expect("fifo+elide row")
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m)
+    };
+    if let (Some(cost), Some(affinity)) = (hetero_find("cost"), hetero_find("affinity")) {
+        // the heterogeneous acceptance bar: cycle-cost routing beats
+        // write-count affinity on its own metric
+        assert!(
+            cost.setup_writes <= affinity.setup_writes,
+            "hetero: cost wrote {} setup registers, affinity {}",
+            cost.setup_writes,
+            affinity.setup_writes
+        );
+        println!(
+            "hetero: cost {} setup writes vs affinity {} ({:.1}% fewer), \
+             p99 {} vs {} cycles",
+            cost.setup_writes,
+            affinity.setup_writes,
+            100.0 * cost.write_savings_vs(affinity),
+            cost.latency.p99,
+            affinity.latency.p99,
+        );
+    }
+    if !hetero_results.is_empty() {
+        all.push(("hetero", hetero_results));
+    }
+    assert!(!all.is_empty(), "every stream was skipped by --policies");
+
+    // per-class SLO view of the canonical mix under affinity
+    if let Some(mixed_affinity) = all
+        .iter()
+        .find(|(stream, _)| *stream == "mixed")
+        .and_then(|(_, results)| results.iter().find(|(label, _)| label == "affinity"))
+    {
+        println!("\n== mixed / affinity, per class ==");
+        let class_rows: Vec<Vec<String>> = mixed_affinity
             .1
-            .latency
-            .p99;
-        let rows: Vec<Vec<String>> = results
+            .per_class
             .iter()
-            .map(|(label, m)| {
+            .map(|c| {
                 vec![
-                    label.clone(),
-                    m.setup_writes.to_string(),
-                    format!("{:.1}%", 100.0 * m.write_savings_vs(&fifo)),
-                    m.makespan.to_string(),
-                    format!("{:.1}", m.throughput_per_mcycle()),
-                    m.latency.p50.to_string(),
-                    m.latency.p99.to_string(),
-                    format!("{:.2}", m.latency.p99 as f64 / elide_p99.max(1) as f64),
-                    m.queue_depth.max.to_string(),
-                    format!("{:.1}", m.prediction.anchor_mae()),
-                    format!("{:.1}", m.prediction.ewma_mae()),
+                    c.class.clone(),
+                    c.requests.to_string(),
+                    c.latency.p50.to_string(),
+                    c.latency.p99.to_string(),
+                    c.latency.max.to_string(),
                 ]
             })
             .collect();
-        println!("== {stream_name} ==");
         print!(
             "{}",
-            markdown_table(
-                &[
-                    "policy",
-                    "setup writes",
-                    "saved vs fifo",
-                    "makespan (cyc)",
-                    "req/Mcycle",
-                    "p50 lat",
-                    "p99 lat",
-                    "p99 / elide p99",
-                    "max qdepth",
-                    "anchor MAE",
-                    "ewma MAE",
-                ],
-                &rows,
-            )
+            markdown_table(&["class", "requests", "p50", "p99", "max"], &class_rows)
         );
-
-        let affinity = &results
-            .iter()
-            .find(|(label, _)| label == "affinity")
-            .expect("affinity row present")
-            .1;
-        assert!(
-            affinity.setup_writes <= fifo.setup_writes,
-            "{stream_name}: affinity wrote more than fifo"
-        );
-        // the refined estimates must not be worse than the static anchors
-        // on the dispatches the scheduler actually charged for
-        for (label, m) in results.iter().filter(|(_, m)| m.prediction.samples > 0) {
-            assert!(
-                m.prediction.ewma_abs_error <= m.prediction.anchor_abs_error,
-                "{stream_name}/{label}: ewma MAE {:.1} > anchor MAE {:.1}",
-                m.prediction.ewma_mae(),
-                m.prediction.anchor_mae()
-            );
-        }
-        println!(
-            "affinity: {:.1}% fewer setup writes than fifo, p99 {:.2}x fifo+elide\n",
-            100.0 * affinity.write_savings_vs(&fifo),
-            affinity.latency.p99 as f64 / elide_p99.max(1) as f64,
-        );
-        all.push((stream_name, results));
     }
-
-    // per-class SLO view of the canonical mix under affinity
-    let mixed_affinity = &all[0]
-        .1
-        .iter()
-        .find(|(label, _)| label == "affinity")
-        .expect("affinity on mixed")
-        .1;
-    println!("== mixed / affinity, per class ==");
-    let class_rows: Vec<Vec<String>> = mixed_affinity
-        .per_class
-        .iter()
-        .map(|c| {
-            vec![
-                c.class.clone(),
-                c.requests.to_string(),
-                c.latency.p50.to_string(),
-                c.latency.p99.to_string(),
-                c.latency.max.to_string(),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        markdown_table(&["class", "requests", "p50", "p99", "max"], &class_rows)
-    );
 
     let mut out = String::from("{\n");
     for (si, (stream_name, results)) in all.iter().enumerate() {

@@ -158,26 +158,39 @@ impl CostModel {
 
 /// Online refinement of [`CostModel`] predictions: an exponentially
 /// weighted moving average of *measured* dispatch cycles per
-/// `(module, warmth bucket)`, updated as the serve loop retires completed
-/// dispatches.
+/// `(module, platform, warmth bucket)`, updated as the serve loop retires
+/// completed dispatches.
 ///
-/// The static anchors are measured once at build time and interpolated
-/// linearly, which is exact at the cold and steady-state-warm extremes but
-/// drifts for partially-warm dispatches. The refiner learns each bucket's
-/// actual cycle cost from the stream itself; once a bucket has an
-/// observation, [`CostRefiner::predict`] quotes the EWMA instead of the
-/// interpolation, and the scheduler's outstanding-cycle estimates — and
-/// with them the affinity slack horizon and the batch cutoff — sharpen as
-/// the run warms up.
+/// The static anchors are estimated analytically at build time and
+/// interpolated linearly, which is exact at the cold and
+/// steady-state-warm extremes but drifts for partially-warm dispatches.
+/// The refiner learns each bucket's actual cycle cost from the stream
+/// itself; once a bucket has an observation, [`CostRefiner::predict`]
+/// quotes the EWMA instead of the interpolation, and the scheduler's
+/// outstanding-cycle estimates — and with them the affinity slack
+/// horizon, the batch cutoff, and the `cost` policy's completion
+/// estimates — sharpen as the run warms up.
+///
+/// Heterogeneous pools run one module on *differently provisioned*
+/// platform variants (same configuration interface, different geometry
+/// and speed), so observations are kept per platform: `platform` is the
+/// pool-assigned index of the worker's platform variant
+/// ([`LoadTracker::platform`]), and a measurement taken on one variant
+/// never contaminates another's estimates. Uniform pools only ever use
+/// one platform index per module, which reduces to the old behaviour
+/// exactly.
 ///
 /// Estimates are integer fixed-point, so refinement is a pure function of
 /// the request stream: two serves of the same stream produce bit-identical
 /// estimates, predictions, and therefore schedules.
+///
+/// [`LoadTracker::platform`]: crate::scheduler::LoadTracker::platform
 #[derive(Debug, Clone, Default)]
 pub struct CostRefiner {
-    /// Per-module fixed-point EWMA cycles, `UNSEEN` where no dispatch of
-    /// that warmth has retired yet.
-    ewma: HashMap<CacheKey, [i64; WARMTH_BUCKETS]>,
+    /// Per-module, per-platform fixed-point EWMA cycles (outer index:
+    /// platform), `UNSEEN` where no dispatch of that warmth has retired
+    /// yet.
+    ewma: HashMap<CacheKey, Vec<[i64; WARMTH_BUCKETS]>>,
 }
 
 /// Sentinel for a bucket with no observations (cycles are nonnegative).
@@ -190,15 +203,16 @@ impl CostRefiner {
         Self::default()
     }
 
-    /// Folds one measured dispatch (`cycles`, landing in `bucket`) into
-    /// the module's estimate. The first observation seeds the EWMA
-    /// exactly; later ones move it by α = 1/8 of the residual.
-    pub fn observe(&mut self, key: &CacheKey, bucket: usize, cycles: u64) {
-        let buckets = self
-            .ewma
-            .entry(key.clone())
-            .or_insert([UNSEEN; WARMTH_BUCKETS]);
-        let slot = &mut buckets[bucket.min(WARMTH_BUCKETS - 1)];
+    /// Folds one measured dispatch (`cycles`, landing in `bucket`, run on
+    /// platform variant `platform`) into the module's estimate. The first
+    /// observation seeds the EWMA exactly; later ones move it by α = 1/8
+    /// of the residual.
+    pub fn observe(&mut self, key: &CacheKey, platform: usize, bucket: usize, cycles: u64) {
+        let platforms = self.ewma.entry(key.clone()).or_default();
+        if platforms.len() <= platform {
+            platforms.resize(platform + 1, [UNSEEN; WARMTH_BUCKETS]);
+        }
+        let slot = &mut platforms[platform][bucket.min(WARMTH_BUCKETS - 1)];
         let observed = (cycles as i64) << EWMA_FRAC_BITS;
         if *slot == UNSEEN {
             *slot = observed;
@@ -207,19 +221,26 @@ impl CostRefiner {
         }
     }
 
-    /// The refined estimate for `bucket` of the module keyed by `key`, or
-    /// `None` while the bucket has no observations.
-    pub fn refined(&self, key: &CacheKey, bucket: usize) -> Option<u64> {
-        let slot = *self.ewma.get(key)?.get(bucket)?;
+    /// The refined estimate for `bucket` of the module keyed by `key` on
+    /// `platform`, or `None` while that bucket has no observations there.
+    pub fn refined(&self, key: &CacheKey, platform: usize, bucket: usize) -> Option<u64> {
+        let slot = *self.ewma.get(key)?.get(platform)?.get(bucket)?;
         (slot != UNSEEN).then_some((slot >> EWMA_FRAC_BITS) as u64)
     }
 
-    /// Predicted cycles for a dispatch of `module` emitting `writes`
-    /// configuration writes: the warmth bucket's EWMA when it has been
-    /// observed, the static anchor interpolation otherwise.
-    pub fn predict(&self, module: &CompiledModule, writes: u64) -> u64 {
-        self.refined(&module.key, module.cost.bucket(writes))
-            .unwrap_or_else(|| module.cost.predict(writes))
+    /// Predicted cycles for a dispatch of the module keyed by `key`
+    /// emitting `writes` configuration writes on `platform`: the warmth
+    /// bucket's EWMA when it has been observed there, the interpolation
+    /// of `anchors` (the platform's analytic cost model) otherwise.
+    pub fn predict(
+        &self,
+        key: &CacheKey,
+        platform: usize,
+        anchors: &CostModel,
+        writes: u64,
+    ) -> u64 {
+        self.refined(key, platform, anchors.bucket(writes))
+            .unwrap_or_else(|| anchors.predict(writes))
     }
 
     /// Number of modules with at least one observed bucket.
@@ -514,27 +535,59 @@ mod tests {
         )
         .unwrap();
         let mut refiner = CostRefiner::new();
+        let anchors = module.cost;
         // unseen: falls back to the static anchors
         assert_eq!(
-            refiner.predict(&module, module.cost.cold_writes),
-            module.cost.cold_cycles
+            refiner.predict(&module.key, 0, &anchors, anchors.cold_writes),
+            anchors.cold_cycles
         );
         assert_eq!(refiner.modules_observed(), 0);
         // the first observation seeds the bucket exactly
-        let cold_bucket = module.cost.bucket(module.cost.cold_writes);
-        refiner.observe(&module.key, cold_bucket, 400);
-        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(400));
-        assert_eq!(refiner.predict(&module, module.cost.cold_writes), 400);
+        let cold_bucket = anchors.bucket(anchors.cold_writes);
+        refiner.observe(&module.key, 0, cold_bucket, 400);
+        assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(400));
+        assert_eq!(
+            refiner.predict(&module.key, 0, &anchors, anchors.cold_writes),
+            400
+        );
         assert_eq!(refiner.modules_observed(), 1);
         // repeated identical observations keep the estimate fixed
-        refiner.observe(&module.key, cold_bucket, 400);
-        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(400));
+        refiner.observe(&module.key, 0, cold_bucket, 400);
+        assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(400));
         // a shifted observation moves the estimate toward it by α = 1/8
-        refiner.observe(&module.key, cold_bucket, 480);
-        assert_eq!(refiner.refined(&module.key, cold_bucket), Some(410));
+        refiner.observe(&module.key, 0, cold_bucket, 480);
+        assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(410));
         // other buckets are untouched
-        assert_eq!(refiner.refined(&module.key, 0), None);
-        assert_eq!(refiner.predict(&module, 0), module.cost.predict(0));
+        assert_eq!(refiner.refined(&module.key, 0, 0), None);
+        assert_eq!(
+            refiner.predict(&module.key, 0, &anchors, 0),
+            anchors.predict(0)
+        );
+    }
+
+    #[test]
+    fn refiner_keeps_platforms_independent() {
+        // a heterogeneous pool runs one module on differently provisioned
+        // variants: an observation on one platform must not leak into
+        // another's estimates
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let anchors = module.cost;
+        let mut refiner = CostRefiner::new();
+        refiner.observe(&module.key, 1, 0, 777);
+        assert_eq!(refiner.refined(&module.key, 1, 0), Some(777));
+        assert_eq!(refiner.refined(&module.key, 0, 0), None);
+        assert_eq!(
+            refiner.predict(&module.key, 0, &anchors, 0),
+            anchors.predict(0)
+        );
+        assert_eq!(refiner.predict(&module.key, 1, &anchors, 0), 777);
+        // one module, two platforms: still one observed module
+        assert_eq!(refiner.modules_observed(), 1);
     }
 
     #[test]
@@ -546,11 +599,11 @@ mod tests {
         )
         .unwrap();
         let mut refiner = CostRefiner::new();
-        refiner.observe(&module.key, 0, 1000);
+        refiner.observe(&module.key, 0, 0, 1000);
         for _ in 0..64 {
-            refiner.observe(&module.key, 0, 200);
+            refiner.observe(&module.key, 0, 0, 200);
         }
-        let estimate = refiner.refined(&module.key, 0).unwrap();
+        let estimate = refiner.refined(&module.key, 0, 0).unwrap();
         assert!(
             estimate.abs_diff(200) <= 2,
             "estimate {estimate} far from 200"

@@ -33,6 +33,23 @@ pub enum ServeError {
     },
     /// The pool was configured without workers.
     EmptyPool,
+    /// A heterogeneous group mixes platform variants whose configuration
+    /// interfaces differ: a plan compiled for the group's base platform
+    /// could not be replayed on the offending member.
+    IncompatiblePool {
+        /// The routing family (group) being built.
+        family: String,
+        /// The member descriptor that does not match the group's base.
+        member: String,
+    },
+    /// Two workers share a descriptor name but differ in provisioning.
+    /// The scheduler identifies platform variants (cost anchors, EWMA
+    /// refinement state) by name, so differently provisioned descriptors
+    /// must carry distinct names.
+    AmbiguousVariantName {
+        /// The shared descriptor name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -52,6 +69,15 @@ impl fmt::Display for ServeError {
                 "field `{field}` of `{accelerator}` maps into the launch-semantic register pair"
             ),
             ServeError::EmptyPool => write!(f, "pool has no workers"),
+            ServeError::IncompatiblePool { family, member } => write!(
+                f,
+                "worker platform `{member}` is not plan-compatible with its group's base `{family}`"
+            ),
+            ServeError::AmbiguousVariantName { name } => write!(
+                f,
+                "two differently provisioned worker platforms share the name `{name}`; \
+                 variants must carry distinct names"
+            ),
         }
     }
 }

@@ -12,13 +12,22 @@
 //! - a **compiled-module cache** ([`ModuleCache`]) keyed by
 //!   `(accelerator, shape, opt level)`, so repeated shapes skip the
 //!   IR-build → pass-pipeline → lower path entirely;
-//! - a **config-affinity scheduler** ([`Scheduler`], [`Policy`]) that
-//!   mirrors each worker's last-programmed register file and routes each
-//!   request to the worker whose resident state minimizes new
-//!   configuration writes, with a FIFO round-robin baseline. Load is
-//!   held in *estimated outstanding cycles* per worker, predicted by
-//!   each module's [`CostModel`] and bounded by the
-//!   [`LOAD_SLACK_CYCLES`] affinity horizon;
+//! - a **pluggable scheduler** ([`Scheduler`] = [`LoadTracker`]
+//!   accounting + a [`SchedulePolicy`] implementation, selected by
+//!   [`Policy`]): the tracker mirrors each worker's last-programmed
+//!   register file and holds load as *estimated outstanding cycles*
+//!   (predicted by per-platform [`CostModel`] anchors); policies route
+//!   over it — round-robin (`fifo`, `fifo+elide`), write-minimizing
+//!   within the [`LOAD_SLACK_CYCLES`] horizon (`affinity`), or
+//!   completion-cycle-minimizing (`cost`), the policy heterogeneous
+//!   pools need;
+//! - **heterogeneous pools** ([`PoolGroup`]): one routing family may mix
+//!   differently provisioned platform variants (same configuration
+//!   interface, different geometry/speed — e.g.
+//!   [`AcceleratorDescriptor::gemmini_turbo`](accfg_targets::AcceleratorDescriptor::gemmini_turbo));
+//!   modules compile once
+//!   against the group's base platform, compatibility is validated at
+//!   serve time, and cost estimates re-anchor per variant;
 //! - an **online cost refiner** ([`CostRefiner`]): the cost model's
 //!   analytic anchors are refined as the run executes, by an EWMA of
 //!   measured dispatch cycles per `(module, warmth bucket)` — queue
@@ -132,6 +141,7 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod plan;
+pub mod policy;
 pub mod runtime;
 pub mod scheduler;
 pub mod worker;
@@ -146,6 +156,31 @@ pub use metrics::{
     WorkerMetrics, DEPTH_BUCKETS,
 };
 pub use plan::{delta_writes, DispatchPlan, LaunchSpec, RegMap, WriteCmd};
-pub use runtime::{PoolConfig, PredictionSample, Runtime, ServeConfig, ServeReport};
-pub use scheduler::{CommitOutcome, Policy, Scheduler, LOAD_SLACK_CYCLES};
+pub use policy::{AffinityPolicy, CostPolicy, FifoPolicy, Policy, SchedulePolicy};
+pub use runtime::{
+    measured_class_service_times, PoolConfig, PoolGroup, PredictionSample, Runtime, ServeConfig,
+    ServeReport,
+};
+pub use scheduler::{CommitOutcome, LoadTracker, Scheduler, LOAD_SLACK_CYCLES};
 pub use worker::{Completion, Job, Worker};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for the scheduler/policy unit tests.
+    use crate::cache::{build_module, CompiledModule};
+    use accfg::pipeline::OptLevel;
+    use accfg_targets::AcceleratorDescriptor;
+    use accfg_workloads::MatmulSpec;
+
+    /// A uniform pool of `workers` OpenGeMM platform descriptors.
+    pub(crate) fn uniform(workers: usize) -> Vec<AcceleratorDescriptor> {
+        vec![AcceleratorDescriptor::opengemm(); workers]
+    }
+
+    /// A single-invocation module: same-shape repeats are zero-write.
+    pub(crate) fn single_tile_module(size: i64) -> CompiledModule {
+        let spec = MatmulSpec::new((size, size, size), (size, size, size)).unwrap();
+        assert_eq!(spec.invocations(), 1);
+        build_module(&AcceleratorDescriptor::opengemm(), spec, OptLevel::All).unwrap()
+    }
+}

@@ -110,6 +110,18 @@ impl DispatchPlan {
         Ok(plan)
     }
 
+    /// `true` if this plan can be replayed on a worker running `desc`:
+    /// the plan's configuration style (write granularity and launch
+    /// mechanism) must match the worker's. Heterogeneous pools group
+    /// differently provisioned platform variants behind one family; this
+    /// is the dispatch-level half of the compatibility contract — the
+    /// pool-construction half ([`AcceleratorDescriptor::plan_compatible`])
+    /// additionally requires identical field tables so compiled register
+    /// indices keep their meaning.
+    pub fn executable_on(&self, desc: &AcceleratorDescriptor) -> bool {
+        self.style == desc.style
+    }
+
     /// The register writes a dispatch would emit against `resident`,
     /// without mutating it — the affinity scheduler's scoring function.
     pub fn writes_against(&self, resident: &RegMap) -> u64 {
@@ -305,6 +317,31 @@ mod tests {
             assert!(!first.is_empty());
             assert!(delta_writes(&mut resident, &l, style).is_empty());
         }
+    }
+
+    #[test]
+    fn plans_execute_only_on_matching_config_styles() {
+        let csr_plan = DispatchPlan {
+            style: ConfigStyle::Csr,
+            launches: vec![launch(&[(0, 1)])],
+            cold_writes: 1,
+        };
+        let rocc_plan = DispatchPlan {
+            style: ConfigStyle::RoccPairs { launch_funct: 13 },
+            launches: vec![launch(&[(0, 1)])],
+            cold_writes: 1,
+        };
+        let gemmini = AcceleratorDescriptor::gemmini();
+        let turbo = AcceleratorDescriptor::gemmini_turbo();
+        let opengemm = AcceleratorDescriptor::opengemm();
+        let lite = AcceleratorDescriptor::opengemm_lite();
+        // provisioning variants share the interface; families don't mix
+        assert!(rocc_plan.executable_on(&gemmini));
+        assert!(rocc_plan.executable_on(&turbo));
+        assert!(!rocc_plan.executable_on(&opengemm));
+        assert!(csr_plan.executable_on(&opengemm));
+        assert!(csr_plan.executable_on(&lite));
+        assert!(!csr_plan.executable_on(&gemmini));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Pluggable scheduling policies: the [`SchedulePolicy`] trait and its
+//! built-in implementations.
+//!
+//! The scheduler is split into two layers. The *accounting core*
+//! ([`LoadTracker`]) owns everything every policy needs but none may
+//! corrupt: shadow resident register files, per-worker outstanding-cycle
+//! queues, per-platform cost anchors, and the online EWMA refiner. The
+//! *policy* layer — this module — owns only the routing decision: given
+//! read access to the tracker, pick one worker from a group's candidates.
+//! Adding a policy (deadline-aware, multi-tenant, power-capped, ...)
+//! means implementing one trait method; commit accounting, refinement,
+//! batching, and metrics come for free and stay policy-agnostic.
+//!
+//! Built-in policies:
+//!
+//! - [`FifoPolicy`] — strict round-robin per group, with or without
+//!   resident-state elision (the `fifo` and `fifo+elide` baselines);
+//! - [`AffinityPolicy`] — minimize new configuration writes among workers
+//!   within the [`LOAD_SLACK_CYCLES`] outstanding-cycle horizon of the
+//!   group's shortest queue (`affinity`);
+//! - [`CostPolicy`] — minimize *refined predicted cycles to completion*
+//!   (queue drain plus the platform's predicted dispatch cycles), the
+//!   policy heterogeneous pools need (`cost`).
+//!
+//! [`Policy`] is the serializable configuration handle: a `Copy` enum the
+//! `ServeConfig` carries, turned into a boxed policy object per serve run
+//! by [`Policy::build`].
+
+use crate::cache::CompiledModule;
+use crate::scheduler::{LoadTracker, LOAD_SLACK_CYCLES};
+use std::fmt;
+
+/// The routing-and-dispatch policy selector carried by `ServeConfig`.
+///
+/// Each variant names a [`SchedulePolicy`] implementation;
+/// [`Policy::build`] instantiates it for one serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// The production baseline: round-robin over compatible workers, and
+    /// every dispatch reprograms its full configuration (no cross-request
+    /// state reuse) — what a serving system built on volatile per-request
+    /// kernels does today.
+    Fifo,
+    /// Ablation: round-robin routing, but dispatches elide writes already
+    /// resident on the worker. Isolates the value of state tracking from
+    /// the value of routing.
+    FifoElide,
+    /// Route to the worker whose resident register file minimizes the new
+    /// configuration writes, and elide resident writes. Because a
+    /// warm-start dispatch can only write a subset of what a cold one
+    /// writes, this policy never emits more setup writes than [`Fifo`]
+    /// on the same stream.
+    ///
+    /// [`Fifo`]: Policy::Fifo
+    #[default]
+    ConfigAffinity,
+    /// Route to the worker with the least *refined predicted cycles to
+    /// completion* — queue drain plus the predicted cycles of this
+    /// dispatch on that worker's platform — and elide resident writes.
+    /// On uniform pools this behaves like [`ConfigAffinity`] with the
+    /// slack measured in completion cycles; on heterogeneous pools it is
+    /// the only built-in policy that can weigh a configuration write
+    /// against a differently provisioned accelerator's compute rate.
+    ///
+    /// [`ConfigAffinity`]: Policy::ConfigAffinity
+    Cost,
+}
+
+impl Policy {
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::FifoElide => "fifo+elide",
+            Policy::ConfigAffinity => "affinity",
+            Policy::Cost => "cost",
+        }
+    }
+
+    /// `true` if dispatches under this policy skip writes whose values are
+    /// already resident on the worker.
+    pub fn elides(self) -> bool {
+        !matches!(self, Policy::Fifo)
+    }
+
+    /// Instantiates the policy object for a pool with `groups` accelerator
+    /// groups.
+    pub fn build(self, groups: usize) -> Box<dyn SchedulePolicy> {
+        match self {
+            Policy::Fifo => Box::new(FifoPolicy::new(false, groups)),
+            Policy::FifoElide => Box::new(FifoPolicy::new(true, groups)),
+            Policy::ConfigAffinity => Box::new(AffinityPolicy),
+            Policy::Cost => Box::new(CostPolicy),
+        }
+    }
+}
+
+/// One routing policy: picks a worker for each dispatch, reading (never
+/// writing) the scheduler's load and residency accounting.
+///
+/// Implementations may keep private routing state (e.g. round-robin
+/// counters) but all load accounting lives in the [`LoadTracker`], which
+/// the serve loop commits through regardless of policy — so batching
+/// cutoffs, prediction metrics, and refinement behave identically under
+/// every policy.
+pub trait SchedulePolicy: fmt::Debug + Send {
+    /// Short lowercase label for reports.
+    fn label(&self) -> &'static str;
+
+    /// `true` if dispatches under this policy skip writes whose values
+    /// are already resident on the worker (the cold `fifo` baseline is
+    /// the only built-in that reprograms everything).
+    fn elides(&self) -> bool {
+        true
+    }
+
+    /// Picks a worker from `candidates` (the group's workers, ascending)
+    /// for a dispatch of `module` arriving at serve-loop cycle `now`.
+    /// `group` identifies the accelerator group (for per-group routing
+    /// state such as round-robin counters).
+    ///
+    /// # Panics
+    /// Implementations may panic if `candidates` is empty.
+    fn choose(
+        &mut self,
+        load: &LoadTracker,
+        group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize;
+}
+
+/// Buckets a worker's cycle gap over the group's best candidate into a
+/// balance-pressure class.
+///
+/// Workers whose gap is strictly within [`LOAD_SLACK_CYCLES`] compete on
+/// writes (bucket 0); a worker *exactly at* the slack boundary is not
+/// tied with the best — it lands in bucket 1, where balance wins. Earlier
+/// revisions expressed this as a raw integer division of dispatch counts,
+/// which left the boundary semantics implicit; the bucketing is now
+/// pinned by a unit test on both sides of the boundary.
+fn pressure(gap: u64) -> u64 {
+    gap / LOAD_SLACK_CYCLES
+}
+
+/// Round-robin routing per group, the `fifo` / `fifo+elide` baselines: a
+/// config-oblivious load balancer that dispatches in arrival order.
+#[derive(Debug)]
+pub struct FifoPolicy {
+    elide: bool,
+    round_robin: Vec<usize>,
+}
+
+impl FifoPolicy {
+    /// A round-robin policy over `groups` accelerator groups; `elide`
+    /// selects between the cold baseline and `fifo+elide`.
+    pub fn new(elide: bool, groups: usize) -> Self {
+        Self {
+            elide,
+            round_robin: vec![0; groups],
+        }
+    }
+}
+
+impl SchedulePolicy for FifoPolicy {
+    fn label(&self) -> &'static str {
+        if self.elide {
+            "fifo+elide"
+        } else {
+            "fifo"
+        }
+    }
+
+    fn elides(&self) -> bool {
+        self.elide
+    }
+
+    fn choose(
+        &mut self,
+        _load: &LoadTracker,
+        group: usize,
+        candidates: &[usize],
+        _module: &CompiledModule,
+        _now: u64,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "scheduling against an empty group");
+        let slot = self.round_robin[group] % candidates.len();
+        self.round_robin[group] += 1;
+        candidates[slot]
+    }
+}
+
+/// Config-affinity routing: minimize the new configuration writes among
+/// workers whose *estimated outstanding cycles* are within
+/// [`LOAD_SLACK_CYCLES`] of the group's shortest queue, so stickiness
+/// cannot starve the pool or build head-of-line queues.
+///
+/// Pure min-writes routing degenerates: once one worker is warm it scores
+/// below a blank worker for *every* shape, so the rest of the group
+/// starves and tail latency explodes. Bucketing the queue-depth gap by
+/// the slack keeps dispatches sticky over short horizons (where the
+/// write savings are) while bounding the queue a request can land behind.
+/// Elision — not routing — is what guarantees affinity never writes more
+/// than the cold FIFO baseline, so this trade-off cannot break that
+/// property.
+#[derive(Debug)]
+pub struct AffinityPolicy;
+
+impl SchedulePolicy for AffinityPolicy {
+    fn label(&self) -> &'static str {
+        "affinity"
+    }
+
+    fn choose(
+        &mut self,
+        load: &LoadTracker,
+        _group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "scheduling against an empty group");
+        let min_outstanding = candidates
+            .iter()
+            .map(|&w| load.outstanding(w, now))
+            .min()
+            .expect("nonempty");
+        let mut best = candidates[0];
+        let mut best_key = (u64::MAX, u64::MAX, u64::MAX, usize::MAX);
+        for &w in candidates {
+            let writes = load.writes_for(w, module);
+            // workers within the slack horizon of the shortest queue
+            // compete on writes; beyond it, balance wins
+            let outstanding = load.outstanding(w, now);
+            let key = (
+                pressure(outstanding - min_outstanding),
+                writes,
+                outstanding,
+                w,
+            );
+            if key < best_key {
+                best_key = key;
+                best = w;
+            }
+        }
+        best
+    }
+}
+
+/// Cycle-cost routing: minimize the *refined predicted cycles to
+/// completion* — the worker's outstanding-cycle queue plus this
+/// dispatch's predicted cycles on that worker's platform (the EWMA
+/// estimate where its warmth bucket has been observed, the platform's
+/// analytic anchors when cold).
+///
+/// This generalizes [`AffinityPolicy`] along both of its axes. The slack
+/// competition is measured on predicted *completion*, not queue depth
+/// alone — so a warm worker's cheaper dispatch buys it exactly as much
+/// queue headroom as the writes it elides are worth on its platform, no
+/// more. And the per-platform cost models let the score weigh a
+/// configuration write against a differently provisioned accelerator's
+/// compute rate, which raw write counts cannot express: on a
+/// heterogeneous pool, affinity happily pins a heavyweight module to a
+/// slow variant because stickiness is free in its score, while `cost`
+/// routes it to the platform that actually finishes it sooner.
+/// Candidates within [`LOAD_SLACK_CYCLES`] of the best completion still
+/// compete on writes, so uniform pools keep affinity's write savings.
+#[derive(Debug)]
+pub struct CostPolicy;
+
+impl SchedulePolicy for CostPolicy {
+    fn label(&self) -> &'static str {
+        "cost"
+    }
+
+    fn choose(
+        &mut self,
+        load: &LoadTracker,
+        _group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "scheduling against an empty group");
+        // score every candidate once — writes_for walks the plan against
+        // the shadow state and predicted_cycles may consult per-platform
+        // anchors, so this is the routing hot path
+        let scored: Vec<(u64, u64, u64, usize)> = candidates
+            .iter()
+            .map(|&w| {
+                let writes = load.writes_for(w, module);
+                let outstanding = load.outstanding(w, now);
+                let dispatch = load.predicted_cycles(w, module, writes);
+                (outstanding + dispatch, writes, outstanding, w)
+            })
+            .collect();
+        let min_completion = scored
+            .iter()
+            .map(|&(finish, ..)| finish)
+            .min()
+            .expect("nonempty");
+        scored
+            .into_iter()
+            .map(|(finish, writes, outstanding, w)| {
+                // completions within the slack horizon of the best compete
+                // on writes; beyond it, the earliest predicted finish wins
+                (
+                    (
+                        pressure(finish - min_completion),
+                        writes,
+                        finish,
+                        outstanding,
+                        w,
+                    ),
+                    w,
+                )
+            })
+            .min_by_key(|(key, _)| *key)
+            .expect("nonempty")
+            .1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::build_module;
+    use crate::scheduler::Scheduler;
+    use crate::testutil::{single_tile_module, uniform};
+    use accfg::pipeline::OptLevel;
+    use accfg_targets::AcceleratorDescriptor;
+    use accfg_workloads::MatmulSpec;
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!Policy::Fifo.elides());
+        assert!(Policy::FifoElide.elides());
+        assert!(Policy::ConfigAffinity.elides());
+        assert!(Policy::Cost.elides());
+        assert_eq!(Policy::Fifo.label(), "fifo");
+        assert_eq!(Policy::FifoElide.label(), "fifo+elide");
+        assert_eq!(Policy::ConfigAffinity.label(), "affinity");
+        assert_eq!(Policy::Cost.label(), "cost");
+        // the built objects agree with the enum metadata
+        for policy in [
+            Policy::Fifo,
+            Policy::FifoElide,
+            Policy::ConfigAffinity,
+            Policy::Cost,
+        ] {
+            let built = policy.build(1);
+            assert_eq!(built.label(), policy.label());
+            assert_eq!(built.elides(), policy.elides());
+        }
+    }
+
+    #[test]
+    fn pressure_buckets_pin_the_boundary() {
+        assert_eq!(pressure(0), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES - 1), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES - 1), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES), 2);
+    }
+
+    #[test]
+    fn cost_prefers_the_warm_worker_when_idle() {
+        let m8 = single_tile_module(8);
+        let m16 = single_tile_module(16);
+        let mut s = Scheduler::new(Policy::Cost, &uniform(2), 1);
+        let w8 = s.choose(0, &[0, 1], &m8, 0);
+        assert_eq!(w8, 0);
+        s.commit(w8, &m8, 0);
+        // once drained, a same-shape repeat costs strictly less on the
+        // warm worker, so it sticks
+        let later = s.outstanding(0, 0);
+        assert_eq!(s.choose(0, &[0, 1], &m8, later), 0);
+        s.commit(0, &m8, later);
+        // the other shape lands wherever completion is cheapest, then
+        // sticks to its warm worker too
+        let later = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
+        let w16 = s.choose(0, &[0, 1], &m16, later);
+        s.commit(w16, &m16, later);
+        let later = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
+        assert_eq!(s.choose(0, &[0, 1], &m16, later), w16);
+        assert_eq!(s.choose(0, &[0, 1], &m8, later), 0);
+    }
+
+    #[test]
+    fn cost_bounds_queue_imbalance() {
+        // stickiness is worth at most the slack horizon of completion
+        // gap: queues cannot run away behind a warm worker
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::Cost, &uniform(2), 1);
+        let mut counts = [0u64; 2];
+        for _ in 0..200 {
+            let w = s.choose(0, &[0, 1], &m, 0);
+            s.commit(w, &m, 0);
+            counts[w] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "{counts:?}");
+        let max_dispatch = m.cost.cold_cycles;
+        assert!(
+            s.outstanding(0, 0).abs_diff(s.outstanding(1, 0)) <= LOAD_SLACK_CYCLES + max_dispatch,
+            "outstanding {:?}",
+            [s.outstanding(0, 0), s.outstanding(1, 0)]
+        );
+    }
+
+    #[test]
+    fn cost_routes_heavy_modules_to_the_fast_variant() {
+        // two cold workers of one family, differently provisioned: the
+        // writes tie, so affinity cannot tell them apart — cost routes to
+        // the platform that finishes sooner
+        let base = AcceleratorDescriptor::gemmini();
+        let turbo = AcceleratorDescriptor::gemmini_turbo();
+        let heavy =
+            build_module(&base, MatmulSpec::gemmini_paper(64).unwrap(), OptLevel::All).unwrap();
+        let workers = vec![base, turbo];
+        let mut s = Scheduler::new(Policy::Cost, &workers, 1);
+        // the turbo variant's predicted dispatch is cheaper by more than
+        // the slack horizon for this compute-heavy shape
+        let cold = heavy.plan.cold_writes;
+        let slow = s.load().predicted_cycles(0, &heavy, cold);
+        let fast = s.load().predicted_cycles(1, &heavy, cold);
+        assert!(
+            slow > fast + LOAD_SLACK_CYCLES,
+            "variant gap too small: {slow} vs {fast}"
+        );
+        assert_eq!(s.choose(0, &[0, 1], &heavy, 0), 1);
+        // affinity is blind to the difference and takes the lower index
+        let mut a = Scheduler::new(Policy::ConfigAffinity, &workers, 1);
+        assert_eq!(a.choose(0, &[0, 1], &heavy, 0), 0);
+    }
+
+    #[test]
+    fn fifo_policy_ignores_load_and_residency() {
+        let m = single_tile_module(8);
+        for policy in [Policy::Fifo, Policy::FifoElide] {
+            let mut s = Scheduler::new(policy, &uniform(4), 2);
+            let picks: Vec<usize> = (0..5).map(|_| s.choose(0, &[0, 1], &m, 0)).collect();
+            assert_eq!(picks, vec![0, 1, 0, 1, 0]);
+            // the second group's counter is independent
+            assert_eq!(s.choose(1, &[2, 3], &m, 0), 2);
+        }
+    }
+}

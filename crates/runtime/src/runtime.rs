@@ -6,8 +6,9 @@
 //! 1. every request's module is resolved through the compiled-module
 //!    cache (repeated shapes skip IR build, passes, and lowering);
 //! 2. the scheduler assigns each request — or each *batch* of same-module
-//!    requests adjacent in their group's arrival order — to a worker,
-//!    FIFO or config-affinity, cutting a batch off once the target
+//!    requests adjacent in their group's arrival order — to a worker
+//!    through the run's [`SchedulePolicy`] (round-robin, config-affinity,
+//!    or cycle-cost routing), cutting a batch off once the target
 //!    worker's estimated outstanding cycles reach the slack horizon;
 //! 3. worker threads execute their dispatch sequences on persistent
 //!    simulated machines, eliding configuration writes already resident;
@@ -22,6 +23,13 @@
 //! dispatch has started — but every decision point is a function of
 //! simulated time only, so two serves of the same stream produce
 //! bit-identical reports regardless of thread interleaving.
+//!
+//! Pools may be heterogeneous: a [`PoolGroup`] can mix differently
+//! provisioned platform variants of one family (validated for
+//! plan-compatibility at serve time), with modules compiled once against
+//! the group's base platform and cost estimates re-anchored per variant.
+//!
+//! [`SchedulePolicy`]: crate::policy::SchedulePolicy
 
 use crate::cache::{CacheStats, CompiledModule, ModuleCache};
 use crate::error::ServeError;
@@ -29,23 +37,41 @@ use crate::metrics::{
     class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
     WorkerMetrics,
 };
-use crate::scheduler::{CommitOutcome, Policy, Scheduler, LOAD_SLACK_CYCLES};
+use crate::policy::Policy;
+use crate::scheduler::{CommitOutcome, Scheduler, LOAD_SLACK_CYCLES};
 use crate::worker::{Completion, Job, Worker};
 use accfg::pipeline::OptLevel;
 use accfg_targets::AcceleratorDescriptor;
-use accfg_workloads::TrafficRequest;
+use accfg_workloads::{TrafficClass, TrafficRequest};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
+/// One routing group of the pool: the *family* name requests address,
+/// plus the per-worker platform descriptors serving it.
+///
+/// A uniform group repeats one descriptor; a heterogeneous group mixes
+/// differently provisioned variants of one platform family (same
+/// configuration interface and field table — validated against
+/// [`AcceleratorDescriptor::plan_compatible`] at serve time). Modules are
+/// compiled once per family against `members[0]`, the group's *base*
+/// platform, and replayed on every member; the scheduler re-anchors cost
+/// estimates per variant.
+#[derive(Debug, Clone)]
+pub struct PoolGroup {
+    /// The accelerator family requests name (`TrafficRequest::accelerator`).
+    pub family: String,
+    /// Per-worker platform descriptors; `members[0]` is the compile
+    /// target for the family's modules.
+    pub members: Vec<AcceleratorDescriptor>,
+}
+
 /// Static configuration of the worker pool.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
-    /// The accelerators the pool serves (one worker group per entry).
-    pub descriptors: Vec<AcceleratorDescriptor>,
-    /// Workers per accelerator group.
-    pub workers_per_accelerator: usize,
+    /// The routing groups (one per served accelerator family).
+    pub groups: Vec<PoolGroup>,
     /// Memory per worker machine, in bytes.
     pub mem_bytes: usize,
     /// Per-dispatch dynamic instruction budget.
@@ -53,23 +79,132 @@ pub struct PoolConfig {
 }
 
 impl PoolConfig {
-    /// A pool over `descriptors` with 2 workers each and defaults sized
-    /// for the evaluation shapes.
+    /// A uniform pool over `descriptors` — one group per entry, named
+    /// after the descriptor, with 2 workers each — and defaults sized for
+    /// the evaluation shapes.
     pub fn new(descriptors: Vec<AcceleratorDescriptor>) -> Self {
+        let groups = descriptors
+            .into_iter()
+            .map(|d| PoolGroup {
+                family: d.name.clone(),
+                members: vec![d.clone(), d],
+            })
+            .collect();
         Self {
-            descriptors,
-            workers_per_accelerator: 2,
+            groups,
             mem_bytes: 1 << 21,
             fuel: 100_000_000,
         }
     }
 
-    /// Sets the worker count per accelerator group.
+    /// Sets the worker count per group, making each group `workers`
+    /// instances of its base platform (call before adding variants with
+    /// [`PoolConfig::with_variant`]).
+    ///
+    /// # Panics
+    /// Panics if any group is already heterogeneous — resizing would
+    /// silently discard its variants; set the worker count first.
     #[must_use]
     pub fn with_workers_per_accelerator(mut self, workers: usize) -> Self {
-        self.workers_per_accelerator = workers;
+        for group in &mut self.groups {
+            let base = group.members.first().cloned();
+            assert!(
+                group.members.iter().all(|m| Some(m) == base.as_ref()),
+                "group `{}` already has platform variants; \
+                 call with_workers_per_accelerator before with_variant",
+                group.family
+            );
+            group.members = match base {
+                Some(base) => vec![base; workers],
+                None => Vec::new(),
+            };
+        }
         self
     }
+
+    /// Makes the pool heterogeneous: replaces the *last remaining
+    /// base-platform worker* of `family`'s group with the platform
+    /// variant `desc`, keeping the group's worker count — and with it
+    /// the pool's capacity comparison against a uniform pool —
+    /// unchanged. Repeated calls install further variants without
+    /// discarding earlier ones; `members[0]` — the group's compile
+    /// target — is never displaced (except in a single-worker group,
+    /// where replacing the only worker is a wholesale platform swap).
+    ///
+    /// # Panics
+    /// Panics if no group is named `family`, or if every replaceable
+    /// base-platform worker already holds a variant — both configuration
+    /// bugs worth failing loudly on.
+    #[must_use]
+    pub fn with_variant(mut self, family: &str, desc: AcceleratorDescriptor) -> Self {
+        let group = self
+            .groups
+            .iter_mut()
+            .find(|g| g.family == family)
+            .unwrap_or_else(|| panic!("no pool group for family `{family}`"));
+        let base = group
+            .members
+            .first()
+            .unwrap_or_else(|| panic!("group `{family}` has no workers to replace"))
+            .clone();
+        let slot = if group.members.len() == 1 {
+            0
+        } else {
+            group
+                .members
+                .iter()
+                .rposition(|member| *member == base)
+                .filter(|&slot| slot >= 1)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "group `{family}` has no base-platform worker left to replace \
+                         (members[0] stays the compile target)"
+                    )
+                })
+        };
+        group.members[slot] = desc;
+        self
+    }
+
+    /// Total workers across all groups.
+    pub fn worker_count(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+}
+
+/// Mean measured service time (execution cycles) per traffic class, from
+/// a completed serve run — the numbers a closed-loop generator needs to
+/// drive its feedback with observed behaviour instead of a static
+/// estimate ([`ClosedLoopConfig::stream_with_service_times`]).
+///
+/// Returns one entry per class, aligned with `classes`; requests whose
+/// simulation failed are excluded, and a class with no measured requests
+/// falls back to `fallback`. Deterministic: a pure fold over the report.
+///
+/// [`ClosedLoopConfig::stream_with_service_times`]:
+///     accfg_workloads::ClosedLoopConfig::stream_with_service_times
+pub fn measured_class_service_times(
+    classes: &[TrafficClass],
+    stream: &[TrafficRequest],
+    report: &ServeReport,
+    fallback: u64,
+) -> Vec<u64> {
+    classes
+        .iter()
+        .map(|class| {
+            let (mut sum, mut samples) = (0u64, 0u64);
+            for (request, completion) in stream.iter().zip(&report.completions) {
+                if completion.sim_error.is_none()
+                    && request.accelerator == class.accelerator
+                    && request.spec == class.spec
+                {
+                    sum += completion.counters.cycles;
+                    samples += 1;
+                }
+            }
+            sum.checked_div(samples).unwrap_or(fallback)
+        })
+        .collect()
 }
 
 /// Per-serve-run configuration.
@@ -172,19 +307,47 @@ impl Runtime {
         stream: &[TrafficRequest],
         cfg: &ServeConfig,
     ) -> Result<ServeReport, ServeError> {
-        if self.pool.descriptors.is_empty() || self.pool.workers_per_accelerator == 0 {
+        if self.pool.groups.is_empty() || self.pool.groups.iter().any(|g| g.members.is_empty()) {
             return Err(ServeError::EmptyPool);
+        }
+        // heterogeneous groups must agree on the configuration interface:
+        // every member replays plans compiled for the group's base
+        for group in &self.pool.groups {
+            let base = &group.members[0];
+            for member in &group.members[1..] {
+                if !base.plan_compatible(member) {
+                    return Err(ServeError::IncompatiblePool {
+                        family: group.family.clone(),
+                        member: member.name.clone(),
+                    });
+                }
+            }
+        }
+        // a descriptor name must identify exactly one provisioning: the
+        // scheduler keys platform cost anchors and refinement state by
+        // name, so a same-name-but-different variant would silently share
+        // another platform's estimates
+        let members = || self.pool.groups.iter().flat_map(|g| &g.members);
+        for (i, a) in members().enumerate() {
+            if members().take(i).any(|b| a.name == b.name && a != b) {
+                return Err(ServeError::AmbiguousVariantName {
+                    name: a.name.clone(),
+                });
+            }
         }
         let cache_before = self.cache.stats;
 
-        // worker pool: one group per descriptor
+        // worker pool: one routing group per family, workers run their
+        // own (possibly variant) platform descriptors
         let mut workers = Vec::new();
+        let mut worker_descs: Vec<AcceleratorDescriptor> = Vec::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for desc in &self.pool.descriptors {
+        for pool_group in &self.pool.groups {
             let mut group = Vec::new();
-            for _ in 0..self.pool.workers_per_accelerator {
+            for desc in &pool_group.members {
                 let index = workers.len();
                 group.push(index);
+                worker_descs.push(desc.clone());
                 workers.push(Worker::new(
                     index,
                     desc.clone(),
@@ -196,9 +359,9 @@ impl Runtime {
         }
         let group_of = |accelerator: &str| -> Result<usize, ServeError> {
             self.pool
-                .descriptors
+                .groups
                 .iter()
-                .position(|d| d.name == accelerator)
+                .position(|g| g.family == accelerator)
                 .ok_or_else(|| ServeError::UnknownAccelerator(accelerator.to_string()))
         };
 
@@ -214,7 +377,7 @@ impl Runtime {
             let g = group_of(&request.accelerator)?;
             let module =
                 self.cache
-                    .get_or_build(&self.pool.descriptors[g], request.spec, cfg.opt)?;
+                    .get_or_build(&self.pool.groups[g].members[0], request.spec, cfg.opt)?;
             modules[i] = Some(module);
             group_idx[i] = g;
         }
@@ -233,8 +396,9 @@ impl Runtime {
         // so later queue estimates learn from the stream itself. All
         // blocking points are functions of simulated time, which keeps
         // the schedule — and every metric — deterministic.
-        let mut scheduler =
-            Scheduler::new(cfg.policy, worker_count, groups.len()).with_refinement(cfg.refine_cost);
+        let mut scheduler = Scheduler::new(cfg.policy, &worker_descs, groups.len())
+            .with_refinement(cfg.refine_cost);
+        let elide = scheduler.elides();
         let mut assignment = vec![0usize; stream.len()];
         let mut outcomes = vec![CommitOutcome::default(); stream.len()];
         let mut batched_requests = 0u64;
@@ -309,7 +473,12 @@ impl Runtime {
                         .expect("pulled above")
                         .counters
                         .cycles;
-                    scheduler.observe(module_of(slot), outcomes[slot].bucket, cycles);
+                    scheduler.observe(
+                        assignment[slot],
+                        module_of(slot),
+                        outcomes[slot].bucket,
+                        cycles,
+                    );
                 }
 
                 // route the batch head, then coalesce same-module requests
@@ -349,7 +518,7 @@ impl Runtime {
                             request: stream[slot].clone(),
                             module: Arc::clone(module_of(slot)),
                             slot,
-                            elide: cfg.policy.elides(),
+                            elide,
                         })
                         .expect("worker thread alive while jobs pend");
                     members += 1;
@@ -495,7 +664,7 @@ impl Runtime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use accfg_workloads::{mixed_serving_classes, TrafficConfig};
+    use accfg_workloads::{mixed_serving_classes, TrafficClass, TrafficConfig};
 
     fn pool() -> PoolConfig {
         PoolConfig::new(vec![
@@ -607,6 +776,149 @@ mod tests {
         assert!(batched.metrics.setup_writes <= batched.metrics.cold_setup_writes);
     }
 
+    fn hetero_pool() -> PoolConfig {
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+        .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+        .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
+    }
+
+    #[test]
+    fn heterogeneous_pool_serves_functionally_under_every_policy() {
+        let stream = stream(200, 9);
+        let mut rt = Runtime::new(hetero_pool());
+        for policy in [
+            Policy::Fifo,
+            Policy::FifoElide,
+            Policy::ConfigAffinity,
+            Policy::Cost,
+        ] {
+            let report = rt
+                .serve(
+                    &stream,
+                    &ServeConfig {
+                        policy,
+                        ..ServeConfig::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(report.metrics.requests, 200, "{}", policy.label());
+            assert_eq!(report.metrics.check_failures, 0, "{}", policy.label());
+            assert_eq!(report.metrics.sim_failures, 0, "{}", policy.label());
+        }
+        // the variant workers are visible in the per-worker metrics
+        let report = rt.serve(&stream, &ServeConfig::default()).unwrap();
+        let accels: Vec<&str> = report
+            .metrics
+            .workers
+            .iter()
+            .map(|w| w.accelerator.as_str())
+            .collect();
+        assert_eq!(
+            accels,
+            vec!["gemmini", "gemmini-turbo", "opengemm", "opengemm-lite"]
+        );
+    }
+
+    #[test]
+    fn heterogeneous_serving_is_deterministic() {
+        let stream = stream(150, 10);
+        let run = |policy| {
+            let mut rt = Runtime::new(hetero_pool());
+            rt.serve(
+                &stream,
+                &ServeConfig {
+                    policy,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        for policy in [Policy::ConfigAffinity, Policy::Cost] {
+            let a = run(policy);
+            let b = run(policy);
+            assert_eq!(a.metrics, b.metrics, "{}", policy.label());
+            assert_eq!(a.latencies, b.latencies);
+            assert_eq!(a.predictions, b.predictions);
+        }
+    }
+
+    #[test]
+    fn incompatible_group_members_are_rejected() {
+        // an opengemm-style member in the gemmini group cannot replay the
+        // family's RoCC plans
+        let pool = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
+            .with_variant("gemmini", AcceleratorDescriptor::opengemm());
+        let mut rt = Runtime::new(pool);
+        let stream = stream(1, 11);
+        assert!(matches!(
+            rt.serve(&stream, &ServeConfig::default()),
+            Err(ServeError::IncompatiblePool { family, member })
+                if family == "gemmini" && member == "opengemm"
+        ));
+    }
+
+    #[test]
+    fn same_name_different_provisioning_is_rejected() {
+        // the scheduler keys platform state by descriptor name, so a
+        // variant that keeps the base's name would silently share its
+        // cost anchors and refinement state — reject it up front
+        let mut doctored = AcceleratorDescriptor::gemmini();
+        doctored.accel.macs_per_cycle *= 4;
+        let pool = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
+            .with_variant("gemmini", doctored);
+        let mut rt = Runtime::new(pool);
+        let stream = stream(1, 13);
+        assert!(matches!(
+            rt.serve(&stream, &ServeConfig::default()),
+            Err(ServeError::AmbiguousVariantName { name }) if name == "gemmini"
+        ));
+    }
+
+    #[test]
+    fn repeated_variants_accumulate_instead_of_replacing_each_other() {
+        // a second with_variant call must install a further variant, not
+        // silently discard the first
+        let turbo = AcceleratorDescriptor::gemmini_turbo();
+        let mut second = AcceleratorDescriptor::gemmini_turbo();
+        second.name = "gemmini-turbo2".into();
+        let pool = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
+            .with_workers_per_accelerator(3)
+            .with_variant("gemmini", turbo.clone())
+            .with_variant("gemmini", second.clone());
+        let names: Vec<&str> = pool.groups[0]
+            .members
+            .iter()
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["gemmini", "gemmini-turbo2", "gemmini-turbo"]);
+        assert_eq!(pool.worker_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no base-platform worker left to replace")]
+    fn exhausting_the_base_workers_is_rejected() {
+        // a 2-worker group holds the compile target plus one variant; a
+        // second variant has no base-platform worker left to displace
+        let mut second = AcceleratorDescriptor::gemmini_turbo();
+        second.name = "gemmini-turbo2".into();
+        let _ = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
+            .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+            .with_variant("gemmini", second);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has platform variants")]
+    fn resizing_a_heterogeneous_group_is_rejected() {
+        // resizing rebuilds a group from its base platform, which would
+        // silently drop a variant added earlier
+        let _ = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
+            .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+            .with_workers_per_accelerator(4);
+    }
+
     #[test]
     fn unknown_accelerator_is_reported() {
         let mut rt = Runtime::new(pool());
@@ -625,6 +937,47 @@ mod tests {
             rt.serve(&[], &ServeConfig::default()),
             Err(ServeError::EmptyPool)
         ));
+        let mut no_workers = Runtime::new(PoolConfig::new(vec![AcceleratorDescriptor::gemmini()]));
+        no_workers.pool.groups[0].members.clear();
+        assert!(matches!(
+            no_workers.serve(&[], &ServeConfig::default()),
+            Err(ServeError::EmptyPool)
+        ));
+    }
+
+    #[test]
+    fn measured_service_times_average_per_class() {
+        let stream = stream(300, 12);
+        let mut rt = Runtime::new(pool());
+        let report = rt.serve(&stream, &ServeConfig::default()).unwrap();
+        let classes = mixed_serving_classes();
+        let times = measured_class_service_times(&classes, &stream, &report, 250);
+        assert_eq!(times.len(), classes.len());
+        // every class occurs in a 300-request mixed stream, so nothing
+        // falls back, and heavier shapes measure longer service
+        for (class, &t) in classes.iter().zip(&times) {
+            assert!(t > 0, "{}: zero service time", class.accelerator);
+            assert_ne!(t, 250, "{} fell back", class.accelerator);
+            // the mean is reproduced by hand for this class
+            let (mut sum, mut n) = (0u64, 0u64);
+            for (r, c) in stream.iter().zip(&report.completions) {
+                if r.accelerator == class.accelerator && r.spec == class.spec {
+                    sum += c.counters.cycles;
+                    n += 1;
+                }
+            }
+            assert_eq!(t, sum / n);
+        }
+        // an absent class falls back
+        let absent = TrafficClass {
+            accelerator: "gemmini".into(),
+            spec: accfg_workloads::MatmulSpec::gemmini_paper(128).unwrap(),
+            weight: 1,
+        };
+        assert_eq!(
+            measured_class_service_times(&[absent], &stream, &report, 250),
+            vec![250]
+        );
     }
 
     #[test]

@@ -1,30 +1,42 @@
-//! Request routing: FIFO round-robin vs. config-affinity.
+//! The scheduling core: load/residency accounting ([`LoadTracker`]) and
+//! the per-run [`Scheduler`] that pairs it with a pluggable routing
+//! policy.
 //!
 //! The scheduler mirrors every worker's resident configuration register
 //! file (a shadow copy, updated with exactly the deltas the worker will
-//! apply) and, under [`Policy::ConfigAffinity`], routes each request to
-//! the compatible worker whose resident state minimizes the configuration
-//! writes the dispatch must emit — among workers whose *estimated
-//! outstanding cycles* are within [`LOAD_SLACK_CYCLES`] of the group's
-//! shortest queue, so stickiness cannot starve the pool or build
-//! head-of-line queues. [`Policy::Fifo`] is the baseline a
-//! config-oblivious load balancer would use: strict round-robin over the
-//! compatible workers, in arrival order.
+//! apply) and holds each worker's load as *estimated outstanding cycles*.
+//! Routing itself is delegated to a [`SchedulePolicy`] implementation
+//! (see [`crate::policy`]): round-robin (`fifo`, `fifo+elide`),
+//! write-minimizing within a load-slack horizon (`affinity`), or
+//! completion-cycle-minimizing over per-platform cost models (`cost`).
+//! The accounting here is policy-agnostic: every policy's commits flow
+//! through the same queue and shadow bookkeeping, so batching cutoffs,
+//! prediction metrics, and refinement behave identically under all of
+//! them.
 //!
 //! Load is tracked as a queue *depth in cycles*, not a dispatch count:
 //! each commit extends the worker's estimated drain time by the module's
 //! predicted execution cycles ([`CostModel::predict`] over the writes the
-//! dispatch will emit), and the serve-loop clock — each request's arrival
-//! cycle — drains completed work. A same-config batch of `k` requests
-//! therefore weighs `k` predicted dispatches, and a heavyweight module
-//! weighs more than a light one, which is what keeps affinity's tail
-//! latency close to round-robin while it still wins on writes.
+//! dispatch will emit, on the *worker's* platform), and the serve-loop
+//! clock — each request's arrival cycle — drains completed work. A
+//! same-config batch of `k` requests therefore weighs `k` predicted
+//! dispatches, and a heavyweight module weighs more than a light one,
+//! which is what keeps sticky routing's tail latency close to round-robin
+//! while it still wins on writes.
 //!
-//! Predictions start from the module's build-time anchors and are
-//! *refined online*: as the serve loop retires completed dispatches it
-//! feeds their measured cycles back through [`Scheduler::observe`], and
-//! the per-`(module, warmth bucket)` EWMA held by [`CostRefiner`] takes
-//! over from the static interpolation wherever it has data. Because
+//! Pools may be *heterogeneous*: workers of one routing group can run
+//! differently provisioned platform variants (same configuration
+//! interface, different geometry and speed). The tracker assigns each
+//! distinct variant a platform index, re-derives analytic cost anchors
+//! per `(module, platform)`, and keys the online refiner by platform, so
+//! both queue accounting and the `cost` policy's scores reflect what a
+//! dispatch actually costs *on that worker*.
+//!
+//! Predictions start from analytic anchors and are *refined online*: as
+//! the serve loop retires completed dispatches it feeds their measured
+//! cycles back through [`Scheduler::observe`], and the
+//! per-`(module, platform, warmth bucket)` EWMA held by [`CostRefiner`]
+//! takes over from the static interpolation wherever it has data. Because
 //! retirement happens at deterministic points of the simulated clock, the
 //! refined estimates — and every routing decision made from them — remain
 //! a pure function of the request stream.
@@ -36,77 +48,28 @@
 //! [`CostModel::predict`]: crate::cache::CostModel::predict
 //! [`CostRefiner`]: crate::cache::CostRefiner
 
-use crate::cache::{CompiledModule, CostRefiner};
+use crate::cache::{CacheKey, CompiledModule, CostModel, CostRefiner};
 use crate::plan::RegMap;
-
-/// The routing-and-dispatch policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum Policy {
-    /// The production baseline: round-robin over compatible workers, and
-    /// every dispatch reprograms its full configuration (no cross-request
-    /// state reuse) — what a serving system built on volatile per-request
-    /// kernels does today.
-    Fifo,
-    /// Ablation: round-robin routing, but dispatches elide writes already
-    /// resident on the worker. Isolates the value of state tracking from
-    /// the value of routing.
-    FifoElide,
-    /// Route to the worker whose resident register file minimizes the new
-    /// configuration writes, and elide resident writes. Because a
-    /// warm-start dispatch can only write a subset of what a cold one
-    /// writes, this policy never emits more setup writes than [`Fifo`]
-    /// on the same stream.
-    ///
-    /// [`Fifo`]: Policy::Fifo
-    #[default]
-    ConfigAffinity,
-}
-
-impl Policy {
-    /// Short lowercase label for reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            Policy::Fifo => "fifo",
-            Policy::FifoElide => "fifo+elide",
-            Policy::ConfigAffinity => "affinity",
-        }
-    }
-
-    /// `true` if dispatches under this policy skip writes whose values are
-    /// already resident on the worker.
-    pub fn elides(self) -> bool {
-        !matches!(self, Policy::Fifo)
-    }
-}
+use crate::policy::{Policy, SchedulePolicy};
+use accfg_targets::AcceleratorDescriptor;
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// How many estimated outstanding *cycles* a worker's queue may run ahead
-/// of its group's shortest before affinity scoring prefers balance over
-/// resident-state overlap.
+/// of its group's best candidate before policy scoring prefers balance
+/// over resident-state overlap.
 ///
 /// Pure min-writes routing degenerates: once one worker is warm it scores
 /// below a blank worker for *every* shape, so the rest of the group
-/// starves and tail latency explodes. Bucketing the queue-depth gap by
-/// this slack keeps dispatches sticky over short horizons (where the
-/// write savings are) while bounding the queue a request can land behind.
-/// The horizon is *exclusive*: a worker whose gap is exactly at the
-/// boundary already falls into the next pressure bucket (see the
-/// `pressure` bucketing below). Elision — not routing — is what guarantees affinity
-/// never writes more than the cold FIFO baseline, so this trade-off
-/// cannot break that property.
+/// starves and tail latency explodes. Bucketing the cycle gap by this
+/// slack keeps dispatches sticky over short horizons (where the write
+/// savings are) while bounding the queue a request can land behind. The
+/// horizon is *exclusive*: a worker whose gap is exactly at the boundary
+/// already falls into the next pressure bucket (pinned by a unit test on
+/// both sides of the boundary). Elision — not routing — is what
+/// guarantees the eliding policies never write more than the cold FIFO
+/// baseline, so this trade-off cannot break that property.
 pub const LOAD_SLACK_CYCLES: u64 = 256;
-
-/// Buckets a worker's outstanding-cycle gap over the group's shortest
-/// queue into a balance-pressure class.
-///
-/// Workers whose gap is strictly within [`LOAD_SLACK_CYCLES`] compete on
-/// writes (bucket 0); a worker *exactly at* the slack boundary is not
-/// tied with the least-loaded — it lands in bucket 1, where balance wins.
-/// Earlier revisions expressed this as a raw integer division of dispatch
-/// counts, which left the boundary semantics implicit; the bucketing is
-/// now pinned by a unit test on both sides of the boundary.
-fn pressure(gap: u64) -> u64 {
-    gap / LOAD_SLACK_CYCLES
-}
 
 /// What one [`Scheduler::commit`] predicted for its dispatch — recorded by
 /// the serve loop so observed-vs-predicted error can be measured and the
@@ -120,7 +83,8 @@ pub struct CommitOutcome {
     ///
     /// [`CostModel::bucket`]: crate::cache::CostModel::bucket
     pub bucket: usize,
-    /// Cycles the static build-time anchors predict.
+    /// Cycles the static anchors predict on the committed worker's
+    /// platform.
     pub anchor_cycles: u64,
     /// Cycles the scheduler actually charged the worker's queue: the
     /// refined (EWMA) estimate when refinement is on and the bucket has
@@ -128,54 +92,160 @@ pub struct CommitOutcome {
     pub predicted_cycles: u64,
 }
 
-/// Scheduler state across one serve run.
+/// The policy-agnostic accounting core of the scheduler: shadow resident
+/// register files, outstanding-cycle queues, per-platform cost anchors,
+/// and the online cost refiner.
+///
+/// Policies read this (via [`SchedulePolicy::choose`]); only the serve
+/// loop writes it, through [`LoadTracker::commit`] and
+/// [`LoadTracker::observe`] — so no policy can corrupt the accounting
+/// every other subsystem (batch cutoff, prediction metrics, refinement)
+/// depends on.
 #[derive(Debug)]
-pub struct Scheduler {
-    policy: Policy,
+pub struct LoadTracker {
     shadows: Vec<RegMap>,
     /// Estimated cycle at which each worker's committed queue drains.
     ready: Vec<u64>,
-    round_robin: Vec<usize>,
+    /// Distinct platform variants in the pool, in order of first
+    /// appearance over the worker list.
+    variants: Vec<AcceleratorDescriptor>,
+    /// Per-worker index into `variants`.
+    worker_platform: Vec<usize>,
+    /// Memoized re-estimated anchors for modules running on a platform
+    /// other than the one they were compiled for (inner index: platform).
+    /// A pure cache — values are a function of `(module, platform)` — so
+    /// interior mutability cannot leak nondeterminism into scoring.
+    variant_anchors: RefCell<HashMap<CacheKey, Vec<Option<CostModel>>>>,
     refine: bool,
     refiner: CostRefiner,
 }
 
-impl Scheduler {
-    /// A scheduler for `workers` workers across `groups` accelerator
-    /// groups, with online cost refinement enabled.
-    pub fn new(policy: Policy, workers: usize, groups: usize) -> Self {
+impl LoadTracker {
+    /// A tracker for the given per-worker platform descriptors, with
+    /// online cost refinement enabled.
+    ///
+    /// # Panics
+    /// Panics if two descriptors share a name but differ in provisioning:
+    /// platform state (cost anchors, refinement buckets) is keyed by
+    /// name, so a same-name variant would silently share another
+    /// platform's estimates. `Runtime::serve` reports this as
+    /// [`ServeError::AmbiguousVariantName`] before constructing a
+    /// tracker; direct users of this API fail loudly here instead.
+    ///
+    /// [`ServeError::AmbiguousVariantName`]:
+    ///     crate::error::ServeError::AmbiguousVariantName
+    pub fn new(workers: &[AcceleratorDescriptor]) -> Self {
+        let mut variants: Vec<AcceleratorDescriptor> = Vec::new();
+        let mut worker_platform = Vec::with_capacity(workers.len());
+        for desc in workers {
+            let platform = match variants.iter().position(|v| v.name == desc.name) {
+                Some(platform) => {
+                    assert!(
+                        variants[platform] == *desc,
+                        "two differently provisioned worker platforms share the name `{}`; \
+                         variants must carry distinct names",
+                        desc.name
+                    );
+                    platform
+                }
+                None => {
+                    variants.push(desc.clone());
+                    variants.len() - 1
+                }
+            };
+            worker_platform.push(platform);
+        }
         Self {
-            policy,
-            shadows: vec![RegMap::new(); workers],
-            ready: vec![0; workers],
-            round_robin: vec![0; groups],
+            shadows: vec![RegMap::new(); workers.len()],
+            ready: vec![0; workers.len()],
+            variants,
+            worker_platform,
+            variant_anchors: RefCell::new(HashMap::new()),
             refine: true,
             refiner: CostRefiner::new(),
         }
     }
 
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// The platform-variant index of `worker` (workers sharing a
+    /// descriptor share refiner state).
+    pub fn platform(&self, worker: usize) -> usize {
+        self.worker_platform[worker]
+    }
+
+    /// The platform descriptor `worker` runs.
+    pub fn descriptor(&self, worker: usize) -> &AcceleratorDescriptor {
+        &self.variants[self.worker_platform[worker]]
+    }
+
     /// Enables or disables online cost refinement (on by default). With
-    /// refinement off, queue estimates use only the static build-time
-    /// anchors — the ablation `serve_bench` quantifies prediction error
-    /// against.
+    /// refinement off, queue estimates use only the static anchors — the
+    /// ablation `serve_bench` quantifies prediction error against.
     #[must_use]
     pub fn with_refinement(mut self, refine: bool) -> Self {
         self.refine = refine;
         self
     }
 
-    /// Feeds one retired dispatch's measured `cycles` (landing in
-    /// `bucket`) back into the cost refiner. A no-op when refinement is
-    /// disabled.
-    pub fn observe(&mut self, module: &CompiledModule, bucket: usize, cycles: u64) {
-        if self.refine {
-            self.refiner.observe(&module.key, bucket, cycles);
+    /// The cost anchors for a dispatch of `module` on `worker`'s
+    /// platform: the module's own build-time anchors where the worker
+    /// runs the platform the module was compiled for, a re-estimate over
+    /// the worker's descriptor otherwise (heterogeneous pools run one
+    /// compiled plan on differently provisioned variants). Re-estimates
+    /// are memoized per `(module, platform)` — this is a hot path of the
+    /// `cost` policy's scoring.
+    ///
+    /// The runtime guarantees a descriptor name identifies one
+    /// provisioning per pool (`ServeError::AmbiguousVariantName`), so
+    /// matching the module's compile platform by name is sound.
+    pub fn anchors(&self, worker: usize, module: &CompiledModule) -> CostModel {
+        let platform = self.worker_platform[worker];
+        let desc = &self.variants[platform];
+        if desc.name == module.key.accelerator {
+            return module.cost;
         }
+        if let Some(anchors) = self
+            .variant_anchors
+            .borrow()
+            .get(&module.key)
+            .and_then(|per_platform| per_platform.get(platform))
+            .and_then(|slot| *slot)
+        {
+            return anchors;
+        }
+        let anchors = CostModel::estimate(desc, &module.key.spec, &module.plan);
+        let mut cache = self.variant_anchors.borrow_mut();
+        let per_platform = cache.entry(module.key.clone()).or_default();
+        if per_platform.len() <= platform {
+            per_platform.resize(platform + 1, None);
+        }
+        per_platform[platform] = Some(anchors);
+        anchors
     }
 
-    /// The cost refiner's current estimates (for tests and diagnostics).
-    pub fn refiner(&self) -> &CostRefiner {
-        &self.refiner
+    /// The configuration writes a dispatch of `module` would emit against
+    /// `worker`'s shadow resident state — the write term of every scoring
+    /// function.
+    pub fn writes_for(&self, worker: usize, module: &CompiledModule) -> u64 {
+        module.plan.writes_against(&self.shadows[worker])
+    }
+
+    /// Predicted execution cycles of a dispatch of `module` emitting
+    /// `writes` on `worker`: the platform's EWMA estimate where the
+    /// warmth bucket has been observed (and refinement is on), the
+    /// platform's anchor interpolation otherwise.
+    pub fn predicted_cycles(&self, worker: usize, module: &CompiledModule, writes: u64) -> u64 {
+        let anchors = self.anchors(worker, module);
+        if self.refine {
+            self.refiner
+                .predict(&module.key, self.worker_platform[worker], &anchors, writes)
+        } else {
+            anchors.predict(writes)
+        }
     }
 
     /// The estimated cycles of committed work still queued on `worker` at
@@ -184,68 +254,24 @@ impl Scheduler {
         self.ready[worker].saturating_sub(now)
     }
 
-    /// Picks a worker from `candidates` (the group's workers, ascending)
-    /// for a dispatch of `module` arriving at serve-loop cycle `now`.
-    /// `group` identifies the accelerator group for the round-robin
-    /// counter.
-    ///
-    /// # Panics
-    /// Panics if `candidates` is empty.
-    pub fn choose(
-        &mut self,
-        group: usize,
-        candidates: &[usize],
-        module: &CompiledModule,
-        now: u64,
-    ) -> usize {
-        assert!(!candidates.is_empty(), "scheduling against an empty group");
-        match self.policy {
-            Policy::Fifo | Policy::FifoElide => {
-                let slot = self.round_robin[group] % candidates.len();
-                self.round_robin[group] += 1;
-                candidates[slot]
-            }
-            Policy::ConfigAffinity => {
-                let min_outstanding = candidates
-                    .iter()
-                    .map(|&w| self.outstanding(w, now))
-                    .min()
-                    .expect("nonempty");
-                let mut best = candidates[0];
-                let mut best_key = (u64::MAX, u64::MAX, u64::MAX, usize::MAX);
-                for &w in candidates {
-                    let writes = module.plan.writes_against(&self.shadows[w]);
-                    // workers within the slack horizon of the shortest
-                    // queue compete on writes; beyond it, balance wins
-                    let outstanding = self.outstanding(w, now);
-                    let key = (
-                        pressure(outstanding - min_outstanding),
-                        writes,
-                        outstanding,
-                        w,
-                    );
-                    if key < best_key {
-                        best_key = key;
-                        best = w;
-                    }
-                }
-                best
-            }
-        }
-    }
-
     /// Records a dispatch of `module` to `worker` at serve-loop cycle
     /// `now`: updates the shadow resident state with the same deltas the
-    /// worker will apply (under eliding policies), extends the worker's
-    /// queue by the dispatch's predicted execution cycles, and returns
-    /// what was predicted so the serve loop can measure it against the
-    /// observed cost.
+    /// worker will apply (when `elide` is set), extends the worker's
+    /// queue by the dispatch's predicted execution cycles on that
+    /// worker's platform, and returns what was predicted so the serve
+    /// loop can measure it against the observed cost.
     ///
-    /// Queue accounting now runs under *every* policy — the round-robin
+    /// Queue accounting runs under *every* policy — the round-robin
     /// policies never read it for routing, but the batch cutoff and the
     /// prediction-error metrics do.
-    pub fn commit(&mut self, worker: usize, module: &CompiledModule, now: u64) -> CommitOutcome {
-        let writes = if self.policy.elides() {
+    pub fn commit(
+        &mut self,
+        worker: usize,
+        module: &CompiledModule,
+        now: u64,
+        elide: bool,
+    ) -> CommitOutcome {
+        let writes = if elide {
             // the dispatch's cost follows the writes it actually emits
             // against this worker's resident state
             module.plan.apply_writes(&mut self.shadows[worker])
@@ -253,10 +279,12 @@ impl Scheduler {
             // the cold baseline reprograms everything, every time
             module.plan.cold_writes
         };
-        let bucket = module.cost.bucket(writes);
-        let anchor_cycles = module.cost.predict(writes);
+        let anchors = self.anchors(worker, module);
+        let bucket = anchors.bucket(writes);
+        let anchor_cycles = anchors.predict(writes);
         let predicted_cycles = if self.refine {
-            self.refiner.predict(module, writes)
+            self.refiner
+                .predict(&module.key, self.worker_platform[worker], &anchors, writes)
         } else {
             anchor_cycles
         };
@@ -269,9 +297,117 @@ impl Scheduler {
         }
     }
 
+    /// Feeds one retired dispatch's measured `cycles` (of `module`,
+    /// landing in `bucket`, executed on `worker`) back into the cost
+    /// refiner, keyed by the worker's platform. A no-op when refinement
+    /// is disabled.
+    pub fn observe(&mut self, worker: usize, module: &CompiledModule, bucket: usize, cycles: u64) {
+        if self.refine {
+            self.refiner
+                .observe(&module.key, self.worker_platform[worker], bucket, cycles);
+        }
+    }
+
+    /// The cost refiner's current estimates (for tests and diagnostics).
+    pub fn refiner(&self) -> &CostRefiner {
+        &self.refiner
+    }
+
     /// The shadow resident state of `worker` (for tests and diagnostics).
     pub fn shadow(&self, worker: usize) -> &RegMap {
         &self.shadows[worker]
+    }
+
+    /// Pins a worker's queue-drain cycle directly (tests only — commits
+    /// are the production path).
+    #[cfg(test)]
+    pub(crate) fn set_ready(&mut self, worker: usize, ready: u64) {
+        self.ready[worker] = ready;
+    }
+}
+
+/// Scheduler state across one serve run: a routing policy paired with the
+/// load/residency accounting it reads.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: Box<dyn SchedulePolicy>,
+    load: LoadTracker,
+}
+
+impl Scheduler {
+    /// A scheduler under `policy` for the given per-worker platform
+    /// descriptors across `groups` accelerator groups, with online cost
+    /// refinement enabled.
+    pub fn new(policy: Policy, workers: &[AcceleratorDescriptor], groups: usize) -> Self {
+        Self {
+            policy: policy.build(groups),
+            load: LoadTracker::new(workers),
+        }
+    }
+
+    /// Enables or disables online cost refinement (on by default).
+    #[must_use]
+    pub fn with_refinement(mut self, refine: bool) -> Self {
+        self.load = self.load.with_refinement(refine);
+        self
+    }
+
+    /// `true` if dispatches under the active policy skip writes already
+    /// resident on the worker.
+    pub fn elides(&self) -> bool {
+        self.policy.elides()
+    }
+
+    /// The load/residency accounting (read-only; policies score from it).
+    pub fn load(&self) -> &LoadTracker {
+        &self.load
+    }
+
+    /// Picks a worker from `candidates` (the group's workers, ascending)
+    /// for a dispatch of `module` arriving at serve-loop cycle `now`.
+    /// `group` identifies the accelerator group for per-group routing
+    /// state.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn choose(
+        &mut self,
+        group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize {
+        self.policy
+            .choose(&self.load, group, candidates, module, now)
+    }
+
+    /// Records a dispatch of `module` to `worker` at serve-loop cycle
+    /// `now` in the load tracker (see [`LoadTracker::commit`]).
+    pub fn commit(&mut self, worker: usize, module: &CompiledModule, now: u64) -> CommitOutcome {
+        let elide = self.policy.elides();
+        self.load.commit(worker, module, now, elide)
+    }
+
+    /// Feeds one retired dispatch's measured `cycles` back into the cost
+    /// refiner (see [`LoadTracker::observe`]).
+    pub fn observe(&mut self, worker: usize, module: &CompiledModule, bucket: usize, cycles: u64) {
+        self.load.observe(worker, module, bucket, cycles);
+    }
+
+    /// The cost refiner's current estimates (for tests and diagnostics).
+    pub fn refiner(&self) -> &CostRefiner {
+        self.load.refiner()
+    }
+
+    /// The estimated cycles of committed work still queued on `worker` at
+    /// serve-loop time `now`.
+    pub fn outstanding(&self, worker: usize, now: u64) -> u64 {
+        self.load.outstanding(worker, now)
+    }
+
+    /// The shadow resident state of `worker` (for tests and diagnostics).
+    pub fn shadow(&self, worker: usize) -> &RegMap {
+        self.load.shadow(worker)
     }
 }
 
@@ -279,50 +415,39 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::cache::build_module;
+    use crate::testutil::{single_tile_module, uniform};
     use accfg::pipeline::OptLevel;
-    use accfg_targets::AcceleratorDescriptor;
     use accfg_workloads::MatmulSpec;
 
-    /// A single-invocation module: same-shape repeats are zero-write.
-    fn single_tile_module(size: i64) -> CompiledModule {
-        let spec = MatmulSpec::new((size, size, size), (size, size, size)).unwrap();
-        assert_eq!(spec.invocations(), 1);
-        build_module(&AcceleratorDescriptor::opengemm(), spec, OptLevel::All).unwrap()
-    }
-
     #[test]
-    fn fifo_round_robins_per_group() {
-        let m = single_tile_module(8);
-        for policy in [Policy::Fifo, Policy::FifoElide] {
-            let mut s = Scheduler::new(policy, 4, 2);
-            let picks: Vec<usize> = (0..5).map(|_| s.choose(0, &[0, 1], &m, 0)).collect();
-            assert_eq!(picks, vec![0, 1, 0, 1, 0]);
-            // the second group's counter is independent
-            assert_eq!(s.choose(1, &[2, 3], &m, 0), 2);
-        }
+    #[should_panic(expected = "share the name")]
+    fn tracker_rejects_same_name_different_provisioning() {
+        let mut doctored = AcceleratorDescriptor::gemmini();
+        doctored.accel.macs_per_cycle *= 4;
+        let _ = LoadTracker::new(&[AcceleratorDescriptor::gemmini(), doctored]);
     }
 
     #[test]
     fn affinity_prefers_the_matching_worker() {
         let m8 = single_tile_module(8);
         let m16 = single_tile_module(16);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         // first dispatch: both blank, tie broken by queue depth then index
         let w8 = s.choose(0, &[0, 1], &m8, 0);
         assert_eq!(w8, 0);
         s.commit(w8, &m8, 0);
         // once the first dispatch has drained, a same-shape repeat stays
         // on the now-warm worker 0
-        let later = s.ready[0];
+        let later = s.outstanding(0, 0);
         assert_eq!(m8.plan.writes_against(s.shadow(0)), 0);
         assert_eq!(s.choose(0, &[0, 1], &m8, later), 0);
         s.commit(0, &m8, later);
         // the other shape is routed wherever it is cheapest; once
         // committed, its repeats stick to that worker
-        let later = s.ready.iter().copied().max().unwrap();
+        let later = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
         let w16 = s.choose(0, &[0, 1], &m16, later);
         s.commit(w16, &m16, later);
-        let later = s.ready.iter().copied().max().unwrap();
+        let later = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
         assert_eq!(m16.plan.writes_against(s.shadow(w16)), 0);
         assert_eq!(s.choose(0, &[0, 1], &m16, later), w16);
         // and the first shape still has its warm worker
@@ -336,7 +461,7 @@ mod tests {
         // outstanding-cycle gap reaches the horizon. All requests arrive
         // at cycle 0, so nothing drains and queues only grow.
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         let mut counts = [0u64; 2];
         for _ in 0..200 {
             let w = s.choose(0, &[0, 1], &m, 0);
@@ -348,9 +473,9 @@ mod tests {
         // dispatch's predicted cycles
         let max_dispatch = m.cost.cold_cycles;
         assert!(
-            s.ready[0].abs_diff(s.ready[1]) <= LOAD_SLACK_CYCLES + max_dispatch,
-            "ready {:?}",
-            s.ready
+            s.outstanding(0, 0).abs_diff(s.outstanding(1, 0)) <= LOAD_SLACK_CYCLES + max_dispatch,
+            "outstanding {:?}",
+            [s.outstanding(0, 0), s.outstanding(1, 0)]
         );
     }
 
@@ -359,12 +484,12 @@ mod tests {
         // a worker whose committed work has drained by `now` is
         // indistinguishable from an idle one, so affinity wins again
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         for _ in 0..50 {
             let w = s.choose(0, &[0, 1], &m, 0);
             s.commit(w, &m, 0);
         }
-        let drained = s.ready.iter().copied().max().unwrap();
+        let drained = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
         assert_eq!(s.outstanding(0, drained), 0);
         assert_eq!(s.outstanding(1, drained), 0);
         // worker 0 is the warm one (first pick); with both queues drained
@@ -379,35 +504,26 @@ mod tests {
         // least-loaded: balance beats affinity there, while one cycle
         // inside the horizon affinity still wins
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         s.commit(0, &m, 0); // worker 0 warm (zero further writes), worker 1 blank
         assert_eq!(m.plan.writes_against(s.shadow(0)), 0);
         assert!(m.plan.writes_against(s.shadow(1)) > 0);
 
         // one cycle inside the horizon: stickiness wins despite the queue
-        s.ready[0] = LOAD_SLACK_CYCLES - 1;
-        s.ready[1] = 0;
+        s.load.set_ready(0, LOAD_SLACK_CYCLES - 1);
+        s.load.set_ready(1, 0);
         assert_eq!(s.choose(0, &[0, 1], &m, 0), 0);
 
         // exactly at the boundary: the warm worker falls into pressure
         // bucket 1 and the blank-but-short queue wins
-        s.ready[0] = LOAD_SLACK_CYCLES;
+        s.load.set_ready(0, LOAD_SLACK_CYCLES);
         assert_eq!(s.choose(0, &[0, 1], &m, 0), 1);
 
         // the boundary drains with the clock: the same gap measured later
         // is back inside the horizon
-        s.ready[0] = LOAD_SLACK_CYCLES + 10;
-        s.ready[1] = 11;
+        s.load.set_ready(0, LOAD_SLACK_CYCLES + 10);
+        s.load.set_ready(1, 11);
         assert_eq!(s.choose(0, &[0, 1], &m, 11), 0);
-    }
-
-    #[test]
-    fn pressure_buckets_pin_the_boundary() {
-        assert_eq!(pressure(0), 0);
-        assert_eq!(pressure(LOAD_SLACK_CYCLES - 1), 0);
-        assert_eq!(pressure(LOAD_SLACK_CYCLES), 1);
-        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES - 1), 1);
-        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES), 2);
     }
 
     #[test]
@@ -416,7 +532,7 @@ mod tests {
         // (one cold + k-1 warm), not one — the accounting skew that made
         // dispatch-count load undercharge batched workers
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         let cold = m.cost.predict(m.plan.cold_writes);
         let mut shadow = RegMap::new();
         m.plan.apply_writes(&mut shadow);
@@ -424,11 +540,11 @@ mod tests {
         for _ in 0..4 {
             s.commit(0, &m, 0);
         }
-        assert_eq!(s.ready[0], cold + 3 * warm);
+        assert_eq!(s.outstanding(0, 0), cold + 3 * warm);
         assert!(s.outstanding(0, 0) > cold, "batch must weigh more than 1");
         // and the unbatched worker's queue is judged on the same scale
         s.commit(1, &m, 0);
-        assert_eq!(s.ready[1], cold);
+        assert_eq!(s.outstanding(1, 0), cold);
     }
 
     #[test]
@@ -440,7 +556,7 @@ mod tests {
             OptLevel::All,
         )
         .unwrap();
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 2, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
         s.commit(0, &light, 0);
         s.commit(1, &heavy, 0);
         assert!(
@@ -455,7 +571,7 @@ mod tests {
         // under every policy, so commit can no longer early-out for the
         // round-robin policies
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::FifoElide, 2, 1);
+        let mut s = Scheduler::new(Policy::FifoElide, &uniform(2), 1);
         let first = s.commit(0, &m, 0);
         assert_eq!(first.writes, m.plan.cold_writes);
         assert_eq!(s.outstanding(0, 0), first.predicted_cycles);
@@ -465,7 +581,7 @@ mod tests {
         assert!(second.writes < first.writes);
         assert!(second.predicted_cycles < first.predicted_cycles);
         // the cold baseline never elides: every commit charges cold
-        let mut cold = Scheduler::new(Policy::Fifo, 1, 1);
+        let mut cold = Scheduler::new(Policy::Fifo, &uniform(1), 1);
         for _ in 0..2 {
             let outcome = cold.commit(0, &m, 0);
             assert_eq!(outcome.writes, m.plan.cold_writes);
@@ -477,36 +593,27 @@ mod tests {
     #[test]
     fn observed_cycles_refine_commit_predictions() {
         let m = single_tile_module(8);
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 1, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(1), 1);
         let first = s.commit(0, &m, 0);
         // nothing observed yet: the charge equals the anchor prediction
         assert_eq!(first.predicted_cycles, first.anchor_cycles);
         // a retired dispatch reports very different measured cycles for
         // the warm bucket; the next warm commit quotes the EWMA
         let warm_probe = s.commit(0, &m, 0);
-        s.observe(&m, warm_probe.bucket, warm_probe.anchor_cycles + 500);
+        s.observe(0, &m, warm_probe.bucket, warm_probe.anchor_cycles + 500);
         let refined = s.commit(0, &m, 0);
         assert_eq!(refined.bucket, warm_probe.bucket);
         assert_eq!(refined.predicted_cycles, warm_probe.anchor_cycles + 500);
         assert_eq!(refined.anchor_cycles, warm_probe.anchor_cycles);
         // with refinement disabled the same observation changes nothing
-        let mut fixed = Scheduler::new(Policy::ConfigAffinity, 1, 1).with_refinement(false);
+        let mut fixed =
+            Scheduler::new(Policy::ConfigAffinity, &uniform(1), 1).with_refinement(false);
         fixed.commit(0, &m, 0);
         let probe = fixed.commit(0, &m, 0);
-        fixed.observe(&m, probe.bucket, probe.anchor_cycles + 500);
+        fixed.observe(0, &m, probe.bucket, probe.anchor_cycles + 500);
         assert_eq!(fixed.refiner().modules_observed(), 0);
         let unrefined = fixed.commit(0, &m, 0);
         assert_eq!(unrefined.predicted_cycles, unrefined.anchor_cycles);
-    }
-
-    #[test]
-    fn policy_predicates() {
-        assert!(!Policy::Fifo.elides());
-        assert!(Policy::FifoElide.elides());
-        assert!(Policy::ConfigAffinity.elides());
-        assert_eq!(Policy::Fifo.label(), "fifo");
-        assert_eq!(Policy::FifoElide.label(), "fifo+elide");
-        assert_eq!(Policy::ConfigAffinity.label(), "affinity");
     }
 
     #[test]
@@ -517,12 +624,74 @@ mod tests {
             OptLevel::All,
         )
         .unwrap();
-        let mut s = Scheduler::new(Policy::ConfigAffinity, 1, 1);
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(1), 1);
         s.commit(0, &m, 0);
         // the shadow now holds the last launch's register file
         let last = &m.plan.launches.last().unwrap().registers;
         for (reg, value) in last {
             assert_eq!(s.shadow(0).get(reg), Some(value), "reg {reg}");
         }
+    }
+
+    #[test]
+    fn tracker_assigns_platforms_by_descriptor_identity() {
+        let workers = vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::gemmini_turbo(),
+            AcceleratorDescriptor::gemmini(),
+        ];
+        let load = LoadTracker::new(&workers);
+        assert_eq!(load.workers(), 3);
+        assert_eq!(load.platform(0), 0);
+        assert_eq!(load.platform(1), 1);
+        assert_eq!(load.platform(2), 0);
+        assert_eq!(load.descriptor(1).name, "gemmini-turbo");
+    }
+
+    #[test]
+    fn variant_anchors_reflect_the_workers_platform() {
+        // a compute-heavy module is re-anchored on the turbo variant and
+        // predicted (much) cheaper there; the base worker keeps the
+        // module's own build-time anchors
+        let heavy = build_module(
+            &AcceleratorDescriptor::gemmini(),
+            MatmulSpec::gemmini_paper(64).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let workers = vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::gemmini_turbo(),
+        ];
+        let load = LoadTracker::new(&workers);
+        assert_eq!(load.anchors(0, &heavy), heavy.cost);
+        let turbo = load.anchors(1, &heavy);
+        assert!(turbo.cold_cycles < heavy.cost.cold_cycles);
+        // write structure is platform-independent: same plan, same writes
+        assert_eq!(turbo.cold_writes, heavy.cost.cold_writes);
+        assert_eq!(turbo.warm_writes, heavy.cost.warm_writes);
+        // and commit charges the variant's cheaper prediction
+        let mut s = Scheduler::new(Policy::Cost, &workers, 1);
+        let base_outcome = s.commit(0, &heavy, 0);
+        let mut t = Scheduler::new(Policy::Cost, &workers, 1);
+        let turbo_outcome = t.commit(1, &heavy, 0);
+        assert_eq!(base_outcome.anchor_cycles, heavy.cost.cold_cycles);
+        assert!(turbo_outcome.anchor_cycles < base_outcome.anchor_cycles);
+    }
+
+    #[test]
+    fn observations_refine_per_platform() {
+        // the same module observed on two variants keeps two estimates
+        let m = single_tile_module(8);
+        let workers = vec![
+            AcceleratorDescriptor::opengemm(),
+            AcceleratorDescriptor::opengemm_lite(),
+        ];
+        let mut load = LoadTracker::new(&workers);
+        let bucket = m.cost.bucket(m.plan.cold_writes);
+        load.observe(0, &m, bucket, 100);
+        load.observe(1, &m, bucket, 900);
+        assert_eq!(load.predicted_cycles(0, &m, m.plan.cold_writes), 100);
+        assert_eq!(load.predicted_cycles(1, &m, m.plan.cold_writes), 900);
     }
 }

@@ -37,7 +37,7 @@ pub struct Job {
     /// Whether the dispatch may elide writes already resident on the
     /// worker (`false` under the cold [`Policy::Fifo`] baseline).
     ///
-    /// [`Policy::Fifo`]: crate::scheduler::Policy::Fifo
+    /// [`Policy::Fifo`]: crate::policy::Policy::Fifo
     pub elide: bool,
 }
 
@@ -103,6 +103,16 @@ impl Worker {
     /// functionally check the result.
     pub fn execute(&mut self, job: &Job) -> Completion {
         let module = &job.module;
+        // heterogeneous pools replay one compiled plan on platform
+        // variants; the runtime validates group compatibility up front,
+        // so a mismatch here is a scheduler routing bug
+        debug_assert!(
+            module.plan.executable_on(&self.desc),
+            "module for `{}` dispatched to incompatible worker {} (`{}`)",
+            module.key.accelerator,
+            self.index,
+            self.desc.name
+        );
         let spec = module.key.spec;
         let mut completion = Completion {
             slot: job.slot,

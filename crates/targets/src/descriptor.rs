@@ -38,7 +38,11 @@ pub struct FieldSpec {
 }
 
 /// Everything the lowering and benches need to know about one target.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural over every field; the serving runtime relies on
+/// it to enforce that a descriptor *name* uniquely identifies one
+/// platform variant within a pool.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorDescriptor {
     /// The accelerator name, matching `accfg` ops' accelerator strings.
     pub name: String,
@@ -291,6 +295,53 @@ impl AcceleratorDescriptor {
         }
     }
 
+    /// A turbo-provisioned Gemmini variant: the same RoCC configuration
+    /// interface and field table as [`AcceleratorDescriptor::gemmini`]
+    /// (so the two are [plan-compatible] and can share one worker group
+    /// in a heterogeneous pool) over a 32×32 systolic array — 4× the
+    /// compute rate, with the deeper fill/drain overhead a larger array
+    /// pays. Configuration writes cost exactly what they cost on the base
+    /// platform, which is what makes the variant invisible to raw
+    /// write-count scoring and visible to cycle-cost scoring.
+    ///
+    /// [plan-compatible]: AcceleratorDescriptor::plan_compatible
+    pub fn gemmini_turbo() -> Self {
+        let mut d = Self::gemmini();
+        d.name = "gemmini-turbo".into();
+        d.accel.name = "gemmini-turbo".into();
+        d.accel.macs_per_cycle = 1024;
+        d.accel.launch_overhead = 28;
+        d
+    }
+
+    /// A lightly-provisioned OpenGeMM variant: the same CSR configuration
+    /// interface and field table as [`AcceleratorDescriptor::opengemm`]
+    /// over a 4×4×8 GeMM core — an eighth of the compute rate with a
+    /// shallower output pipeline. The under-provisioned end of a
+    /// heterogeneous pool: write counts still tie with the base platform,
+    /// but heavyweight dispatches take far longer here.
+    pub fn opengemm_lite() -> Self {
+        let mut d = Self::opengemm();
+        d.name = "opengemm-lite".into();
+        d.accel.name = "opengemm-lite".into();
+        d.accel.macs_per_cycle = 64;
+        d.accel.launch_overhead = 6;
+        d
+    }
+
+    /// `true` if a dispatch plan compiled for `self` can be replayed on a
+    /// worker running `other`: identical configuration style (write
+    /// granularity and launch mechanism, including the RoCC launch funct)
+    /// and an identical field table (every `accfg` field maps to the same
+    /// hardware register). Platform variants that differ only in
+    /// provisioning — array geometry, compute rate, pipeline overheads,
+    /// host speed — are compatible; platforms with different
+    /// configuration interfaces are not, and a heterogeneous pool must
+    /// never group them.
+    pub fn plan_compatible(&self, other: &AcceleratorDescriptor) -> bool {
+        self.style == other.style && self.fields == other.fields
+    }
+
     /// Looks up a field by name.
     pub fn field(&self, name: &str) -> Option<&FieldSpec> {
         self.fields.iter().find(|f| f.name == name)
@@ -360,6 +411,22 @@ mod tests {
         assert_eq!(d.accel.peak_ops_per_cycle(), 1024);
         assert!(d.supports_overlap());
         assert_eq!(d.style, ConfigStyle::Csr);
+    }
+
+    #[test]
+    fn variants_are_plan_compatible_with_their_base() {
+        let gemmini = AcceleratorDescriptor::gemmini();
+        let turbo = AcceleratorDescriptor::gemmini_turbo();
+        assert!(gemmini.plan_compatible(&turbo));
+        assert!(turbo.plan_compatible(&gemmini));
+        assert_eq!(turbo.accel.macs_per_cycle, 4 * gemmini.accel.macs_per_cycle);
+        let opengemm = AcceleratorDescriptor::opengemm();
+        let lite = AcceleratorDescriptor::opengemm_lite();
+        assert!(opengemm.plan_compatible(&lite));
+        assert!(lite.accel.macs_per_cycle < opengemm.accel.macs_per_cycle);
+        // different configuration interfaces are never compatible
+        assert!(!gemmini.plan_compatible(&opengemm));
+        assert!(!lite.plan_compatible(&turbo));
     }
 
     #[test]

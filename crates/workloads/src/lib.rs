@@ -31,6 +31,6 @@ pub use gen::{
 };
 pub use spec::{MatmulLayout, MatmulSpec, SpecError};
 pub use traffic::{
-    mixed_serving_classes, shape_heavy_classes, BurstyConfig, ClosedLoopConfig, TrafficClass,
-    TrafficConfig, TrafficRequest,
+    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
+    ClosedLoopConfig, TrafficClass, TrafficConfig, TrafficRequest,
 };

@@ -79,12 +79,12 @@ fn total_weight(classes: &[TrafficClass]) -> Result<u64, SpecError> {
     Ok(total)
 }
 
-/// Draws one class by weight.
-fn pick_class<'a>(classes: &'a [TrafficClass], total: u64, rng: &mut SplitMix) -> &'a TrafficClass {
+/// Draws one class index by weight.
+fn pick_class_index(classes: &[TrafficClass], total: u64, rng: &mut SplitMix) -> usize {
     let mut pick = rng.next_u64() % total;
     classes
         .iter()
-        .find(|c| {
+        .position(|c| {
             let w = u64::from(c.weight);
             if pick < w {
                 true
@@ -94,6 +94,11 @@ fn pick_class<'a>(classes: &'a [TrafficClass], total: u64, rng: &mut SplitMix) -
             }
         })
         .expect("weighted pick is in range")
+}
+
+/// Draws one class by weight.
+fn pick_class<'a>(classes: &'a [TrafficClass], total: u64, rng: &mut SplitMix) -> &'a TrafficClass {
+    &classes[pick_class_index(classes, total, rng)]
 }
 
 impl TrafficConfig {
@@ -186,10 +191,16 @@ impl BurstyConfig {
 /// self-limiting — load cannot outrun the population — which is the
 /// regime an RPC fan-in tier serves.
 ///
-/// The feedback loop is driven by `service_estimate` rather than measured
-/// completions so the stream stays a pure, pre-computable function of the
-/// seed (the serving runtime replays latencies deterministically either
-/// way).
+/// The feedback loop is driven by an estimated service time rather than
+/// live completions so the stream stays a pure, pre-computable function
+/// of its inputs (the serving runtime replays latencies deterministically
+/// either way). [`ClosedLoopConfig::stream`] uses the single static
+/// `service_estimate` for every class;
+/// [`ClosedLoopConfig::stream_with_service_times`] takes *per-class*
+/// service times — typically measured from a calibration serve of the
+/// same mix (`accfg_runtime::measured_class_service_times`) — so the
+/// feedback reflects that heavy shapes hold their client longer, which is
+/// what makes the overload regime faithful.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClosedLoopConfig {
     /// The shape classes and their weights.
@@ -209,16 +220,46 @@ pub struct ClosedLoopConfig {
 }
 
 impl ClosedLoopConfig {
-    /// Generates the stream, sorted by arrival (ids follow arrival order,
-    /// ties broken by client index).
+    /// Generates the stream with the uniform static `service_estimate`
+    /// driving every client's feedback, sorted by arrival (ids follow
+    /// arrival order, ties broken by client index).
     ///
     /// # Errors
     /// Fails if no class has a positive weight or `clients` is zero.
     pub fn stream(&self) -> Result<Vec<TrafficRequest>, SpecError> {
+        self.stream_with_service_times(&vec![self.service_estimate; self.classes.len()])
+    }
+
+    /// Generates the stream with *per-class* service times driving the
+    /// feedback: after issuing a request of class `i`, the client's next
+    /// issue waits `per_class[i]` cycles (plus its think gap) instead of
+    /// the uniform `service_estimate`. Feeding back the *measured* mean
+    /// service time of each class — the numbers the serving runtime's
+    /// cost refiner already tracks, exposed as
+    /// `accfg_runtime::measured_class_service_times` — keeps the stream a
+    /// deterministic pure function of its inputs while making the
+    /// self-limiting feedback faithful to what each shape actually costs.
+    ///
+    /// # Errors
+    /// Fails if no class has a positive weight, `clients` is zero, or
+    /// `per_class` is not one service time per class.
+    pub fn stream_with_service_times(
+        &self,
+        per_class: &[u64],
+    ) -> Result<Vec<TrafficRequest>, SpecError> {
         let total = total_weight(&self.classes)?;
         if self.clients == 0 {
             return Err(SpecError {
                 message: "closed-loop traffic needs at least one client".into(),
+            });
+        }
+        if per_class.len() != self.classes.len() {
+            return Err(SpecError {
+                message: format!(
+                    "closed-loop feedback needs one service time per class ({} classes, {} times)",
+                    self.classes.len(),
+                    per_class.len()
+                ),
             });
         }
         let mut rng = SplitMix::new(self.seed);
@@ -234,7 +275,8 @@ impl ClosedLoopConfig {
                 .min_by_key(|&c| (next_issue[c], c))
                 .expect("at least one client");
             let arrival = next_issue[client];
-            let class = pick_class(&self.classes, total, &mut rng);
+            let class_idx = pick_class_index(&self.classes, total, &mut rng);
+            let class = &self.classes[class_idx];
             issued.push(TrafficRequest {
                 id: 0, // assigned after the arrival sort
                 accelerator: class.accelerator.clone(),
@@ -243,7 +285,7 @@ impl ClosedLoopConfig {
                 seed: rng.next_u64(),
             });
             let think = rng.next_u64() % (2 * self.think_time + 1);
-            next_issue[client] = arrival + self.service_estimate + think;
+            next_issue[client] = arrival + per_class[class_idx] + think;
         }
         // the event loop issues in nondecreasing time; the stable sort
         // keeps its tie order
@@ -279,6 +321,42 @@ pub fn mixed_serving_classes() -> Vec<TrafficClass> {
         opengemm(16, 4),
         opengemm(24, 2),
         opengemm(32, 1),
+    ]
+}
+
+/// The mixed-platform serving mix for *heterogeneous* pools: both
+/// families, with substantial weight on compute-heavy shapes.
+///
+/// On a pool whose workers are differently provisioned variants of one
+/// family (e.g. a base Gemmini next to a turbo one), light shapes cost
+/// nearly the same everywhere — configuration writes dominate — while
+/// heavy shapes diverge by the variants' compute rates. This mix keeps
+/// both regimes populated, so a scheduler must trade resident-state reuse
+/// against routing to a differently provisioned accelerator on every
+/// decision: exactly where write-count affinity scoring breaks down and
+/// cycle-cost routing is needed.
+///
+/// # Panics
+/// Never — the shapes are statically valid.
+pub fn mixed_platform_classes() -> Vec<TrafficClass> {
+    let gemmini = |size: i64, weight: u32| TrafficClass {
+        accelerator: "gemmini".into(),
+        spec: MatmulSpec::gemmini_paper(size).expect("valid gemmini size"),
+        weight,
+    };
+    let opengemm = |size: i64, weight: u32| TrafficClass {
+        accelerator: "opengemm".into(),
+        spec: MatmulSpec::opengemm_paper(size).expect("valid opengemm size"),
+        weight,
+    };
+    vec![
+        gemmini(16, 3),
+        gemmini(32, 3),
+        gemmini(64, 2),
+        opengemm(16, 3),
+        opengemm(32, 3),
+        opengemm(48, 2),
+        opengemm(64, 1),
     ]
 }
 
@@ -480,6 +558,93 @@ mod tests {
     #[test]
     fn closed_loop_rejects_zero_clients() {
         assert!(closed(10, 1, |c| c.clients = 0).is_err());
+    }
+
+    #[test]
+    fn closed_loop_per_class_feedback_matches_uniform_when_constant() {
+        // per-class times all equal to the static estimate reproduce
+        // stream() byte for byte — the uniform case is a special case
+        let cfg = ClosedLoopConfig {
+            classes: mixed_serving_classes(),
+            requests: 600,
+            clients: 8,
+            think_time: 100,
+            service_estimate: 200,
+            seed: 21,
+        };
+        let uniform = cfg.stream().unwrap();
+        let constant = cfg
+            .stream_with_service_times(&vec![200; cfg.classes.len()])
+            .unwrap();
+        assert_eq!(uniform, constant);
+    }
+
+    #[test]
+    fn closed_loop_per_class_feedback_slows_heavy_clients() {
+        // giving one class a much longer service time must stretch the
+        // stream: clients stuck on heavy requests issue later, so the
+        // final arrival moves out while the stream stays deterministic
+        let cfg = ClosedLoopConfig {
+            classes: mixed_serving_classes(),
+            requests: 800,
+            clients: 8,
+            think_time: 100,
+            service_estimate: 200,
+            seed: 22,
+        };
+        let mut slow = vec![200u64; cfg.classes.len()];
+        slow[2] = 5_000; // the heavy gemmini/64x64x64 class
+        let a = cfg.stream_with_service_times(&slow).unwrap();
+        let b = cfg.stream_with_service_times(&slow).unwrap();
+        assert_eq!(a, b);
+        let uniform = cfg.stream().unwrap();
+        assert!(a.last().unwrap().arrival > uniform.last().unwrap().arrival);
+        for pair in a.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+    }
+
+    #[test]
+    fn closed_loop_rejects_mismatched_service_times() {
+        let cfg = ClosedLoopConfig {
+            classes: mixed_serving_classes(),
+            requests: 10,
+            clients: 2,
+            think_time: 100,
+            service_estimate: 200,
+            seed: 1,
+        };
+        assert!(cfg.stream_with_service_times(&[200, 200]).is_err());
+    }
+
+    #[test]
+    fn mixed_platform_mix_spans_both_families_and_weights_heavy_shapes() {
+        let classes = mixed_platform_classes();
+        assert!(classes.iter().any(|c| c.accelerator == "gemmini"));
+        assert!(classes.iter().any(|c| c.accelerator == "opengemm"));
+        assert!(classes.iter().all(|c| c.weight > 0));
+        // a substantial share of the draw weight sits on shapes whose
+        // compute dominates configuration (m >= 48), so differently
+        // provisioned variants actually matter
+        let total: u32 = classes.iter().map(|c| c.weight).sum();
+        let heavy: u32 = classes
+            .iter()
+            .filter(|c| c.spec.m >= 48)
+            .map(|c| c.weight)
+            .sum();
+        assert!(
+            heavy * 4 >= total,
+            "heavy weight {heavy} of {total} too small"
+        );
+        let stream = TrafficConfig {
+            classes,
+            requests: 500,
+            mean_gap: 100,
+            seed: 3,
+        }
+        .open_loop_stream()
+        .unwrap();
+        assert_eq!(stream.len(), 500);
     }
 
     #[test]

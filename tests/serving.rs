@@ -1,14 +1,16 @@
 //! Integration tests for the `accfg-runtime` serving layer: functional
 //! correctness at scale, the ≥30% configuration-write reduction of
-//! config-affinity dispatch, the tail-latency bound of queue-depth-aware
-//! affinity routing, and the property that affinity never writes more
-//! setup registers than the FIFO baseline — on arbitrary open-loop *and*
-//! bursty streams.
+//! config-affinity dispatch, the tail-latency bounds of queue-depth-aware
+//! affinity and cycle-cost routing (on uniform *and* heterogeneous
+//! pools), and the property that the resident-aware policies never write
+//! more setup registers than the FIFO baseline — on arbitrary open-loop
+//! *and* bursty streams.
 
 use configuration_wall::prelude::*;
 use configuration_wall::runtime::{Policy, ServeReport};
 use configuration_wall::workloads::{
-    mixed_serving_classes, shape_heavy_classes, BurstyConfig, TrafficClass, TrafficRequest,
+    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig, TrafficClass,
+    TrafficRequest,
 };
 use proptest::prelude::*;
 
@@ -19,6 +21,21 @@ fn runtime() -> Runtime {
             AcceleratorDescriptor::opengemm(),
         ])
         .with_workers_per_accelerator(2),
+    )
+}
+
+/// The heterogeneous pool of `serve_bench`'s `hetero` stream: same
+/// capacity as [`runtime`] (2 workers/family), but each family pairs its
+/// base platform with a differently provisioned variant.
+fn hetero_runtime() -> Runtime {
+    Runtime::new(
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+        .with_workers_per_accelerator(2)
+        .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+        .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite()),
     )
 }
 
@@ -100,13 +117,16 @@ fn policies_agree_functionally() {
     assert!(affinity.metrics.sim_cycles <= fifo.metrics.sim_cycles);
 }
 
-/// The tail-latency acceptance bound of queue-depth-aware affinity: on
-/// the canonical mixed stream, affinity's p99 stays within 1.15× of
+/// The tail-latency acceptance bounds of the resident-aware policies on
+/// the canonical mixed stream: affinity's p99 stays within 1.15× of
 /// round-robin-with-elision while still cutting ≥ 50% of setup writes
-/// against the cold FIFO baseline. (The full 12k-request crossover
-/// characterization lives in `serve_bench` / `BENCH_runtime.json`.)
+/// against the cold FIFO baseline, and `cost` — which on a uniform pool
+/// must not give up anything affinity's write scoring wins — holds p99
+/// within 1.10× with the same ≥ 50% savings bar. (The full 12k-request
+/// crossover characterization lives in `serve_bench` /
+/// `BENCH_runtime.json`.)
 #[test]
-fn affinity_tail_latency_stays_near_round_robin() {
+fn affinity_and_cost_tail_latency_stay_near_round_robin() {
     let stream = TrafficConfig {
         classes: mixed_serving_classes(),
         requests: 4_000,
@@ -118,16 +138,25 @@ fn affinity_tail_latency_stays_near_round_robin() {
     let mut rt = runtime();
     let fifo = serve(&mut rt, &stream, Policy::Fifo);
     let elide = serve(&mut rt, &stream, Policy::FifoElide);
-    let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
-    let p99_ratio = affinity.metrics.latency.p99 as f64 / elide.metrics.latency.p99 as f64;
-    assert!(
-        p99_ratio <= 1.15,
-        "affinity p99 {} vs fifo+elide p99 {} ({p99_ratio:.2}x)",
-        affinity.metrics.latency.p99,
-        elide.metrics.latency.p99
-    );
-    let savings = affinity.metrics.write_savings_vs(&fifo.metrics);
-    assert!(savings >= 0.50, "write savings {:.1}%", 100.0 * savings);
+    for (policy, p99_bound) in [(Policy::ConfigAffinity, 1.15), (Policy::Cost, 1.10)] {
+        let report = serve(&mut rt, &stream, policy);
+        assert_eq!(report.metrics.check_failures, 0);
+        let p99_ratio = report.metrics.latency.p99 as f64 / elide.metrics.latency.p99 as f64;
+        assert!(
+            p99_ratio <= p99_bound,
+            "{} p99 {} vs fifo+elide p99 {} ({p99_ratio:.2}x)",
+            policy.label(),
+            report.metrics.latency.p99,
+            elide.metrics.latency.p99
+        );
+        let savings = report.metrics.write_savings_vs(&fifo.metrics);
+        assert!(
+            savings >= 0.50,
+            "{} write savings {:.1}%",
+            policy.label(),
+            100.0 * savings
+        );
+    }
 }
 
 /// With shapes ≫ workers no static partition keeps every worker warm, so
@@ -302,6 +331,78 @@ fn ewma_refinement_beats_static_anchors_on_mixed() {
     );
 }
 
+/// The heterogeneous-pool acceptance bar: on the mixed-platform stream
+/// over a pool pairing each family's base platform with a differently
+/// provisioned variant, cycle-cost routing must beat write-count affinity
+/// on affinity's own metric — setup writes — because per-platform
+/// completion estimates keep shape placements stable where affinity's
+/// provisioning-blind score ping-pongs them across the slack horizon.
+#[test]
+fn cost_beats_affinity_on_heterogeneous_pools() {
+    let stream = TrafficConfig {
+        classes: mixed_platform_classes(),
+        requests: 1_000,
+        mean_gap: 300,
+        seed: 0x4E7E60,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut rt = hetero_runtime();
+    let fifo = serve(&mut rt, &stream, Policy::Fifo);
+    let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
+    let cost = serve(&mut rt, &stream, Policy::Cost);
+    for report in [&fifo, &affinity, &cost] {
+        assert_eq!(report.metrics.check_failures, 0);
+        assert_eq!(report.metrics.sim_failures, 0);
+    }
+    assert!(
+        cost.metrics.setup_writes <= affinity.metrics.setup_writes,
+        "cost wrote {} setup registers, affinity {}",
+        cost.metrics.setup_writes,
+        affinity.metrics.setup_writes
+    );
+    // and the elision guarantee still bounds both against cold FIFO
+    assert!(affinity.metrics.setup_writes <= fifo.metrics.setup_writes);
+    assert!(cost.metrics.setup_writes <= fifo.metrics.setup_writes);
+    // routing by predicted completion must not cost the tail anything
+    // relative to affinity on this pool
+    assert!(
+        cost.metrics.latency.p99 <= affinity.metrics.latency.p99,
+        "cost p99 {} vs affinity p99 {}",
+        cost.metrics.latency.p99,
+        affinity.metrics.latency.p99
+    );
+}
+
+/// The `cost` policy is deterministic end to end on a heterogeneous pool:
+/// two serves of the same stream produce byte-identical reports (metrics,
+/// latencies, and per-request prediction samples).
+#[test]
+fn cost_policy_is_deterministic_on_heterogeneous_pools() {
+    let stream = TrafficConfig {
+        classes: mixed_platform_classes(),
+        requests: 400,
+        mean_gap: 150,
+        seed: 0xD0C,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let run = || {
+        let mut rt = hetero_runtime();
+        serve(&mut rt, &stream, Policy::Cost)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.latencies, b.latencies);
+    assert_eq!(a.predictions, b.predictions);
+    for (x, y) in a.completions.iter().zip(&b.completions) {
+        assert_eq!(x.worker, y.worker);
+        assert_eq!(x.emitted_writes, y.emitted_writes);
+        assert_eq!(x.counters.cycles, y.counters.cycles);
+    }
+}
+
 /// Serving is deterministic end to end: two runs of the same stream give
 /// identical metrics and latencies.
 #[test]
@@ -328,8 +429,20 @@ fn class_picks() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(0usize..classes, 20..120)
 }
 
-fn stream_from_picks(picks: &[usize], mean_gap: u64, seed: u64) -> Vec<TrafficRequest> {
-    let classes: Vec<TrafficClass> = mixed_serving_classes();
+/// A weighted-mix strategy over the mixed-platform (heterogeneous-pool)
+/// shape classes; streams are kept shorter because the mix is
+/// compute-heavier.
+fn hetero_class_picks() -> impl Strategy<Value = Vec<usize>> {
+    let classes = mixed_platform_classes().len();
+    prop::collection::vec(0usize..classes, 20..56)
+}
+
+fn stream_from_picks(
+    classes: &[TrafficClass],
+    picks: &[usize],
+    mean_gap: u64,
+    seed: u64,
+) -> Vec<TrafficRequest> {
     picks
         .iter()
         .enumerate()
@@ -355,7 +468,7 @@ proptest! {
         gap in 1u64..400,
         seed in any::<u64>(),
     ) {
-        let stream = stream_from_picks(&picks, gap, seed);
+        let stream = stream_from_picks(&mixed_serving_classes(), &picks, gap, seed);
         let mut rt = runtime();
         let fifo = serve(&mut rt, &stream, Policy::Fifo);
         let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
@@ -373,6 +486,74 @@ proptest! {
         }
     }
 
+    /// Over *heterogeneous* pools, both resident-aware policies keep the
+    /// elision guarantee on arbitrary open-loop streams: whatever the
+    /// provisioning mix does to routing, neither `affinity` nor `cost`
+    /// ever emits more setup writes than the cold FIFO baseline.
+    #[test]
+    fn resident_policies_never_write_more_than_fifo_on_hetero_pools(
+        picks in hetero_class_picks(),
+        gap in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_from_picks(&mixed_platform_classes(), &picks, gap, seed);
+        let mut rt = hetero_runtime();
+        let fifo = serve(&mut rt, &stream, Policy::Fifo);
+        for policy in [Policy::ConfigAffinity, Policy::Cost] {
+            let report = serve(&mut rt, &stream, policy);
+            prop_assert_eq!(report.metrics.check_failures, 0);
+            prop_assert!(
+                report.metrics.setup_writes <= fifo.metrics.setup_writes,
+                "{} wrote {} setup registers, fifo {}",
+                policy.label(),
+                report.metrics.setup_writes,
+                fifo.metrics.setup_writes
+            );
+            for c in &report.completions {
+                prop_assert!(c.emitted_writes <= c.cold_writes);
+            }
+        }
+    }
+
+    /// The same heterogeneous-pool guarantee under bursty (on/off)
+    /// arrivals — the arrival process that drives queue-pressure (and
+    /// with it cross-variant rerouting) hardest.
+    #[test]
+    fn resident_policies_never_write_more_than_fifo_on_hetero_bursty_streams(
+        requests in 20usize..56,
+        burst_len in 1usize..24,
+        burst_gap in 0u64..100,
+        idle_gap in 0u64..20_000,
+        seed in any::<u64>(),
+    ) {
+        let stream = BurstyConfig {
+            classes: mixed_platform_classes(),
+            requests,
+            burst_len,
+            burst_gap,
+            idle_gap,
+            seed,
+        }
+        .stream()
+        .unwrap();
+        let mut rt = hetero_runtime();
+        let fifo = serve(&mut rt, &stream, Policy::Fifo);
+        for policy in [Policy::ConfigAffinity, Policy::Cost] {
+            let report = serve(&mut rt, &stream, policy);
+            prop_assert_eq!(report.metrics.check_failures, 0);
+            prop_assert!(
+                report.metrics.setup_writes <= fifo.metrics.setup_writes,
+                "{} wrote {} setup registers, fifo {}",
+                policy.label(),
+                report.metrics.setup_writes,
+                fifo.metrics.setup_writes
+            );
+            for c in &report.completions {
+                prop_assert!(c.emitted_writes <= c.cold_writes);
+            }
+        }
+    }
+
     /// Online cost refinement stays a pure function of the request
     /// stream: two serves of any stream produce bit-identical metrics and
     /// prediction samples. And refinement *converges*: replaying the same
@@ -385,7 +566,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let doubled: Vec<usize> = picks.iter().chain(&picks).copied().collect();
-        let stream = stream_from_picks(&doubled, gap, seed);
+        let stream = stream_from_picks(&mixed_serving_classes(), &doubled, gap, seed);
         let run = || {
             let mut rt = runtime();
             rt.serve(&stream, &ServeConfig::default()).expect("serve succeeds")
