@@ -1,0 +1,248 @@
+//! Deterministic micro-benchmarks, cycle-counted on the simulator clock.
+//!
+//! The earlier criterion benches measured host wall-clock time, which
+//! needed the crates.io `criterion` crate (unavailable offline) and made
+//! every number machine-dependent. Everything this workspace cares about
+//! is *simulated* cost, which the simulator counts exactly — so these
+//! micro-benches report simulated cycles and instruction counts instead:
+//! byte-identical on every machine and every run, and diffable in CI.
+//!
+//! Suites:
+//!
+//! - `cosimulation` — end-to-end co-simulation cost of the OpenGeMM tiled
+//!   matmul across sizes (the old `benches/simulator.rs` subject);
+//! - `host_cpi_sensitivity` — Gemmini total cycles and effective
+//!   configuration bandwidth as the host CPI scales (the knee-shifting
+//!   ablation);
+//! - `pipeline_levels` — what each optimization level of the accfg
+//!   pipeline buys on the simulated program (the old `benches/passes.rs`
+//!   and `benches/figures.rs` subjects, measured in simulated cycles);
+//! - `timing_model` — the identity vs. reference [`TimingModel`]: what
+//!   shared-bandwidth contention and DVFS cost a back-to-back dispatch
+//!   pair, per platform.
+//!
+//! Run with `cargo run --release -p accfg-bench --bin microbench`.
+//!
+//! [`TimingModel`]: accfg_sim::TimingModel
+
+use accfg::pipeline::{pipeline, OptLevel};
+use accfg_bench::markdown_table;
+use accfg_sim::{AccelSim, Counters, HostModel, Machine};
+use accfg_targets::{compile, AcceleratorDescriptor};
+use accfg_workloads::{
+    check_result, fill_inputs, gemmini_ws_ir, matmul_ir, MatmulLayout, MatmulSpec,
+};
+
+/// Compiles `desc`'s tiled matmul at `level` and runs it on a fresh
+/// machine charged under the descriptor's timing model, functionally
+/// checked.
+fn run_once(desc: &AcceleratorDescriptor, spec: &MatmulSpec, level: OptLevel) -> Counters {
+    let mut module = matmul_ir(desc, spec);
+    pipeline(level, desc.overlap_filter())
+        .run(&mut module)
+        .expect("pipeline runs");
+    let layout = MatmulLayout::at(0x1000, spec);
+    let prog = compile(
+        &module,
+        "matmul",
+        desc,
+        &[layout.a_addr, layout.b_addr, layout.c_addr],
+    )
+    .expect("lowering succeeds");
+    let mut machine = Machine::new(
+        desc.host.clone(),
+        AccelSim::with_timing(desc.accel.clone(), desc.timing),
+        layout.end as usize,
+    );
+    fill_inputs(&mut machine.mem, spec, &layout, 0x5EED).expect("inputs fit");
+    let counters = machine.run(&prog, 1_000_000_000).expect("simulation");
+    check_result(&machine.mem, spec, &layout).expect("functional result");
+    counters
+}
+
+fn cosimulation() {
+    println!("== cosimulation: OpenGeMM tiled matmul, OptLevel::All ==");
+    let desc = AcceleratorDescriptor::opengemm();
+    let rows: Vec<Vec<String>> = [16i64, 32, 64]
+        .iter()
+        .map(|&size| {
+            let spec = MatmulSpec::opengemm_paper(size).expect("valid size");
+            let c = run_once(&desc, &spec, OptLevel::All);
+            // the simulator clock is exact: a second run must agree
+            assert_eq!(c, run_once(&desc, &spec, OptLevel::All), "nondeterminism");
+            vec![
+                size.to_string(),
+                c.cycles.to_string(),
+                c.insts_total.to_string(),
+                c.config_cycles.to_string(),
+                c.stall_cycles.to_string(),
+                format!("{:.2}", c.ops_per_cycle(2 * (size * size * size) as u64)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "size",
+                "cycles",
+                "insts",
+                "config cyc",
+                "stall cyc",
+                "ops/cyc"
+            ],
+            &rows,
+        )
+    );
+    println!();
+}
+
+fn host_cpi_sensitivity() {
+    println!("== host_cpi_sensitivity: Gemmini WS flow, OptLevel::Dedup ==");
+    let rows: Vec<Vec<String>> = [1u64, 3, 5]
+        .iter()
+        .map(|&cpi| {
+            let mut desc = AcceleratorDescriptor::gemmini();
+            desc.host = HostModel {
+                name: format!("rocket-cpi{cpi}"),
+                alu: cpi,
+                li: cpi,
+                mem: cpi,
+                branch: cpi,
+                jump: cpi,
+                csr_write: cpi,
+                rocc: cpi,
+                launch: cpi,
+                poll: cpi,
+            };
+            let spec = MatmulSpec::gemmini_paper(64).expect("valid size");
+            let mut module = gemmini_ws_ir(&desc, &spec);
+            pipeline(OptLevel::Dedup, desc.overlap_filter())
+                .run(&mut module)
+                .expect("pipeline runs");
+            let layout = MatmulLayout::at(0x1000, &spec);
+            let prog = compile(
+                &module,
+                "matmul",
+                &desc,
+                &[layout.a_addr, layout.b_addr, layout.c_addr],
+            )
+            .expect("lowering succeeds");
+            let mut machine = Machine::new(
+                desc.host.clone(),
+                AccelSim::new(desc.accel.clone()),
+                layout.end as usize,
+            );
+            fill_inputs(&mut machine.mem, &spec, &layout, 0x5EED).expect("inputs fit");
+            let c = machine.run(&prog, 1_000_000_000).expect("simulation");
+            check_result(&machine.mem, &spec, &layout).expect("functional result");
+            vec![
+                cpi.to_string(),
+                c.cycles.to_string(),
+                c.config_cycles.to_string(),
+                format!("{:.3}", c.effective_config_bandwidth()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &["host CPI", "cycles", "config cyc", "BW_eff (B/cyc)"],
+            &rows
+        )
+    );
+    println!();
+}
+
+fn pipeline_levels() {
+    println!("== pipeline_levels: OpenGeMM 64³, simulated cost per opt level ==");
+    let desc = AcceleratorDescriptor::opengemm();
+    let spec = MatmulSpec::opengemm_paper(64).expect("valid size");
+    let base_cycles = run_once(&desc, &spec, OptLevel::Base).cycles;
+    let rows: Vec<Vec<String>> = [
+        OptLevel::Base,
+        OptLevel::Dedup,
+        OptLevel::Overlap,
+        OptLevel::All,
+    ]
+    .iter()
+    .map(|&level| {
+        let c = run_once(&desc, &spec, level);
+        // dedup-only and overlap-only are not ordered against each
+        // other, but no level may lose to the unoptimized baseline
+        assert!(c.cycles <= base_cycles, "{level:?} regressed past Base");
+        vec![
+            level.label().to_string(),
+            c.cycles.to_string(),
+            c.insts_config.to_string(),
+            c.config_bytes.to_string(),
+            c.overlap_cycles.to_string(),
+        ]
+    })
+    .collect();
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "level",
+                "cycles",
+                "config insts",
+                "config bytes",
+                "overlap cyc"
+            ],
+            &rows,
+        )
+    );
+    println!();
+}
+
+fn timing_model() {
+    println!("== timing_model: identity vs reference contention + DVFS ==");
+    let mut rows = Vec::new();
+    for base in [
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ] {
+        let spec = match base.name.as_str() {
+            "gemmini" => MatmulSpec::gemmini_paper(64),
+            _ => MatmulSpec::opengemm_paper(32),
+        }
+        .expect("valid size");
+        let timed = base.clone().with_reference_timing();
+        let ident = run_once(&base, &spec, OptLevel::All);
+        let rich = run_once(&timed, &spec, OptLevel::All);
+        assert_eq!(ident.contention_cycles, 0);
+        rows.push(vec![
+            base.name.clone(),
+            ident.cycles.to_string(),
+            rich.cycles.to_string(),
+            rich.contention_cycles.to_string(),
+            format!(
+                "{}/{}/{}",
+                rich.freq_launches[0], rich.freq_launches[1], rich.freq_launches[2]
+            ),
+        ]);
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "platform",
+                "identity cyc",
+                "timed cyc",
+                "cont cyc",
+                "freq c/w/b"
+            ],
+            &rows,
+        )
+    );
+    println!();
+}
+
+fn main() {
+    println!("microbench: deterministic simulated-cycle micro-benchmarks\n");
+    cosimulation();
+    host_cpi_sensitivity();
+    pipeline_levels();
+    timing_model();
+}

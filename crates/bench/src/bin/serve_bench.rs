@@ -38,16 +38,29 @@
 //!   where write-count affinity scoring is blind to provisioning and
 //!   cycle-cost routing earns its keep.
 //!
+//! - `contention` — the canonical mix at a tighter arrival gap, served
+//!   by a pool whose platforms run their *reference timing models*
+//!   (shared memory-bandwidth contention + DVFS frequency states,
+//!   [`AcceleratorDescriptor::with_reference_timing`]): dispatch cost is
+//!   no longer write-linear, the analytic anchors go wrong under load,
+//!   and the per-(module, warmth) EWMA has a real gap to close — the
+//!   stream that exercises the refiner (and the `cost` policy's cycle
+//!   predictions) hardest. Its report rows carry the extra `timing`
+//!   object (contention cycles, launches per frequency state).
+//!
 //! Writes the raw per-stream, per-policy metrics to `BENCH_runtime.json`
 //! (validated as strict JSON before the file lands). Pass
 //! `--requests <n>` for a reduced smoke run, `--out <path>` to write the
 //! report elsewhere (CI uses both to avoid clobbering the committed
-//! artifact), and `--policies <a,b,...>` to exercise a subset of the
-//! policy labels without paying for all of them.
+//! artifact), `--policies <a,b,...>` to exercise a subset of the policy
+//! labels without paying for all of them, and `--slack <cycles>` to
+//! sweep the load-slack horizon (sets both `load_slack` and the batch
+//! cutoff) without recompiling.
 
 use accfg_bench::{json, markdown_table};
 use accfg_runtime::{
     measured_class_service_times, Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics,
+    LOAD_SLACK_CYCLES,
 };
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{
@@ -57,14 +70,18 @@ use accfg_workloads::{
 
 const DEFAULT_REQUESTS: usize = 12_000;
 
-fn policies(include_batch: bool) -> Vec<(&'static str, ServeConfig)> {
+fn policies(include_batch: bool, slack: u64) -> Vec<(&'static str, ServeConfig)> {
     let base = |policy| ServeConfig {
         policy,
+        load_slack: slack,
+        batch_cutoff: Some(slack),
         ..ServeConfig::default()
     };
     let batched = |policy| ServeConfig {
         policy,
         max_batch: 8,
+        load_slack: slack,
+        batch_cutoff: Some(slack),
         ..ServeConfig::default()
     };
     let mut out = vec![
@@ -133,6 +150,17 @@ fn closed_loop_config(requests: usize) -> ClosedLoopConfig {
     }
 }
 
+/// The timing-model pool: the two base platforms with their reference
+/// contention budgets and DVFS tables enabled — same capacity as the
+/// uniform pool, but dispatch cost now depends on each worker's load.
+fn contention_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini().with_reference_timing(),
+        AcceleratorDescriptor::opengemm().with_reference_timing(),
+    ])
+    .with_workers_per_accelerator(2)
+}
+
 fn hetero_pool() -> PoolConfig {
     PoolConfig::new(vec![
         AcceleratorDescriptor::gemmini(),
@@ -150,9 +178,10 @@ fn run_stream(
     stream: &[TrafficRequest],
     include_batch: bool,
     filter: Option<&[String]>,
+    slack: u64,
 ) -> Vec<(String, ServeMetrics)> {
     let mut results: Vec<(String, ServeMetrics)> = Vec::new();
-    for (label, cfg) in &policies(include_batch) {
+    for (label, cfg) in &policies(include_batch, slack) {
         if let Some(filter) = filter {
             if !filter.iter().any(|f| f == label) {
                 continue;
@@ -198,6 +227,11 @@ fn run_stream(
                 m.queue_depth.max.to_string(),
                 format!("{:.1}", m.prediction.anchor_mae()),
                 format!("{:.1}", m.prediction.ewma_mae()),
+                m.contention_cycles.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    m.freq_launches[0], m.freq_launches[1], m.freq_launches[2]
+                ),
             ]
         })
         .collect();
@@ -217,6 +251,8 @@ fn run_stream(
                 "max qdepth",
                 "anchor MAE",
                 "ewma MAE",
+                "cont cyc",
+                "freq c/w/b",
             ],
             &rows,
         )
@@ -261,6 +297,7 @@ fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut out_path = String::from(DEFAULT_OUT);
     let mut policy_filter: Option<Vec<String>> = None;
+    let mut slack = LOAD_SLACK_CYCLES;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -271,6 +308,13 @@ fn main() {
                     .filter(|&n: &usize| n > 0)
                     .expect("--requests takes a positive integer");
             }
+            "--slack" => {
+                slack = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .expect("--slack takes a positive cycle count");
+            }
             "--out" => {
                 out_path = args.next().expect("--out takes a file path");
             }
@@ -278,7 +322,10 @@ fn main() {
                 let list = args
                     .next()
                     .expect("--policies takes a comma-separated list");
-                let known: Vec<&str> = policies(true).iter().map(|(l, _)| *l).collect();
+                let known: Vec<&str> = policies(true, LOAD_SLACK_CYCLES)
+                    .iter()
+                    .map(|(l, _)| *l)
+                    .collect();
                 let selected: Vec<String> = list.split(',').map(str::to_string).collect();
                 for label in &selected {
                     assert!(
@@ -290,20 +337,21 @@ fn main() {
                 policy_filter = Some(selected);
             }
             other => panic!(
-                "unknown argument `{other}` \
-                 (supported: --requests <n>, --out <path>, --policies <a,b,...>)"
+                "unknown argument `{other}` (supported: --requests <n>, \
+                 --out <path>, --policies <a,b,...>, --slack <cycles>)"
             ),
         }
     }
-    // a filtered run produces a partial report: refuse to overwrite the
-    // committed full artifact with it (by file name, so alternate
-    // spellings of the same path cannot slip past)
+    // a filtered, slack-swept, or reduced run produces a report that is
+    // not the committed artifact: refuse to overwrite it (by file name,
+    // so alternate spellings of the same path cannot slip past)
     assert!(
-        policy_filter.is_none()
+        (policy_filter.is_none() && slack == LOAD_SLACK_CYCLES && requests == DEFAULT_REQUESTS)
             || std::path::Path::new(&out_path).file_name()
                 != std::path::Path::new(DEFAULT_OUT).file_name(),
-        "--policies writes a partial report; pass --out with a file name \
-         other than {DEFAULT_OUT} so it cannot clobber the committed artifact"
+        "--policies/--slack/--requests write a non-canonical report; pass \
+         --out with a file name other than {DEFAULT_OUT} so it cannot \
+         clobber the committed artifact"
     );
     let filter = policy_filter.as_deref();
 
@@ -315,11 +363,21 @@ fn main() {
         .with_workers_per_accelerator(2),
     );
 
-    println!("serve_bench: {requests} requests per stream, 2 workers/accelerator\n");
+    println!(
+        "serve_bench: {requests} requests per stream, 2 workers/accelerator, \
+         slack horizon {slack} cycles\n"
+    );
 
     let mut all: Vec<(&str, Vec<(String, ServeMetrics)>)> = Vec::new();
     for (stream_name, stream, include_batch) in &uniform_streams(requests) {
-        let results = run_stream(&mut runtime, stream_name, stream, *include_batch, filter);
+        let results = run_stream(
+            &mut runtime,
+            stream_name,
+            stream,
+            *include_batch,
+            filter,
+            slack,
+        );
         if !results.is_empty() {
             all.push((stream_name, results));
         }
@@ -336,6 +394,8 @@ fn main() {
             &calibration_stream,
             &ServeConfig {
                 policy: Policy::FifoElide,
+                load_slack: slack,
+                batch_cutoff: Some(slack),
                 ..ServeConfig::default()
             },
         )
@@ -360,6 +420,7 @@ fn main() {
         &measured_stream,
         false,
         filter,
+        slack,
     );
     if !measured_results.is_empty() {
         all.push(("closed_loop_measured", measured_results));
@@ -377,7 +438,14 @@ fn main() {
     }
     .open_loop_stream()
     .expect("valid mixed-platform mix");
-    let hetero_results = run_stream(&mut hetero_runtime, "hetero", &hetero_stream, false, filter);
+    let hetero_results = run_stream(
+        &mut hetero_runtime,
+        "hetero",
+        &hetero_stream,
+        false,
+        filter,
+        slack,
+    );
     let hetero_find = |label: &str| {
         hetero_results
             .iter()
@@ -405,6 +473,52 @@ fn main() {
     }
     if !hetero_results.is_empty() {
         all.push(("hetero", hetero_results));
+    }
+
+    // the timing-model stream: the canonical mix at a tighter arrival
+    // gap over the reference contention + DVFS pool — dispatch cost now
+    // depends on worker load, so the analytic anchors drift and the
+    // EWMA refiner has a real gap to close
+    let mut contention_runtime = Runtime::new(contention_pool());
+    let contention_stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .expect("valid contention mix");
+    let contention_results = run_stream(
+        &mut contention_runtime,
+        "contention",
+        &contention_stream,
+        false,
+        filter,
+        slack,
+    );
+    let contention_find = |label: &str| {
+        contention_results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m)
+    };
+    if let (Some(cost), Some(affinity)) = (contention_find("cost"), contention_find("affinity")) {
+        println!(
+            "contention: anchor MAE {:.1} vs ewma MAE {:.1} under affinity \
+             ({} contended host cycles, launches cold/warm/boost \
+             {}/{}/{}); cost p99 {} vs affinity p99 {} cycles",
+            affinity.prediction.anchor_mae(),
+            affinity.prediction.ewma_mae(),
+            affinity.contention_cycles,
+            affinity.freq_launches[0],
+            affinity.freq_launches[1],
+            affinity.freq_launches[2],
+            cost.latency.p99,
+            affinity.latency.p99,
+        );
+    }
+    if !contention_results.is_empty() {
+        all.push(("contention", contention_results));
     }
     assert!(!all.is_empty(), "every stream was skipped by --policies");
 

@@ -18,6 +18,8 @@
 //! | `fig11_opengemm` | Figure 11 (OpenGeMM base vs optimized, measured) |
 //! | `fig12_roofline_scatter` | Figure 12 (per-pass ablation on the roofline) |
 //! | `make_experiments` | regenerates EXPERIMENTS.md from all of the above |
+//! | `serve_bench` | the serving-runtime characterization (`BENCH_runtime.json`) |
+//! | `microbench` | deterministic simulated-cycle micro-benchmarks (replaces the old criterion benches) |
 
 #![warn(missing_docs)]
 

@@ -123,9 +123,16 @@ impl CostModel {
     /// Builds the analytic anchors for `plan` on `desc`: configuration
     /// writes cost their host instruction sequence, every launch pays its
     /// issue cost plus the accelerator's pipeline overhead, and compute is
-    /// charged at the peak MAC rate. A deliberate *serial* sum — it
-    /// ignores config/compute overlap, which is exactly the drift the
-    /// online refiner measures away.
+    /// charged at the MAC rate of the platform's *isolated from-cold*
+    /// operating point — the descriptor's [`TimingModel`] parameters, at
+    /// the one state an anchor can honestly assume. A deliberate *serial*
+    /// sum over that point: it ignores config/compute overlap, bandwidth
+    /// contention under load, and the DVFS heat a busy worker accumulates
+    /// — exactly the load-dependent drift the online refiner measures
+    /// away. Under the identity timing model this reduces to the peak-rate
+    /// estimate bit-exactly.
+    ///
+    /// [`TimingModel`]: accfg_sim::TimingModel
     pub fn estimate(desc: &AcceleratorDescriptor, spec: &MatmulSpec, plan: &DispatchPlan) -> Self {
         let host = &desc.host;
         let accel = &desc.accel;
@@ -142,7 +149,8 @@ impl CostModel {
                 ConfigStyle::RoccPairs { .. } => 2 * host.li + host.rocc,
             };
         let launches = plan.launches.len() as u64;
-        let compute = ((spec.m * spec.n * spec.k) as u64) / accel.macs_per_cycle.max(1);
+        let anchor_rate = desc.timing.anchor_macs_per_cycle(accel.macs_per_cycle);
+        let compute = ((spec.m * spec.n * spec.k) as u64) / anchor_rate;
         let base = launches * per_launch + compute + host.poll;
         let mut warm_state = RegMap::new();
         plan.apply_writes(&mut warm_state);

@@ -208,6 +208,12 @@ pub struct ServeMetrics {
     pub launches: u64,
     /// Total simulated execution cycles across all dispatches.
     pub sim_cycles: u64,
+    /// Extra host cycles charged by the shared memory-bandwidth
+    /// contention model across all dispatches (0 under identity timing).
+    pub contention_cycles: u64,
+    /// Launches per DVFS frequency state (cold, warm, boost); all zero
+    /// when the pool's platforms run the identity timing model.
+    pub freq_launches: [u64; accfg_sim::FREQ_STATES],
     /// Simulated cycle at which the last worker finished (open-loop
     /// makespan).
     pub makespan: u64,
@@ -270,6 +276,21 @@ impl ServeMetrics {
         let _ = writeln!(out, "  \"config_bytes\": {},", self.config_bytes);
         let _ = writeln!(out, "  \"launches\": {},", self.launches);
         let _ = writeln!(out, "  \"sim_cycles\": {},", self.sim_cycles);
+        // timing-model columns appear only when the pool's timing model
+        // actually charged something, so identity-timing reports (the
+        // four uniform serve_bench streams) stay byte-identical to the
+        // pre-timing-model artifact
+        if self.contention_cycles > 0 || self.freq_launches.iter().any(|&n| n > 0) {
+            let _ = writeln!(
+                out,
+                "  \"timing\": {{ \"contention_cycles\": {}, \"freq_launches\": \
+                 {{ \"cold\": {}, \"warm\": {}, \"boost\": {} }} }},",
+                self.contention_cycles,
+                self.freq_launches[0],
+                self.freq_launches[1],
+                self.freq_launches[2]
+            );
+        }
         let _ = writeln!(out, "  \"makespan\": {},", self.makespan);
         let _ = writeln!(
             out,
@@ -354,6 +375,8 @@ mod tests {
             config_bytes: 4000,
             launches: 120,
             sim_cycles: 50_000,
+            contention_cycles: 0,
+            freq_launches: [0; accfg_sim::FREQ_STATES],
             makespan: 20_000,
             latency: LatencyStats::from_latencies(&[10, 20, 30, 40, 1000]),
             per_class: vec![ClassLatency {
@@ -470,6 +493,28 @@ mod tests {
             ),
             "{j}"
         );
+    }
+
+    #[test]
+    fn timing_json_appears_only_when_charged() {
+        // identity-timing runs must keep their JSON byte-identical to the
+        // pre-timing-model reports
+        assert!(!metrics().to_json().contains("\"timing\""));
+        let mut m = metrics();
+        m.contention_cycles = 42;
+        m.freq_launches = [7, 2, 3];
+        let j = m.to_json();
+        assert!(
+            j.contains(
+                "\"timing\": { \"contention_cycles\": 42, \"freq_launches\": \
+                 { \"cold\": 7, \"warm\": 2, \"boost\": 3 } },"
+            ),
+            "{j}"
+        );
+        // frequency counts alone are enough to surface the object
+        let mut f = metrics();
+        f.freq_launches = [1, 0, 0];
+        assert!(f.to_json().contains("\"timing\""));
     }
 
     #[test]

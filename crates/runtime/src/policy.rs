@@ -25,9 +25,11 @@
 //! [`Policy`] is the serializable configuration handle: a `Copy` enum the
 //! `ServeConfig` carries, turned into a boxed policy object per serve run
 //! by [`Policy::build`].
+//!
+//! [`LOAD_SLACK_CYCLES`]: crate::scheduler::LOAD_SLACK_CYCLES
 
 use crate::cache::CompiledModule;
-use crate::scheduler::{LoadTracker, LOAD_SLACK_CYCLES};
+use crate::scheduler::LoadTracker;
 use std::fmt;
 
 /// The routing-and-dispatch policy selector carried by `ServeConfig`.
@@ -132,16 +134,20 @@ pub trait SchedulePolicy: fmt::Debug + Send {
 }
 
 /// Buckets a worker's cycle gap over the group's best candidate into a
-/// balance-pressure class.
+/// balance-pressure class, under the run's `slack` horizon (the tracker's
+/// [`LoadTracker::slack`], default [`LOAD_SLACK_CYCLES`]).
 ///
-/// Workers whose gap is strictly within [`LOAD_SLACK_CYCLES`] compete on
-/// writes (bucket 0); a worker *exactly at* the slack boundary is not
-/// tied with the best — it lands in bucket 1, where balance wins. Earlier
-/// revisions expressed this as a raw integer division of dispatch counts,
-/// which left the boundary semantics implicit; the bucketing is now
-/// pinned by a unit test on both sides of the boundary.
-fn pressure(gap: u64) -> u64 {
-    gap / LOAD_SLACK_CYCLES
+/// Workers whose gap is strictly within the slack compete on writes
+/// (bucket 0); a worker *exactly at* the slack boundary is not tied with
+/// the best — it lands in bucket 1, where balance wins. Earlier revisions
+/// expressed this as a raw integer division of dispatch counts, which
+/// left the boundary semantics implicit; the bucketing is now pinned by a
+/// unit test on both sides of the boundary. A slack of 0 clamps to 1
+/// cycle — pure balance with stickiness only on exact ties.
+///
+/// [`LOAD_SLACK_CYCLES`]: crate::scheduler::LOAD_SLACK_CYCLES
+fn pressure(gap: u64, slack: u64) -> u64 {
+    gap / slack.max(1)
 }
 
 /// Round-robin routing per group, the `fifo` / `fifo+elide` baselines: a
@@ -204,6 +210,8 @@ impl SchedulePolicy for FifoPolicy {
 /// Elision — not routing — is what guarantees affinity never writes more
 /// than the cold FIFO baseline, so this trade-off cannot break that
 /// property.
+///
+/// [`LOAD_SLACK_CYCLES`]: crate::scheduler::LOAD_SLACK_CYCLES
 #[derive(Debug)]
 pub struct AffinityPolicy;
 
@@ -234,7 +242,7 @@ impl SchedulePolicy for AffinityPolicy {
             // compete on writes; beyond it, balance wins
             let outstanding = load.outstanding(w, now);
             let key = (
-                pressure(outstanding - min_outstanding),
+                pressure(outstanding - min_outstanding, load.slack()),
                 writes,
                 outstanding,
                 w,
@@ -264,8 +272,11 @@ impl SchedulePolicy for AffinityPolicy {
 /// heterogeneous pool, affinity happily pins a heavyweight module to a
 /// slow variant because stickiness is free in its score, while `cost`
 /// routes it to the platform that actually finishes it sooner.
-/// Candidates within [`LOAD_SLACK_CYCLES`] of the best completion still
-/// compete on writes, so uniform pools keep affinity's write savings.
+/// Candidates within [`LOAD_SLACK_CYCLES`] (or the run's configured
+/// slack) of the best completion still compete on writes, so uniform
+/// pools keep affinity's write savings.
+///
+/// [`LOAD_SLACK_CYCLES`]: crate::scheduler::LOAD_SLACK_CYCLES
 #[derive(Debug)]
 pub struct CostPolicy;
 
@@ -307,7 +318,7 @@ impl SchedulePolicy for CostPolicy {
                 // on writes; beyond it, the earliest predicted finish wins
                 (
                     (
-                        pressure(finish - min_completion),
+                        pressure(finish - min_completion, load.slack()),
                         writes,
                         finish,
                         outstanding,
@@ -326,7 +337,7 @@ impl SchedulePolicy for CostPolicy {
 mod tests {
     use super::*;
     use crate::cache::build_module;
-    use crate::scheduler::Scheduler;
+    use crate::scheduler::{Scheduler, LOAD_SLACK_CYCLES};
     use crate::testutil::{single_tile_module, uniform};
     use accfg::pipeline::OptLevel;
     use accfg_targets::AcceleratorDescriptor;
@@ -357,11 +368,17 @@ mod tests {
 
     #[test]
     fn pressure_buckets_pin_the_boundary() {
-        assert_eq!(pressure(0), 0);
-        assert_eq!(pressure(LOAD_SLACK_CYCLES - 1), 0);
-        assert_eq!(pressure(LOAD_SLACK_CYCLES), 1);
-        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES - 1), 1);
-        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES), 2);
+        assert_eq!(pressure(0, LOAD_SLACK_CYCLES), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES - 1, LOAD_SLACK_CYCLES), 0);
+        assert_eq!(pressure(LOAD_SLACK_CYCLES, LOAD_SLACK_CYCLES), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES - 1, LOAD_SLACK_CYCLES), 1);
+        assert_eq!(pressure(2 * LOAD_SLACK_CYCLES, LOAD_SLACK_CYCLES), 2);
+        // the boundary moves with a custom slack horizon
+        assert_eq!(pressure(127, 128), 0);
+        assert_eq!(pressure(128, 128), 1);
+        // slack 0 clamps to a 1-cycle horizon instead of dividing by zero
+        assert_eq!(pressure(0, 0), 0);
+        assert_eq!(pressure(1, 0), 1);
     }
 
     #[test]

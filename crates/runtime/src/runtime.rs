@@ -217,6 +217,13 @@ pub struct ServeConfig {
     /// Maximum same-module requests (adjacent in their group's arrival
     /// order) coalesced into one batch (1 disables batching).
     pub max_batch: usize,
+    /// The load-slack horizon in estimated outstanding cycles: how far a
+    /// worker's queue may run ahead of its group's best candidate before
+    /// policy scoring prefers balance over resident-state overlap.
+    /// Defaults to [`LOAD_SLACK_CYCLES`] (256, the PR 2 sweep's choice).
+    /// Note `batch_cutoff` does not follow this knob automatically — set
+    /// both when sweeping the horizon (as `serve_bench --slack` does).
+    pub load_slack: u64,
     /// Queue-depth-aware batch cutoff: stop coalescing further requests
     /// into a batch once the target worker's estimated outstanding cycles
     /// (measured at the candidate's arrival) reach this horizon. `None`
@@ -237,6 +244,7 @@ impl Default for ServeConfig {
             policy: Policy::ConfigAffinity,
             opt: OptLevel::All,
             max_batch: 1,
+            load_slack: LOAD_SLACK_CYCLES,
             batch_cutoff: Some(LOAD_SLACK_CYCLES),
             refine_cost: true,
         }
@@ -397,7 +405,8 @@ impl Runtime {
         // blocking points are functions of simulated time, which keeps
         // the schedule — and every metric — deterministic.
         let mut scheduler = Scheduler::new(cfg.policy, &worker_descs, groups.len())
-            .with_refinement(cfg.refine_cost);
+            .with_refinement(cfg.refine_cost)
+            .with_slack(cfg.load_slack);
         let elide = scheduler.elides();
         let mut assignment = vec![0usize; stream.len()];
         let mut outcomes = vec![CommitOutcome::default(); stream.len()];
@@ -640,6 +649,16 @@ impl Runtime {
             config_bytes: completions.iter().map(|c| c.counters.config_bytes).sum(),
             launches: completions.iter().map(|c| c.counters.launches).sum(),
             sim_cycles: completions.iter().map(|c| c.counters.cycles).sum(),
+            contention_cycles: completions
+                .iter()
+                .map(|c| c.counters.contention_cycles)
+                .sum(),
+            freq_launches: completions.iter().fold([0u64; 3], |mut acc, c| {
+                for (slot, n) in acc.iter_mut().zip(c.counters.freq_launches) {
+                    *slot += n;
+                }
+                acc
+            }),
             makespan: worker_metrics.iter().map(|w| w.finish).max().unwrap_or(0),
             latency: LatencyStats::from_latencies(&latencies),
             per_class,

@@ -55,9 +55,9 @@ use accfg_targets::AcceleratorDescriptor;
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-/// How many estimated outstanding *cycles* a worker's queue may run ahead
-/// of its group's best candidate before policy scoring prefers balance
-/// over resident-state overlap.
+/// The default load-slack horizon: how many estimated outstanding
+/// *cycles* a worker's queue may run ahead of its group's best candidate
+/// before policy scoring prefers balance over resident-state overlap.
 ///
 /// Pure min-writes routing degenerates: once one worker is warm it scores
 /// below a blank worker for *every* shape, so the rest of the group
@@ -69,6 +69,14 @@ use std::collections::HashMap;
 /// both sides of the boundary). Elision — not routing — is what
 /// guarantees the eliding policies never write more than the cold FIFO
 /// baseline, so this trade-off cannot break that property.
+///
+/// The horizon is per-run configuration, not a constant: set it with
+/// [`ServeConfig::load_slack`] (or [`LoadTracker::with_slack`] when
+/// driving the scheduler directly); `serve_bench --slack <cycles>` sweeps
+/// it without recompiling. This value (256, chosen by the PR 2 sweep:
+/// 96–256 near-equivalent, 384+ degrades) is the default everywhere.
+///
+/// [`ServeConfig::load_slack`]: crate::runtime::ServeConfig::load_slack
 pub const LOAD_SLACK_CYCLES: u64 = 256;
 
 /// What one [`Scheduler::commit`] predicted for its dispatch — recorded by
@@ -118,6 +126,8 @@ pub struct LoadTracker {
     variant_anchors: RefCell<HashMap<CacheKey, Vec<Option<CostModel>>>>,
     refine: bool,
     refiner: CostRefiner,
+    /// The load-slack horizon policies bucket queue gaps by.
+    slack: u64,
 }
 
 impl LoadTracker {
@@ -163,7 +173,22 @@ impl LoadTracker {
             variant_anchors: RefCell::new(HashMap::new()),
             refine: true,
             refiner: CostRefiner::new(),
+            slack: LOAD_SLACK_CYCLES,
         }
+    }
+
+    /// Sets the load-slack horizon (cycles) policies bucket queue gaps
+    /// by; defaults to [`LOAD_SLACK_CYCLES`]. A slack of 0 disables
+    /// stickiness entirely (every nonzero gap prefers balance).
+    #[must_use]
+    pub fn with_slack(mut self, slack: u64) -> Self {
+        self.slack = slack;
+        self
+    }
+
+    /// The load-slack horizon in cycles.
+    pub fn slack(&self) -> u64 {
+        self.slack
     }
 
     /// Number of workers tracked.
@@ -352,6 +377,13 @@ impl Scheduler {
         self
     }
 
+    /// Sets the load-slack horizon (see [`LoadTracker::with_slack`]).
+    #[must_use]
+    pub fn with_slack(mut self, slack: u64) -> Self {
+        self.load = self.load.with_slack(slack);
+        self
+    }
+
     /// `true` if dispatches under the active policy skip writes already
     /// resident on the worker.
     pub fn elides(&self) -> bool {
@@ -524,6 +556,32 @@ mod tests {
         s.load.set_ready(0, LOAD_SLACK_CYCLES + 10);
         s.load.set_ready(1, 11);
         assert_eq!(s.choose(0, &[0, 1], &m, 11), 0);
+    }
+
+    #[test]
+    fn custom_slack_moves_the_boundary() {
+        // the same boundary semantics hold under a configured horizon:
+        // strictly inside the slack the warm worker wins, exactly at it
+        // balance wins
+        let m = single_tile_module(8);
+        let slack = 128;
+        assert_ne!(slack, LOAD_SLACK_CYCLES, "test needs a non-default");
+        let mut s = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1).with_slack(slack);
+        assert_eq!(s.load().slack(), slack);
+        s.commit(0, &m, 0);
+        assert_eq!(m.plan.writes_against(s.shadow(0)), 0);
+
+        s.load.set_ready(0, slack - 1);
+        s.load.set_ready(1, 0);
+        assert_eq!(s.choose(0, &[0, 1], &m, 0), 0);
+        s.load.set_ready(0, slack);
+        assert_eq!(s.choose(0, &[0, 1], &m, 0), 1);
+        // under the default horizon the same gap would still be sticky
+        let mut default = Scheduler::new(Policy::ConfigAffinity, &uniform(2), 1);
+        default.commit(0, &m, 0);
+        default.load.set_ready(0, slack);
+        default.load.set_ready(1, 0);
+        assert_eq!(default.choose(0, &[0, 1], &m, 0), 0);
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct Worker {
     machine: Machine,
     resident: RegMap,
     fuel: u64,
+    /// The worker's simulated clock: the finish cycle of its last
+    /// dispatch under the serve loop's timing rule
+    /// (`start = max(previous finish, arrival)`). Dispatched programs
+    /// each count cycles from 0, so this is the only place the real
+    /// inter-dispatch idle gap is known — it is fed to the accelerator's
+    /// DVFS automaton so an idle worker cools back down.
+    clock: u64,
 }
 
 impl Worker {
@@ -82,7 +89,10 @@ impl Worker {
     pub fn new(index: usize, desc: AcceleratorDescriptor, mem_bytes: usize, fuel: u64) -> Self {
         let machine = Machine::new(
             desc.host.clone(),
-            AccelSim::new(desc.accel.clone()),
+            // the worker's machine is charged under the platform's timing
+            // model (identity unless the descriptor enables contention /
+            // DVFS), and its DVFS history persists across dispatches
+            AccelSim::with_timing(desc.accel.clone(), desc.timing),
             mem_bytes,
         );
         Self {
@@ -91,6 +101,7 @@ impl Worker {
             machine,
             resident: RegMap::new(),
             fuel,
+            clock: 0,
         }
     }
 
@@ -142,9 +153,17 @@ impl Worker {
         let (program, emitted_writes) = module.plan.delta_program(&mut self.resident);
         completion.emitted_writes = emitted_writes;
 
+        // the dispatch starts when the queue has drained and the request
+        // has arrived — the same rule the serve loop and the latency
+        // replay use — so the gap since the last finish is the worker's
+        // real simulated idle time, which cools the DVFS automaton
+        let start = self.clock.max(job.request.arrival);
+        self.machine.accel.note_idle(start - self.clock);
+
         match self.machine.run(&program, self.fuel) {
             Ok(counters) => {
                 completion.counters = counters;
+                self.clock = start + counters.cycles;
                 // the program drained the accelerator; re-base its busy
                 // window so the next dispatch starts from a clean clock
                 self.machine.accel.reset_clock(counters.cycles);
@@ -163,6 +182,9 @@ impl Worker {
                 // correctness.
                 self.resident.clear();
                 self.machine.accel.reset_clock(u64::MAX);
+                // a failed dispatch carries no measured cycles, and the
+                // serve loop's finish accounting treats it the same way
+                self.clock = start;
                 completion.sim_error = Some(e.to_string());
             }
         }
@@ -299,6 +321,46 @@ mod tests {
             assert!(c.sim_error.is_none(), "{:?}", c.sim_error);
             assert!(c.check_error.is_none(), "{:?}", c.check_error);
         }
+    }
+
+    #[test]
+    fn idle_gaps_between_dispatches_cool_the_dvfs_automaton() {
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let cooldown = desc.timing.dvfs.unwrap().cooldown_idle_cycles;
+        let spec = MatmulSpec::opengemm_paper(32).unwrap();
+        let module = Arc::new(build_module(&desc, spec, OptLevel::All).unwrap());
+        let mut worker = Worker::new(0, desc, 1 << 20, 10_000_000);
+        let dispatch = |worker: &mut Worker, id: u64, arrival: u64| {
+            let c = worker.execute(&Job {
+                request: TrafficRequest {
+                    id,
+                    accelerator: "opengemm".into(),
+                    spec,
+                    arrival,
+                    seed: id,
+                },
+                module: Arc::clone(&module),
+                slot: 0,
+                elide: true,
+            });
+            assert!(c.sim_error.is_none(), "{:?}", c.sim_error);
+        };
+        // back-to-back dispatches accumulate heat across the program
+        // boundary (the clock re-base hides no idle time)
+        dispatch(&mut worker, 0, 0);
+        let first = worker.machine.accel.dvfs_heat();
+        assert!(first > 0);
+        dispatch(&mut worker, 1, 0);
+        assert!(worker.machine.accel.dvfs_heat() > first);
+        // a cooldown-length simulated idle gap resets the history: the
+        // next dispatch starts from the cold state again
+        let finish = worker.clock;
+        dispatch(&mut worker, 2, finish + cooldown);
+        assert_eq!(
+            worker.machine.accel.dvfs_heat(),
+            first,
+            "heat after the gap must equal one cold dispatch's"
+        );
     }
 
     #[test]

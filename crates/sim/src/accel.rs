@@ -13,6 +13,7 @@
 //!   explicit launch register and a polled status register.
 
 use crate::memory::{MemError, Memory};
+use crate::timing::{DvfsState, FreqState, TimingModel};
 
 /// How the accelerator accepts configuration while running (Section 2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -247,23 +248,72 @@ impl AccelStats {
 pub struct AccelSim {
     /// Static parameters.
     pub params: AccelParams,
+    /// The machine's timing model (identity unless installed via
+    /// [`AccelSim::with_timing`]): shared-bandwidth contention and DVFS.
+    pub timing: TimingModel,
     active: [i64; regmap::COUNT],
     staging: [i64; regmap::COUNT],
     busy_until: u64,
+    dvfs: DvfsState,
+    last_launch_state: FreqState,
     /// Execution statistics.
     pub stats: AccelStats,
 }
 
 impl AccelSim {
-    /// Creates an idle accelerator with zeroed registers.
+    /// Creates an idle accelerator with zeroed registers and the identity
+    /// timing model (base-simulator timing, bit-exact).
     pub fn new(params: AccelParams) -> Self {
+        Self::with_timing(params, TimingModel::identity())
+    }
+
+    /// Creates an idle accelerator charged under `timing`.
+    pub fn with_timing(params: AccelParams, timing: TimingModel) -> Self {
         Self {
             params,
+            timing,
             active: [0; regmap::COUNT],
             staging: [0; regmap::COUNT],
             busy_until: 0,
+            dvfs: DvfsState::default(),
+            last_launch_state: FreqState::Cold,
             stats: AccelStats::default(),
         }
+    }
+
+    /// The frequency state the most recent launch ran at ([`FreqState::Cold`]
+    /// while DVFS is disabled or before any launch).
+    pub fn last_launch_state(&self) -> FreqState {
+        self.last_launch_state
+    }
+
+    /// The DVFS automaton's accumulated busy-cycle heat.
+    pub fn dvfs_heat(&self) -> u64 {
+        self.dvfs.heat()
+    }
+
+    /// Accounts `idle_cycles` of real simulated idle time between
+    /// dispatched programs (which each count cycles from 0, hiding the
+    /// gap from in-program cooldown checks): a cooldown-length gap
+    /// resets the DVFS history, so a worker left idle cools back to the
+    /// cold state. A no-op without DVFS.
+    pub fn note_idle(&mut self, idle_cycles: u64) {
+        if let Some(params) = self.timing.dvfs {
+            self.dvfs.note_idle(&params, idle_cycles);
+        }
+    }
+
+    /// Extends the in-flight busy window by `extra` cycles — the machine
+    /// charges this when host traffic steals shared-bandwidth slots from
+    /// the accelerator's tile streams. A no-op when the accelerator is
+    /// idle (there is no window to stretch).
+    pub fn push_back(&mut self, now: u64, extra: u64) {
+        if extra == 0 || !self.is_busy(now) {
+            return;
+        }
+        self.busy_until += extra;
+        self.stats.busy_cycles += extra;
+        self.dvfs.note_busy(self.busy_until, extra);
     }
 
     /// The cycle at which the accelerator becomes idle.
@@ -303,6 +353,11 @@ impl AccelSim {
             program_end_cycle
         );
         self.busy_until = 0;
+        // DVFS heat survives the re-base, and the idle reference moves to
+        // cycle 0 so the next program's small cycle values are not
+        // mistaken for a long idle gap; real inter-dispatch idle is
+        // reported separately via [`AccelSim::note_idle`]
+        self.dvfs.rebase();
     }
 
     /// Writes a configuration register.
@@ -364,9 +419,20 @@ impl AccelSim {
             });
         }
         let macs = execute_tile(&op, mem)?;
-        let compute = macs.div_ceil(self.params.macs_per_cycle);
+        // DVFS: the launch runs at the rate of the current frequency
+        // state; without DVFS this is exactly the nominal MAC rate
+        let state = match &self.timing.dvfs {
+            Some(params) => self.dvfs.launch_state(params, now),
+            None => FreqState::Cold,
+        };
+        self.last_launch_state = state;
+        let rate = self
+            .timing
+            .effective_macs_per_cycle(self.params.macs_per_cycle, state);
+        let compute = macs.div_ceil(rate);
         let busy = compute + self.params.launch_overhead;
         self.busy_until = now + busy;
+        self.dvfs.note_busy(self.busy_until, busy);
         self.stats.launches += 1;
         self.stats.macs += macs;
         self.stats.busy_cycles += busy;

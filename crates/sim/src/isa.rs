@@ -284,6 +284,24 @@ impl Inst {
             Inst::CsrWrite { .. } | Inst::RoccCmd { .. } | Inst::Launch | Inst::AwaitIdle
         )
     }
+
+    /// Bytes this instruction moves through the shared memory system —
+    /// what the contention model charges when the accelerator's tile
+    /// traffic holds part of the bandwidth budget. Configuration writes
+    /// carry their payload (`csr_payload_bytes` per CSR access, 16 bytes
+    /// per RoCC pair), loads/stores their access width; everything else
+    /// stays in registers. `Launch` reports its payload for byte
+    /// accounting completeness, but never contends in practice: the
+    /// machine stalls a launch until the accelerator is idle, so its
+    /// traffic cannot overlap a busy window.
+    pub fn traffic_bytes(self, csr_payload_bytes: u64) -> u64 {
+        match self {
+            Inst::CsrWrite { .. } | Inst::Launch => csr_payload_bytes,
+            Inst::RoccCmd { .. } => 16,
+            Inst::Ld { width, .. } | Inst::St { width, .. } => width.bytes() as u64,
+            _ => 0,
+        }
+    }
 }
 
 /// A finished program: instructions with resolved branch targets.

@@ -52,6 +52,7 @@ pub mod isa;
 pub mod machine;
 pub mod memory;
 pub mod timeline;
+pub mod timing;
 
 pub use accel::{
     execute_tile, flags, regmap, AccelParams, AccelSim, AccelStats, ConfigScheme, LaunchError,
@@ -61,4 +62,5 @@ pub use host::HostModel;
 pub use isa::{AluOp, BranchCond, Inst, Label, Program, ProgramBuilder, Reg, Width};
 pub use machine::{Counters, Machine, SimError};
 pub use memory::{MemError, Memory};
-pub use timeline::{Activity, Span, Timeline};
+pub use timeline::{Activity, Annotation, AnnotationKind, Span, Timeline};
+pub use timing::{ContentionParams, DvfsParams, DvfsState, FreqState, TimingModel, FREQ_STATES};

@@ -12,6 +12,7 @@ use crate::host::HostModel;
 use crate::isa::{Inst, Program};
 use crate::memory::{MemError, Memory};
 use crate::timeline::{Activity, Timeline};
+use crate::timing::FREQ_STATES;
 use std::error::Error;
 use std::fmt;
 
@@ -84,6 +85,13 @@ pub struct Counters {
     pub config_bytes: u64,
     /// Accelerator launches.
     pub launches: u64,
+    /// Extra host cycles charged by the shared memory-bandwidth
+    /// contention model (a subset of `config_cycles`/`calc_cycles`;
+    /// always 0 under the identity timing model).
+    pub contention_cycles: u64,
+    /// Launches per DVFS frequency state (cold, warm, boost), counted
+    /// only while DVFS is enabled — all zero under the identity model.
+    pub freq_launches: [u64; FREQ_STATES],
 }
 
 impl Counters {
@@ -209,7 +217,24 @@ impl Machine {
                 cycle = until;
             }
 
-            let cost = self.host.cycles_for(&inst);
+            let mut cost = self.host.cycles_for(&inst);
+            // shared-bandwidth contention: traffic issued while the
+            // accelerator's tile streams hold part of the budget runs at
+            // the leftover bandwidth, and the budget slots it takes push
+            // the in-flight busy window out
+            if let Some(cp) = self.accel.timing.contention {
+                let traffic = inst.traffic_bytes(self.accel.params.csr_payload_bytes);
+                if traffic > 0 && self.accel.is_busy(cycle) {
+                    let extra = cp.host_penalty(traffic);
+                    self.accel.push_back(cycle, cp.accel_pushback(traffic));
+                    if let Some(t) = timeline.as_deref_mut() {
+                        t.extend_accel(self.accel.busy_until());
+                        t.annotate_contention(cycle, extra);
+                    }
+                    cost += extra;
+                    c.contention_cycles += extra;
+                }
+            }
             // overlap accounting: host active [cycle, cycle+cost) vs busy window
             let busy_until = self.accel.busy_until();
             if busy_until > cycle {
@@ -294,16 +319,28 @@ impl Machine {
                     c.config_bytes += 16;
                     if self.accel.params.rocc_launch_funct == Some(funct) {
                         let done = self.accel.launch(&mut self.mem, cycle)?;
+                        if self.accel.timing.dvfs.is_some() {
+                            c.freq_launches[self.accel.last_launch_state().index()] += 1;
+                        }
                         if let Some(t) = timeline.as_deref_mut() {
                             t.record_accel(cycle, done);
+                            if self.accel.timing.dvfs.is_some() {
+                                t.annotate_frequency(cycle, self.accel.last_launch_state());
+                            }
                         }
                         c.launches += 1;
                     }
                 }
                 Inst::Launch => {
                     let done = self.accel.launch(&mut self.mem, cycle)?;
+                    if self.accel.timing.dvfs.is_some() {
+                        c.freq_launches[self.accel.last_launch_state().index()] += 1;
+                    }
                     if let Some(t) = timeline.as_deref_mut() {
                         t.record_accel(cycle, done);
+                        if self.accel.timing.dvfs.is_some() {
+                            t.annotate_frequency(cycle, self.accel.last_launch_state());
+                        }
                     }
                     c.config_bytes += self.accel.params.csr_payload_bytes;
                     c.launches += 1;
@@ -572,6 +609,155 @@ mod tests {
         let c2 = m2.run_traced(&build(), 100_000, &mut t).unwrap();
         assert_eq!(c1, c2);
         assert_eq!(m1.mem, m2.mem);
+    }
+
+    fn reference_timing() -> crate::timing::TimingModel {
+        crate::timing::TimingModel {
+            contention: Some(crate::timing::ContentionParams {
+                budget_bytes_per_cycle: 8,
+                accel_bytes_per_cycle: 6,
+            }),
+            dvfs: Some(crate::timing::DvfsParams {
+                warm_busy_cycles: 64,
+                boost_busy_cycles: 256,
+                cooldown_idle_cycles: 4_096,
+                speed_pct: [50, 100, 150],
+            }),
+        }
+    }
+
+    fn timed_machine(timing: crate::timing::TimingModel) -> Machine {
+        Machine::new(
+            HostModel::snitch_like(),
+            AccelSim::with_timing(AccelParams::opengemm_like(), timing),
+            0x10000,
+        )
+    }
+
+    fn two_tile_program() -> Program {
+        let mut p = ProgramBuilder::new();
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100, 64);
+        emit_tile_csr(&mut p, 0x100, 0x1100, 0x6100, 64);
+        p.await_idle();
+        p.halt();
+        p.finish()
+    }
+
+    fn fill_two_tiles(m: &mut Machine) {
+        for i in 0..4096 {
+            m.mem.write_i8(0x100 + i, 1).unwrap();
+            m.mem.write_i8(0x1100 + i, 1).unwrap();
+        }
+    }
+
+    #[test]
+    fn identity_timing_is_the_default_and_charges_nothing() {
+        let mut base = machine(AccelParams::opengemm_like());
+        let mut explicit = timed_machine(crate::timing::TimingModel::identity());
+        fill_two_tiles(&mut base);
+        fill_two_tiles(&mut explicit);
+        let p = two_tile_program();
+        let a = base.run(&p, 100_000).unwrap();
+        let b = explicit.run(&p, 100_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.contention_cycles, 0);
+        assert_eq!(a.freq_launches, [0, 0, 0]);
+        assert_eq!(base.mem, explicit.mem);
+    }
+
+    #[test]
+    fn contention_stretches_overlapped_config_writes() {
+        // the second tile's CSR writes land while the first is busy: under
+        // contention they run at leftover bandwidth and push the busy
+        // window out, so the run takes longer than the identity run
+        let contention_only = crate::timing::TimingModel {
+            contention: reference_timing().contention,
+            dvfs: None,
+        };
+        let mut ident = timed_machine(crate::timing::TimingModel::identity());
+        let mut contended = timed_machine(contention_only);
+        fill_two_tiles(&mut ident);
+        fill_two_tiles(&mut contended);
+        let p = two_tile_program();
+        let a = ident.run(&p, 100_000).unwrap();
+        let b = contended.run(&p, 100_000).unwrap();
+        assert!(b.contention_cycles > 0, "{b:?}");
+        assert!(b.cycles > a.cycles, "{} !> {}", b.cycles, a.cycles);
+        // contention changes timing only, never results
+        assert_eq!(ident.mem, contended.mem);
+        assert_eq!(a.insts_total, b.insts_total);
+        assert_eq!(a.config_bytes, b.config_bytes);
+        // the counter partitions still hold, contention included
+        assert_eq!(b.insts_total, b.insts_config + b.insts_calc);
+        assert_eq!(b.host_cycles, b.config_cycles + b.calc_cycles);
+        assert_eq!(b.cycles, b.host_cycles + b.stall_cycles);
+    }
+
+    #[test]
+    fn dvfs_heats_up_across_launches() {
+        let dvfs_only = crate::timing::TimingModel {
+            contention: None,
+            dvfs: reference_timing().dvfs,
+        };
+        let mut m = timed_machine(dvfs_only);
+        fill_two_tiles(&mut m);
+        // several sequential tiles with awaits in between: the first runs
+        // cold, the accumulated busy cycles push later ones warmer
+        let mut p = ProgramBuilder::new();
+        for i in 0..4 {
+            emit_tile_csr(&mut p, 0x100, 0x1100, 0x2100 + 0x1000 * i, 32);
+            p.await_idle();
+        }
+        p.halt();
+        let c = m.run(&p.finish(), 1_000_000).unwrap();
+        assert_eq!(c.launches, 4);
+        assert_eq!(c.freq_launches.iter().sum::<u64>(), 4);
+        assert!(c.freq_launches[0] >= 1, "{:?}", c.freq_launches);
+        assert!(
+            c.freq_launches[1] + c.freq_launches[2] >= 1,
+            "never left cold: {:?}",
+            c.freq_launches
+        );
+        assert!(m.accel.dvfs_heat() > 0);
+    }
+
+    #[test]
+    fn traced_timed_run_agrees_with_counters() {
+        use crate::timeline::Timeline;
+        let run = |traced: bool| {
+            let mut m = timed_machine(reference_timing());
+            fill_two_tiles(&mut m);
+            let p = two_tile_program();
+            if traced {
+                let mut t = Timeline::new();
+                let c = m.run_traced(&p, 100_000, &mut t).unwrap();
+                (c, Some(t), m)
+            } else {
+                (m.run(&p, 100_000).unwrap(), None, m)
+            }
+        };
+        let (c_plain, _, m_plain) = run(false);
+        let (c, t, m) = run(true);
+        let t = t.unwrap();
+        // tracing never perturbs timing, even under the rich model
+        assert_eq!(c, c_plain);
+        assert_eq!(m.mem, m_plain.mem);
+        // the annotations explain exactly the charged contention, and the
+        // accel lane includes the pushed-back busy window
+        assert_eq!(t.contention_cycles(), c.contention_cycles);
+        assert!(c.contention_cycles > 0);
+        assert_eq!(t.cycles_of(Activity::Busy), m.accel.stats.busy_cycles);
+        assert_eq!(t.cycles_of(Activity::Config), c.config_cycles);
+        assert_eq!(t.cycles_of(Activity::Calc), c.calc_cycles);
+        assert_eq!(t.cycles_of(Activity::Stall), c.stall_cycles);
+        assert_eq!(t.end(), c.cycles);
+        // one frequency annotation per launch
+        let freq_notes = t
+            .annotations
+            .iter()
+            .filter(|a| matches!(a.kind, crate::timeline::AnnotationKind::Frequency { .. }))
+            .count() as u64;
+        assert_eq!(freq_notes, c.launches);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! visible exactly as in the paper's timeline illustration — and shows it
 //! disappearing once the optimizations are applied.
 
+use crate::timing::FreqState;
 use std::fmt;
 
 /// What a lane is doing during a span.
@@ -43,6 +44,33 @@ pub struct Span {
     pub activity: Activity,
 }
 
+/// A point annotation the timing model attaches to the timeline: where
+/// contention stretched an instruction, and which frequency state a
+/// launch ran at. Annotations never change the lanes — they explain them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Annotation {
+    /// The cycle the annotated event started at.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: AnnotationKind,
+}
+
+/// The kinds of timing annotation a run can record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// Host traffic contended with accelerator tile streams: the
+    /// instruction paid `extra_cycles` beyond its table cost.
+    Contention {
+        /// Extra host cycles charged by the shared-bandwidth model.
+        extra_cycles: u64,
+    },
+    /// A launch ran at this DVFS frequency state.
+    Frequency {
+        /// The state the launch's compute was clocked at.
+        state: FreqState,
+    },
+}
+
 /// Recorded host and accelerator activity of one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
@@ -50,6 +78,9 @@ pub struct Timeline {
     pub host: Vec<Span>,
     /// Accelerator lane spans, in time order.
     pub accel: Vec<Span>,
+    /// Timing-model annotations (contention, frequency states), in time
+    /// order. Empty under the identity timing model.
+    pub annotations: Vec<Annotation>,
 }
 
 impl Timeline {
@@ -83,6 +114,46 @@ impl Timeline {
     /// Records accelerator business over `[start, end)`.
     pub fn record_accel(&mut self, start: u64, end: u64) {
         Self::push(&mut self.accel, start, end, Activity::Busy);
+    }
+
+    /// Extends the most recent accelerator span to `new_end` — how the
+    /// contention model stretches an in-flight busy window after it was
+    /// recorded at launch. A no-op when nothing is recorded or the window
+    /// already reaches `new_end`.
+    pub fn extend_accel(&mut self, new_end: u64) {
+        if let Some(last) = self.accel.last_mut() {
+            last.end = last.end.max(new_end);
+        }
+    }
+
+    /// Records a contention event: `extra_cycles` charged on top of the
+    /// instruction that started at `cycle`.
+    pub fn annotate_contention(&mut self, cycle: u64, extra_cycles: u64) {
+        if extra_cycles > 0 {
+            self.annotations.push(Annotation {
+                cycle,
+                kind: AnnotationKind::Contention { extra_cycles },
+            });
+        }
+    }
+
+    /// Records the frequency state of a launch issued at `cycle`.
+    pub fn annotate_frequency(&mut self, cycle: u64, state: FreqState) {
+        self.annotations.push(Annotation {
+            cycle,
+            kind: AnnotationKind::Frequency { state },
+        });
+    }
+
+    /// Total extra host cycles recorded in contention annotations.
+    pub fn contention_cycles(&self) -> u64 {
+        self.annotations
+            .iter()
+            .map(|a| match a.kind {
+                AnnotationKind::Contention { extra_cycles } => extra_cycles,
+                AnnotationKind::Frequency { .. } => 0,
+            })
+            .sum()
     }
 
     /// The last recorded cycle.

@@ -1,0 +1,363 @@
+//! Composable machine timing: shared memory-bandwidth contention and DVFS
+//! frequency states.
+//!
+//! The base simulator prices every host instruction from a static cost
+//! table and every launch at the accelerator's peak MAC rate, which makes
+//! a dispatch's cycle cost an almost-linear function of the configuration
+//! writes it emits. Real platforms are not that flat: host configuration
+//! traffic and the accelerator's tile streams share one memory system, and
+//! the accelerator's clock follows its recent utilization. A
+//! [`TimingModel`] layers both effects onto a [`Machine`]:
+//!
+//! - **Contention** ([`ContentionParams`]): a bytes-in-flight budget
+//!   shared by the host and the accelerator. While the accelerator is
+//!   busy, its tile traffic occupies part of the budget, so host
+//!   instructions that move bytes (configuration writes, loads/stores)
+//!   take extra cycles — and the bytes they do move steal budget slots
+//!   from the accelerator, pushing its busy window out.
+//! - **DVFS** ([`DvfsParams`]): three frequency states — cold, warm,
+//!   boost — with deterministic transitions keyed on accumulated
+//!   busy-cycle history ([`DvfsState`]). A launch's compute rate is the
+//!   platform's MAC rate scaled by the current state; sustained work heats
+//!   the accelerator up through warm into boost, and a long enough idle
+//!   gap drops it back to cold.
+//!
+//! [`TimingModel::identity`] disables both effects and reproduces the
+//! base simulator's timing bit-exactly — the identity model is the
+//! default everywhere, so enabling rich timing is always an explicit,
+//! per-descriptor decision.
+//!
+//! Everything here is integer arithmetic over simulated cycles: two runs
+//! of the same program produce identical timing, which is what lets the
+//! serving runtime's determinism guarantees survive the richer model.
+//!
+//! [`Machine`]: crate::Machine
+
+/// Accelerator frequency state under DVFS, ordered coldest to fastest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FreqState {
+    /// Just powered / long idle: reduced clock.
+    #[default]
+    Cold,
+    /// Nominal clock after sustained activity.
+    Warm,
+    /// Opportunistic overclock under continuous load.
+    Boost,
+}
+
+/// Number of frequency states (the length of [`DvfsParams::speed_pct`]).
+pub const FREQ_STATES: usize = 3;
+
+impl FreqState {
+    /// Index into per-state tables (`0` = cold, `2` = boost).
+    pub fn index(self) -> usize {
+        match self {
+            FreqState::Cold => 0,
+            FreqState::Warm => 1,
+            FreqState::Boost => 2,
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FreqState::Cold => "cold",
+            FreqState::Warm => "warm",
+            FreqState::Boost => "boost",
+        }
+    }
+}
+
+/// The shared memory-bandwidth budget host traffic and accelerator tile
+/// streams contend over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionParams {
+    /// Total bytes the memory system moves per cycle.
+    pub budget_bytes_per_cycle: u64,
+    /// Bytes per cycle the accelerator's tile traffic occupies while it is
+    /// busy.
+    pub accel_bytes_per_cycle: u64,
+}
+
+impl ContentionParams {
+    /// Extra host cycles a transfer of `bytes` pays when issued while the
+    /// accelerator's tile traffic holds its share of the budget: the
+    /// transfer runs at the leftover bandwidth instead of the full budget.
+    pub fn host_penalty(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let budget = self.budget_bytes_per_cycle.max(1);
+        let leftover = budget.saturating_sub(self.accel_bytes_per_cycle).max(1);
+        bytes.div_ceil(leftover) - bytes.div_ceil(budget)
+    }
+
+    /// Cycles the accelerator's busy window extends when the host moves
+    /// `bytes` through the shared budget during it — every budget slot the
+    /// host takes is one the tile streams wait for.
+    pub fn accel_pushback(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        bytes.div_ceil(self.budget_bytes_per_cycle.max(1))
+    }
+}
+
+/// The DVFS table: transition thresholds and per-state compute rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DvfsParams {
+    /// Accumulated busy cycles at which the clock steps cold → warm.
+    pub warm_busy_cycles: u64,
+    /// Accumulated busy cycles at which the clock steps warm → boost.
+    pub boost_busy_cycles: u64,
+    /// Idle gap (cycles since the busy window last closed) that drops the
+    /// state back to cold and resets the busy-cycle history.
+    pub cooldown_idle_cycles: u64,
+    /// Compute-rate multiplier per state, in percent of the platform's
+    /// nominal MAC rate, indexed by [`FreqState::index`] (cold, warm,
+    /// boost).
+    pub speed_pct: [u64; FREQ_STATES],
+}
+
+impl DvfsParams {
+    /// The state reached after `heat` accumulated busy cycles.
+    pub fn state_at(&self, heat: u64) -> FreqState {
+        if heat >= self.boost_busy_cycles {
+            FreqState::Boost
+        } else if heat >= self.warm_busy_cycles {
+            FreqState::Warm
+        } else {
+            FreqState::Cold
+        }
+    }
+}
+
+/// The deterministic DVFS automaton: busy-cycle heat plus the cycle at
+/// which the accelerator last went idle. Owned by the accelerator so the
+/// history survives across dispatched programs on a persistent machine —
+/// which is exactly what makes a worker's dispatch cost depend on its
+/// recent load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DvfsState {
+    /// Busy cycles accumulated since the last cooldown.
+    heat: u64,
+    /// Cycle at which the busy window last closed.
+    last_busy_end: u64,
+}
+
+impl DvfsState {
+    /// The frequency state a launch at `now` runs at: a sufficiently long
+    /// idle gap first cools the history back to zero, then the heat picks
+    /// the state from the table.
+    pub fn launch_state(&mut self, params: &DvfsParams, now: u64) -> FreqState {
+        if now.saturating_sub(self.last_busy_end) >= params.cooldown_idle_cycles {
+            self.heat = 0;
+        }
+        params.state_at(self.heat)
+    }
+
+    /// Accounts a busy window closing at `end` after `busy` cycles of
+    /// activity (launch compute or contention push-back).
+    pub fn note_busy(&mut self, end: u64, busy: u64) {
+        self.heat += busy;
+        self.last_busy_end = self.last_busy_end.max(end);
+    }
+
+    /// Accounts an idle gap of `idle` cycles *between* dispatched
+    /// programs. Each program counts cycles from 0, so in-program
+    /// cooldown checks cannot see time spent idle between dispatches;
+    /// the runtime's workers know their real simulated idle (next
+    /// dispatch's start minus the previous finish) and report it here —
+    /// a cooldown-length gap drops the history back to cold.
+    pub fn note_idle(&mut self, params: &DvfsParams, idle: u64) {
+        if idle >= params.cooldown_idle_cycles {
+            self.heat = 0;
+        }
+    }
+
+    /// Accumulated busy cycles since the last cooldown.
+    pub fn heat(&self) -> u64 {
+        self.heat
+    }
+
+    /// Re-bases the idle reference to cycle 0, mirroring
+    /// [`AccelSim::reset_clock`]: dispatched programs each count cycles
+    /// from 0, so back-to-back dispatches carry their heat across the
+    /// re-base instead of fabricating a cooldown-length idle gap.
+    ///
+    /// [`AccelSim::reset_clock`]: crate::AccelSim::reset_clock
+    pub fn rebase(&mut self) {
+        self.last_busy_end = 0;
+    }
+}
+
+/// A machine's composable timing model: optional contention, optional
+/// DVFS. Both `None` is the identity model — bit-exact base-simulator
+/// timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingModel {
+    /// Shared memory-bandwidth contention, or `None` for infinite
+    /// bandwidth.
+    pub contention: Option<ContentionParams>,
+    /// DVFS frequency scaling, or `None` for a fixed nominal clock.
+    pub dvfs: Option<DvfsParams>,
+}
+
+impl TimingModel {
+    /// The identity model: no contention, no DVFS — the base simulator's
+    /// timing, unchanged.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// `true` if this model charges nothing beyond the base timing.
+    pub fn is_identity(&self) -> bool {
+        self.contention.is_none() && self.dvfs.is_none()
+    }
+
+    /// The effective MAC rate at `state` for a platform whose nominal
+    /// rate is `base`: the DVFS multiplier applied (floored at 1 MAC per
+    /// cycle), or exactly `base` without DVFS.
+    pub fn effective_macs_per_cycle(&self, base: u64, state: FreqState) -> u64 {
+        match &self.dvfs {
+            None => base.max(1),
+            Some(d) => (base * d.speed_pct[state.index()] / 100).max(1),
+        }
+    }
+
+    /// The MAC rate an analytic cost anchor should assume: the rate of an
+    /// isolated from-cold launch. Anchors stay *honest* — they consume the
+    /// same parameters the simulator charges — but they cannot know a
+    /// worker's load-dependent heat or contention, which is exactly the
+    /// gap online refinement closes.
+    pub fn anchor_macs_per_cycle(&self, base: u64) -> u64 {
+        self.effective_macs_per_cycle(base, FreqState::Cold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_charges_nothing() {
+        let t = TimingModel::identity();
+        assert!(t.is_identity());
+        for state in [FreqState::Cold, FreqState::Warm, FreqState::Boost] {
+            assert_eq!(t.effective_macs_per_cycle(512, state), 512);
+        }
+        assert_eq!(t.anchor_macs_per_cycle(0), 1);
+    }
+
+    #[test]
+    fn contention_penalties_reflect_leftover_bandwidth() {
+        let c = ContentionParams {
+            budget_bytes_per_cycle: 8,
+            accel_bytes_per_cycle: 6,
+        };
+        // 4 bytes at full budget: 1 cycle; at the 2 B/cyc leftover: 2 —
+        // one extra host cycle, and one budget slot stolen from the tiles
+        assert_eq!(c.host_penalty(4), 1);
+        assert_eq!(c.accel_pushback(4), 1);
+        assert_eq!(c.host_penalty(0), 0);
+        assert_eq!(c.accel_pushback(0), 0);
+        // 16 bytes: 8 leftover-cycles vs 2 budget-cycles
+        assert_eq!(c.host_penalty(16), 6);
+        assert_eq!(c.accel_pushback(16), 2);
+        // an accelerator that saturates the budget still leaves the
+        // 1 B/cyc floor
+        let saturated = ContentionParams {
+            budget_bytes_per_cycle: 4,
+            accel_bytes_per_cycle: 9,
+        };
+        assert_eq!(saturated.host_penalty(4), 3);
+    }
+
+    #[test]
+    fn dvfs_heats_through_warm_into_boost() {
+        let params = DvfsParams {
+            warm_busy_cycles: 100,
+            boost_busy_cycles: 300,
+            cooldown_idle_cycles: 1_000,
+            speed_pct: [50, 100, 150],
+        };
+        let mut s = DvfsState::default();
+        assert_eq!(s.launch_state(&params, 0), FreqState::Cold);
+        s.note_busy(120, 120);
+        assert_eq!(s.launch_state(&params, 150), FreqState::Warm);
+        s.note_busy(400, 250);
+        assert_eq!(s.launch_state(&params, 420), FreqState::Boost);
+        assert_eq!(s.heat(), 370);
+        // a short gap keeps the heat; a cooldown-length one resets it
+        assert_eq!(s.launch_state(&params, 400 + 999), FreqState::Boost);
+        assert_eq!(s.launch_state(&params, 400 + 1_000), FreqState::Cold);
+        assert_eq!(s.heat(), 0);
+    }
+
+    #[test]
+    fn note_idle_cools_only_at_the_threshold() {
+        let params = DvfsParams {
+            warm_busy_cycles: 100,
+            boost_busy_cycles: 300,
+            cooldown_idle_cycles: 500,
+            speed_pct: [50, 100, 150],
+        };
+        let mut s = DvfsState::default();
+        s.note_busy(200, 200);
+        s.note_idle(&params, 499);
+        assert_eq!(s.heat(), 200);
+        s.note_idle(&params, 500);
+        assert_eq!(s.heat(), 0);
+    }
+
+    #[test]
+    fn rebase_keeps_heat_and_avoids_phantom_cooldown() {
+        let params = DvfsParams {
+            warm_busy_cycles: 100,
+            boost_busy_cycles: 300,
+            cooldown_idle_cycles: 500,
+            speed_pct: [50, 100, 150],
+        };
+        let mut s = DvfsState::default();
+        s.note_busy(10_000, 200);
+        s.rebase();
+        // next program counts cycles from 0 again: the small `now` is not
+        // mistaken for a 10 000-cycle idle gap
+        assert_eq!(s.launch_state(&params, 40), FreqState::Warm);
+        assert_eq!(s.heat(), 200);
+    }
+
+    #[test]
+    fn dvfs_scales_the_mac_rate() {
+        let t = TimingModel {
+            contention: None,
+            dvfs: Some(DvfsParams {
+                warm_busy_cycles: 1,
+                boost_busy_cycles: 2,
+                cooldown_idle_cycles: 1,
+                speed_pct: [50, 100, 150],
+            }),
+        };
+        assert_eq!(t.effective_macs_per_cycle(512, FreqState::Cold), 256);
+        assert_eq!(t.effective_macs_per_cycle(512, FreqState::Warm), 512);
+        assert_eq!(t.effective_macs_per_cycle(512, FreqState::Boost), 768);
+        // the anchor rate is the isolated from-cold rate
+        assert_eq!(t.anchor_macs_per_cycle(512), 256);
+        // the rate never drops below one MAC per cycle
+        assert_eq!(t.effective_macs_per_cycle(1, FreqState::Cold), 1);
+    }
+
+    #[test]
+    fn state_thresholds_are_inclusive() {
+        let params = DvfsParams {
+            warm_busy_cycles: 10,
+            boost_busy_cycles: 20,
+            cooldown_idle_cycles: 100,
+            speed_pct: [50, 100, 150],
+        };
+        assert_eq!(params.state_at(9), FreqState::Cold);
+        assert_eq!(params.state_at(10), FreqState::Warm);
+        assert_eq!(params.state_at(19), FreqState::Warm);
+        assert_eq!(params.state_at(20), FreqState::Boost);
+    }
+}

@@ -7,7 +7,7 @@
 //! ("Your Acc" in Figure 8) means writing one descriptor — the whole accfg
 //! pipeline is reused unchanged; see the `custom_accelerator` example.
 
-use accfg_sim::{regmap, AccelParams, HostModel};
+use accfg_sim::{regmap, AccelParams, ContentionParams, DvfsParams, HostModel, TimingModel};
 
 /// How configuration reaches the accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,14 @@ pub struct AcceleratorDescriptor {
     pub style: ConfigStyle,
     /// Field table.
     pub fields: Vec<FieldSpec>,
+    /// The platform's timing model: shared memory-bandwidth contention and
+    /// DVFS frequency states. Identity (both disabled) by default — the
+    /// base simulator's write-linear timing; enable the platform's
+    /// reference values with
+    /// [`AcceleratorDescriptor::with_reference_timing`]. Timing is
+    /// *provisioning*, not interface: it never affects
+    /// [plan compatibility](AcceleratorDescriptor::plan_compatible).
+    pub timing: TimingModel,
 }
 
 impl AcceleratorDescriptor {
@@ -181,6 +189,7 @@ impl AcceleratorDescriptor {
                 ),
                 f("mvin_scale", 32, regmap::MVIN_SCALE, "Input scale factor"),
             ],
+            timing: TimingModel::identity(),
         }
     }
 
@@ -292,6 +301,7 @@ impl AcceleratorDescriptor {
                     "Streamer C inner stride",
                 ),
             ],
+            timing: TimingModel::identity(),
         }
     }
 
@@ -327,6 +337,98 @@ impl AcceleratorDescriptor {
         d.accel.macs_per_cycle = 64;
         d.accel.launch_overhead = 6;
         d
+    }
+
+    /// Installs the platform's *reference* timing model: the
+    /// shared-bandwidth contention budget and DVFS table this target's
+    /// hardware would plausibly carry, instantiated differently per
+    /// platform (and per provisioning variant — the turbo array moves
+    /// more tile bytes and ramps faster; the lite core has a narrower
+    /// memory system and a shallower boost).
+    ///
+    /// Descriptors default to the identity model, so enabling rich timing
+    /// is always explicit. The analytic cost anchors consume the same
+    /// parameters (at the isolated from-cold operating point), which
+    /// keeps them honest while load-dependent contention and frequency
+    /// history open a real gap for the online refiner to close.
+    #[must_use]
+    pub fn with_reference_timing(mut self) -> Self {
+        let a = &self.accel;
+        self.timing = match self.name.as_str() {
+            // wide DDR-class memory system shared with a DMA-heavy
+            // systolic array; a big array heats slowly but boosts high
+            "gemmini" => TimingModel {
+                contention: Some(ContentionParams {
+                    budget_bytes_per_cycle: 16,
+                    accel_bytes_per_cycle: 12,
+                }),
+                dvfs: Some(DvfsParams {
+                    warm_busy_cycles: 2_048,
+                    boost_busy_cycles: 8_192,
+                    cooldown_idle_cycles: 16_384,
+                    speed_pct: [40, 100, 160],
+                }),
+            },
+            // 4× the tile traffic on the same interface; ramps in half
+            // the busy cycles and boosts higher
+            "gemmini-turbo" => TimingModel {
+                contention: Some(ContentionParams {
+                    budget_bytes_per_cycle: 32,
+                    accel_bytes_per_cycle: 26,
+                }),
+                dvfs: Some(DvfsParams {
+                    warm_busy_cycles: 1_024,
+                    boost_busy_cycles: 4_096,
+                    cooldown_idle_cycles: 16_384,
+                    speed_pct: [40, 100, 200],
+                }),
+            },
+            // tightly-coupled SRAM streamers: a narrow budget the GeMM
+            // core keeps mostly occupied, so concurrent configuration
+            // really pays for its overlap under load
+            "opengemm" => TimingModel {
+                contention: Some(ContentionParams {
+                    budget_bytes_per_cycle: 8,
+                    accel_bytes_per_cycle: 6,
+                }),
+                dvfs: Some(DvfsParams {
+                    warm_busy_cycles: 1_024,
+                    boost_busy_cycles: 4_096,
+                    cooldown_idle_cycles: 8_192,
+                    speed_pct: [40, 100, 160],
+                }),
+            },
+            // the under-provisioned variant: half the bandwidth, a slow
+            // ramp, and barely any boost headroom
+            "opengemm-lite" => TimingModel {
+                contention: Some(ContentionParams {
+                    budget_bytes_per_cycle: 4,
+                    accel_bytes_per_cycle: 3,
+                }),
+                dvfs: Some(DvfsParams {
+                    warm_busy_cycles: 2_048,
+                    boost_busy_cycles: 8_192,
+                    cooldown_idle_cycles: 8_192,
+                    speed_pct: [50, 100, 125],
+                }),
+            },
+            // custom descriptors ("Your Acc"): derive a generic model
+            // from the platform parameters so the pipeline stays
+            // one-descriptor-per-accelerator
+            _ => TimingModel {
+                contention: Some(ContentionParams {
+                    budget_bytes_per_cycle: (2 * a.csr_payload_bytes).max(2),
+                    accel_bytes_per_cycle: (3 * a.csr_payload_bytes / 2).max(1),
+                }),
+                dvfs: Some(DvfsParams {
+                    warm_busy_cycles: 64 * a.launch_overhead.max(1),
+                    boost_busy_cycles: 256 * a.launch_overhead.max(1),
+                    cooldown_idle_cycles: 1_024 * a.launch_overhead.max(1),
+                    speed_pct: [50, 100, 150],
+                }),
+            },
+        };
+        self
     }
 
     /// `true` if a dispatch plan compiled for `self` can be replayed on a
@@ -427,6 +529,65 @@ mod tests {
         // different configuration interfaces are never compatible
         assert!(!gemmini.plan_compatible(&opengemm));
         assert!(!lite.plan_compatible(&turbo));
+    }
+
+    #[test]
+    fn descriptors_default_to_identity_timing() {
+        for d in [
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+            AcceleratorDescriptor::gemmini_turbo(),
+            AcceleratorDescriptor::opengemm_lite(),
+        ] {
+            assert!(d.timing.is_identity(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn reference_timing_differs_per_platform() {
+        let platforms = [
+            AcceleratorDescriptor::gemmini().with_reference_timing(),
+            AcceleratorDescriptor::gemmini_turbo().with_reference_timing(),
+            AcceleratorDescriptor::opengemm().with_reference_timing(),
+            AcceleratorDescriptor::opengemm_lite().with_reference_timing(),
+        ];
+        for d in &platforms {
+            assert!(!d.timing.is_identity(), "{}", d.name);
+            let c = d.timing.contention.unwrap();
+            // tile traffic never saturates the whole budget
+            assert!(
+                c.accel_bytes_per_cycle < c.budget_bytes_per_cycle,
+                "{}",
+                d.name
+            );
+            let v = d.timing.dvfs.unwrap();
+            assert!(v.warm_busy_cycles < v.boost_busy_cycles, "{}", d.name);
+            // cold is slower than nominal, boost faster
+            assert!(v.speed_pct[0] < 100 && v.speed_pct[2] > 100, "{}", d.name);
+        }
+        // each platform instantiates its own parameters
+        for (i, a) in platforms.iter().enumerate() {
+            for b in &platforms[i + 1..] {
+                assert_ne!(a.timing, b.timing, "{} vs {}", a.name, b.name);
+            }
+        }
+        // a custom descriptor gets the derived generic model
+        let mut custom = AcceleratorDescriptor::opengemm();
+        custom.name = "your-acc".into();
+        assert!(!custom.with_reference_timing().timing.is_identity());
+    }
+
+    #[test]
+    fn timing_is_provisioning_not_interface() {
+        // enabling rich timing never breaks plan compatibility: the
+        // configuration interface and field table are unchanged
+        let base = AcceleratorDescriptor::gemmini();
+        let timed = AcceleratorDescriptor::gemmini().with_reference_timing();
+        assert!(base.plan_compatible(&timed));
+        assert!(timed.plan_compatible(&base));
+        // but a timed descriptor is a different *provisioning*: structural
+        // equality (what AmbiguousVariantName guards) distinguishes them
+        assert_ne!(base, timed);
     }
 
     #[test]

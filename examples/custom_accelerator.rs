@@ -60,6 +60,7 @@ fn stencil9() -> AcceleratorDescriptor {
             f("dst_pitch", 32, regmap::STRIDE_C, "Output row pitch"),
             f("mode", 8, regmap::FLAGS, "Border handling / activation"),
         ],
+        timing: TimingModel::identity(),
     }
 }
 

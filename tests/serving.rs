@@ -39,6 +39,20 @@ fn hetero_runtime() -> Runtime {
     )
 }
 
+/// The timing-model pool of `serve_bench`'s `contention` stream: the two
+/// base platforms with their reference contention budgets and DVFS tables
+/// enabled — same capacity as [`runtime`], but dispatch cost now depends
+/// on each worker's load.
+fn contention_runtime() -> Runtime {
+    Runtime::new(
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini().with_reference_timing(),
+            AcceleratorDescriptor::opengemm().with_reference_timing(),
+        ])
+        .with_workers_per_accelerator(2),
+    )
+}
+
 fn serve(rt: &mut Runtime, stream: &[TrafficRequest], policy: Policy) -> ServeReport {
     rt.serve(
         stream,
@@ -329,6 +343,157 @@ fn ewma_refinement_beats_static_anchors_on_mixed() {
         fixed.metrics.prediction.ewma_abs_error,
         fixed.metrics.prediction.anchor_abs_error
     );
+}
+
+/// The timing-model acceptance bars: with the reference contention + DVFS
+/// models enabled, dispatch cost is load-dependent in ways the analytic
+/// anchors cannot see, so (a) anchor prediction error on the `contention`
+/// stream is at least an order of magnitude above the identity-timing
+/// mixed stream's, (b) the online EWMA still halves it (or better), and
+/// (c) cycle-cost routing — whose completion estimates *do* learn the
+/// load-dependent costs — gives up nothing on the tail against affinity.
+#[test]
+fn contention_stream_exercises_the_refiner() {
+    // baseline: the canonical mixed stream on the identity-timing pool,
+    // where dispatch cost is near-linear in writes and anchors are tight
+    let mixed = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 2_000,
+        mean_gap: 200,
+        seed: 0xC0FFEE,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut identity_rt = runtime();
+    let baseline = serve(&mut identity_rt, &mixed, Policy::ConfigAffinity);
+    assert_eq!(baseline.metrics.contention_cycles, 0);
+    assert_eq!(baseline.metrics.freq_launches, [0, 0, 0]);
+
+    // the contention stream: same mix, tighter arrivals, reference timing
+    // (serve_bench's `contention` stream at a reduced request count)
+    let contention = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 2_000,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut rt = contention_runtime();
+    let affinity = serve(&mut rt, &contention, Policy::ConfigAffinity);
+    let cost = serve(&mut rt, &contention, Policy::Cost);
+    for report in [&affinity, &cost] {
+        assert_eq!(report.metrics.check_failures, 0);
+        assert_eq!(report.metrics.sim_failures, 0);
+    }
+
+    // the timing model actually fired: host config traffic contended with
+    // tile streams, and every launch ran in some DVFS state
+    assert!(affinity.metrics.contention_cycles > 0);
+    assert_eq!(
+        affinity.metrics.freq_launches.iter().sum::<u64>(),
+        affinity.metrics.launches
+    );
+
+    // (a) anchors are honest but wrong under load
+    let base_mae = baseline.metrics.prediction.anchor_mae();
+    let cont_mae = affinity.metrics.prediction.anchor_mae();
+    assert!(
+        cont_mae >= 10.0 * base_mae,
+        "contention anchor MAE {cont_mae:.1} < 10x identity mixed MAE {base_mae:.1}"
+    );
+    // (b) the refiner closes at least half of the gap
+    for report in [&affinity, &cost] {
+        let p = report.metrics.prediction;
+        assert!(
+            2 * p.ewma_abs_error <= p.anchor_abs_error,
+            "ewma MAE {:.1} > 0.5x anchor MAE {:.1}",
+            p.ewma_mae(),
+            p.anchor_mae()
+        );
+    }
+    // (c) routing on learned completion costs holds the tail
+    assert!(
+        cost.metrics.latency.p99 <= affinity.metrics.latency.p99,
+        "cost p99 {} vs affinity p99 {}",
+        cost.metrics.latency.p99,
+        affinity.metrics.latency.p99
+    );
+    // and the elision guarantee survives the richer timing
+    let fifo = serve(&mut rt, &contention, Policy::Fifo);
+    assert!(affinity.metrics.setup_writes <= fifo.metrics.setup_writes);
+    assert!(cost.metrics.setup_writes <= fifo.metrics.setup_writes);
+}
+
+/// Serving under the timing model stays a pure function of the request
+/// stream: two serves produce bit-identical reports, DVFS history and
+/// contention push-back included.
+#[test]
+fn timed_serving_is_reproducible() {
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 500,
+        mean_gap: 120,
+        seed: 0x7E57,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let run = |policy| {
+        let mut rt = contention_runtime();
+        serve(&mut rt, &stream, policy)
+    };
+    for policy in [Policy::ConfigAffinity, Policy::Cost] {
+        let a = run(policy);
+        let b = run(policy);
+        assert_eq!(a.metrics, b.metrics, "{}", policy.label());
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.predictions, b.predictions);
+    }
+}
+
+/// The load-slack horizon is per-run configuration: a custom
+/// `ServeConfig::load_slack` serves deterministically and keeps the
+/// elision guarantee, and the default reproduces `LOAD_SLACK_CYCLES`.
+#[test]
+fn load_slack_is_a_serving_knob() {
+    use configuration_wall::runtime::LOAD_SLACK_CYCLES;
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 1_000,
+        mean_gap: 200,
+        seed: 0x51ACC,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let serve_slack = |slack: u64, policy| {
+        let mut rt = runtime();
+        rt.serve(
+            &stream,
+            &ServeConfig {
+                policy,
+                load_slack: slack,
+                batch_cutoff: Some(slack),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("serve succeeds")
+    };
+    let fifo = serve_slack(128, Policy::Fifo);
+    let tight = serve_slack(128, Policy::ConfigAffinity);
+    assert_eq!(tight.metrics.check_failures, 0);
+    assert!(tight.metrics.setup_writes <= fifo.metrics.setup_writes);
+    // deterministic under a custom horizon
+    let again = serve_slack(128, Policy::ConfigAffinity);
+    assert_eq!(tight.metrics, again.metrics);
+    assert_eq!(tight.latencies, again.latencies);
+    // the default value is the old constant: explicit 256 == default
+    let explicit = serve_slack(LOAD_SLACK_CYCLES, Policy::ConfigAffinity);
+    let mut rt = runtime();
+    let default = rt
+        .serve(&stream, &ServeConfig::default())
+        .expect("serve succeeds");
+    assert_eq!(explicit.metrics, default.metrics);
+    assert_eq!(explicit.latencies, default.latencies);
 }
 
 /// The heterogeneous-pool acceptance bar: on the mixed-platform stream

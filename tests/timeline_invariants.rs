@@ -1,0 +1,186 @@
+//! Property tests for [`Timeline`] invariants.
+//!
+//! The renderer (and every consumer of `cycles_of` / `end`) assumes that
+//! each lane's spans are sorted, half-open and nonempty, non-overlapping,
+//! and that adjacent same-activity spans have been merged. Those
+//! assumptions were previously untested; here they are checked over
+//! arbitrary recorded runs — both synthetic record sequences and real
+//! traced machine executions under the rich timing model.
+
+use configuration_wall::sim::{
+    regmap, AccelParams, AccelSim, Activity, ContentionParams, DvfsParams, HostModel, Machine,
+    ProgramBuilder, Span, Timeline, TimingModel,
+};
+use proptest::prelude::*;
+
+/// Asserts the renderer's lane invariants.
+fn check_lane(lane: &[Span], what: &str) {
+    for s in lane {
+        assert!(s.start < s.end, "{what}: empty or inverted span {s:?}");
+    }
+    for w in lane.windows(2) {
+        assert!(
+            w[0].end <= w[1].start,
+            "{what}: unsorted or overlapping spans {w:?}"
+        );
+        assert!(
+            w[0].end < w[1].start || w[0].activity != w[1].activity,
+            "{what}: unmerged adjacent same-activity spans {w:?}"
+        );
+    }
+}
+
+fn check_timeline(t: &Timeline) {
+    check_lane(&t.host, "host");
+    check_lane(&t.accel, "accel");
+    // end() is the maximum recorded end
+    let max_end = t
+        .host
+        .iter()
+        .chain(&t.accel)
+        .map(|s| s.end)
+        .max()
+        .unwrap_or(0);
+    assert_eq!(t.end(), max_end);
+    // cycles_of sums exactly the matching spans
+    for activity in [
+        Activity::Calc,
+        Activity::Config,
+        Activity::Stall,
+        Activity::Busy,
+    ] {
+        let lane = if activity == Activity::Busy {
+            &t.accel
+        } else {
+            &t.host
+        };
+        let expected: u64 = lane
+            .iter()
+            .filter(|s| s.activity == activity)
+            .map(|s| s.end - s.start)
+            .sum();
+        assert_eq!(t.cycles_of(activity), expected, "{activity:?}");
+    }
+    // rendering never panics, at narrow and wide widths
+    for width in [1usize, 7, 72] {
+        let _ = t.render(width);
+    }
+}
+
+/// A machine whose timing model exercises contention push-back and DVFS
+/// transitions (tight thresholds so short property runs hit every state).
+fn timed_machine() -> Machine {
+    let timing = TimingModel {
+        contention: Some(ContentionParams {
+            budget_bytes_per_cycle: 8,
+            accel_bytes_per_cycle: 6,
+        }),
+        dvfs: Some(DvfsParams {
+            warm_busy_cycles: 24,
+            boost_busy_cycles: 96,
+            cooldown_idle_cycles: 512,
+            speed_pct: [50, 100, 150],
+        }),
+    };
+    let mut m = Machine::new(
+        HostModel::snitch_like(),
+        AccelSim::with_timing(AccelParams::opengemm_like(), timing),
+        0x20000,
+    );
+    for addr in 0..0x1000u64 {
+        m.mem.write_i8(0x100 + addr, 1).unwrap();
+        m.mem.write_i8(0x1100 + addr, 1).unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary in-order record sequences (the only way the machine
+    /// feeds a timeline) always leave both lanes sorted, half-open,
+    /// non-overlapping, and merged.
+    #[test]
+    fn recorded_runs_keep_lane_invariants(
+        events in prop::collection::vec((0u8..4, 0u64..60, 0u64..12), 1..80),
+    ) {
+        let mut t = Timeline::new();
+        let mut host_cursor = 0u64;
+        let mut accel_cursor = 0u64;
+        for &(kind, len, gap) in &events {
+            match kind {
+                0..=2 => {
+                    let activity = match kind {
+                        0 => Activity::Calc,
+                        1 => Activity::Config,
+                        _ => Activity::Stall,
+                    };
+                    let start = host_cursor + gap;
+                    // zero-length records must be dropped, not stored
+                    t.record_host(start, start + len, activity);
+                    host_cursor = start + len;
+                }
+                _ => {
+                    let start = accel_cursor + gap;
+                    t.record_accel(start, start + len);
+                    // the contention model may stretch the last window
+                    let stretched = start + len + (gap % 3);
+                    t.extend_accel(stretched);
+                    accel_cursor = accel_cursor.max(stretched);
+                }
+            }
+        }
+        check_timeline(&t);
+    }
+
+    /// Timelines traced from real machine executions — random tile
+    /// sequences with and without awaits between them, under contention
+    /// and DVFS — satisfy the same invariants, and their lane sums agree
+    /// with the machine's counters.
+    #[test]
+    fn traced_machine_runs_keep_lane_invariants(
+        tiles in prop::collection::vec((0usize..3, 0u8..2), 1..6),
+    ) {
+        let sizes = [4i64, 16, 32];
+        let mut p = ProgramBuilder::new();
+        let r = p.reg();
+        for (i, &(size_pick, await_after)) in tiles.iter().enumerate() {
+            let size = sizes[size_pick];
+            for (csr, v) in [
+                (regmap::A_ADDR, 0x100),
+                (regmap::B_ADDR, 0x1100),
+                (regmap::C_ADDR, 0x2100 + 0x1000 * i as i64),
+                (regmap::M, size),
+                (regmap::N, size),
+                (regmap::K, size),
+                (regmap::STRIDE_A, size),
+                (regmap::STRIDE_B, size),
+                (regmap::STRIDE_C, 4 * size),
+            ] {
+                p.li(r, v);
+                p.csr_write(csr, r);
+            }
+            p.launch();
+            // without an await, the next tile's writes overlap this busy
+            // window and the contention model stretches it
+            if await_after == 1 {
+                p.await_idle();
+            }
+        }
+        p.await_idle();
+        p.halt();
+        let program = p.finish();
+
+        let mut m = timed_machine();
+        let mut t = Timeline::new();
+        let c = m.run_traced(&program, 1_000_000, &mut t).unwrap();
+        check_timeline(&t);
+        prop_assert_eq!(t.cycles_of(Activity::Config), c.config_cycles);
+        prop_assert_eq!(t.cycles_of(Activity::Calc), c.calc_cycles);
+        prop_assert_eq!(t.cycles_of(Activity::Stall), c.stall_cycles);
+        prop_assert_eq!(t.cycles_of(Activity::Busy), m.accel.stats.busy_cycles);
+        prop_assert_eq!(t.end(), c.cycles);
+        prop_assert_eq!(t.contention_cycles(), c.contention_cycles);
+        prop_assert_eq!(c.launches, tiles.len() as u64);
+    }
+}
