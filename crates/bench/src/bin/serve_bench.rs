@@ -56,6 +56,17 @@
 //! labels without paying for all of them, and `--slack <cycles>` to
 //! sweep the load-slack horizon (sets both `load_slack` and the batch
 //! cutoff) without recompiling.
+//!
+//! `--store <path>` switches the binary into the *warm-start* mode: the
+//! `contention` stream is served twice against the given persistent
+//! store — a cold pass into a fresh runtime that flushes its compiled
+//! modules and learned EWMA state, then a warm pass into another fresh
+//! runtime that restores them — and the report (a `warm_start` section
+//! with the cold and warm metric rows) quantifies what persistence
+//! saves: zero compile builds and converged cycle predictions from the
+//! first request. The store file survives the run, so a second
+//! invocation against the same path starts warm in its first pass —
+//! that is the cross-process warm start the CI smoke checks.
 
 use accfg_bench::{json, markdown_table};
 use accfg_runtime::{
@@ -293,11 +304,115 @@ fn run_stream(
 
 const DEFAULT_OUT: &str = "BENCH_runtime.json";
 
+/// The warm-start mode (`--store <path>`): serve the contention stream
+/// twice against one persistent store — cold pass flushes compiled
+/// modules + learned EWMA state, warm pass restores them — and report
+/// both metric rows under a `warm_start` section. Against a store file
+/// left by an earlier invocation even the "cold" pass starts warm;
+/// the cross-pass assertions only apply to a genuinely cold first pass.
+fn run_warm_start(requests: usize, store_path: &str, out_path: &str, slack: u64) {
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .expect("valid contention mix");
+    let cfg = ServeConfig {
+        policy: Policy::ConfigAffinity,
+        load_slack: slack,
+        batch_cutoff: Some(slack),
+        store: Some(std::path::PathBuf::from(store_path)),
+        ..ServeConfig::default()
+    };
+
+    let mut results: Vec<(&'static str, ServeMetrics)> = Vec::new();
+    for pass in ["cold", "warm"] {
+        // a fresh runtime per pass: nothing carries over in memory, so
+        // everything the warm pass knows came back through the store
+        let mut runtime = Runtime::new(contention_pool());
+        let report = runtime.serve(&stream, &cfg).expect("serve succeeds");
+        let m = report.metrics;
+        assert_eq!(m.check_failures, 0, "{pass} pass: functional checks failed");
+        assert_eq!(m.sim_failures, 0, "{pass} pass: simulation failed");
+        let w = m
+            .warm_start
+            .expect("store-backed serves report warm-start provenance");
+        println!(
+            "{pass} pass: restored {} modules, seeded {} ewma rows, avoided {} \
+             compile builds ({} paid), anchor MAE {:.1}, ewma MAE {:.1}",
+            w.modules_restored,
+            w.ewma_entries_seeded,
+            w.builds_avoided,
+            m.cache.misses,
+            m.prediction.anchor_mae(),
+            m.prediction.ewma_mae(),
+        );
+        results.push((pass, m));
+    }
+
+    let cold = &results[0].1;
+    let warm = &results[1].1;
+    let warm_stats = warm.warm_start.expect("warm pass provenance");
+    assert!(
+        warm_stats.modules_restored > 0,
+        "warm pass restored no modules from {store_path}"
+    );
+    assert_eq!(
+        warm.cache.misses, 0,
+        "warm pass paid {} compile builds despite the store",
+        warm.cache.misses
+    );
+    if cold
+        .warm_start
+        .expect("cold pass provenance")
+        .modules_restored
+        == 0
+    {
+        // genuinely cold first pass: persistence must not make the
+        // charged-path predictions worse than relearning from scratch
+        assert!(
+            warm.prediction.ewma_abs_error <= cold.prediction.ewma_abs_error,
+            "warm ewma MAE {:.1} worse than cold {:.1}",
+            warm.prediction.ewma_mae(),
+            cold.prediction.ewma_mae()
+        );
+    }
+    println!(
+        "\nwarm start over {store_path}: {} modules + {} ewma rows restored, \
+         compile builds {} -> {}, ewma MAE {:.1} -> {:.1}",
+        warm_stats.modules_restored,
+        warm_stats.ewma_entries_seeded,
+        cold.cache.misses,
+        warm.cache.misses,
+        cold.prediction.ewma_mae(),
+        warm.prediction.ewma_mae(),
+    );
+
+    let mut out = String::from("{\n  \"warm_start\": {\n");
+    for (i, (pass, m)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let body = m
+            .to_json()
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        out.push_str(&format!("    \"{pass}\": {}{comma}\n", body.trim_start()));
+    }
+    out.push_str("  }\n}\n");
+    json::validate(&out).expect("benchmark report must be strict JSON");
+    std::fs::write(out_path, &out).expect("write benchmark report");
+    println!("raw metrics: {out_path} (validated as strict JSON)");
+}
+
 fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut out_path = String::from(DEFAULT_OUT);
     let mut policy_filter: Option<Vec<String>> = None;
     let mut slack = LOAD_SLACK_CYCLES;
+    let mut store_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -317,6 +432,9 @@ fn main() {
             }
             "--out" => {
                 out_path = args.next().expect("--out takes a file path");
+            }
+            "--store" => {
+                store_path = Some(args.next().expect("--store takes a file path"));
             }
             "--policies" => {
                 let list = args
@@ -338,21 +456,35 @@ fn main() {
             }
             other => panic!(
                 "unknown argument `{other}` (supported: --requests <n>, \
-                 --out <path>, --policies <a,b,...>, --slack <cycles>)"
+                 --out <path>, --policies <a,b,...>, --slack <cycles>, \
+                 --store <path>)"
             ),
         }
     }
-    // a filtered, slack-swept, or reduced run produces a report that is
-    // not the committed artifact: refuse to overwrite it (by file name,
-    // so alternate spellings of the same path cannot slip past)
+    // a filtered, slack-swept, reduced, or warm-start run produces a
+    // report that is not the committed artifact: refuse to overwrite it
+    // (by file name, so alternate spellings of the same path cannot
+    // slip past)
     assert!(
-        (policy_filter.is_none() && slack == LOAD_SLACK_CYCLES && requests == DEFAULT_REQUESTS)
+        (policy_filter.is_none()
+            && slack == LOAD_SLACK_CYCLES
+            && requests == DEFAULT_REQUESTS
+            && store_path.is_none())
             || std::path::Path::new(&out_path).file_name()
                 != std::path::Path::new(DEFAULT_OUT).file_name(),
-        "--policies/--slack/--requests write a non-canonical report; pass \
-         --out with a file name other than {DEFAULT_OUT} so it cannot \
+        "--policies/--slack/--requests/--store write a non-canonical report; \
+         pass --out with a file name other than {DEFAULT_OUT} so it cannot \
          clobber the committed artifact"
     );
+    if let Some(store) = &store_path {
+        assert!(
+            policy_filter.is_none(),
+            "--store runs the warm-start passes under the affinity policy; \
+             it cannot be combined with --policies"
+        );
+        run_warm_start(requests, store, &out_path, slack);
+        return;
+    }
     let filter = policy_filter.as_deref();
 
     let mut runtime = Runtime::new(

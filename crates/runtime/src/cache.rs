@@ -255,10 +255,41 @@ impl CostRefiner {
     pub fn modules_observed(&self) -> usize {
         self.ewma.len()
     }
+
+    /// The refiner's learned state as `(module, platform, buckets)` rows —
+    /// raw fixed-point EWMA values, one row per platform that has at least
+    /// one observed bucket. Rows come out in arbitrary (hash-map) order;
+    /// the persistence layer sorts them by encoded key, which is what makes
+    /// identical runs write byte-identical store files.
+    pub fn snapshot(&self) -> Vec<(CacheKey, usize, [i64; WARMTH_BUCKETS])> {
+        self.ewma
+            .iter()
+            .flat_map(|(key, platforms)| {
+                platforms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, buckets)| buckets.iter().any(|&slot| slot != UNSEEN))
+                    .map(move |(platform, buckets)| (key.clone(), platform, *buckets))
+            })
+            .collect()
+    }
+
+    /// Restores one snapshot row: installs `buckets` (raw fixed-point EWMA
+    /// values, `-1` for unseen) as the module's estimates on `platform`,
+    /// replacing whatever was there. Restoring a snapshot and then taking
+    /// one yields the identical rows back — the round-trip identity the
+    /// persistence tests pin.
+    pub fn seed(&mut self, key: CacheKey, platform: usize, buckets: [i64; WARMTH_BUCKETS]) {
+        let platforms = self.ewma.entry(key).or_default();
+        if platforms.len() <= platform {
+            platforms.resize(platform + 1, [UNSEEN; WARMTH_BUCKETS]);
+        }
+        platforms[platform] = buckets;
+    }
 }
 
 /// One fully compiled, dispatch-ready module.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModule {
     /// The key this module was built for.
     pub key: CacheKey,
@@ -345,6 +376,26 @@ impl ModuleCache {
         let entry = Arc::new(build_module(desc, spec, opt)?);
         self.entries.insert(key, Arc::clone(&entry));
         Ok(entry)
+    }
+
+    /// Every cached module, in arbitrary (hash-map) order; the persistence
+    /// layer sorts by encoded key before writing.
+    pub fn snapshot(&self) -> Vec<Arc<CompiledModule>> {
+        self.entries.values().map(Arc::clone).collect()
+    }
+
+    /// Installs a previously compiled module without touching the hit/miss
+    /// counters. Returns `false` (and keeps the resident entry) when the
+    /// key is already cached — a module this process built fresh wins over
+    /// a restored one.
+    pub fn restore(&mut self, module: CompiledModule) -> bool {
+        match self.entries.entry(module.key.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::new(module));
+                true
+            }
+        }
     }
 }
 

@@ -1,6 +1,7 @@
 //! Runtime error types.
 
 use accfg::interp::InterpError;
+use accfg_store::StoreError;
 use accfg_targets::LowerError;
 use std::error::Error;
 use std::fmt;
@@ -42,6 +43,10 @@ pub enum ServeError {
         /// The member descriptor that does not match the group's base.
         member: String,
     },
+    /// The persistent warm-start store failed (I/O, bad magic, or a live
+    /// record this build cannot decode). A *corrupt tail* is not an error:
+    /// replay drops it with a warning and the serve proceeds.
+    Store(StoreError),
     /// Two workers share a descriptor name but differ in provisioning.
     /// The scheduler identifies platform variants (cost anchors, EWMA
     /// refinement state) by name, so differently provisioned descriptors
@@ -73,6 +78,7 @@ impl fmt::Display for ServeError {
                 f,
                 "worker platform `{member}` is not plan-compatible with its group's base `{family}`"
             ),
+            ServeError::Store(e) => write!(f, "warm-start store failed: {e}"),
             ServeError::AmbiguousVariantName { name } => write!(
                 f,
                 "two differently provisioned worker platforms share the name `{name}`; \
@@ -93,5 +99,11 @@ impl From<LowerError> for ServeError {
 impl From<InterpError> for ServeError {
     fn from(e: InterpError) -> Self {
         ServeError::Interp(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
     }
 }

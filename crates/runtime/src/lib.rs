@@ -44,6 +44,12 @@
 //!   registers survive between requests, so dispatched programs carry only
 //!   the writes that change state — the dynamic counterpart of the
 //!   `accfg-dedup` pass, built on [`accfg::regstate`];
+//! - **persistent warm starts** ([`persist`] over the `accfg-store` log):
+//!   point `store` in [`ServeConfig`] at a store file and the serve
+//!   restores previously compiled modules and learned EWMA cost state on
+//!   start, then flushes its own back on finish — a fresh process skips
+//!   the compile cold starts and prediction re-convergence the fleet
+//!   already paid for, with provenance reported in [`WarmStartStats`];
 //! - **metrics** ([`ServeMetrics`]): requests, simulated cycles, p50/p99
 //!   latency, configuration writes and bytes (vs. the cold cost), cache
 //!   hit rate, and observed-vs-predicted cycle error for both predictors
@@ -140,6 +146,7 @@
 pub mod cache;
 pub mod error;
 pub mod metrics;
+pub mod persist;
 pub mod plan;
 pub mod policy;
 pub mod runtime;
@@ -153,7 +160,11 @@ pub use cache::{
 pub use error::ServeError;
 pub use metrics::{
     class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
-    WorkerMetrics, DEPTH_BUCKETS,
+    WarmStartStats, WorkerMetrics, DEPTH_BUCKETS,
+};
+pub use persist::{
+    decode_module, encode_module, load_costs, load_modules, save_costs, save_modules,
+    CostSnapshotEntry,
 };
 pub use plan::{delta_writes, DispatchPlan, LaunchSpec, RegMap, WriteCmd};
 pub use policy::{AffinityPolicy, CostPolicy, FifoPolicy, Policy, SchedulePolicy};

@@ -172,6 +172,21 @@ impl PredictionStats {
     }
 }
 
+/// Warm-start provenance of one serve run against a persistent store:
+/// what the run inherited from previous processes rather than recomputing.
+/// Present in [`ServeMetrics`] only when the run used a store, so
+/// store-less reports keep their exact shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStartStats {
+    /// Compiled modules restored from the store into the module cache.
+    pub modules_restored: u64,
+    /// Cost-refiner rows (platform × module) seeded from the store.
+    pub ewma_entries_seeded: u64,
+    /// Distinct modules the stream requested that a restored entry
+    /// satisfied — compile builds this run did not pay.
+    pub builds_avoided: u64,
+}
+
 /// Per-worker accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkerMetrics {
@@ -227,6 +242,9 @@ pub struct ServeMetrics {
     pub prediction: PredictionStats,
     /// Module-cache statistics for the run.
     pub cache: CacheStats,
+    /// Warm-start provenance; `None` when the run used no persistent
+    /// store.
+    pub warm_start: Option<WarmStartStats>,
     /// Requests coalesced into a predecessor's batch.
     pub batched_requests: u64,
     /// Per-worker breakdown.
@@ -341,6 +359,18 @@ impl ServeMetrics {
             self.cache.misses,
             self.cache.hit_rate()
         );
+        // the warm-start object appears only for runs that used a
+        // persistent store, so store-less reports (every committed
+        // serve_bench stream) stay byte-identical to the pre-store
+        // artifact — same pattern as the conditional "timing" object
+        if let Some(warm) = &self.warm_start {
+            let _ = writeln!(
+                out,
+                "  \"warm_start\": {{ \"modules_restored\": {}, \"ewma_entries_seeded\": {}, \
+                 \"builds_avoided\": {} }},",
+                warm.modules_restored, warm.ewma_entries_seeded, warm.builds_avoided
+            );
+        }
         let _ = writeln!(out, "  \"batched_requests\": {},", self.batched_requests);
         out.push_str("  \"workers\": [\n");
         for (i, w) in self.workers.iter().enumerate() {
@@ -400,6 +430,7 @@ mod tests {
                 hits: 95,
                 misses: 5,
             },
+            warm_start: None,
             batched_requests: 12,
             workers: vec![WorkerMetrics {
                 index: 0,
@@ -515,6 +546,31 @@ mod tests {
         let mut f = metrics();
         f.freq_launches = [1, 0, 0];
         assert!(f.to_json().contains("\"timing\""));
+    }
+
+    #[test]
+    fn warm_start_json_appears_only_with_a_store() {
+        // store-less runs must keep their JSON byte-identical to the
+        // pre-store reports
+        assert!(!metrics().to_json().contains("\"warm_start\""));
+        let mut m = metrics();
+        m.warm_start = Some(WarmStartStats {
+            modules_restored: 6,
+            ewma_entries_seeded: 12,
+            builds_avoided: 6,
+        });
+        let j = m.to_json();
+        assert!(
+            j.contains(
+                "\"warm_start\": { \"modules_restored\": 6, \"ewma_entries_seeded\": 12, \
+                 \"builds_avoided\": 6 },"
+            ),
+            "{j}"
+        );
+        // a cold first pass still reports the (zeroed) provenance object
+        let mut cold = metrics();
+        cold.warm_start = Some(WarmStartStats::default());
+        assert!(cold.to_json().contains("\"modules_restored\": 0"));
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! Typed persistence layers over [`accfg_store`]: the module store and the
+//! cost store that give a fresh serving process a fleet warm start.
+//!
+//! Two key namespaces share one [`KeyValueStore`]:
+//!
+//! - `m` + encoded [`CacheKey`] → a serialized [`CompiledModule`]
+//!   (program, launch plan, layout, analytic anchors) keyed by
+//!   `(family, shape, opt)`;
+//! - `c` + platform name + encoded [`CacheKey`] → one platform row of the
+//!   [`CostRefiner`]'s learned EWMA state, keyed by
+//!   `(platform, module, bucket)` with the eight warmth buckets packed
+//!   into the value.
+//!
+//! Cost rows are keyed by platform *name*, not the pool-local platform
+//! index: indices are assigned per serve call by first appearance, so they
+//! do not survive a process restart, while names are pinned to one
+//! provisioning by the runtime's ambiguity guard
+//! ([`ServeError::AmbiguousVariantName`]). On load, names the current pool
+//! does not field are skipped silently — a store written by a bigger
+//! heterogeneous fleet safely warm-starts a subset pool.
+//!
+//! Module rows are validated the same way on load: a module is restored
+//! only when the pool fields a base descriptor with the module's
+//! accelerator name and the persisted plan's configuration style matches
+//! it. Everything else decodes but stays on disk.
+//!
+//! Determinism contract: save functions sort rows by encoded key before
+//! writing, and the codec is canonical, so identical runs drive identical
+//! `put` sequences — which [`accfg_store::LogStore`] turns into
+//! byte-identical files.
+//!
+//! [`ServeError::AmbiguousVariantName`]: crate::ServeError::AmbiguousVariantName
+//! [`CostRefiner`]: crate::CostRefiner
+
+use crate::cache::{CacheKey, CompiledModule, CostModel, ModuleCache, WARMTH_BUCKETS};
+use crate::plan::{DispatchPlan, LaunchSpec, RegMap};
+use accfg::pipeline::OptLevel;
+use accfg_sim::{AluOp, BranchCond, Inst, Label, Program, Reg, Width};
+use accfg_store::{ByteReader, ByteWriter, KeyValueStore, StoreError};
+use accfg_targets::{AcceleratorDescriptor, ConfigStyle};
+use accfg_workloads::{MatmulLayout, MatmulSpec};
+
+/// Key-namespace prefix for compiled-module records.
+pub const MODULE_PREFIX: u8 = b'm';
+/// Key-namespace prefix for cost-refiner records.
+pub const COST_PREFIX: u8 = b'c';
+
+/// One persisted cost-refiner row: the EWMA buckets of `module` on the
+/// platform named `platform` (raw fixed-point, `-1` for unseen buckets).
+pub type CostSnapshotEntry = (String, CacheKey, [i64; WARMTH_BUCKETS]);
+
+fn put_spec(w: &mut ByteWriter, spec: &MatmulSpec) {
+    w.put_i64(spec.m);
+    w.put_i64(spec.n);
+    w.put_i64(spec.k);
+    w.put_i64(spec.tile_m);
+    w.put_i64(spec.tile_k);
+    w.put_i64(spec.tile_n);
+    w.put_bool(spec.relu);
+}
+
+fn read_spec(r: &mut ByteReader) -> Result<MatmulSpec, StoreError> {
+    Ok(MatmulSpec {
+        m: r.i64()?,
+        n: r.i64()?,
+        k: r.i64()?,
+        tile_m: r.i64()?,
+        tile_k: r.i64()?,
+        tile_n: r.i64()?,
+        relu: r.bool()?,
+    })
+}
+
+fn put_opt(w: &mut ByteWriter, opt: OptLevel) {
+    w.put_u8(match opt {
+        OptLevel::Base => 0,
+        OptLevel::Dedup => 1,
+        OptLevel::Overlap => 2,
+        OptLevel::All => 3,
+    });
+}
+
+fn read_opt(r: &mut ByteReader) -> Result<OptLevel, StoreError> {
+    match r.u8()? {
+        0 => Ok(OptLevel::Base),
+        1 => Ok(OptLevel::Dedup),
+        2 => Ok(OptLevel::Overlap),
+        3 => Ok(OptLevel::All),
+        tag => Err(StoreError::codec(format!("invalid opt-level tag {tag}"))),
+    }
+}
+
+fn put_cache_key(w: &mut ByteWriter, key: &CacheKey) {
+    w.put_str(&key.accelerator);
+    put_spec(w, &key.spec);
+    put_opt(w, key.opt);
+}
+
+fn read_cache_key(r: &mut ByteReader) -> Result<CacheKey, StoreError> {
+    Ok(CacheKey {
+        accelerator: r.str()?,
+        spec: read_spec(r)?,
+        opt: read_opt(r)?,
+    })
+}
+
+/// The store key a module is filed under: `m` + canonical `(family,
+/// shape, opt)` encoding.
+pub fn module_key_bytes(key: &CacheKey) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(MODULE_PREFIX);
+    put_cache_key(&mut w, key);
+    w.finish()
+}
+
+/// The store key a cost row is filed under: `c` + platform name +
+/// canonical module key encoding.
+pub fn cost_key_bytes(platform: &str, key: &CacheKey) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u8(COST_PREFIX);
+    w.put_str(platform);
+    put_cache_key(&mut w, key);
+    w.finish()
+}
+
+fn put_style(w: &mut ByteWriter, style: ConfigStyle) {
+    match style {
+        ConfigStyle::Csr => w.put_u8(0),
+        ConfigStyle::RoccPairs { launch_funct } => {
+            w.put_u8(1);
+            w.put_u8(launch_funct);
+        }
+    }
+}
+
+fn read_style(r: &mut ByteReader) -> Result<ConfigStyle, StoreError> {
+    match r.u8()? {
+        0 => Ok(ConfigStyle::Csr),
+        1 => Ok(ConfigStyle::RoccPairs {
+            launch_funct: r.u8()?,
+        }),
+        tag => Err(StoreError::codec(format!("invalid config-style tag {tag}"))),
+    }
+}
+
+fn put_regmap(w: &mut ByteWriter, regs: &RegMap) {
+    w.put_u32(regs.len() as u32);
+    for (&reg, &value) in regs {
+        w.put_u16(reg);
+        w.put_i64(value);
+    }
+}
+
+fn read_regmap(r: &mut ByteReader) -> Result<RegMap, StoreError> {
+    let count = r.u32()?;
+    let mut regs = RegMap::new();
+    for _ in 0..count {
+        let reg = r.u16()?;
+        let value = r.i64()?;
+        regs.insert(reg, value);
+    }
+    Ok(regs)
+}
+
+fn put_plan(w: &mut ByteWriter, plan: &DispatchPlan) {
+    put_style(w, plan.style);
+    w.put_u32(plan.launches.len() as u32);
+    for launch in &plan.launches {
+        put_regmap(w, &launch.registers);
+    }
+    w.put_u64(plan.cold_writes);
+}
+
+fn read_plan(r: &mut ByteReader) -> Result<DispatchPlan, StoreError> {
+    let style = read_style(r)?;
+    let count = r.u32()?;
+    let mut launches = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        launches.push(LaunchSpec {
+            registers: read_regmap(r)?,
+        });
+    }
+    Ok(DispatchPlan {
+        style,
+        launches,
+        cold_writes: r.u64()?,
+    })
+}
+
+fn put_alu_op(w: &mut ByteWriter, op: AluOp) {
+    w.put_u8(match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mul => 2,
+        AluOp::Divu => 3,
+        AluOp::Remu => 4,
+        AluOp::And => 5,
+        AluOp::Or => 6,
+        AluOp::Xor => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Slt => 10,
+        AluOp::Sltu => 11,
+    });
+}
+
+fn read_alu_op(r: &mut ByteReader) -> Result<AluOp, StoreError> {
+    Ok(match r.u8()? {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mul,
+        3 => AluOp::Divu,
+        4 => AluOp::Remu,
+        5 => AluOp::And,
+        6 => AluOp::Or,
+        7 => AluOp::Xor,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Slt,
+        11 => AluOp::Sltu,
+        tag => return Err(StoreError::codec(format!("invalid alu-op tag {tag}"))),
+    })
+}
+
+fn put_width(w: &mut ByteWriter, width: Width) {
+    w.put_u8(match width {
+        Width::Byte => 0,
+        Width::Word => 1,
+        Width::Double => 2,
+    });
+}
+
+fn read_width(r: &mut ByteReader) -> Result<Width, StoreError> {
+    Ok(match r.u8()? {
+        0 => Width::Byte,
+        1 => Width::Word,
+        2 => Width::Double,
+        tag => return Err(StoreError::codec(format!("invalid width tag {tag}"))),
+    })
+}
+
+fn put_cond(w: &mut ByteWriter, cond: BranchCond) {
+    w.put_u8(match cond {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+    });
+}
+
+fn read_cond(r: &mut ByteReader) -> Result<BranchCond, StoreError> {
+    Ok(match r.u8()? {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        tag => return Err(StoreError::codec(format!("invalid branch-cond tag {tag}"))),
+    })
+}
+
+fn put_inst(w: &mut ByteWriter, inst: &Inst) {
+    match *inst {
+        Inst::Li { rd, imm } => {
+            w.put_u8(0);
+            w.put_u32(rd.0);
+            w.put_i64(imm);
+        }
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            w.put_u8(1);
+            put_alu_op(w, op);
+            w.put_u32(rd.0);
+            w.put_u32(rs1.0);
+            w.put_u32(rs2.0);
+        }
+        Inst::AluI { op, rd, rs1, imm } => {
+            w.put_u8(2);
+            put_alu_op(w, op);
+            w.put_u32(rd.0);
+            w.put_u32(rs1.0);
+            w.put_i64(imm);
+        }
+        Inst::Ld {
+            rd,
+            base,
+            offset,
+            width,
+        } => {
+            w.put_u8(3);
+            w.put_u32(rd.0);
+            w.put_u32(base.0);
+            w.put_i64(offset);
+            put_width(w, width);
+        }
+        Inst::St {
+            rs,
+            base,
+            offset,
+            width,
+        } => {
+            w.put_u8(4);
+            w.put_u32(rs.0);
+            w.put_u32(base.0);
+            w.put_i64(offset);
+            put_width(w, width);
+        }
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
+            w.put_u8(5);
+            put_cond(w, cond);
+            w.put_u32(rs1.0);
+            w.put_u32(rs2.0);
+            w.put_u32(target.index());
+        }
+        Inst::Jump { target } => {
+            w.put_u8(6);
+            w.put_u32(target.index());
+        }
+        Inst::CsrWrite { csr, rs } => {
+            w.put_u8(7);
+            w.put_u16(csr);
+            w.put_u32(rs.0);
+        }
+        Inst::RoccCmd { funct, rs1, rs2 } => {
+            w.put_u8(8);
+            w.put_u8(funct);
+            w.put_u32(rs1.0);
+            w.put_u32(rs2.0);
+        }
+        Inst::Launch => w.put_u8(9),
+        Inst::AwaitIdle => w.put_u8(10),
+        Inst::Halt => w.put_u8(11),
+    }
+}
+
+fn read_inst(r: &mut ByteReader) -> Result<Inst, StoreError> {
+    Ok(match r.u8()? {
+        0 => Inst::Li {
+            rd: Reg(r.u32()?),
+            imm: r.i64()?,
+        },
+        1 => Inst::Alu {
+            op: read_alu_op(r)?,
+            rd: Reg(r.u32()?),
+            rs1: Reg(r.u32()?),
+            rs2: Reg(r.u32()?),
+        },
+        2 => Inst::AluI {
+            op: read_alu_op(r)?,
+            rd: Reg(r.u32()?),
+            rs1: Reg(r.u32()?),
+            imm: r.i64()?,
+        },
+        3 => Inst::Ld {
+            rd: Reg(r.u32()?),
+            base: Reg(r.u32()?),
+            offset: r.i64()?,
+            width: read_width(r)?,
+        },
+        4 => Inst::St {
+            rs: Reg(r.u32()?),
+            base: Reg(r.u32()?),
+            offset: r.i64()?,
+            width: read_width(r)?,
+        },
+        5 => Inst::Branch {
+            cond: read_cond(r)?,
+            rs1: Reg(r.u32()?),
+            rs2: Reg(r.u32()?),
+            target: Label::from_index(r.u32()?),
+        },
+        6 => Inst::Jump {
+            target: Label::from_index(r.u32()?),
+        },
+        7 => Inst::CsrWrite {
+            csr: r.u16()?,
+            rs: Reg(r.u32()?),
+        },
+        8 => Inst::RoccCmd {
+            funct: r.u8()?,
+            rs1: Reg(r.u32()?),
+            rs2: Reg(r.u32()?),
+        },
+        9 => Inst::Launch,
+        10 => Inst::AwaitIdle,
+        11 => Inst::Halt,
+        tag => return Err(StoreError::codec(format!("invalid instruction tag {tag}"))),
+    })
+}
+
+fn put_program(w: &mut ByteWriter, program: &Program) {
+    w.put_usize(program.reg_count());
+    w.put_u32(program.insts().len() as u32);
+    for inst in program.insts() {
+        put_inst(w, inst);
+    }
+    w.put_u32(program.label_targets().len() as u32);
+    for &target in program.label_targets() {
+        w.put_usize(target);
+    }
+}
+
+fn read_program(r: &mut ByteReader) -> Result<Program, StoreError> {
+    let reg_count = r.usize()?;
+    let inst_count = r.u32()?;
+    let mut insts = Vec::with_capacity(inst_count as usize);
+    for _ in 0..inst_count {
+        insts.push(read_inst(r)?);
+    }
+    let label_count = r.u32()?;
+    let mut label_targets = Vec::with_capacity(label_count as usize);
+    for _ in 0..label_count {
+        label_targets.push(r.usize()?);
+    }
+    Program::from_parts(insts, label_targets, reg_count)
+        .ok_or_else(|| StoreError::codec("program parts are self-inconsistent"))
+}
+
+fn put_cost_model(w: &mut ByteWriter, cost: &CostModel) {
+    w.put_u64(cost.cold_writes);
+    w.put_u64(cost.cold_cycles);
+    w.put_u64(cost.warm_writes);
+    w.put_u64(cost.warm_cycles);
+}
+
+fn read_cost_model(r: &mut ByteReader) -> Result<CostModel, StoreError> {
+    Ok(CostModel {
+        cold_writes: r.u64()?,
+        cold_cycles: r.u64()?,
+        warm_writes: r.u64()?,
+        warm_cycles: r.u64()?,
+    })
+}
+
+/// Serializes one compiled module to its canonical store value.
+pub fn encode_module(module: &CompiledModule) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_cache_key(&mut w, &module.key);
+    w.put_i64(module.layout.a_addr);
+    w.put_i64(module.layout.b_addr);
+    w.put_i64(module.layout.c_addr);
+    w.put_i64(module.layout.end);
+    put_program(&mut w, &module.program);
+    put_plan(&mut w, &module.plan);
+    put_cost_model(&mut w, &module.cost);
+    w.put_usize(module.ir_setup_writes);
+    w.finish()
+}
+
+/// Deserializes a compiled module written by [`encode_module`].
+///
+/// # Errors
+/// [`StoreError::Codec`] on any malformed or truncated payload.
+pub fn decode_module(bytes: &[u8]) -> Result<CompiledModule, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let key = read_cache_key(&mut r)?;
+    let layout = MatmulLayout {
+        a_addr: r.i64()?,
+        b_addr: r.i64()?,
+        c_addr: r.i64()?,
+        end: r.i64()?,
+    };
+    let program = read_program(&mut r)?;
+    let plan = read_plan(&mut r)?;
+    let cost = read_cost_model(&mut r)?;
+    let ir_setup_writes = r.usize()?;
+    r.expect_exhausted("compiled module")?;
+    Ok(CompiledModule {
+        key,
+        layout,
+        program,
+        plan,
+        cost,
+        ir_setup_writes,
+    })
+}
+
+/// Persists every cached module, sorted by encoded key so identical
+/// caches drive identical write sequences. Returns the number of modules
+/// written (including unchanged ones the store elides as no-ops).
+///
+/// # Errors
+/// Propagates store I/O failures.
+pub fn save_modules(store: &mut dyn KeyValueStore, cache: &ModuleCache) -> Result<u64, StoreError> {
+    let mut rows: Vec<(Vec<u8>, Vec<u8>)> = cache
+        .snapshot()
+        .iter()
+        .map(|module| (module_key_bytes(&module.key), encode_module(module)))
+        .collect();
+    rows.sort();
+    let count = rows.len() as u64;
+    for (key, value) in rows {
+        store.put(&key, &value)?;
+    }
+    Ok(count)
+}
+
+/// Loads every persisted module the pool described by `descriptors` (one
+/// base descriptor per pool family) can actually field: the module's
+/// accelerator name must match a descriptor and its plan's configuration
+/// style must be executable there. Non-matching modules are left on disk
+/// untouched — that is what makes one store safely shareable across
+/// differently-shaped pools.
+///
+/// # Errors
+/// [`StoreError::Codec`] if a live module record fails to decode.
+pub fn load_modules(
+    store: &dyn KeyValueStore,
+    descriptors: &[&AcceleratorDescriptor],
+) -> Result<Vec<CompiledModule>, StoreError> {
+    let mut modules = Vec::new();
+    for key in store.keys_with_prefix(&[MODULE_PREFIX]) {
+        let value = store
+            .get(&key)
+            .ok_or_else(|| StoreError::codec("module key vanished during scan"))?;
+        let module = decode_module(value)?;
+        if module_key_bytes(&module.key) != key {
+            return Err(StoreError::codec("module filed under the wrong key"));
+        }
+        let fielded = descriptors
+            .iter()
+            .any(|desc| desc.name == module.key.accelerator && module.plan.executable_on(desc));
+        if fielded {
+            modules.push(module);
+        }
+    }
+    Ok(modules)
+}
+
+/// Persists cost-refiner rows (platform-name keyed), sorted by encoded
+/// key. Returns the number of rows written.
+///
+/// # Errors
+/// Propagates store I/O failures.
+pub fn save_costs(
+    store: &mut dyn KeyValueStore,
+    entries: &[CostSnapshotEntry],
+) -> Result<u64, StoreError> {
+    let mut rows: Vec<(Vec<u8>, Vec<u8>)> = entries
+        .iter()
+        .map(|(platform, key, buckets)| {
+            let mut w = ByteWriter::new();
+            for &slot in buckets {
+                w.put_i64(slot);
+            }
+            (cost_key_bytes(platform, key), w.finish())
+        })
+        .collect();
+    rows.sort();
+    let count = rows.len() as u64;
+    for (key, value) in rows {
+        store.put(&key, &value)?;
+    }
+    Ok(count)
+}
+
+/// Loads every persisted cost row, in sorted key order. Platform-name
+/// filtering happens at seeding time (names the pool does not field are
+/// skipped there), so this returns the full fleet snapshot.
+///
+/// # Errors
+/// [`StoreError::Codec`] if a live cost record fails to decode.
+pub fn load_costs(store: &dyn KeyValueStore) -> Result<Vec<CostSnapshotEntry>, StoreError> {
+    let mut entries = Vec::new();
+    for key in store.keys_with_prefix(&[COST_PREFIX]) {
+        let value = store
+            .get(&key)
+            .ok_or_else(|| StoreError::codec("cost key vanished during scan"))?;
+        let mut kr = ByteReader::new(&key);
+        kr.u8()?; // prefix
+        let platform = kr.str()?;
+        let cache_key = read_cache_key(&mut kr)?;
+        kr.expect_exhausted("cost key")?;
+        let mut r = ByteReader::new(value);
+        let mut buckets = [0i64; WARMTH_BUCKETS];
+        for slot in &mut buckets {
+            *slot = r.i64()?;
+        }
+        r.expect_exhausted("cost row")?;
+        entries.push((platform, cache_key, buckets));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{build_module, CostRefiner};
+    use accfg_store::MemStore;
+
+    #[test]
+    fn module_codec_round_trips() {
+        for (desc, spec) in [
+            (
+                AcceleratorDescriptor::opengemm(),
+                MatmulSpec::opengemm_paper(16).unwrap(),
+            ),
+            (
+                AcceleratorDescriptor::gemmini(),
+                MatmulSpec::gemmini_paper(32).unwrap(),
+            ),
+        ] {
+            for opt in [OptLevel::Base, OptLevel::All] {
+                let module = build_module(&desc, spec, opt).unwrap();
+                let decoded = decode_module(&encode_module(&module)).unwrap();
+                assert_eq!(decoded, module);
+            }
+        }
+    }
+
+    #[test]
+    fn module_store_restores_only_what_the_pool_fields() {
+        let opengemm = AcceleratorDescriptor::opengemm();
+        let gemmini = AcceleratorDescriptor::gemmini();
+        let mut cache = ModuleCache::new();
+        cache
+            .get_or_build(
+                &opengemm,
+                MatmulSpec::opengemm_paper(16).unwrap(),
+                OptLevel::All,
+            )
+            .unwrap();
+        cache
+            .get_or_build(
+                &gemmini,
+                MatmulSpec::gemmini_paper(32).unwrap(),
+                OptLevel::All,
+            )
+            .unwrap();
+
+        let mut store = MemStore::new();
+        assert_eq!(save_modules(&mut store, &cache).unwrap(), 2);
+
+        // A pool fielding only OpenGeMM restores only the OpenGeMM module.
+        let restored = load_modules(&store, &[&opengemm]).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].key.accelerator, opengemm.name);
+        // The full pool restores both.
+        assert_eq!(
+            load_modules(&store, &[&opengemm, &gemmini]).unwrap().len(),
+            2
+        );
+        // An empty pool restores nothing, and the store is untouched.
+        assert!(load_modules(&store, &[]).unwrap().is_empty());
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn cost_rows_round_trip_through_the_store() {
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut refiner = CostRefiner::new();
+        refiner.observe(&module.key, 0, 0, 500);
+        refiner.observe(&module.key, 1, WARMTH_BUCKETS - 1, 900);
+
+        let entries: Vec<CostSnapshotEntry> = refiner
+            .snapshot()
+            .into_iter()
+            .map(|(key, platform, buckets)| (format!("variant{platform}"), key, buckets))
+            .collect();
+        assert_eq!(entries.len(), 2);
+
+        let mut store = MemStore::new();
+        save_costs(&mut store, &entries).unwrap();
+        let mut loaded = load_costs(&store).unwrap();
+        let mut expected = entries.clone();
+        loaded.sort_by_key(|(p, k, _)| (p.clone(), cost_key_bytes(p, k)));
+        expected.sort_by_key(|(p, k, _)| (p.clone(), cost_key_bytes(p, k)));
+        assert_eq!(loaded, expected);
+    }
+
+    #[test]
+    fn corrupt_module_payload_is_a_codec_error() {
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let mut bytes = encode_module(&module);
+        bytes.truncate(bytes.len() / 2);
+        assert!(matches!(
+            decode_module(&bytes),
+            Err(StoreError::Codec { .. })
+        ));
+    }
+}

@@ -31,19 +31,22 @@
 //!
 //! [`SchedulePolicy`]: crate::policy::SchedulePolicy
 
-use crate::cache::{CacheStats, CompiledModule, ModuleCache};
+use crate::cache::{CacheKey, CacheStats, CompiledModule, ModuleCache};
 use crate::error::ServeError;
 use crate::metrics::{
     class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
-    WorkerMetrics,
+    WarmStartStats, WorkerMetrics,
 };
+use crate::persist::{self, CostSnapshotEntry};
 use crate::policy::Policy;
 use crate::scheduler::{CommitOutcome, Scheduler, LOAD_SLACK_CYCLES};
 use crate::worker::{Completion, Job, Worker};
 use accfg::pipeline::OptLevel;
+use accfg_store::{KeyValueStore, LogStore};
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{TrafficClass, TrafficRequest};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
@@ -236,6 +239,13 @@ pub struct ServeConfig {
     /// static build-time anchors (the ablation the prediction-error
     /// metrics compare against).
     pub refine_cost: bool,
+    /// Path of a persistent warm-start store (`accfg-store` log file;
+    /// created if absent). When set, the serve restores previously
+    /// compiled modules and learned EWMA cost rows on start and flushes
+    /// its own back on finish, reporting provenance in
+    /// [`WarmStartStats`]. `None` (the default) serves fully cold and
+    /// keeps the run byte-identical to the pre-store behaviour.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -247,6 +257,7 @@ impl Default for ServeConfig {
             load_slack: LOAD_SLACK_CYCLES,
             batch_cutoff: Some(LOAD_SLACK_CYCLES),
             refine_cost: true,
+            store: None,
         }
     }
 }
@@ -345,6 +356,32 @@ impl Runtime {
         }
         let cache_before = self.cache.stats;
 
+        // warm start: open the persistent store (if configured), restore
+        // every module this pool can field into the cache, and hold the
+        // fleet's cost rows for seeding once the scheduler exists. A
+        // corrupt store *tail* is recovered from with a warning; anything
+        // worse is a typed error.
+        let mut store: Option<LogStore> = None;
+        let mut restored_keys: HashSet<CacheKey> = HashSet::new();
+        let mut cost_seed: Vec<CostSnapshotEntry> = Vec::new();
+        let mut warm_start = WarmStartStats::default();
+        if let Some(path) = &cfg.store {
+            let opened = LogStore::open(path)?;
+            if let Some(tail) = opened.recovery() {
+                eprintln!("accfg-store: {} in {}", tail, path.display());
+            }
+            let bases: Vec<&AcceleratorDescriptor> =
+                self.pool.groups.iter().map(|g| &g.members[0]).collect();
+            for module in persist::load_modules(&opened, &bases)? {
+                restored_keys.insert(module.key.clone());
+                if self.cache.restore(module) {
+                    warm_start.modules_restored += 1;
+                }
+            }
+            cost_seed = persist::load_costs(&opened)?;
+            store = Some(opened);
+        }
+
         // worker pool: one routing group per family, workers run their
         // own (possibly variant) platform descriptors
         let mut workers = Vec::new();
@@ -391,6 +428,16 @@ impl Runtime {
         }
         let module_of = |i: usize| modules[i].as_ref().expect("resolved above");
 
+        // compile builds the restored modules saved this run: distinct
+        // stream keys a restored entry satisfied instead of a fresh build
+        warm_start.builds_avoided = modules
+            .iter()
+            .flatten()
+            .map(|m| &m.key)
+            .filter(|key| restored_keys.contains(*key))
+            .collect::<HashSet<_>>()
+            .len() as u64;
+
         let accel_of_worker: Vec<String> = workers
             .iter()
             .map(|w| w.accelerator().to_string())
@@ -407,6 +454,7 @@ impl Runtime {
         let mut scheduler = Scheduler::new(cfg.policy, &worker_descs, groups.len())
             .with_refinement(cfg.refine_cost)
             .with_slack(cfg.load_slack);
+        warm_start.ewma_entries_seeded = scheduler.seed_refiner(&cost_seed);
         let elide = scheduler.elides();
         let mut assignment = vec![0usize; stream.len()];
         let mut outcomes = vec![CommitOutcome::default(); stream.len()];
@@ -635,6 +683,24 @@ impl Runtime {
             })
             .collect();
 
+        // flush-on-finish: persist every compiled module and the refiner's
+        // learned rows (re-keyed from pool-local platform index to
+        // platform name) back to the store. Saves are sorted and identical
+        // values are elided at the log layer, so an identical re-run
+        // leaves the file byte-for-byte unchanged.
+        if let Some(store) = &mut store {
+            persist::save_modules(store, &self.cache)?;
+            let variants = scheduler.load().variants();
+            let entries: Vec<CostSnapshotEntry> = scheduler
+                .refiner()
+                .snapshot()
+                .into_iter()
+                .map(|(key, platform, buckets)| (variants[platform].name.clone(), key, buckets))
+                .collect();
+            persist::save_costs(store, &entries)?;
+            store.sync()?;
+        }
+
         let cache_after = self.cache.stats;
         let metrics = ServeMetrics {
             policy: cfg.policy.label().to_string(),
@@ -668,6 +734,7 @@ impl Runtime {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,
             },
+            warm_start: cfg.store.is_some().then_some(warm_start),
             batched_requests,
             workers: worker_metrics,
         };

@@ -338,6 +338,33 @@ impl LoadTracker {
         &self.refiner
     }
 
+    /// The distinct platform variants of the pool, in platform-index
+    /// order — the index↔name mapping the persistence layer re-keys
+    /// refiner snapshots with.
+    pub fn variants(&self) -> &[AcceleratorDescriptor] {
+        &self.variants
+    }
+
+    /// Seeds the refiner from persisted rows keyed by platform *name*,
+    /// resolving each name to this pool's platform index. Rows naming
+    /// platforms this pool does not field are skipped (a fleet-wide store
+    /// safely warm-starts a subset pool); with refinement disabled nothing
+    /// is seeded, matching [`LoadTracker::observe`]. Returns the number of
+    /// rows seeded.
+    pub fn seed_refiner(&mut self, entries: &[crate::persist::CostSnapshotEntry]) -> u64 {
+        if !self.refine {
+            return 0;
+        }
+        let mut seeded = 0;
+        for (platform_name, key, buckets) in entries {
+            if let Some(platform) = self.variants.iter().position(|v| v.name == *platform_name) {
+                self.refiner.seed(key.clone(), platform, *buckets);
+                seeded += 1;
+            }
+        }
+        seeded
+    }
+
     /// The shadow resident state of `worker` (for tests and diagnostics).
     pub fn shadow(&self, worker: usize) -> &RegMap {
         &self.shadows[worker]
@@ -429,6 +456,12 @@ impl Scheduler {
     /// The cost refiner's current estimates (for tests and diagnostics).
     pub fn refiner(&self) -> &CostRefiner {
         self.load.refiner()
+    }
+
+    /// Seeds the refiner from persisted platform-name-keyed rows (see
+    /// [`LoadTracker::seed_refiner`]).
+    pub fn seed_refiner(&mut self, entries: &[crate::persist::CostSnapshotEntry]) -> u64 {
+        self.load.seed_refiner(entries)
     }
 
     /// The estimated cycles of committed work still queued on `worker` at

@@ -26,6 +26,21 @@ impl fmt::Display for Reg {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(pub(crate) u32);
 
+impl Label {
+    /// The label's index into a program's target table (for serialization).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a label from its table index. Pairs with
+    /// [`Program::from_parts`], which validates that every referenced index
+    /// resolves; a hand-built label is only meaningful against the program
+    /// it was serialized from.
+    pub fn from_index(index: u32) -> Self {
+        Label(index)
+    }
+}
+
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, ".L{}", self.0)
@@ -305,7 +320,7 @@ impl Inst {
 }
 
 /// A finished program: instructions with resolved branch targets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Program {
     insts: Vec<Inst>,
     /// label index → instruction index
@@ -314,9 +329,61 @@ pub struct Program {
 }
 
 impl Program {
+    /// Reassembles a program from serialized parts (the inverse of
+    /// [`Program::insts`], [`Program::label_targets`] and
+    /// [`Program::reg_count`]).
+    ///
+    /// Returns `None` unless the parts are self-consistent: every label a
+    /// branch or jump references must exist in `label_targets`, every
+    /// target must land inside the program (one past the end is legal — a
+    /// label bound after the final instruction), `reg_count` must be at
+    /// least 1 and cover every register the instructions touch.
+    pub fn from_parts(
+        insts: Vec<Inst>,
+        label_targets: Vec<usize>,
+        reg_count: usize,
+    ) -> Option<Self> {
+        let max_reg = u32::try_from(reg_count.checked_sub(1)?).ok()?;
+        if label_targets.iter().any(|&t| t > insts.len()) {
+            return None;
+        }
+        let reg_ok = |r: Reg| r.0 <= max_reg;
+        let label_ok = |l: Label| (l.0 as usize) < label_targets.len();
+        for inst in &insts {
+            let ok = match *inst {
+                Inst::Li { rd, .. } => reg_ok(rd),
+                Inst::Alu { rd, rs1, rs2, .. } => reg_ok(rd) && reg_ok(rs1) && reg_ok(rs2),
+                Inst::AluI { rd, rs1, .. } => reg_ok(rd) && reg_ok(rs1),
+                Inst::Ld { rd, base, .. } => reg_ok(rd) && reg_ok(base),
+                Inst::St { rs, base, .. } => reg_ok(rs) && reg_ok(base),
+                Inst::Branch {
+                    rs1, rs2, target, ..
+                } => reg_ok(rs1) && reg_ok(rs2) && label_ok(target),
+                Inst::Jump { target } => label_ok(target),
+                Inst::CsrWrite { rs, .. } => reg_ok(rs),
+                Inst::RoccCmd { rs1, rs2, .. } => reg_ok(rs1) && reg_ok(rs2),
+                Inst::Launch | Inst::AwaitIdle | Inst::Halt => true,
+            };
+            if !ok {
+                return None;
+            }
+        }
+        Some(Self {
+            insts,
+            label_targets,
+            max_reg,
+        })
+    }
+
     /// The instruction sequence.
     pub fn insts(&self) -> &[Inst] {
         &self.insts
+    }
+
+    /// The label table: label index → instruction index (for
+    /// serialization; use [`Program::resolve`] to follow a single label).
+    pub fn label_targets(&self) -> &[usize] {
+        &self.label_targets
     }
 
     /// The instruction index a label points to.
@@ -632,5 +699,49 @@ mod tests {
         assert_eq!(Width::Byte.bytes(), 1);
         assert_eq!(Width::Word.bytes(), 4);
         assert_eq!(Width::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_program() {
+        let mut p = ProgramBuilder::new();
+        let i = p.reg();
+        let n = p.reg();
+        p.li(i, 0);
+        p.li(n, 4);
+        let top = p.new_label();
+        p.bind(top);
+        p.alui(AluOp::Add, i, i, 1);
+        p.branch(BranchCond::Lt, i, n, top);
+        p.halt();
+        let original = p.finish();
+
+        let rebuilt = Program::from_parts(
+            original.insts().to_vec(),
+            original.label_targets().to_vec(),
+            original.reg_count(),
+        )
+        .expect("parts of a valid program must reassemble");
+        assert_eq!(rebuilt, original);
+        assert_eq!(rebuilt.resolve(Label::from_index(0)), original.resolve(top));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let insts = vec![
+            Inst::Jump {
+                target: Label::from_index(1),
+            },
+            Inst::Halt,
+        ];
+        // Referenced label 1 does not exist in a 1-entry table.
+        assert!(Program::from_parts(insts.clone(), vec![0], 1).is_none());
+        // Label target beyond one-past-the-end.
+        assert!(Program::from_parts(insts.clone(), vec![0, 9], 1).is_none());
+        // Register outside the declared file.
+        let wide = vec![Inst::Li { rd: Reg(5), imm: 0 }];
+        assert!(Program::from_parts(wide.clone(), vec![], 2).is_none());
+        assert!(Program::from_parts(wide, vec![], 6).is_some());
+        // A zero-register program is impossible (reg_count >= 1).
+        assert!(Program::from_parts(vec![Inst::Halt], vec![], 0).is_none());
     }
 }

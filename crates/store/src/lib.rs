@@ -1,0 +1,77 @@
+//! `accfg-store`: durable state for fleet warm starts.
+//!
+//! The paper's configuration wall is paid twice per process today: once as
+//! setup writes (elided by delta dispatch) and once as compile plus
+//! cost-model cold starts that every process re-learns from scratch. This
+//! crate is the substrate that lets a fleet remember — a dependency-free,
+//! log-structured, append-only key-value store that `accfg-runtime` layers
+//! its module and cost snapshots on top of:
+//!
+//! - [`KeyValueStore`] — the storage trait (byte keys, byte values,
+//!   sorted prefix scans, explicit `sync`);
+//! - [`LogStore`] — the on-disk implementation: one file of
+//!   length-prefixed, checksummed records replayed last-write-wins on
+//!   open, with explicit [`LogStore::compact`] and torn-tail recovery
+//!   (see [`TailCorruption`]);
+//! - [`MemStore`] — an in-memory implementation for tests and scratch use;
+//! - [`ByteWriter`] / [`ByteReader`] — the fixed little-endian codec the
+//!   typed layers encode their payloads with.
+//!
+//! Everything here is deliberately deterministic: encoding is canonical,
+//! scans are sorted, rewriting an identical value is a no-op append. Two
+//! identical runs therefore produce byte-identical store files — the
+//! property the runtime's persistence tests pin.
+
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod log;
+mod mem;
+
+pub use codec::{ByteReader, ByteWriter};
+pub use error::{StoreError, TailCorruption};
+pub use log::{LogStore, MAGIC};
+pub use mem::MemStore;
+
+/// Byte-oriented key-value storage with sorted scans.
+///
+/// Implementations must keep scans in ascending byte order and treat
+/// re-putting an identical value as observably idempotent; the runtime's
+/// determinism contract (identical runs yield byte-identical store files)
+/// relies on both.
+pub trait KeyValueStore {
+    /// The stored value for `key`, if any.
+    fn get(&self, key: &[u8]) -> Option<&[u8]>;
+
+    /// Stores `value` under `key`, replacing any previous value.
+    ///
+    /// # Errors
+    /// Fails only on I/O errors in durable implementations.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes `key`; removing an absent key is a no-op.
+    ///
+    /// # Errors
+    /// Fails only on I/O errors in durable implementations.
+    fn remove(&mut self, key: &[u8]) -> Result<(), StoreError>;
+
+    /// All live keys beginning with `prefix`, in ascending byte order.
+    fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// `true` if the store holds no live entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes buffered writes to durable storage (no-op by default).
+    ///
+    /// # Errors
+    /// Fails only on I/O errors in durable implementations.
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}

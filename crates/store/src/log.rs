@@ -1,0 +1,414 @@
+//! The on-disk store: a single append-only log file.
+//!
+//! File layout:
+//!
+//! ```text
+//! +----------+----------------+----------------+ ...
+//! | ACFGSTR1 | record | record | record | ...
+//! +----------+----------------+----------------+ ...
+//!
+//! record := [payload_len: u32 LE] [fnv1a32(payload): u32 LE] [payload]
+//! payload := [op: u8] [key_len: u32 LE] [key bytes] [value bytes]
+//! op      := 0 (put) | 1 (remove tombstone)
+//! ```
+//!
+//! Replay walks the records front to back applying last-write-wins into an
+//! in-memory `BTreeMap`. A truncated or checksum-failing record can only be
+//! the *tail* of an interrupted append, so replay stops there, reports the
+//! drop via [`LogStore::recovery`], and truncates the file back to the last
+//! valid record; everything before the corruption survives.
+//!
+//! Determinism contract: [`LogStore::put`] skips the append when the key
+//! already holds the identical value, so re-running an identical workload
+//! against an existing store leaves the file byte-for-byte unchanged, and
+//! two identical runs against fresh stores produce byte-identical files.
+//! Compaction is explicit ([`LogStore::compact`]) and rewrites live entries
+//! in sorted key order — never triggered implicitly, so it cannot perturb
+//! that contract mid-run.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::{StoreError, TailCorruption};
+use crate::KeyValueStore;
+
+/// First bytes of every store file; doubles as the format version.
+pub const MAGIC: &[u8; 8] = b"ACFGSTR1";
+
+const OP_PUT: u8 = 0;
+const OP_REMOVE: u8 = 1;
+
+/// 32-bit FNV-1a — enough to catch torn writes, with no dependency.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+fn encode_record(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let payload_len = 1 + 4 + key.len() + value.len();
+    let mut rec = Vec::with_capacity(8 + payload_len);
+    let mut payload = Vec::with_capacity(payload_len);
+    payload.push(op);
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(value);
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Append-only log-structured key-value store backed by one file.
+#[derive(Debug)]
+pub struct LogStore {
+    path: PathBuf,
+    file: File,
+    index: BTreeMap<Vec<u8>, Vec<u8>>,
+    recovery: Option<TailCorruption>,
+}
+
+impl LogStore {
+    /// Opens (creating if absent) the store at `path` and replays its log.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, on a file that does not start with the store
+    /// magic, or on a malformed record *body* (a record whose checksum
+    /// passes but whose payload is self-inconsistent — that is corruption
+    /// beyond a torn tail). A corrupt tail is not an error; see
+    /// [`LogStore::recovery`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(StoreError::io("read", &path, &err)),
+        };
+
+        let mut index = BTreeMap::new();
+        let mut recovery = None;
+        let valid_len;
+        if bytes.is_empty() {
+            fs::write(&path, MAGIC).map_err(|e| StoreError::io("create", &path, &e))?;
+            valid_len = MAGIC.len() as u64;
+        } else {
+            if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+                return Err(StoreError::BadMagic {
+                    path: path.display().to_string(),
+                });
+            }
+            let mut offset = MAGIC.len();
+            loop {
+                if offset == bytes.len() {
+                    break;
+                }
+                let corrupt = |detail: &str| TailCorruption {
+                    offset: offset as u64,
+                    detail: detail.to_string(),
+                };
+                if bytes.len() - offset < 8 {
+                    recovery = Some(corrupt("truncated record header"));
+                    break;
+                }
+                let payload_len =
+                    u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+                let checksum =
+                    u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().unwrap());
+                if bytes.len() - offset - 8 < payload_len {
+                    recovery = Some(corrupt("truncated record payload"));
+                    break;
+                }
+                let payload = &bytes[offset + 8..offset + 8 + payload_len];
+                if fnv1a(payload) != checksum {
+                    recovery = Some(corrupt("record checksum mismatch"));
+                    break;
+                }
+                Self::apply_payload(&mut index, payload)?;
+                offset += 8 + payload_len;
+            }
+            valid_len = offset as u64;
+        }
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io("open", &path, &e))?;
+        if recovery.is_some() {
+            file.set_len(valid_len)
+                .map_err(|e| StoreError::io("truncate", &path, &e))?;
+        }
+        Ok(Self {
+            path,
+            file,
+            index,
+            recovery,
+        })
+    }
+
+    /// Applies one checksum-verified payload to the index.
+    fn apply_payload(
+        index: &mut BTreeMap<Vec<u8>, Vec<u8>>,
+        payload: &[u8],
+    ) -> Result<(), StoreError> {
+        // The checksum already matched, so a malformed payload here is not
+        // a torn write — it is a record this build cannot interpret.
+        let malformed = || StoreError::codec("record payload is self-inconsistent");
+        if payload.len() < 5 {
+            return Err(malformed());
+        }
+        let op = payload[0];
+        let key_len = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+        if payload.len() - 5 < key_len {
+            return Err(malformed());
+        }
+        let key = payload[5..5 + key_len].to_vec();
+        let value = payload[5 + key_len..].to_vec();
+        match op {
+            OP_PUT => {
+                index.insert(key, value);
+            }
+            OP_REMOVE => {
+                index.remove(&key);
+            }
+            _ => return Err(malformed()),
+        }
+        Ok(())
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The corrupt tail dropped during the last `open`, if any.
+    pub fn recovery(&self) -> Option<&TailCorruption> {
+        self.recovery.as_ref()
+    }
+
+    /// Rewrites the log to hold exactly the live entries, in sorted key
+    /// order, dropping superseded records and tombstones. Atomic: writes a
+    /// sibling `.compact` file, syncs it, then renames it over the log.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors; the original file is untouched until the
+    /// final rename.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let tmp = self.path.with_extension("compact");
+        let mut bytes = MAGIC.to_vec();
+        for (key, value) in &self.index {
+            bytes.extend_from_slice(&encode_record(OP_PUT, key, value));
+        }
+        fs::write(&tmp, &bytes).map_err(|e| StoreError::io("write", &tmp, &e))?;
+        fs::rename(&tmp, &self.path).map_err(|e| StoreError::io("rename", &self.path, &e))?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| StoreError::io("open", &self.path, &e))?;
+        self.recovery = None;
+        Ok(())
+    }
+
+    fn append(&mut self, op: u8, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let rec = encode_record(op, key, value);
+        self.file
+            .write_all(&rec)
+            .map_err(|e| StoreError::io("append", &self.path, &e))
+    }
+}
+
+impl KeyValueStore for LogStore {
+    fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(key).map(Vec::as_slice)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        if self.index.get(key).map(Vec::as_slice) == Some(value) {
+            return Ok(()); // identical value: keep the file byte-stable
+        }
+        self.append(OP_PUT, key, value)?;
+        self.index.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &[u8]) -> Result<(), StoreError> {
+        if !self.index.contains_key(key) {
+            return Ok(());
+        }
+        self.append(OP_REMOVE, key, &[])?;
+        self.index.remove(key);
+        Ok(())
+    }
+
+    fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        self.index
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io("sync", &self.path, &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("accfg_store_unit");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}_{}.log", std::process::id()));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn replays_last_write_wins_across_reopen() {
+        let path = temp_path("lww");
+        {
+            let mut store = LogStore::open(&path).unwrap();
+            store.put(b"a", b"1").unwrap();
+            store.put(b"b", b"2").unwrap();
+            store.put(b"a", b"3").unwrap();
+            store.remove(b"b").unwrap();
+            store.sync().unwrap();
+        }
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get(b"a"), Some(&b"3"[..]));
+        assert_eq!(store.get(b"b"), None);
+        assert_eq!(store.len(), 1);
+        assert!(store.recovery().is_none());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn identical_puts_leave_the_file_byte_stable() {
+        let path = temp_path("stable");
+        let mut store = LogStore::open(&path).unwrap();
+        store.put(b"k", b"v").unwrap();
+        store.sync().unwrap();
+        let before = fs::read(&path).unwrap();
+        store.put(b"k", b"v").unwrap();
+        store.sync().unwrap();
+        assert_eq!(fs::read(&path).unwrap(), before);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_with_recovery_report() {
+        let path = temp_path("trunc");
+        {
+            let mut store = LogStore::open(&path).unwrap();
+            store.put(b"keep", b"me").unwrap();
+            store.put(b"torn", b"write").unwrap();
+            store.sync().unwrap();
+        }
+        // Tear the final record in half, as an interrupted append would.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let mut store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get(b"keep"), Some(&b"me"[..]));
+        assert_eq!(store.get(b"torn"), None);
+        let recovery = store.recovery().expect("tail drop must be reported");
+        assert!(recovery.detail.contains("truncated"));
+
+        // The file was truncated to the valid prefix, so appends resume
+        // cleanly and a further reopen sees no corruption.
+        store.put(b"torn", b"retry").unwrap();
+        store.sync().unwrap();
+        let store = LogStore::open(&path).unwrap();
+        assert!(store.recovery().is_none());
+        assert_eq!(store.get(b"torn"), Some(&b"retry"[..]));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_failing_tail_is_dropped() {
+        let path = temp_path("cksum");
+        {
+            let mut store = LogStore::open(&path).unwrap();
+            store.put(b"keep", b"me").unwrap();
+            store.put(b"flip", b"bits").unwrap();
+            store.sync().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get(b"keep"), Some(&b"me"[..]));
+        assert_eq!(store.get(b"flip"), None);
+        assert!(store
+            .recovery()
+            .expect("checksum drop must be reported")
+            .detail
+            .contains("checksum"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let path = temp_path("magic");
+        fs::write(&path, b"definitely not a store file").unwrap();
+        assert!(matches!(
+            LogStore::open(&path),
+            Err(StoreError::BadMagic { .. })
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_live_entries_and_shrinks_the_file() {
+        let path = temp_path("compact");
+        let mut store = LogStore::open(&path).unwrap();
+        for round in 0..10u8 {
+            store.put(b"hot", &[round]).unwrap();
+        }
+        store.put(b"dead", b"x").unwrap();
+        store.remove(b"dead").unwrap();
+        store.sync().unwrap();
+        let before = fs::metadata(&path).unwrap().len();
+
+        store.compact().unwrap();
+        let after = fs::metadata(&path).unwrap().len();
+        assert!(after < before);
+        assert_eq!(store.get(b"hot"), Some(&[9u8][..]));
+        assert_eq!(store.len(), 1);
+
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.get(b"hot"), Some(&[9u8][..]));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_is_sorted() {
+        let path = temp_path("prefix");
+        let mut store = LogStore::open(&path).unwrap();
+        store.put(b"m/b", b"1").unwrap();
+        store.put(b"m/a", b"2").unwrap();
+        store.put(b"c/a", b"3").unwrap();
+        assert_eq!(
+            store.keys_with_prefix(b"m/"),
+            vec![b"m/a".to_vec(), b"m/b".to_vec()]
+        );
+        assert!(store.keys_with_prefix(b"z").is_empty());
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! In-memory [`KeyValueStore`] — the trait's second implementation.
+//!
+//! Used by tests (round-trip proptests don't need a file) and as a scratch
+//! target for code that wants the typed module/cost layers without
+//! durability.
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::KeyValueStore;
+
+/// A `BTreeMap`-backed store with no durability.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MemStore {
+    index: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KeyValueStore for MemStore {
+    fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.index.get(key).map(Vec::as_slice)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.index.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn remove(&mut self, key: &[u8]) -> Result<(), StoreError> {
+        self.index.remove(key);
+        Ok(())
+    }
+
+    fn keys_with_prefix(&self, prefix: &[u8]) -> Vec<Vec<u8>> {
+        self.index
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_a_map() {
+        let mut store = MemStore::new();
+        assert!(store.is_empty());
+        store.put(b"a", b"1").unwrap();
+        store.put(b"a", b"2").unwrap();
+        assert_eq!(store.get(b"a"), Some(&b"2"[..]));
+        store.remove(b"a").unwrap();
+        assert!(store.get(b"a").is_none());
+        assert!(store.sync().is_ok());
+    }
+}

@@ -18,6 +18,8 @@
 //!   request-stream traffic generation
 //! - [`runtime`] — the config-affinity serving runtime: compiled-module
 //!   cache, resident-state-aware dispatch, and pooled simulated workers
+//! - [`store`] — the dependency-free append-only log store backing
+//!   persistent warm starts (compiled modules + learned cost state)
 //!
 //! See the `examples/` directory for runnable end-to-end walkthroughs and
 //! `crates/bench` for the binaries regenerating every table and figure.
@@ -40,6 +42,7 @@ pub use accfg_ir as ir;
 pub use accfg_roofline as roofline;
 pub use accfg_runtime as runtime;
 pub use accfg_sim as sim;
+pub use accfg_store as store;
 pub use accfg_targets as targets;
 pub use accfg_workloads as workloads;
 

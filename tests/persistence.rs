@@ -1,0 +1,218 @@
+//! Integration tests for the `accfg-store` persistence layer: compiled
+//! modules and learned EWMA cost state round-trip through both store
+//! backends byte-faithfully (on arbitrary cache contents, via proptest),
+//! a corrupt store tail is dropped — not fatal — with everything before
+//! it intact, and the typed layers compose with the log store exactly as
+//! the serving runtime uses them.
+
+use configuration_wall::core::pipeline::OptLevel;
+use configuration_wall::runtime::{
+    build_module, encode_module, load_costs, load_modules, save_costs, save_modules, CacheKey,
+    CostSnapshotEntry, ModuleCache, WARMTH_BUCKETS,
+};
+use configuration_wall::store::{LogStore, MemStore};
+use configuration_wall::targets::AcceleratorDescriptor;
+use configuration_wall::workloads::mixed_serving_classes;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A fresh temp-file path for one test's store (removed up front so a
+/// previous run's file cannot leak state in).
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("accfg_persistence_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}_{}.store", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn descriptor_for(name: &str) -> AcceleratorDescriptor {
+    match name {
+        "gemmini" => AcceleratorDescriptor::gemmini(),
+        "opengemm" => AcceleratorDescriptor::opengemm(),
+        other => panic!("unknown platform {other}"),
+    }
+}
+
+/// Builds the modules for the picked (class, opt) pairs and restores
+/// them into a fresh cache — the in-memory state a cold serve ends with.
+fn cache_from_picks(picks: &[(usize, u8)]) -> ModuleCache {
+    let classes = mixed_serving_classes();
+    let opts = [
+        OptLevel::Base,
+        OptLevel::Dedup,
+        OptLevel::Overlap,
+        OptLevel::All,
+    ];
+    let mut cache = ModuleCache::new();
+    for &(class, opt) in picks {
+        let class = &classes[class % classes.len()];
+        let desc = descriptor_for(&class.accelerator);
+        let module = build_module(&desc, class.spec, opts[opt as usize % opts.len()])
+            .expect("module builds");
+        cache.restore(module);
+    }
+    cache
+}
+
+/// Canonical byte form of a cache's contents, for equality across
+/// snapshot orderings.
+fn canonical(cache: &ModuleCache) -> Vec<Vec<u8>> {
+    let mut encoded: Vec<Vec<u8>> = cache.snapshot().iter().map(|m| encode_module(m)).collect();
+    encoded.sort();
+    encoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any module-cache contents survive save → load → restore into a
+    /// fresh cache with byte-identical compiled artifacts (key, layout,
+    /// program, plan, cost model — everything the dispatcher consumes).
+    #[test]
+    fn module_cache_round_trips_through_a_store(
+        picks in prop::collection::vec((0usize..6, 0u8..4), 1..8),
+    ) {
+        let original = cache_from_picks(&picks);
+        let mut store = MemStore::new();
+        let saved = save_modules(&mut store, &original).expect("save modules");
+        prop_assert_eq!(saved as usize, original.len());
+
+        let pool = [
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ];
+        let bases: Vec<&AcceleratorDescriptor> = pool.iter().collect();
+        let mut restored = ModuleCache::new();
+        for module in load_modules(&store, &bases).expect("load modules") {
+            prop_assert!(restored.restore(module));
+        }
+        prop_assert_eq!(canonical(&original), canonical(&restored));
+    }
+
+    /// Arbitrary learned cost rows survive save → reopen → load through
+    /// the on-disk log store, raw fixed-point EWMA words included.
+    #[test]
+    fn cost_rows_round_trip_through_a_log_store(
+        rows in prop::collection::vec(
+            (
+                0usize..6,
+                0usize..2,
+                prop::collection::vec(-1i64..5_000_000, 8..9),
+            ),
+            1..12,
+        ),
+        case in 0u32..u32::MAX,
+    ) {
+        let classes = mixed_serving_classes();
+        let platforms = ["gemmini", "opengemm"];
+        // later duplicates of a (platform, key) pair overwrite earlier
+        // ones in the store, so collapse them the same way up front
+        let mut expected: HashMap<(String, CacheKey), CostSnapshotEntry> = HashMap::new();
+        for (class, platform, buckets) in &rows {
+            let buckets: [i64; WARMTH_BUCKETS] =
+                buckets.clone().try_into().expect("eight buckets");
+            let (class, platform) = (*class, *platform);
+            let class = &classes[class];
+            let key = CacheKey {
+                accelerator: class.accelerator.clone(),
+                spec: class.spec,
+                opt: OptLevel::All,
+            };
+            let platform = platforms[platform].to_string();
+            expected.insert(
+                (platform.clone(), key.clone()),
+                (platform, key, buckets),
+            );
+        }
+        let entries: Vec<CostSnapshotEntry> = expected.into_values().collect();
+
+        let path = temp_store(&format!("cost_rows_{case}"));
+        {
+            let mut store = LogStore::open(&path).expect("open store");
+            save_costs(&mut store, &entries).expect("save costs");
+        }
+        let reopened = LogStore::open(&path).expect("reopen store");
+        prop_assert!(reopened.recovery().is_none());
+        let loaded = load_costs(&reopened).expect("load costs");
+
+        let sort_key = |(p, k, _): &CostSnapshotEntry| (p.clone(), format!("{k:?}"));
+        let mut want = entries;
+        want.sort_by_key(&sort_key);
+        let mut got = loaded;
+        got.sort_by_key(&sort_key);
+        prop_assert_eq!(want, got);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A corrupt tail (a torn final append) is dropped with a recovery
+/// report, every record before it is intact, the file is truncated back
+/// to the valid prefix, and the store keeps serving appends afterwards.
+#[test]
+fn truncated_store_tail_is_dropped_not_fatal() {
+    let path = temp_store("torn_tail");
+    let cache = cache_from_picks(&[(0, 3), (3, 3)]);
+    let spare = cache_from_picks(&[(5, 3)]);
+    {
+        let mut store = LogStore::open(&path).expect("open store");
+        assert_eq!(save_modules(&mut store, &cache).expect("save"), 2);
+    }
+    let valid_len = std::fs::metadata(&path).expect("stat").len();
+
+    // a torn append: header bytes that promise a payload the crash never
+    // wrote (any of truncated header / truncated payload / bad checksum
+    // takes this same recovery path — the store unit tests pin each)
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("open for corruption");
+    file.write_all(b"torn-append").expect("append garbage");
+    drop(file);
+
+    let mut store = LogStore::open(&path).expect("recovering open");
+    let recovery = store.recovery().expect("tail corruption reported");
+    assert_eq!(recovery.offset, valid_len);
+    assert_eq!(std::fs::metadata(&path).expect("stat").len(), valid_len);
+
+    // everything before the tear survived…
+    let pool = [
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ];
+    let bases: Vec<&AcceleratorDescriptor> = pool.iter().collect();
+    assert_eq!(load_modules(&store, &bases).expect("load").len(), 2);
+
+    // …and the truncated store accepts new appends that persist cleanly
+    assert_eq!(save_modules(&mut store, &spare).expect("save more"), 1);
+    drop(store);
+    let clean = LogStore::open(&path).expect("clean reopen");
+    assert!(clean.recovery().is_none());
+    assert_eq!(load_modules(&clean, &bases).expect("load").len(), 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The cost codec's fixed-point words are platform-name keyed, so a row
+/// learned on one pool seeds only pools that carry a platform of that
+/// name — unknown names are skipped, not errors (a fleet store may span
+/// differently provisioned pools).
+#[test]
+fn unseen_bucket_sentinels_survive_the_round_trip() {
+    let classes = mixed_serving_classes();
+    let key = CacheKey {
+        accelerator: classes[0].accelerator.clone(),
+        spec: classes[0].spec,
+        opt: OptLevel::All,
+    };
+    // bucket 0 observed, the rest unseen (-1 sentinel): exactly what a
+    // steady-state repeat-only stream learns
+    let mut buckets = [-1i64; WARMTH_BUCKETS];
+    buckets[0] = 9_216; // 36 cycles in 8-bit fixed point
+    let entries = vec![("gemmini".to_string(), key, buckets)];
+    let mut store = MemStore::new();
+    save_costs(&mut store, &entries).expect("save");
+    let loaded = load_costs(&store).expect("load");
+    assert_eq!(loaded, entries);
+}

@@ -568,6 +568,131 @@ fn cost_policy_is_deterministic_on_heterogeneous_pools() {
     }
 }
 
+/// A fresh temp-file path for one test's warm-start store (removed up
+/// front so a previous run's file cannot leak state in).
+fn temp_store(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("accfg_serving_tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{name}_{}.store", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// The contention stream at test scale (serve_bench's warm-start stream
+/// at a reduced request count).
+fn contention_stream(requests: usize) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .unwrap()
+}
+
+/// The persistent warm-start acceptance bars, pinned on the contention
+/// stream (where the anchors drift the most, so restored EWMA state is
+/// worth the most): a cold store-backed serve flushes its compiled
+/// modules and learned cost rows; a fresh runtime restoring them pays
+/// **zero** compile builds, seeds its refiner before the first request,
+/// and predicts at least as well as the cold run's full-stream EWMA —
+/// an order of magnitude inside the static anchors. A store-less serve
+/// of the same stream is bit-identical to the cold store-backed one
+/// (persistence observes the serve, it never perturbs it).
+#[test]
+fn warm_start_restores_modules_and_cost_state() {
+    let stream = contention_stream(2_000);
+    let store = temp_store("warm_start");
+    let cfg = ServeConfig {
+        policy: Policy::ConfigAffinity,
+        store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+
+    let mut cold_rt = contention_runtime();
+    let cold = cold_rt.serve(&stream, &cfg).expect("cold serve succeeds");
+    let cold_stats = cold.metrics.warm_start.expect("store runs report stats");
+    assert_eq!(cold_stats.modules_restored, 0);
+    assert_eq!(cold_stats.ewma_entries_seeded, 0);
+    assert_eq!(cold.metrics.cache.misses, 6, "six shapes compile cold");
+
+    // the store changed nothing about the serve itself: a store-less run
+    // of the same stream is bit-identical (modulo the provenance field)
+    let mut plain_rt = contention_runtime();
+    let plain = serve(&mut plain_rt, &stream, Policy::ConfigAffinity);
+    assert!(plain.metrics.warm_start.is_none());
+    let mut cold_scrubbed = cold.metrics.clone();
+    cold_scrubbed.warm_start = None;
+    assert_eq!(cold_scrubbed, plain.metrics);
+    assert_eq!(cold.latencies, plain.latencies);
+    assert_eq!(cold.predictions, plain.predictions);
+
+    // a fresh process restoring the store starts warm
+    let mut warm_rt = contention_runtime();
+    let warm = warm_rt.serve(&stream, &cfg).expect("warm serve succeeds");
+    let warm_stats = warm.metrics.warm_start.expect("store runs report stats");
+    assert_eq!(warm_stats.modules_restored, 6);
+    assert_eq!(warm_stats.builds_avoided, 6);
+    assert!(warm_stats.ewma_entries_seeded > 0);
+    assert_eq!(warm.metrics.check_failures, 0);
+    assert_eq!(
+        warm.metrics.cache.misses, 0,
+        "restored modules must satisfy every shape"
+    );
+
+    // prediction bars: seeded EWMA state predicts no worse than the cold
+    // run's full-stream learning, and lands an order of magnitude inside
+    // the static anchors (cold: anchor MAE ~184, ewma MAE ~14; warm
+    // ewma MAE ~5 at this scale)
+    let (cold_p, warm_p) = (cold.metrics.prediction, warm.metrics.prediction);
+    assert!(
+        warm_p.ewma_abs_error <= cold_p.ewma_abs_error,
+        "warm ewma MAE {:.1} worse than cold {:.1}",
+        warm_p.ewma_mae(),
+        cold_p.ewma_mae()
+    );
+    assert!(
+        warm_p.ewma_mae() <= 0.1 * cold_p.anchor_mae(),
+        "warm ewma MAE {:.1} not inside 0.1x cold anchor MAE {:.1}",
+        warm_p.ewma_mae(),
+        cold_p.anchor_mae()
+    );
+    let _ = std::fs::remove_file(&store);
+}
+
+/// The determinism contract of the store files themselves: two identical
+/// cold → warm sequences against two paths leave byte-identical store
+/// files (canonical codec, sorted flush order, and unchanged-value
+/// append elision — so fleet stores can be content-compared).
+#[test]
+fn warm_start_store_files_are_byte_identical() {
+    let stream = contention_stream(600);
+    let run_sequence = |path: &std::path::Path| {
+        let cfg = ServeConfig {
+            policy: Policy::ConfigAffinity,
+            store: Some(path.to_path_buf()),
+            ..ServeConfig::default()
+        };
+        for _ in 0..2 {
+            let mut rt = contention_runtime();
+            let report = rt.serve(&stream, &cfg).expect("serve succeeds");
+            assert_eq!(report.metrics.check_failures, 0);
+        }
+    };
+    let (a, b) = (temp_store("bytes_a"), temp_store("bytes_b"));
+    run_sequence(&a);
+    run_sequence(&b);
+    let (bytes_a, bytes_b) = (
+        std::fs::read(&a).expect("read store a"),
+        std::fs::read(&b).expect("read store b"),
+    );
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "store files diverged across runs");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+}
+
 /// Serving is deterministic end to end: two runs of the same stream give
 /// identical metrics and latencies.
 #[test]
