@@ -1,0 +1,198 @@
+//! `accfg-lint`: the static-analysis gate over every module this repo
+//! compiles — example/bench generators and each serve_bench stream class.
+//!
+//! Per module it runs, and treats any failure as a finding:
+//!
+//! 1. the IR verifier (`accfg_ir::verify`);
+//! 2. the configuration-discipline check (`accfg::verify_discipline`);
+//! 3. the config-write lints (`accfg_analyze::lint_module`) — dead
+//!    writes, redundant writes, clobbered launches — on the raw module;
+//! 4. the full pass pipeline at every [`OptLevel`] with per-pass
+//!    translation validation (`accfg_analyze::pass_validator`) enabled,
+//!    so every rewrite must preserve each launch's reaching
+//!    configuration state;
+//! 5. the lints again on the `OptLevel::All` output — a dead or
+//!    redundant write *surviving* the full pipeline is a
+//!    missed-optimization report.
+//!
+//! Prints one row per module (static write executions, the static
+//! elidable-write lower bound, per-level validation status) and exits
+//! nonzero iff anything fired, which is how CI consumes it.
+
+use accfg::{pipeline, verify_discipline, OptLevel};
+use accfg_analyze::{lint_module, pass_validator, LintReport};
+use accfg_ir::{verify, Module};
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::{
+    gemmini_ws_ir, layer_sequence_ir, matmul_ir, mixed_platform_classes, mixed_serving_classes,
+    shape_heavy_classes, single_invocation_ir, tiled_collapsed_ir, tiled_nested_ir, MatmulLayout,
+    MatmulSpec,
+};
+
+const LEVELS: [OptLevel; 4] = [
+    OptLevel::Base,
+    OptLevel::Dedup,
+    OptLevel::Overlap,
+    OptLevel::All,
+];
+
+fn descriptor(name: &str) -> AcceleratorDescriptor {
+    match name {
+        "gemmini" => AcceleratorDescriptor::gemmini(),
+        "opengemm" => AcceleratorDescriptor::opengemm(),
+        "gemmini-turbo" => AcceleratorDescriptor::gemmini_turbo(),
+        "opengemm-lite" => AcceleratorDescriptor::opengemm_lite(),
+        other => panic!("no descriptor named `{other}`"),
+    }
+}
+
+/// Every module the repo's examples and benches generate, plus one
+/// module per unique serve_bench stream class (the exact raw IR the
+/// serving runtime compiles for that class).
+fn modules() -> Vec<(String, AcceleratorDescriptor, Module)> {
+    let mut out = Vec::new();
+    for name in ["gemmini", "opengemm"] {
+        let desc = descriptor(name);
+        let sizes = if name == "gemmini" {
+            [64, 128]
+        } else {
+            [32, 64]
+        };
+        for size in sizes {
+            let spec = if name == "gemmini" {
+                MatmulSpec::gemmini_paper(size).expect("paper size")
+            } else {
+                MatmulSpec::opengemm_paper(size).expect("paper size")
+            };
+            out.push((
+                format!("{name}/matmul_{size}"),
+                desc.clone(),
+                matmul_ir(&desc, &spec),
+            ));
+            out.push((
+                format!("{name}/tiled_collapsed_{size}"),
+                desc.clone(),
+                tiled_collapsed_ir(&desc, &spec),
+            ));
+            out.push((
+                format!("{name}/tiled_nested_{size}"),
+                desc.clone(),
+                tiled_nested_ir(&desc, &spec),
+            ));
+        }
+        // a single-invocation spec: full problem in one tile
+        let single = if name == "gemmini" {
+            MatmulSpec::gemmini_paper(32).expect("single tile")
+        } else {
+            MatmulSpec::opengemm_paper(8).expect("single tile")
+        };
+        assert_eq!(single.invocations(), 1);
+        out.push((
+            format!("{name}/single_invocation"),
+            desc.clone(),
+            single_invocation_ir(&desc, &single),
+        ));
+        let layers: Vec<(MatmulSpec, MatmulLayout)> = (0..3)
+            .map(|i| (single, MatmulLayout::at(i * 0x10_0000, &single)))
+            .collect();
+        out.push((
+            format!("{name}/layer_sequence"),
+            desc.clone(),
+            layer_sequence_ir(&desc, &layers),
+        ));
+    }
+    let gemmini = descriptor("gemmini");
+    let ws_spec = MatmulSpec::gemmini_paper(128).expect("paper size");
+    out.push((
+        "gemmini/gemmini_ws_128".into(),
+        gemmini.clone(),
+        gemmini_ws_ir(&gemmini, &ws_spec),
+    ));
+    // every serve_bench stream draws its requests from these classes;
+    // the runtime compiles exactly matmul_ir(descriptor, spec) per class
+    let mut seen = Vec::new();
+    for (mix, classes) in [
+        ("mixed", mixed_serving_classes()),
+        ("shape_heavy", shape_heavy_classes()),
+        ("platform", mixed_platform_classes()),
+    ] {
+        for class in classes {
+            let key = (class.accelerator.clone(), class.spec);
+            if class.weight == 0 || seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let desc = descriptor(&class.accelerator);
+            out.push((
+                format!(
+                    "stream/{mix}/{}_{}x{}x{}",
+                    class.accelerator, class.spec.m, class.spec.n, class.spec.k
+                ),
+                desc.clone(),
+                matmul_ir(&desc, &class.spec),
+            ));
+        }
+    }
+    out
+}
+
+/// Lint findings plus the counters the summary row shows.
+fn lint(name: &str, stage: &str, m: &Module, findings: &mut usize) -> LintReport {
+    let report = lint_module(m);
+    for site in &report.sites {
+        println!("FINDING {name} [{stage}] {site}");
+        *findings += 1;
+    }
+    report
+}
+
+fn main() {
+    let mut findings = 0usize;
+    println!(
+        "{:<42} {:>9} {:>8}  validation",
+        "module", "writes", "elidable"
+    );
+    for (name, desc, module) in modules() {
+        if let Err(e) = verify(&module) {
+            println!("FINDING {name} [verify] {e}");
+            findings += 1;
+            continue;
+        }
+        if let Err(e) = verify_discipline(&module) {
+            println!("FINDING {name} [discipline] {e}");
+            findings += 1;
+        }
+        let report = lint(&name, "raw", &module, &mut findings);
+        let mut validated = Vec::new();
+        for level in LEVELS {
+            let mut opt = module.clone();
+            let mut pm = pipeline(level, desc.overlap_filter());
+            pm.validate_each(pass_validator());
+            match pm.run(&mut opt) {
+                Ok(_) => validated.push(format!("{level:?}")),
+                Err(e) => {
+                    println!("FINDING {name} [{level:?}] {e}");
+                    findings += 1;
+                    continue;
+                }
+            }
+            if level == OptLevel::All {
+                // nothing provably dead or redundant may survive the
+                // full pipeline: that would be a missed optimization
+                lint(&name, "All-output", &opt, &mut findings);
+            }
+        }
+        println!(
+            "{:<42} {:>9} {:>8}  {}",
+            name,
+            report.static_writes,
+            report.elidable_bound,
+            validated.join("+")
+        );
+    }
+    if findings > 0 {
+        println!("\naccfg-lint: {findings} finding(s)");
+        std::process::exit(1);
+    }
+    println!("\naccfg-lint: clean");
+}

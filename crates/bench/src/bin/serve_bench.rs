@@ -49,7 +49,11 @@
 //!   object (contention cycles, launches per frequency state).
 //!
 //! Writes the raw per-stream, per-policy metrics to `BENCH_runtime.json`
-//! (validated as strict JSON before the file lands). Pass
+//! (validated as strict JSON before the file lands). Each stream object
+//! opens with a `static_analysis` summary — `accfg-analyze`'s lint
+//! counts and static elidable-write lower bound over the stream's raw
+//! per-class modules, weighted by request count — ahead of the
+//! per-policy sections, whose bytes it leaves untouched. Pass
 //! `--requests <n>` for a reduced smoke run, `--out <path>` to write the
 //! report elsewhere (CI uses both to avoid clobbering the committed
 //! artifact), `--policies <a,b,...>` to exercise a subset of the policy
@@ -68,6 +72,7 @@
 //! invocation against the same path starts warm in its first pass —
 //! that is the cross-process warm start the CI smoke checks.
 
+use accfg_analyze::{lint_module, LintKind};
 use accfg_bench::{json, markdown_table};
 use accfg_runtime::{
     measured_class_service_times, Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics,
@@ -75,8 +80,8 @@ use accfg_runtime::{
 };
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{
-    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
-    ClosedLoopConfig, TrafficConfig, TrafficRequest,
+    matmul_ir, mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
+    ClosedLoopConfig, MatmulSpec, TrafficConfig, TrafficRequest,
 };
 
 const DEFAULT_REQUESTS: usize = 12_000;
@@ -302,6 +307,46 @@ fn run_stream(
     results
 }
 
+/// The stream's static-analysis summary: the config-write lints and the
+/// static elidable-write lower bound of `accfg-analyze`, computed over the
+/// *raw* per-class modules (exactly what the runtime compiles), weighted
+/// by each class's request count. `elidable_bound` is the write-execution
+/// count the analysis proves value-resident, so the measured dynamic
+/// savings of any eliding policy — raw writes minus emitted writes — must
+/// be at least this much; `tests/serving.rs` asserts that relation.
+fn stream_static_analysis(stream: &[TrafficRequest]) -> String {
+    let mut classes: Vec<(String, MatmulSpec, u64)> = Vec::new();
+    for req in stream {
+        match classes
+            .iter_mut()
+            .find(|(a, s, _)| *a == req.accelerator && *s == req.spec)
+        {
+            Some((_, _, n)) => *n += 1,
+            None => classes.push((req.accelerator.clone(), req.spec, 1)),
+        }
+    }
+    let (mut dead, mut redundant, mut clobbered) = (0usize, 0usize, 0usize);
+    let (mut static_writes, mut elidable) = (0u64, 0u64);
+    for (accel, spec, n) in &classes {
+        let desc = match accel.as_str() {
+            "gemmini" => AcceleratorDescriptor::gemmini(),
+            "opengemm" => AcceleratorDescriptor::opengemm(),
+            other => panic!("stream class targets unknown accelerator `{other}`"),
+        };
+        let report = lint_module(&matmul_ir(&desc, spec));
+        dead += report.count(LintKind::DeadWrite);
+        redundant += report.count(LintKind::RedundantWrite);
+        clobbered += report.count(LintKind::ClobberedLaunch);
+        static_writes += n * report.static_writes;
+        elidable += n * report.elidable_bound;
+    }
+    format!(
+        "{{\"dead_writes\": {dead}, \"redundant_writes\": {redundant}, \
+         \"clobbered_launches\": {clobbered}, \"static_writes\": {static_writes}, \
+         \"elidable_bound\": {elidable}}}"
+    )
+}
+
 const DEFAULT_OUT: &str = "BENCH_runtime.json";
 
 /// The warm-start mode (`--store <path>`): serve the contention stream
@@ -500,7 +545,9 @@ fn main() {
          slack horizon {slack} cycles\n"
     );
 
-    let mut all: Vec<(&str, Vec<(String, ServeMetrics)>)> = Vec::new();
+    // (stream name, static-analysis JSON object, per-policy metrics)
+    type StreamSection<'a> = (&'a str, String, Vec<(String, ServeMetrics)>);
+    let mut all: Vec<StreamSection> = Vec::new();
     for (stream_name, stream, include_batch) in &uniform_streams(requests) {
         let results = run_stream(
             &mut runtime,
@@ -511,7 +558,7 @@ fn main() {
             slack,
         );
         if !results.is_empty() {
-            all.push((stream_name, results));
+            all.push((stream_name, stream_static_analysis(stream), results));
         }
     }
 
@@ -555,7 +602,11 @@ fn main() {
         slack,
     );
     if !measured_results.is_empty() {
-        all.push(("closed_loop_measured", measured_results));
+        all.push((
+            "closed_loop_measured",
+            stream_static_analysis(&measured_stream),
+            measured_results,
+        ));
     }
 
     // the heterogeneous pool: same capacity (2 workers/family), but each
@@ -604,7 +655,11 @@ fn main() {
         );
     }
     if !hetero_results.is_empty() {
-        all.push(("hetero", hetero_results));
+        all.push((
+            "hetero",
+            stream_static_analysis(&hetero_stream),
+            hetero_results,
+        ));
     }
 
     // the timing-model stream: the canonical mix at a tighter arrival
@@ -650,15 +705,19 @@ fn main() {
         );
     }
     if !contention_results.is_empty() {
-        all.push(("contention", contention_results));
+        all.push((
+            "contention",
+            stream_static_analysis(&contention_stream),
+            contention_results,
+        ));
     }
     assert!(!all.is_empty(), "every stream was skipped by --policies");
 
     // per-class SLO view of the canonical mix under affinity
     if let Some(mixed_affinity) = all
         .iter()
-        .find(|(stream, _)| *stream == "mixed")
-        .and_then(|(_, results)| results.iter().find(|(label, _)| label == "affinity"))
+        .find(|(stream, _, _)| *stream == "mixed")
+        .and_then(|(_, _, results)| results.iter().find(|(label, _)| label == "affinity"))
     {
         println!("\n== mixed / affinity, per class ==");
         let class_rows: Vec<Vec<String>> = mixed_affinity
@@ -682,9 +741,13 @@ fn main() {
     }
 
     let mut out = String::from("{\n");
-    for (si, (stream_name, results)) in all.iter().enumerate() {
+    for (si, (stream_name, static_analysis, results)) in all.iter().enumerate() {
         let stream_comma = if si + 1 == all.len() { "" } else { "," };
         out.push_str(&format!("  \"{stream_name}\": {{\n"));
+        // the static-analysis summary leads the stream object so every
+        // per-policy section below keeps its exact bytes from earlier
+        // report formats
+        out.push_str(&format!("    \"static_analysis\": {static_analysis},\n"));
         for (i, (label, m)) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
             let body = m

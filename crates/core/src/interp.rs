@@ -42,6 +42,11 @@ pub struct ExecTrace {
     /// Deduplication lowers this; it must never raise it between equivalent
     /// programs ... modulo overlap's one extra prologue/epilogue setup.
     pub setup_writes: usize,
+    /// Writes whose register already held the identical value — the
+    /// ceiling a perfect dynamic elider reaches on this execution, and the
+    /// ground truth for the static elidable-write lower bound
+    /// (`accfg-analyze`'s `LintReport::elidable_bound`).
+    pub elided_writes: usize,
 }
 
 /// Why interpretation failed.
@@ -197,6 +202,9 @@ impl<'m> Interp<'m> {
                 let file = self.regs.entry(accel).or_default();
                 for (name, value_id) in fields {
                     let value = *self.env.get(&value_id).unwrap_or(&0);
+                    if file.get(&name) == Some(&value) {
+                        self.trace.elided_writes += 1;
+                    }
                     file.insert(name, value);
                     self.trace.setup_writes += 1;
                 }

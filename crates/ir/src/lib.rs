@@ -58,7 +58,7 @@ pub use builder::FuncBuilder;
 pub use module::{BlockId, Module, OpId, RegionId, Use, ValueData, ValueDef, ValueId};
 pub use op::{CmpPredicate, OpData, Opcode};
 pub use parser::{parse_module, ParseError};
-pub use pass::{Changed, Pass, PassManager, PipelineError, PipelineStats};
+pub use pass::{Changed, Pass, PassManager, PassValidator, PipelineError, PipelineStats};
 pub use printer::{print_func, print_module};
 pub use types::Type;
 pub use verifier::{verify, VerifyError};

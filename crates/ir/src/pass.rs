@@ -51,6 +51,15 @@ pub trait Pass {
     fn run(&self, module: &mut Module) -> Changed;
 }
 
+/// A differential checker comparing a module snapshot against its rewrite.
+///
+/// Called by [`PassManager::validate_each`] with `(before, after, pass)`;
+/// returning `Err` aborts the pipeline with a [`PipelineError`] attributing
+/// the failure to `pass`. The IR crate defines only the hook; semantic
+/// validators (e.g. translation validation of the reaching configuration
+/// state) live in higher layers.
+pub type PassValidator = Box<dyn Fn(&Module, &Module, &str) -> Result<(), String>>;
+
 /// Failure while running a pipeline: a pass broke verification.
 #[derive(Debug)]
 pub struct PipelineError {
@@ -115,6 +124,7 @@ impl PipelineStats {
 pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     verify_each: bool,
+    validator: Option<PassValidator>,
 }
 
 impl PassManager {
@@ -123,6 +133,7 @@ impl PassManager {
         Self {
             passes: Vec::new(),
             verify_each: true,
+            validator: None,
         }
     }
 
@@ -135,6 +146,19 @@ impl PassManager {
     /// Enables or disables verification after every pass.
     pub fn verify_each(&mut self, enable: bool) -> &mut Self {
         self.verify_each = enable;
+        self
+    }
+
+    /// Installs a differential validator run after every pass, mirroring
+    /// [`PassManager::verify_each`]: the module is snapshotted before each
+    /// pass and `validator(before, after, pass_name)` must accept the
+    /// rewrite. Translation validation of accfg configuration state plugs
+    /// in here.
+    pub fn validate_each(
+        &mut self,
+        validator: impl Fn(&Module, &Module, &str) -> Result<(), String> + 'static,
+    ) -> &mut Self {
+        self.validator = Some(Box::new(validator));
         self
     }
 
@@ -158,6 +182,7 @@ impl PassManager {
         }
         let mut stats = PipelineStats::default();
         for pass in &self.passes {
+            let before = self.validator.as_ref().map(|_| module.clone());
             let changed = pass.run(module);
             stats
                 .passes
@@ -166,6 +191,15 @@ impl PassManager {
                 verify(module).map_err(|error| PipelineError {
                     pass: pass.name().to_string(),
                     error,
+                })?;
+            }
+            if let (Some(validator), Some(before)) = (&self.validator, before) {
+                validator(&before, module, pass.name()).map_err(|message| PipelineError {
+                    pass: pass.name().to_string(),
+                    error: VerifyError {
+                        op: None,
+                        message: format!("translation validation failed: {message}"),
+                    },
                 })?;
             }
         }
@@ -201,6 +235,7 @@ impl fmt::Debug for PassManager {
         f.debug_struct("PassManager")
             .field("passes", &self.pass_names())
             .field("verify_each", &self.verify_each)
+            .field("validate_each", &self.validator.is_some())
             .finish()
     }
 }
@@ -261,6 +296,60 @@ mod tests {
         pm.add(BreakingPass);
         let e = pm.run(&mut m).unwrap_err();
         assert_eq!(e.pass, "breaker");
+    }
+
+    struct ConstFlipPass;
+    impl Pass for ConstFlipPass {
+        fn name(&self) -> &str {
+            "const-flip"
+        }
+        fn run(&self, m: &mut Module) -> Changed {
+            // rewrite every constant to 0 — valid IR, changed semantics
+            let func = m.funcs()[0];
+            for op in m.walk_collect(func) {
+                if m.op(op).opcode == crate::op::Opcode::Constant {
+                    m.set_attr(op, "value", crate::attrs::Attribute::Int(0));
+                }
+            }
+            Changed::Yes
+        }
+    }
+
+    #[test]
+    fn validator_sees_before_and_after() {
+        let mut m = simple_module();
+        let mut pm = PassManager::new();
+        pm.add(ConstFlipPass);
+        pm.validate_each(|before, after, pass| {
+            assert_eq!(pass, "const-flip");
+            let count = |m: &Module| {
+                let f = m.funcs()[0];
+                m.walk_collect(f)
+                    .iter()
+                    .filter(|&&o| m.int_attr(o, "value") == Some(1))
+                    .count()
+            };
+            if count(before) != count(after) {
+                Err("constant 1 was rewritten".into())
+            } else {
+                Ok(())
+            }
+        });
+        let e = pm.run(&mut m).unwrap_err();
+        assert_eq!(e.pass, "const-flip");
+        assert!(
+            e.to_string().contains("translation validation failed"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn validator_accepts_clean_passes() {
+        let mut m = simple_module();
+        let mut pm = PassManager::new();
+        pm.add(NoOpPass);
+        pm.validate_each(|_, _, _| Ok(()));
+        pm.run(&mut m).unwrap();
     }
 
     #[test]

@@ -410,8 +410,14 @@ pub fn build_module(
     opt: OptLevel,
 ) -> Result<CompiledModule, ServeError> {
     let mut module = matmul_ir(desc, &spec);
-    pipeline(opt, desc.overlap_filter())
-        .run(&mut module)
+    let mut pm = pipeline(opt, desc.overlap_filter());
+    if cfg!(debug_assertions) || cfg!(feature = "validate") {
+        // translation-validate every pass: a rewrite that changes any
+        // launch's reaching configuration state aborts the build instead
+        // of serving a silently miscompiled module
+        pm.validate_each(accfg_analyze::pass_validator());
+    }
+    pm.run(&mut module)
         .map_err(|e| ServeError::Pipeline(e.to_string()))?;
     let layout = MatmulLayout::at(0x1000, &spec);
     let args = [layout.a_addr, layout.b_addr, layout.c_addr];

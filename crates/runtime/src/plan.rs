@@ -149,7 +149,15 @@ impl DispatchPlan {
     /// workers replay it per request, and the module cache runs it at
     /// build time to measure the cold and warm cycle costs the scheduler
     /// predicts queue depth with.
+    ///
+    /// Debug and `validate`-feature builds additionally run
+    /// [`DispatchPlan::verify_delta_reconstruction`] over the assembled
+    /// program and panic on a proof failure — emitting a dispatch that
+    /// launches with the wrong register file must never leave this
+    /// function.
     pub fn delta_program(&self, resident: &mut RegMap) -> (Program, u64) {
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        let start = resident.clone();
         let mut writes = 0u64;
         let mut pb = ProgramBuilder::new();
         for launch in &self.launches {
@@ -187,7 +195,104 @@ impl DispatchPlan {
         }
         pb.await_idle();
         pb.halt();
-        (pb.finish(), writes)
+        let program = pb.finish();
+        #[cfg(any(debug_assertions, feature = "validate"))]
+        if let Err(e) = self.verify_delta_reconstruction(&program, &start) {
+            panic!("delta-dispatch proof check failed: {e}");
+        }
+        (program, writes)
+    }
+
+    /// Proof check for delta dispatch: symbolically replays `program`'s
+    /// instruction stream from the `start` register file and asserts that
+    /// at every launch command the reconstructed file carries exactly the
+    /// values this plan's corresponding [`LaunchSpec`] requires — the
+    /// runtime-level analogue of the compiler's translation validation,
+    /// checking the *emitted instructions* rather than the emitter's own
+    /// bookkeeping.
+    ///
+    /// # Errors
+    /// Describes the first divergence: a register holding the wrong value
+    /// at a launch, a launch count mismatch, or an instruction a delta
+    /// program must never contain.
+    pub fn verify_delta_reconstruction(
+        &self,
+        program: &Program,
+        start: &RegMap,
+    ) -> Result<(), String> {
+        use accfg_sim::Inst;
+        let launch_funct = match self.style {
+            ConfigStyle::RoccPairs { launch_funct } => Some(launch_funct),
+            ConfigStyle::Csr => None,
+        };
+        let mut env: BTreeMap<u32, i64> = BTreeMap::new();
+        let mut regs = start.clone();
+        let mut next_launch = 0usize;
+        let check_launch = |regs: &RegMap, next_launch: &mut usize| -> Result<(), String> {
+            let Some(launch) = self.launches.get(*next_launch) else {
+                return Err(format!(
+                    "program issues launch #{} but the plan has only {}",
+                    *next_launch,
+                    self.launches.len()
+                ));
+            };
+            for (&reg, &expected) in &launch.registers {
+                match regs.get(&reg) {
+                    Some(&got) if got == expected => {}
+                    got => {
+                        return Err(format!(
+                            "launch #{}: register {reg} should hold {expected}, \
+                             reconstruction has {}",
+                            *next_launch,
+                            got.map_or("<unwritten>".to_string(), |v| v.to_string()),
+                        ))
+                    }
+                }
+            }
+            *next_launch += 1;
+            Ok(())
+        };
+        for inst in program.insts() {
+            match *inst {
+                Inst::Li { rd, imm } => {
+                    env.insert(rd.0, imm);
+                }
+                Inst::CsrWrite { csr, rs } => {
+                    let value = *env
+                        .get(&rs.0)
+                        .ok_or_else(|| format!("csr_write {csr} reads unset host register {rs}"))?;
+                    regs.insert(csr, value);
+                }
+                Inst::RoccCmd { funct, rs1, rs2 } => {
+                    if launch_funct == Some(funct) {
+                        check_launch(&regs, &mut next_launch)?;
+                        continue;
+                    }
+                    let read = |r: accfg_sim::Reg| {
+                        env.get(&r.0)
+                            .copied()
+                            .ok_or_else(|| format!("rocc {funct} reads unset host register {r}"))
+                    };
+                    let base = u16::from(funct) * 2;
+                    regs.insert(base, read(rs1)?);
+                    regs.insert(base + 1, read(rs2)?);
+                }
+                Inst::Launch => check_launch(&regs, &mut next_launch)?,
+                Inst::AwaitIdle | Inst::Halt => {}
+                ref other => {
+                    return Err(format!(
+                        "delta programs never contain {other:?}; emitter is broken"
+                    ))
+                }
+            }
+        }
+        if next_launch != self.launches.len() {
+            return Err(format!(
+                "program issues {next_launch} launches, plan requires {}",
+                self.launches.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -380,6 +485,73 @@ mod tests {
         let (_, warm) = plan.delta_program(&mut resident);
         assert_eq!(warm, quoted_warm);
         assert!(warm <= cold);
+    }
+
+    #[test]
+    fn delta_reconstruction_proof_accepts_emitted_programs() {
+        let plans = [
+            DispatchPlan {
+                style: ConfigStyle::Csr,
+                launches: vec![launch(&[(0, 1), (1, 2)]), launch(&[(0, 3), (1, 2)])],
+                cold_writes: 0,
+            },
+            DispatchPlan {
+                style: ConfigStyle::RoccPairs { launch_funct: 13 },
+                launches: vec![launch(&[(0, 1), (3, 2)]), launch(&[(0, 1), (3, 9), (4, 5)])],
+                cold_writes: 0,
+            },
+        ];
+        for plan in &plans {
+            // cold and warm assemblies both reconstruct exactly
+            let mut resident = RegMap::new();
+            let start = resident.clone();
+            let (program, _) = plan.delta_program(&mut resident);
+            plan.verify_delta_reconstruction(&program, &start).unwrap();
+            let warm_start = resident.clone();
+            let (warm_program, _) = plan.delta_program(&mut resident);
+            plan.verify_delta_reconstruction(&warm_program, &warm_start)
+                .unwrap();
+            // a warm program replayed from a blank file must fail: the
+            // elided writes are exactly what the blank file is missing
+            if plan.writes_against(&RegMap::new()) > 0 {
+                assert!(plan
+                    .verify_delta_reconstruction(&warm_program, &RegMap::new())
+                    .is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_reconstruction_proof_catches_a_dropped_write() {
+        let plan = DispatchPlan {
+            style: ConfigStyle::Csr,
+            launches: vec![launch(&[(0, 1), (1, 2)])],
+            cold_writes: 0,
+        };
+        // hand-assembled dispatch that forgets register 1
+        let mut pb = ProgramBuilder::new();
+        let r = pb.reg();
+        pb.li(r, 1);
+        pb.csr_write(0, r);
+        pb.launch();
+        pb.await_idle();
+        pb.halt();
+        let err = plan
+            .verify_delta_reconstruction(&pb.finish(), &RegMap::new())
+            .unwrap_err();
+        assert!(err.contains("register 1"), "{err}");
+        assert!(err.contains("should hold 2"), "{err}");
+
+        // and one that forgets the launch entirely
+        let mut pb = ProgramBuilder::new();
+        let r = pb.reg();
+        pb.li(r, 1);
+        pb.csr_write(0, r);
+        pb.halt();
+        let err = plan
+            .verify_delta_reconstruction(&pb.finish(), &RegMap::new())
+            .unwrap_err();
+        assert!(err.contains("launches"), "{err}");
     }
 
     #[test]

@@ -23,8 +23,19 @@
 //! against an existing store leaves the file byte-for-byte unchanged, and
 //! two identical runs against fresh stores produce byte-identical files.
 //! Compaction is explicit ([`LogStore::compact`]) and rewrites live entries
-//! in sorted key order — never triggered implicitly, so it cannot perturb
-//! that contract mid-run.
+//! in sorted key order — by default never triggered implicitly, so it
+//! cannot perturb that contract mid-run. Deployments that prefer bounded
+//! files over byte-stability can opt in to
+//! [`LogStore::set_auto_compact`], which compacts after a
+//! [`KeyValueStore::sync`] once the log has doubled past its last
+//! compacted size; being keyed to sync points, it is still a
+//! deterministic function of the workload.
+//!
+//! Every applied record also advances a logical *sequence number* (the
+//! append age), and the store remembers each key's last-write sequence —
+//! [`LogStore::evict_older_than`] uses it to drop cold entries (e.g. cost
+//! models for shapes a serving mix stopped sending) without timestamps,
+//! which would break run-to-run determinism.
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
@@ -71,6 +82,15 @@ pub struct LogStore {
     file: File,
     index: BTreeMap<Vec<u8>, Vec<u8>>,
     recovery: Option<TailCorruption>,
+    /// Logical clock: one tick per applied record (replayed or appended).
+    seq: u64,
+    /// Key → sequence number of its last write.
+    ages: BTreeMap<Vec<u8>, u64>,
+    /// Compact automatically after a sync once the file doubles past
+    /// `compact_baseline`. Off by default (byte-stability contract).
+    auto_compact: bool,
+    /// File size right after open or the last compaction.
+    compact_baseline: u64,
 }
 
 impl LogStore {
@@ -92,6 +112,8 @@ impl LogStore {
         };
 
         let mut index = BTreeMap::new();
+        let mut ages = BTreeMap::new();
+        let mut seq = 0u64;
         let mut recovery = None;
         let valid_len;
         if bytes.is_empty() {
@@ -129,7 +151,7 @@ impl LogStore {
                     recovery = Some(corrupt("record checksum mismatch"));
                     break;
                 }
-                Self::apply_payload(&mut index, payload)?;
+                Self::apply_payload(&mut index, &mut ages, &mut seq, payload)?;
                 offset += 8 + payload_len;
             }
             valid_len = offset as u64;
@@ -148,12 +170,19 @@ impl LogStore {
             file,
             index,
             recovery,
+            seq,
+            ages,
+            auto_compact: false,
+            compact_baseline: valid_len,
         })
     }
 
-    /// Applies one checksum-verified payload to the index.
+    /// Applies one checksum-verified payload to the index, advancing the
+    /// logical clock and the key's last-write age.
     fn apply_payload(
         index: &mut BTreeMap<Vec<u8>, Vec<u8>>,
+        ages: &mut BTreeMap<Vec<u8>, u64>,
+        seq: &mut u64,
         payload: &[u8],
     ) -> Result<(), StoreError> {
         // The checksum already matched, so a malformed payload here is not
@@ -171,14 +200,59 @@ impl LogStore {
         let value = payload[5 + key_len..].to_vec();
         match op {
             OP_PUT => {
+                *seq += 1;
+                ages.insert(key.clone(), *seq);
                 index.insert(key, value);
             }
             OP_REMOVE => {
+                *seq += 1;
+                ages.remove(&key);
                 index.remove(&key);
             }
             _ => return Err(malformed()),
         }
         Ok(())
+    }
+
+    /// The logical clock: the number of records applied so far, counting
+    /// both replayed and freshly appended ones. Identical-value puts are
+    /// elided from the log and therefore do not tick it.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The sequence number of `key`'s last write, if the key is live.
+    pub fn key_seq(&self, key: &[u8]) -> Option<u64> {
+        self.ages.get(key).copied()
+    }
+
+    /// Opts in to (or out of) automatic compaction: after each
+    /// [`KeyValueStore::sync`], the log is compacted once it has at least
+    /// doubled past its size at open or last compaction. Off by default,
+    /// because implicit rewrites void the byte-stability contract.
+    pub fn set_auto_compact(&mut self, enabled: bool) {
+        self.auto_compact = enabled;
+    }
+
+    /// Removes every live key last written before sequence `min_seq`,
+    /// returning how many were evicted. Appends ordinary tombstones, so
+    /// the space is reclaimed by the next [`LogStore::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O errors while appending tombstones; already-evicted
+    /// keys stay evicted.
+    pub fn evict_older_than(&mut self, min_seq: u64) -> Result<usize, StoreError> {
+        let cold: Vec<Vec<u8>> = self
+            .ages
+            .iter()
+            .filter(|&(_, &age)| age < min_seq)
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &cold {
+            self.remove(key)?;
+        }
+        Ok(cold.len())
     }
 
     /// The file backing this store.
@@ -212,6 +286,15 @@ impl LogStore {
             .open(&self.path)
             .map_err(|e| StoreError::io("open", &self.path, &e))?;
         self.recovery = None;
+        // Renumber ages exactly as a reopen-and-replay of the compacted
+        // file would: one put per live key, in sorted key order.
+        self.seq = 0;
+        self.ages.clear();
+        for key in self.index.keys() {
+            self.seq += 1;
+            self.ages.insert(key.clone(), self.seq);
+        }
+        self.compact_baseline = bytes.len() as u64;
         Ok(())
     }
 
@@ -233,6 +316,8 @@ impl KeyValueStore for LogStore {
             return Ok(()); // identical value: keep the file byte-stable
         }
         self.append(OP_PUT, key, value)?;
+        self.seq += 1;
+        self.ages.insert(key.to_vec(), self.seq);
         self.index.insert(key.to_vec(), value.to_vec());
         Ok(())
     }
@@ -242,6 +327,8 @@ impl KeyValueStore for LogStore {
             return Ok(());
         }
         self.append(OP_REMOVE, key, &[])?;
+        self.seq += 1;
+        self.ages.remove(key);
         self.index.remove(key);
         Ok(())
     }
@@ -261,7 +348,16 @@ impl KeyValueStore for LogStore {
     fn sync(&mut self) -> Result<(), StoreError> {
         self.file
             .sync_all()
-            .map_err(|e| StoreError::io("sync", &self.path, &e))
+            .map_err(|e| StoreError::io("sync", &self.path, &e))?;
+        if self.auto_compact {
+            let len = fs::metadata(&self.path)
+                .map_err(|e| StoreError::io("stat", &self.path, &e))?
+                .len();
+            if len >= 2 * self.compact_baseline.max(64) {
+                self.compact()?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -394,6 +490,76 @@ mod tests {
 
         let store = LogStore::open(&path).unwrap();
         assert_eq!(store.get(b"hot"), Some(&[9u8][..]));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seq_ages_and_eviction_survive_reopen() {
+        let path = temp_path("evict");
+        {
+            let mut store = LogStore::open(&path).unwrap();
+            store.put(b"old", b"1").unwrap(); // seq 1
+            store.put(b"mid", b"2").unwrap(); // seq 2
+            store.put(b"new", b"3").unwrap(); // seq 3
+            store.put(b"new", b"3").unwrap(); // elided: no tick
+            assert_eq!(store.seq(), 3);
+            assert_eq!(store.key_seq(b"old"), Some(1));
+            store.sync().unwrap();
+        }
+        // Reopen replays the same records, so the clock and ages match.
+        let mut store = LogStore::open(&path).unwrap();
+        assert_eq!(store.seq(), 3);
+        assert_eq!(store.key_seq(b"mid"), Some(2));
+
+        let evicted = store.evict_older_than(3).unwrap();
+        assert_eq!(evicted, 2);
+        assert_eq!(store.get(b"old"), None);
+        assert_eq!(store.get(b"mid"), None);
+        assert_eq!(store.get(b"new"), Some(&b"3"[..]));
+        // Tombstones tick the clock too (seq 4 and 5).
+        assert_eq!(store.seq(), 5);
+        assert_eq!(store.evict_older_than(3).unwrap(), 0);
+
+        store.sync().unwrap();
+        let store = LogStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b"new"), Some(&b"3"[..]));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn auto_compact_shrinks_a_churning_log_after_sync() {
+        let path = temp_path("autocompact");
+        let mut store = LogStore::open(&path).unwrap();
+        store.set_auto_compact(true);
+        for round in 0..200u32 {
+            store.put(b"churn", &round.to_le_bytes()).unwrap();
+            store.sync().unwrap();
+        }
+        // Without compaction the file would hold 200 records (> 4 KiB);
+        // auto-compaction keeps it near one live record.
+        let len = fs::metadata(&path).unwrap().len();
+        assert!(len < 512, "auto-compaction left {len} bytes");
+        assert_eq!(store.get(b"churn"), Some(&199u32.to_le_bytes()[..]));
+
+        // Ages were renumbered to match what a reopen replays.
+        assert_eq!(store.key_seq(b"churn"), Some(store.seq()));
+        let reopened = LogStore::open(&path).unwrap();
+        assert_eq!(reopened.key_seq(b"churn"), Some(reopened.seq()));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_without_opt_in_never_rewrites_the_file() {
+        let path = temp_path("no_autocompact");
+        let mut store = LogStore::open(&path).unwrap();
+        for round in 0..50u32 {
+            store.put(b"churn", &round.to_le_bytes()).unwrap();
+        }
+        store.sync().unwrap();
+        let grown = fs::metadata(&path).unwrap().len();
+        store.sync().unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), grown);
         fs::remove_file(&path).unwrap();
     }
 

@@ -11,6 +11,9 @@
 //! - [`ir`] — MLIR-style SSA IR substrate (ops, builder, printer/parser,
 //!   verifier, generic passes)
 //! - [`core`] — the `accfg` dialect and its optimization passes
+//! - [`analyze`] — static configuration-state analysis: reaching-config
+//!   abstract interpretation, config-write lints, and per-pass
+//!   translation validation
 //! - [`sim`] — the cycle-level host + accelerator co-simulator
 //! - [`targets`] — accelerator descriptors and IR → instruction lowering
 //! - [`roofline`] — Equations 1–5 of the paper
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub use accfg as core;
+pub use accfg_analyze as analyze;
 pub use accfg_ir as ir;
 pub use accfg_roofline as roofline;
 pub use accfg_runtime as runtime;

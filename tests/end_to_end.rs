@@ -157,6 +157,106 @@ fn optimizations_never_change_config_bytes_observed_at_launch() {
     }
 }
 
+/// Per-pass translation validation over every real pipeline: each rewrite
+/// of each optimization level, on both platforms and all three loop
+/// structures, must preserve the reaching configuration state of every
+/// launch (the abstract analogue of the interpreter oracle above, proven
+/// for all inputs at once).
+#[test]
+fn every_pipeline_pass_translation_validates_on_real_workloads() {
+    use configuration_wall::analyze::pass_validator;
+    let og_desc = AcceleratorDescriptor::opengemm();
+    let og_spec = MatmulSpec::opengemm_paper(32).unwrap();
+    let gm_desc = AcceleratorDescriptor::gemmini();
+    let gm_spec = MatmulSpec::gemmini_paper(128).unwrap();
+    let cases = [
+        ("opengemm/matmul", &og_desc, matmul_ir(&og_desc, &og_spec)),
+        (
+            "opengemm/nested",
+            &og_desc,
+            tiled_nested_ir(&og_desc, &og_spec),
+        ),
+        (
+            "opengemm/collapsed",
+            &og_desc,
+            tiled_collapsed_ir(&og_desc, &og_spec),
+        ),
+        ("gemmini/matmul", &gm_desc, matmul_ir(&gm_desc, &gm_spec)),
+        ("gemmini/ws", &gm_desc, gemmini_ws_ir(&gm_desc, &gm_spec)),
+    ];
+    for (name, desc, module) in cases {
+        for level in OptLevel::ALL_LEVELS {
+            let mut m = module.clone();
+            let filter = if desc.supports_overlap() {
+                AccelFilter::All
+            } else {
+                AccelFilter::Only(vec![])
+            };
+            let mut pm = pipeline(level, filter);
+            pm.validate_each(pass_validator());
+            pm.run(&mut m)
+                .unwrap_or_else(|e| panic!("{name} at {level:?} failed validation: {e}"));
+        }
+    }
+}
+
+/// A deliberately-broken pass — every integer constant smashed to 0, which
+/// is valid IR with changed semantics — must be rejected by translation
+/// validation with a per-launch diff naming the accelerator, the field,
+/// and the expected/actual abstract values.
+#[test]
+fn broken_pass_is_caught_with_a_named_launch_diff() {
+    use configuration_wall::analyze::{pass_validator, validate_translation, ValidationError};
+    use configuration_wall::ir::{Attribute, Changed, Module, Opcode, Pass, PassManager};
+
+    struct ConstSmashPass;
+    impl Pass for ConstSmashPass {
+        fn name(&self) -> &str {
+            "const-smash"
+        }
+        fn run(&self, m: &mut Module) -> Changed {
+            for func in m.funcs().to_vec() {
+                for op in m.walk_collect(func) {
+                    if m.op(op).opcode == Opcode::Constant {
+                        m.set_attr(op, "value", Attribute::Int(0));
+                    }
+                }
+            }
+            Changed::Yes
+        }
+    }
+
+    let desc = AcceleratorDescriptor::opengemm();
+    let spec = MatmulSpec::opengemm_paper(16).unwrap();
+    let before = matmul_ir(&desc, &spec);
+
+    // through the pipeline hook: the run aborts, attributed to the pass
+    let mut smashed = before.clone();
+    let mut pm = PassManager::new();
+    pm.add(ConstSmashPass);
+    pm.validate_each(pass_validator());
+    let err = pm.run(&mut smashed).expect_err("smash must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("const-smash"), "{msg}");
+    assert!(msg.contains("Known(const 0)"), "{msg}");
+
+    // and the structured diff names everything needed to debug it
+    let err = validate_translation(&before, &smashed).expect_err("diffs");
+    let ValidationError::FieldDiffs(diffs) = &err else {
+        panic!("expected per-launch field diffs, got {err}");
+    };
+    let diff = &diffs[0];
+    assert_eq!(diff.accelerator, "opengemm");
+    assert!(!diff.field.is_empty());
+    assert!(
+        diff.expected.starts_with("Known(const "),
+        "{}",
+        diff.expected
+    );
+    assert_eq!(diff.actual, "Known(const 0)");
+    assert_ne!(diff.expected, diff.actual);
+}
+
 #[test]
 fn larger_problems_are_less_configuration_bound() {
     // the core thesis: I_OC grows with size, performance approaches peak

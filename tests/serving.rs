@@ -693,6 +693,100 @@ fn warm_start_store_files_are_byte_identical() {
     let _ = std::fs::remove_file(&b);
 }
 
+/// Sums `accfg-analyze`'s static counters over a stream's raw per-class
+/// modules — exactly the modules the serving runtime compiles — weighted
+/// by each class's request count. Returns `(static_writes, elidable
+/// bound)`. `static_writes` counts only *guaranteed* write executions, so
+/// it never exceeds what a run of the raw module actually writes.
+fn stream_static_totals(stream: &[TrafficRequest]) -> (u64, u64) {
+    use configuration_wall::analyze::lint_module;
+    let mut classes: Vec<(String, MatmulSpec, u64)> = Vec::new();
+    for req in stream {
+        match classes
+            .iter_mut()
+            .find(|(a, s, _)| *a == req.accelerator && *s == req.spec)
+        {
+            Some((_, _, n)) => *n += 1,
+            None => classes.push((req.accelerator.clone(), req.spec, 1)),
+        }
+    }
+    let (mut static_writes, mut bound) = (0u64, 0u64);
+    for (accel, spec, n) in &classes {
+        let desc = match accel.as_str() {
+            "gemmini" => AcceleratorDescriptor::gemmini(),
+            "opengemm" => AcceleratorDescriptor::opengemm(),
+            other => panic!("unknown accelerator `{other}`"),
+        };
+        let report = lint_module(&matmul_ir(&desc, spec));
+        static_writes += n * report.static_writes;
+        bound += n * report.elidable_bound;
+    }
+    (static_writes, bound)
+}
+
+/// The static-vs-dynamic elision bar: per stream, the static
+/// elidable-write lower bound (value-resident write executions
+/// `accfg-analyze` proves on the *raw* per-class modules) must not exceed
+/// the write savings any eliding policy actually measures — raw writes
+/// minus emitted writes. The compiler's dedup/hoist passes plus dispatch
+/// elision together must capture at least everything the analysis proves
+/// resident, on every stream the benchmark serves.
+#[test]
+fn static_elidable_bound_never_exceeds_measured_elision() {
+    let uniform_streams = [
+        (
+            "mixed",
+            TrafficConfig {
+                classes: mixed_serving_classes(),
+                requests: 2_000,
+                mean_gap: 200,
+                seed: 0xC0FFEE,
+            },
+        ),
+        (
+            "shape_heavy",
+            TrafficConfig {
+                classes: shape_heavy_classes(),
+                requests: 1_000,
+                mean_gap: 400,
+                seed: 0x5EED,
+            },
+        ),
+    ];
+    let mut checks: Vec<(&str, Vec<TrafficRequest>, Runtime)> = uniform_streams
+        .into_iter()
+        .map(|(name, cfg)| (name, cfg.open_loop_stream().unwrap(), runtime()))
+        .collect();
+    checks.push((
+        "hetero",
+        TrafficConfig {
+            classes: mixed_platform_classes(),
+            requests: 1_000,
+            mean_gap: 300,
+            seed: 0x4E7E60,
+        }
+        .open_loop_stream()
+        .unwrap(),
+        hetero_runtime(),
+    ));
+    for (name, stream, mut rt) in checks {
+        let (static_writes, bound) = stream_static_totals(&stream);
+        assert!(bound > 0, "{name}: trivial bound proves nothing");
+        for policy in [Policy::FifoElide, Policy::ConfigAffinity, Policy::Cost] {
+            let report = serve(&mut rt, &stream, policy);
+            assert_eq!(report.metrics.check_failures, 0);
+            let emitted = report.metrics.setup_writes;
+            assert!(
+                emitted + bound <= static_writes,
+                "{name}/{}: static bound {bound} > measured savings {} \
+                 (raw static writes {static_writes}, emitted {emitted})",
+                policy.label(),
+                static_writes.saturating_sub(emitted),
+            );
+        }
+    }
+}
+
 /// Serving is deterministic end to end: two runs of the same stream give
 /// identical metrics and latencies.
 #[test]
