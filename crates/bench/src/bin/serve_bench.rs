@@ -61,6 +61,24 @@
 //! sweep the load-slack horizon (sets both `load_slack` and the batch
 //! cutoff) without recompiling.
 //!
+//! `--mode` selects the serve engine and what the binary measures:
+//!
+//! - `sim` (the default) — the deterministic simulated-clock oracle;
+//!   the only mode the committed artifact is generated from;
+//! - `wall` — the same streams served by the *parallel* engine
+//!   (`--threads <n>`, default 8 executor threads), with each stream's
+//!   report object gaining an `engine` section recording wall-clock
+//!   milliseconds and requests/sec of the runtime itself (not the
+//!   simulated hardware) per policy. The simulated-cycle bars are
+//!   byte-identical to `sim` — the parallel engine's contract — so the
+//!   `engine` object is strictly additive;
+//! - `diff` — the differential smoke: every stream × policy pair served
+//!   by both engines, asserting per-request outcome equality (the same
+//!   contract `tests/differential.rs` pins), then a small JSON summary.
+//!
+//! Non-`sim` modes never write the committed artifact: they require an
+//! `--out` whose file name differs from `BENCH_runtime.json`.
+//!
 //! `--store <path>` switches the binary into the *warm-start* mode: the
 //! `contention` stream is served twice against the given persistent
 //! store — a cold pass into a fresh runtime that flushes its compiled
@@ -76,7 +94,7 @@ use accfg_analyze::{lint_module, LintKind};
 use accfg_bench::{json, markdown_table};
 use accfg_runtime::{
     measured_class_service_times, Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics,
-    LOAD_SLACK_CYCLES,
+    ServeMode, LOAD_SLACK_CYCLES,
 };
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{
@@ -85,6 +103,21 @@ use accfg_workloads::{
 };
 
 const DEFAULT_REQUESTS: usize = 12_000;
+const DEFAULT_THREADS: usize = 8;
+
+/// What the binary measures (`--mode`).
+#[derive(Clone, Copy, PartialEq)]
+enum BenchMode {
+    /// Simulated-cycle bars from the deterministic oracle (the default;
+    /// the only mode the committed artifact is generated from).
+    Sim,
+    /// The same bars served by the parallel engine, plus wall-clock
+    /// requests/sec of the runtime itself per stream and policy.
+    Wall,
+    /// Differential smoke: every stream × policy pair through both
+    /// engines, asserting per-request outcome equality.
+    Diff,
+}
 
 fn policies(include_batch: bool, slack: u64) -> Vec<(&'static str, ServeConfig)> {
     let base = |policy| ServeConfig {
@@ -187,6 +220,11 @@ fn hetero_pool() -> PoolConfig {
     .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
 }
 
+/// One policy's measurements over a stream: label, the (deterministic)
+/// serve metrics, and the wall-clock seconds the serve itself took —
+/// the runtime's own speed, only reported in wall mode.
+type PolicyRow = (String, ServeMetrics, f64);
+
 /// Runs every (selected) policy over one stream and prints its table.
 fn run_stream(
     runtime: &mut Runtime,
@@ -195,15 +233,22 @@ fn run_stream(
     include_batch: bool,
     filter: Option<&[String]>,
     slack: u64,
-) -> Vec<(String, ServeMetrics)> {
-    let mut results: Vec<(String, ServeMetrics)> = Vec::new();
+    serve_mode: ServeMode,
+) -> Vec<PolicyRow> {
+    let mut results: Vec<PolicyRow> = Vec::new();
     for (label, cfg) in &policies(include_batch, slack) {
         if let Some(filter) = filter {
             if !filter.iter().any(|f| f == label) {
                 continue;
             }
         }
-        let report = runtime.serve(stream, cfg).expect("serve succeeds");
+        let cfg = ServeConfig {
+            mode: serve_mode,
+            ..cfg.clone()
+        };
+        let started = std::time::Instant::now();
+        let report = runtime.serve(stream, &cfg).expect("serve succeeds");
+        let wall = started.elapsed().as_secs_f64();
         assert_eq!(
             report.metrics.check_failures, 0,
             "{stream_name}/{label}: functional checks failed"
@@ -212,7 +257,7 @@ fn run_stream(
             report.metrics.sim_failures, 0,
             "{stream_name}/{label}: simulation failed"
         );
-        results.push((label.to_string(), report.metrics));
+        results.push((label.to_string(), report.metrics, wall));
     }
     if results.is_empty() {
         // e.g. --policies affinity+batch on a stream that runs no batch
@@ -221,12 +266,17 @@ fn run_stream(
         return results;
     }
 
-    let find = |label: &str| results.iter().find(|(l, _)| l == label).map(|(_, m)| m);
+    let find = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, m, _)| m)
+    };
     let fifo = find("fifo").cloned();
     let elide_p99 = find("fifo+elide").map(|m| m.latency.p99);
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(label, m)| {
+        .map(|(label, m, _)| {
             vec![
                 label.clone(),
                 m.setup_writes.to_string(),
@@ -276,7 +326,7 @@ fn run_stream(
 
     // the refined estimates must not be worse than the static anchors on
     // the dispatches the scheduler actually charged for
-    for (label, m) in results.iter().filter(|(_, m)| m.prediction.samples > 0) {
+    for (label, m, _) in results.iter().filter(|(_, m, _)| m.prediction.samples > 0) {
         assert!(
             m.prediction.ewma_abs_error <= m.prediction.anchor_abs_error,
             "{stream_name}/{label}: ewma MAE {:.1} > anchor MAE {:.1}",
@@ -305,6 +355,202 @@ fn run_stream(
     }
     println!();
     results
+}
+
+/// Wall mode's per-policy requests/sec of the runtime itself. The serve
+/// outcomes are engine-independent, so this is pure added information on
+/// top of the simulated-cycle bars.
+fn report_wall(stream_name: &str, results: &[PolicyRow], threads: usize) {
+    for (label, m, wall) in results {
+        let rps = m.requests as f64 / wall.max(f64::MIN_POSITIVE);
+        assert!(
+            rps > 0.0,
+            "{stream_name}/{label}: wall-clock throughput must be positive"
+        );
+        println!(
+            "{stream_name}/{label}: {:.1} ms wall ({threads} threads), \
+             {rps:.0} requests/sec",
+            wall * 1e3
+        );
+    }
+    println!();
+}
+
+/// The wall-mode `engine` JSON object for one stream: wall-clock
+/// milliseconds and requests/sec per policy, at the executor thread count
+/// the run used. Emitted as a single report line so the per-policy metric
+/// sections below keep their exact deterministic-mode bytes.
+fn engine_json(results: &[PolicyRow], threads: usize) -> String {
+    let policies: Vec<String> = results
+        .iter()
+        .map(|(label, m, wall)| {
+            let wall = wall.max(f64::MIN_POSITIVE);
+            format!(
+                "\"{label}\": {{\"wall_ms\": {:.3}, \"requests_per_sec\": {:.1}}}",
+                wall * 1e3,
+                m.requests as f64 / wall
+            )
+        })
+        .collect();
+    format!(
+        "{{\"mode\": \"wall\", \"threads\": {threads}, \"policies\": {{{}}}}}",
+        policies.join(", ")
+    )
+}
+
+/// The differential smoke (`--mode diff`): every stream × policy pair
+/// served by both engines — a fresh runtime per engine, so module-cache
+/// provenance matches too — asserting the per-request outcomes (routing,
+/// writes, cycles, latencies, prediction samples) are identical, then a
+/// small JSON summary. This is the same contract `tests/differential.rs`
+/// pins; the binary form exists so CI can run it at an arbitrary request
+/// count and thread count without recompiling tests.
+fn run_diff(
+    requests: usize,
+    threads: usize,
+    out_path: &str,
+    slack: u64,
+    filter: Option<&[String]>,
+) {
+    let uniform = || {
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+        .with_workers_per_accelerator(2)
+    };
+    let mut streams: Vec<(&'static str, Vec<TrafficRequest>, bool, PoolConfig)> =
+        uniform_streams(requests)
+            .into_iter()
+            .map(|(name, stream, include_batch)| (name, stream, include_batch, uniform()))
+            .collect();
+    // the measured closed loop calibrates off a fifo+elide oracle serve,
+    // exactly as the sim-mode report does
+    let closed_cfg = closed_loop_config(requests);
+    let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
+    let calibration = Runtime::new(uniform())
+        .serve(
+            &calibration_stream,
+            &ServeConfig {
+                policy: Policy::FifoElide,
+                load_slack: slack,
+                batch_cutoff: Some(slack),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("calibration serve succeeds");
+    let service_times = measured_class_service_times(
+        &closed_cfg.classes,
+        &calibration_stream,
+        &calibration,
+        closed_cfg.service_estimate,
+    );
+    streams.push((
+        "closed_loop_measured",
+        closed_cfg
+            .stream_with_service_times(&service_times)
+            .expect("valid measured closed-loop mix"),
+        false,
+        uniform(),
+    ));
+    streams.push((
+        "hetero",
+        TrafficConfig {
+            classes: mixed_platform_classes(),
+            requests,
+            mean_gap: 300,
+            seed: 0x4E7E60,
+        }
+        .open_loop_stream()
+        .expect("valid mixed-platform mix"),
+        false,
+        hetero_pool(),
+    ));
+    streams.push((
+        "contention",
+        TrafficConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            mean_gap: 120,
+            seed: 0xC047E47,
+        }
+        .open_loop_stream()
+        .expect("valid contention mix"),
+        false,
+        contention_pool(),
+    ));
+
+    let mut pairs = 0usize;
+    for (stream_name, stream, include_batch, pool) in &streams {
+        for (label, cfg) in &policies(*include_batch, slack) {
+            if let Some(filter) = filter {
+                if !filter.iter().any(|f| f == label) {
+                    continue;
+                }
+            }
+            let oracle = Runtime::new(pool.clone())
+                .serve(stream, cfg)
+                .expect("oracle serve succeeds");
+            let parallel = Runtime::new(pool.clone())
+                .serve(
+                    stream,
+                    &ServeConfig {
+                        mode: ServeMode::Parallel { threads },
+                        ..cfg.clone()
+                    },
+                )
+                .expect("parallel serve succeeds");
+            assert_eq!(
+                oracle.metrics, parallel.metrics,
+                "{stream_name}/{label}: metrics diverge"
+            );
+            assert_eq!(
+                oracle.latencies, parallel.latencies,
+                "{stream_name}/{label}: latencies diverge"
+            );
+            assert_eq!(
+                oracle.predictions, parallel.predictions,
+                "{stream_name}/{label}: prediction samples diverge"
+            );
+            for (slot, (o, p)) in oracle
+                .completions
+                .iter()
+                .zip(&parallel.completions)
+                .enumerate()
+            {
+                assert_eq!(
+                    o.worker, p.worker,
+                    "{stream_name}/{label}: request {slot} routed differently"
+                );
+                assert_eq!(
+                    o.emitted_writes, p.emitted_writes,
+                    "{stream_name}/{label}: request {slot} wrote differently"
+                );
+                assert_eq!(
+                    o.counters.cycles, p.counters.cycles,
+                    "{stream_name}/{label}: request {slot} took different cycles"
+                );
+            }
+            println!(
+                "{stream_name}/{label}: identical over {} requests ({threads} threads)",
+                stream.len()
+            );
+            pairs += 1;
+        }
+    }
+    assert!(
+        pairs > 0,
+        "every stream × policy pair was skipped by --policies"
+    );
+
+    let out = format!(
+        "{{\n  \"differential\": {{\"requests\": {requests}, \"threads\": {threads}, \
+         \"streams\": {}, \"pairs\": {pairs}, \"identical\": true}}\n}}\n",
+        streams.len()
+    );
+    json::validate(&out).expect("differential report must be strict JSON");
+    std::fs::write(out_path, &out).expect("write differential report");
+    println!("\n{pairs} stream × policy pairs identical across engines; summary: {out_path}");
 }
 
 /// The stream's static-analysis summary: the config-write lints and the
@@ -458,6 +704,8 @@ fn main() {
     let mut policy_filter: Option<Vec<String>> = None;
     let mut slack = LOAD_SLACK_CYCLES;
     let mut store_path: Option<String> = None;
+    let mut mode = BenchMode::Sim;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -481,6 +729,22 @@ fn main() {
             "--store" => {
                 store_path = Some(args.next().expect("--store takes a file path"));
             }
+            "--mode" => {
+                mode = match args.next().as_deref() {
+                    Some("sim") => BenchMode::Sim,
+                    Some("wall") => BenchMode::Wall,
+                    Some("diff") => BenchMode::Diff,
+                    other => panic!("--mode takes sim, wall, or diff (got {other:?})"),
+                };
+            }
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .expect("--threads takes a positive integer"),
+                );
+            }
             "--policies" => {
                 let list = args
                     .next()
@@ -502,24 +766,28 @@ fn main() {
             other => panic!(
                 "unknown argument `{other}` (supported: --requests <n>, \
                  --out <path>, --policies <a,b,...>, --slack <cycles>, \
-                 --store <path>)"
+                 --store <path>, --mode <sim|wall|diff>, --threads <n>)"
             ),
         }
     }
-    // a filtered, slack-swept, reduced, or warm-start run produces a
-    // report that is not the committed artifact: refuse to overwrite it
-    // (by file name, so alternate spellings of the same path cannot
-    // slip past)
+    // a filtered, slack-swept, reduced, warm-start, or non-sim-mode run
+    // produces a report that is not the committed artifact: refuse to
+    // overwrite it (by file name, so alternate spellings of the same
+    // path cannot slip past). `--threads` counts even in sim mode — a
+    // partial wall-mode invocation mistyped as sim must not land on the
+    // deterministic artifact either.
     assert!(
         (policy_filter.is_none()
             && slack == LOAD_SLACK_CYCLES
             && requests == DEFAULT_REQUESTS
-            && store_path.is_none())
+            && store_path.is_none()
+            && mode == BenchMode::Sim
+            && threads.is_none())
             || std::path::Path::new(&out_path).file_name()
                 != std::path::Path::new(DEFAULT_OUT).file_name(),
-        "--policies/--slack/--requests/--store write a non-canonical report; \
-         pass --out with a file name other than {DEFAULT_OUT} so it cannot \
-         clobber the committed artifact"
+        "--policies/--slack/--requests/--store/--mode/--threads write a \
+         non-canonical report; pass --out with a file name other than \
+         {DEFAULT_OUT} so it cannot clobber the committed artifact"
     );
     if let Some(store) = &store_path {
         assert!(
@@ -527,10 +795,24 @@ fn main() {
             "--store runs the warm-start passes under the affinity policy; \
              it cannot be combined with --policies"
         );
+        assert!(
+            mode == BenchMode::Sim,
+            "--store runs its passes on the deterministic engine; \
+             it cannot be combined with --mode"
+        );
         run_warm_start(requests, store, &out_path, slack);
         return;
     }
     let filter = policy_filter.as_deref();
+    let threads = threads.unwrap_or(DEFAULT_THREADS);
+    if mode == BenchMode::Diff {
+        run_diff(requests, threads, &out_path, slack, filter);
+        return;
+    }
+    let serve_mode = match mode {
+        BenchMode::Sim => ServeMode::Deterministic,
+        _ => ServeMode::Parallel { threads },
+    };
 
     let mut runtime = Runtime::new(
         PoolConfig::new(vec![
@@ -544,9 +826,15 @@ fn main() {
         "serve_bench: {requests} requests per stream, 2 workers/accelerator, \
          slack horizon {slack} cycles\n"
     );
+    if mode == BenchMode::Wall {
+        println!(
+            "wall mode: parallel engine, {threads} executor threads — \
+             measuring the runtime's own requests/sec\n"
+        );
+    }
 
-    // (stream name, static-analysis JSON object, per-policy metrics)
-    type StreamSection<'a> = (&'a str, String, Vec<(String, ServeMetrics)>);
+    // (stream name, static-analysis JSON object, per-policy rows)
+    type StreamSection<'a> = (&'a str, String, Vec<PolicyRow>);
     let mut all: Vec<StreamSection> = Vec::new();
     for (stream_name, stream, include_batch) in &uniform_streams(requests) {
         let results = run_stream(
@@ -556,7 +844,11 @@ fn main() {
             *include_batch,
             filter,
             slack,
+            serve_mode,
         );
+        if mode == BenchMode::Wall {
+            report_wall(stream_name, &results, threads);
+        }
         if !results.is_empty() {
             all.push((stream_name, stream_static_analysis(stream), results));
         }
@@ -575,6 +867,7 @@ fn main() {
                 policy: Policy::FifoElide,
                 load_slack: slack,
                 batch_cutoff: Some(slack),
+                mode: serve_mode,
                 ..ServeConfig::default()
             },
         )
@@ -600,7 +893,11 @@ fn main() {
         false,
         filter,
         slack,
+        serve_mode,
     );
+    if mode == BenchMode::Wall {
+        report_wall("closed_loop_measured", &measured_results, threads);
+    }
     if !measured_results.is_empty() {
         all.push((
             "closed_loop_measured",
@@ -628,12 +925,16 @@ fn main() {
         false,
         filter,
         slack,
+        serve_mode,
     );
+    if mode == BenchMode::Wall {
+        report_wall("hetero", &hetero_results, threads);
+    }
     let hetero_find = |label: &str| {
         hetero_results
             .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, m)| m)
+            .find(|(l, _, _)| l == label)
+            .map(|(_, m, _)| m)
     };
     if let (Some(cost), Some(affinity)) = (hetero_find("cost"), hetero_find("affinity")) {
         // the heterogeneous acceptance bar: cycle-cost routing beats
@@ -682,12 +983,16 @@ fn main() {
         false,
         filter,
         slack,
+        serve_mode,
     );
+    if mode == BenchMode::Wall {
+        report_wall("contention", &contention_results, threads);
+    }
     let contention_find = |label: &str| {
         contention_results
             .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, m)| m)
+            .find(|(l, _, _)| l == label)
+            .map(|(_, m, _)| m)
     };
     if let (Some(cost), Some(affinity)) = (contention_find("cost"), contention_find("affinity")) {
         println!(
@@ -717,7 +1022,7 @@ fn main() {
     if let Some(mixed_affinity) = all
         .iter()
         .find(|(stream, _, _)| *stream == "mixed")
-        .and_then(|(_, _, results)| results.iter().find(|(label, _)| label == "affinity"))
+        .and_then(|(_, _, results)| results.iter().find(|(label, _, _)| label == "affinity"))
     {
         println!("\n== mixed / affinity, per class ==");
         let class_rows: Vec<Vec<String>> = mixed_affinity
@@ -748,7 +1053,15 @@ fn main() {
         // per-policy section below keeps its exact bytes from earlier
         // report formats
         out.push_str(&format!("    \"static_analysis\": {static_analysis},\n"));
-        for (i, (label, m)) in results.iter().enumerate() {
+        // the engine section only exists in wall mode: deterministic-mode
+        // reports keep their exact committed bytes
+        if mode == BenchMode::Wall {
+            out.push_str(&format!(
+                "    \"engine\": {},\n",
+                engine_json(results, threads)
+            ));
+        }
+        for (i, (label, m, _)) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
             let body = m
                 .to_json()

@@ -1,0 +1,900 @@
+//! Serve engines: the deterministic simulated-clock loop (the test
+//! oracle) and the sharded parallel engine behind the same facade.
+//!
+//! [`Runtime::serve`] resolves modules, sorts the dispatch order, and
+//! builds the worker pool, then hands the *serve loop proper* to one of
+//! two engines selected by [`ServeConfig::mode`]:
+//!
+//! - [`ServeMode::Deterministic`] (the default) runs the single-threaded
+//!   simulated-clock loop: one scheduler over the whole pool, every
+//!   blocking and decision point a function of simulated time only.
+//!   This is the **oracle** — its per-request outcomes (writes, cycles,
+//!   latencies, prediction samples) define correct behaviour, and its
+//!   reports are byte-identical across runs and host thread counts.
+//! - [`ServeMode::Parallel`] shards the serve loop **per pool group**:
+//!   each group gets its own scheduler shard processing that group's
+//!   subsequence of the arrival order, while a pool of executor threads
+//!   owns the workers and runs dispatches as jobs arrive over channels.
+//!   Completions flow back to the owning shard over a per-shard channel
+//!   instead of the loop blocking on one worker at a time. A thread
+//!   budget of 1 runs the same shards sequentially on the calling
+//!   thread with inline execution — the fully serial baseline that
+//!   wall-clock scaling is measured against.
+//!
+//! # Why sharding preserves the oracle's outcomes
+//!
+//! The deterministic loop's processing of each group's subsequence is
+//! independent of every other group:
+//!
+//! - routing reads only the group's candidate workers (policies score
+//!   `candidates` exclusively, and `fifo` keeps per-group round-robin
+//!   counters);
+//! - commits touch only the chosen worker's queue and shadow state;
+//! - refiner rows are keyed `(module key, platform)`, and a group's
+//!   module keys name its *base* platform — so observation state is
+//!   disjoint across groups whenever base platform names are distinct;
+//! - batch coalescing scans only the group's own arrival subsequence
+//!   (other groups' requests never interpose);
+//! - worker cycle counts are pure functions of the worker's own job
+//!   sequence (machines share no state), so per-worker completions are
+//!   identical however executor threads interleave them.
+//!
+//! Each shard therefore replays exactly the decisions the global loop
+//! makes for its group, and the merged per-request outcomes are equal
+//! by construction. The one configuration that breaks the argument —
+//! two groups sharing a base platform *name* (their modules would share
+//! refiner rows) — makes the parallel engine silently fall back to the
+//! deterministic loop: the engine choice is a performance knob, never a
+//! semantic one. The contract is enforced end to end by
+//! `tests/differential.rs`, which runs every bench stream × policy pair
+//! through both engines and asserts outcome-by-outcome equality.
+//!
+//! [`Runtime::serve`]: crate::runtime::Runtime::serve
+//! [`ServeConfig::mode`]: crate::runtime::ServeConfig::mode
+
+use crate::cache::CompiledModule;
+use crate::persist::CostSnapshotEntry;
+use crate::runtime::ServeConfig;
+use crate::scheduler::{CommitOutcome, Scheduler};
+use crate::worker::{Completion, Job, Worker};
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::TrafficRequest;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+/// Which serve engine processes the dispatch loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// The single-threaded simulated-clock loop — the deterministic test
+    /// oracle. Reports are byte-identical across runs; this is the
+    /// default, and the only mode benchmark artifacts are committed
+    /// from.
+    #[default]
+    Deterministic,
+    /// The sharded engine: one scheduler shard per pool group, with
+    /// dispatch execution spread over `threads` executor threads that
+    /// own the workers. Produces per-request outcomes identical to the
+    /// deterministic oracle (see the module docs for the argument and
+    /// the fallback case); wall-clock throughput scales with `threads`.
+    Parallel {
+        /// The engine's thread budget (clamped to at least 1). `1` runs
+        /// the shards one after another on the calling thread, executing
+        /// every dispatch inline — the fully serial baseline wall-clock
+        /// speedups are measured against. `>= 2` spawns one thread per
+        /// scheduler shard plus `threads` executor threads; worker `w`
+        /// is owned by executor `w % threads`, so `threads >=` pool
+        /// worker count gives every worker its own executor.
+        threads: usize,
+    },
+}
+
+/// Everything the serve loop needs, prepared by `Runtime::serve`'s
+/// prologue (module resolution, pool construction, store restore).
+pub(crate) struct EngineInput<'a> {
+    pub stream: &'a [TrafficRequest],
+    /// Dispatch order: stream slots sorted by `(arrival, id, slot)`.
+    pub order: &'a [usize],
+    /// Per-slot compiled module, resolved for every slot in `order`.
+    pub modules: &'a [Option<Arc<CompiledModule>>],
+    /// Per-slot pool-group index.
+    pub group_idx: &'a [usize],
+    /// Per-group worker indices, ascending.
+    pub groups: &'a [Vec<usize>],
+    /// Per-worker platform descriptors.
+    pub worker_descs: &'a [AcceleratorDescriptor],
+    /// The worker pool itself (consumed: engines move workers onto
+    /// execution threads).
+    pub workers: Vec<Worker>,
+    /// Persisted cost rows to seed the refiner(s) with.
+    pub cost_seed: &'a [CostSnapshotEntry],
+    pub cfg: &'a ServeConfig,
+}
+
+/// What the serve loop produced, consumed by `Runtime::serve`'s epilogue
+/// (latency replay, metrics, store flush).
+pub(crate) struct EngineOutput {
+    /// Per-slot completions, in stream order.
+    pub completions: Vec<Completion>,
+    /// Per-slot worker assignment.
+    pub assignment: Vec<usize>,
+    /// Per-slot commit predictions.
+    pub outcomes: Vec<CommitOutcome>,
+    /// Requests that rode along in a batch (batch size minus one, summed).
+    pub batched_requests: u64,
+    /// Persisted cost rows the refiner was seeded with.
+    pub ewma_entries_seeded: u64,
+    /// The refiner's final rows, re-keyed from pool-local platform index
+    /// to platform name — ready for [`crate::persist::save_costs`].
+    pub cost_snapshot: Vec<CostSnapshotEntry>,
+}
+
+/// Runs the serve loop under the engine `input.cfg.mode` selects.
+pub(crate) fn run(input: EngineInput<'_>) -> EngineOutput {
+    match input.cfg.mode {
+        ServeMode::Deterministic => run_deterministic(input),
+        ServeMode::Parallel { threads } => run_parallel(input, threads.max(1)),
+    }
+}
+
+/// The deterministic oracle: one scheduler over the whole pool, one
+/// thread per worker running ahead eagerly, the loop pulling completions
+/// only when the simulated clock proves their dispatch has started.
+fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
+    let EngineInput {
+        stream,
+        order,
+        modules,
+        group_idx,
+        groups,
+        worker_descs,
+        workers,
+        cost_seed,
+        cfg,
+    } = input;
+    let module_of = |i: usize| modules[i].as_ref().expect("resolved by the prologue");
+    let worker_count = workers.len();
+
+    let mut scheduler = Scheduler::new(cfg.policy, worker_descs, groups.len())
+        .with_refinement(cfg.refine_cost)
+        .with_slack(cfg.load_slack);
+    let ewma_entries_seeded = scheduler.seed_refiner(cost_seed);
+    let elide = scheduler.elides();
+    let mut assignment = vec![0usize; stream.len()];
+    let mut outcomes = vec![CommitOutcome::default(); stream.len()];
+    let mut batched_requests = 0u64;
+    let max_batch = cfg.max_batch.max(1);
+    let mut completions: Vec<Option<Completion>> = (0..stream.len()).map(|_| None).collect();
+    thread::scope(|scope| {
+        let mut job_txs = Vec::new();
+        let mut result_rxs = Vec::new();
+        for worker in workers {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            let (result_tx, result_rx) = mpsc::channel::<Completion>();
+            job_txs.push(job_tx);
+            result_rxs.push(result_rx);
+            scope.spawn(move || worker.run_loop(job_rx, result_tx));
+        }
+
+        // per-worker dispatches sent but not yet pulled back, oldest
+        // first; `finish_known[w]` is the simulated finish of the last
+        // pulled dispatch, so the head's start cycle is exact
+        let mut inflight: Vec<VecDeque<usize>> = vec![VecDeque::new(); worker_count];
+        let mut finish_known = vec![0u64; worker_count];
+        // pulled completions whose finish is still in the future,
+        // retired in deterministic (finish, slot) order
+        let mut unretired: BTreeSet<(u64, usize)> = BTreeSet::new();
+        let mut scheduled = vec![false; stream.len()];
+
+        let mut cursor = 0usize;
+        loop {
+            while cursor < order.len() && scheduled[order[cursor]] {
+                cursor += 1;
+            }
+            if cursor == order.len() {
+                break;
+            }
+            // heads are taken at advancing positions of the
+            // arrival-sorted order (batch coalescing skips ahead only
+            // for *members*), so this clock is monotone
+            let head = order[cursor];
+            let now = stream[head].arrival;
+
+            // pull every completion the clock proves has *started*
+            // (its worker-queue predecessors all finished by now) —
+            // the worker thread is already executing it, so the recv
+            // blocks at most for real work already in progress
+            for w in 0..worker_count {
+                while let Some(&slot) = inflight[w].front() {
+                    let start = finish_known[w].max(stream[slot].arrival);
+                    if start > now {
+                        break;
+                    }
+                    let completion = result_rxs[w].recv().expect("worker alive while jobs pend");
+                    debug_assert_eq!(completion.slot, slot);
+                    let finish = start + completion.counters.cycles;
+                    finish_known[w] = finish;
+                    if completion.sim_error.is_none() {
+                        unretired.insert((finish, slot));
+                    }
+                    completions[slot] = Some(completion);
+                    inflight[w].pop_front();
+                }
+            }
+            // retire completed dispatches into the cost refiner, in
+            // simulated completion order
+            while let Some(&(finish, slot)) = unretired.iter().next() {
+                if finish > now {
+                    break;
+                }
+                unretired.remove(&(finish, slot));
+                let cycles = completions[slot]
+                    .as_ref()
+                    .expect("pulled above")
+                    .counters
+                    .cycles;
+                scheduler.observe(
+                    assignment[slot],
+                    module_of(slot),
+                    outcomes[slot].bucket,
+                    cycles,
+                );
+            }
+
+            // route the batch head, then coalesce same-module requests
+            // adjacent in this group's arrival order (requests bound
+            // for other accelerator groups never interpose), stopping
+            // at the batch cutoff: once the worker's estimated
+            // outstanding cycles reach the horizon, further requests
+            // are better served by a fresh routing decision than by
+            // joining the queue
+            let g = group_idx[head];
+            let worker = scheduler.choose(g, &groups[g], module_of(head), now);
+            let mut members = 0usize;
+            let mut scan = cursor;
+            while scan < order.len() {
+                let slot = order[scan];
+                scan += 1;
+                if scheduled[slot] || group_idx[slot] != g {
+                    continue;
+                }
+                if members > 0 {
+                    if members >= max_batch || module_of(slot).key != module_of(head).key {
+                        break;
+                    }
+                    if let Some(cutoff) = cfg.batch_cutoff {
+                        if scheduler.outstanding(worker, stream[slot].arrival) >= cutoff {
+                            break;
+                        }
+                    }
+                }
+                outcomes[slot] = scheduler.commit(worker, module_of(slot), stream[slot].arrival);
+                assignment[slot] = worker;
+                scheduled[slot] = true;
+                inflight[worker].push_back(slot);
+                job_txs[worker]
+                    .send(Job {
+                        request: stream[slot].clone(),
+                        module: Arc::clone(module_of(slot)),
+                        slot,
+                        elide,
+                    })
+                    .expect("worker thread alive while jobs pend");
+                members += 1;
+            }
+            batched_requests += (members - 1) as u64;
+        }
+
+        // drain the tail: close the job channels and collect whatever
+        // is still in flight
+        drop(job_txs);
+        for result_rx in result_rxs {
+            while let Ok(completion) = result_rx.recv() {
+                let slot = completion.slot;
+                completions[slot] = Some(completion);
+            }
+        }
+    });
+    let cost_snapshot = snapshot_by_name(&scheduler);
+    EngineOutput {
+        completions: completions
+            .into_iter()
+            .map(|c| c.expect("every dispatched job completes"))
+            .collect(),
+        assignment,
+        outcomes,
+        batched_requests,
+        ewma_entries_seeded,
+        cost_snapshot,
+    }
+}
+
+/// The refiner's rows re-keyed from platform index to platform name.
+fn snapshot_by_name(scheduler: &Scheduler) -> Vec<CostSnapshotEntry> {
+    let variants = scheduler.load().variants();
+    scheduler
+        .refiner()
+        .snapshot()
+        .into_iter()
+        .map(|(key, platform, buckets)| (variants[platform].name.clone(), key, buckets))
+        .collect()
+}
+
+/// Shared read-only context every scheduler shard runs against.
+#[derive(Clone, Copy)]
+struct Shared<'a> {
+    stream: &'a [TrafficRequest],
+    order: &'a [usize],
+    modules: &'a [Option<Arc<CompiledModule>>],
+    group_idx: &'a [usize],
+    groups: &'a [Vec<usize>],
+    worker_descs: &'a [AcceleratorDescriptor],
+    cfg: &'a ServeConfig,
+    worker_count: usize,
+}
+
+/// How a shard dispatches jobs and collects their completions: over the
+/// executor channels (the threaded engine), or inline on the calling
+/// thread (the single-thread budget — the shard executes each job itself
+/// at dispatch time, so a "receive" just replays the stashed result).
+enum ShardLane {
+    /// Jobs go to executor `worker % threads`; completions come back on
+    /// the shard's own channel.
+    Threaded {
+        job_txs: Vec<mpsc::Sender<(usize, Job)>>,
+        comp_rx: mpsc::Receiver<Completion>,
+        threads: usize,
+    },
+    /// The shard owns its group's workers and executes synchronously.
+    Inline {
+        workers: HashMap<usize, Worker>,
+        done: VecDeque<Completion>,
+    },
+}
+
+impl ShardLane {
+    fn dispatch(&mut self, worker: usize, job: Job) {
+        match self {
+            ShardLane::Threaded {
+                job_txs, threads, ..
+            } => job_txs[worker % *threads]
+                .send((worker, job))
+                .expect("executor thread alive while jobs pend"),
+            ShardLane::Inline { workers, done } => {
+                let completion = workers
+                    .get_mut(&worker)
+                    .expect("worker owned by this shard")
+                    .execute(&job);
+                done.push_back(completion);
+            }
+        }
+    }
+
+    fn recv(&mut self) -> Completion {
+        match self {
+            ShardLane::Threaded { comp_rx, .. } => {
+                comp_rx.recv().expect("executor alive while jobs pend")
+            }
+            ShardLane::Inline { done, .. } => done
+                .pop_front()
+                .expect("inline dispatches complete synchronously"),
+        }
+    }
+}
+
+/// What one scheduler shard hands back to be merged into stream order.
+struct ShardResult {
+    /// `(slot, worker, outcome, completion)` per request of the group.
+    slots: Vec<(usize, usize, CommitOutcome, Completion)>,
+    batched_requests: u64,
+    /// The shard refiner's final rows, re-keyed to platform names.
+    snapshot: Vec<CostSnapshotEntry>,
+}
+
+/// The parallel engine: one scheduler shard per pool group, execution
+/// spread over `threads` executor threads owning the workers.
+fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
+    // Two groups sharing a base platform *name* would share refiner rows
+    // (module keys name the base platform), coupling the shards' cost
+    // state. That shape cannot be decomposed, so serve it on the oracle
+    // instead — the engine choice is a performance knob, not a semantic
+    // one.
+    let mut base_names = HashSet::new();
+    for group in input.groups {
+        if !base_names.insert(input.worker_descs[group[0]].name.as_str()) {
+            return run_deterministic(input);
+        }
+    }
+
+    let n_groups = input.groups.len();
+    let worker_count = input.workers.len();
+    // Split the persisted cost rows by owning shard: shard `g` seeds the
+    // rows naming one of its member platforms for modules compiled
+    // against its base. Rows the pool fields but no shard can own (a
+    // member platform shared with another group, keyed by a foreign
+    // base) are routing-dead — no shard ever reads or writes them — but
+    // the oracle's refiner would still carry them, so they pass through
+    // to the final snapshot verbatim to keep store flushes identical.
+    let member_names: Vec<HashSet<&str>> = input
+        .groups
+        .iter()
+        .map(|group| {
+            group
+                .iter()
+                .map(|&w| input.worker_descs[w].name.as_str())
+                .collect()
+        })
+        .collect();
+    let fielded: HashSet<&str> = input.worker_descs.iter().map(|d| d.name.as_str()).collect();
+    let mut shard_seeds: Vec<Vec<CostSnapshotEntry>> = vec![Vec::new(); n_groups];
+    let mut passthrough: Vec<CostSnapshotEntry> = Vec::new();
+    let mut ewma_entries_seeded = 0u64;
+    if input.cfg.refine_cost {
+        for entry in input.cost_seed {
+            let (name, key, _) = entry;
+            if !fielded.contains(name.as_str()) {
+                continue;
+            }
+            // counted exactly as `LoadTracker::seed_refiner` would
+            ewma_entries_seeded += 1;
+            let owner = (0..n_groups).find(|&g| {
+                member_names[g].contains(name.as_str())
+                    && input.worker_descs[input.groups[g][0]].name == key.accelerator
+            });
+            match owner {
+                Some(g) => shard_seeds[g].push(entry.clone()),
+                None => passthrough.push(entry.clone()),
+            }
+        }
+    }
+
+    let shared = Shared {
+        stream: input.stream,
+        order: input.order,
+        modules: input.modules,
+        group_idx: input.group_idx,
+        groups: input.groups,
+        worker_descs: input.worker_descs,
+        cfg: input.cfg,
+        worker_count,
+    };
+
+    let stream_len = input.stream.len();
+    let mut completions: Vec<Option<Completion>> = (0..stream_len).map(|_| None).collect();
+    let mut assignment = vec![0usize; stream_len];
+    let mut outcomes = vec![CommitOutcome::default(); stream_len];
+    let mut batched_requests = 0u64;
+    let mut cost_snapshot = passthrough;
+    let mut merge = |shard: ShardResult| {
+        batched_requests += shard.batched_requests;
+        cost_snapshot.extend(shard.snapshot);
+        for (slot, worker, outcome, completion) in shard.slots {
+            assignment[slot] = worker;
+            outcomes[slot] = outcome;
+            completions[slot] = Some(completion);
+        }
+    };
+    if threads == 1 {
+        // the single-thread budget: same shards, same decisions, but run
+        // one after another on the calling thread with every dispatch
+        // executed inline — the fully serial baseline that wall-clock
+        // speedups at higher budgets are measured against
+        let mut workers: Vec<Option<Worker>> = input.workers.into_iter().map(Some).collect();
+        for (g, seed) in shard_seeds.into_iter().enumerate() {
+            let owned: HashMap<usize, Worker> = input.groups[g]
+                .iter()
+                .map(|&w| (w, workers[w].take().expect("each worker has one group")))
+                .collect();
+            let lane = ShardLane::Inline {
+                workers: owned,
+                done: VecDeque::new(),
+            };
+            merge(run_shard(shared, g, seed, lane));
+        }
+        return EngineOutput {
+            completions: completions
+                .into_iter()
+                .map(|c| c.expect("every dispatched job completes"))
+                .collect(),
+            assignment,
+            outcomes,
+            batched_requests,
+            ewma_entries_seeded,
+            cost_snapshot,
+        };
+    }
+    thread::scope(|scope| {
+        // executor channels: worker `w` is owned by executor `w % threads`
+        let mut exec_txs = Vec::with_capacity(threads);
+        let mut exec_rxs = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = mpsc::channel::<(usize, Job)>();
+            exec_txs.push(tx);
+            exec_rxs.push(rx);
+        }
+        // per-shard completion channels, addressed per worker
+        let mut shard_comp_txs = Vec::with_capacity(n_groups);
+        let mut shard_comp_rxs = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let (tx, rx) = mpsc::channel::<Completion>();
+            shard_comp_txs.push(tx);
+            shard_comp_rxs.push(rx);
+        }
+        let mut worker_group = vec![0usize; worker_count];
+        for (g, group) in input.groups.iter().enumerate() {
+            for &w in group {
+                worker_group[w] = g;
+            }
+        }
+        let comp_tx_of_worker: Vec<mpsc::Sender<Completion>> = (0..worker_count)
+            .map(|w| shard_comp_txs[worker_group[w]].clone())
+            .collect();
+        drop(shard_comp_txs);
+
+        // executor threads own the workers and execute jobs in arrival
+        // order; a worker's jobs all come from its group's single shard,
+        // so per-sender channel FIFO preserves each worker's dispatch
+        // sequence exactly as the shard committed it
+        let mut owned: Vec<HashMap<usize, Worker>> = (0..threads).map(|_| HashMap::new()).collect();
+        for (w, worker) in input.workers.into_iter().enumerate() {
+            owned[w % threads].insert(w, worker);
+        }
+        for (mut workers, job_rx) in owned.into_iter().zip(exec_rxs) {
+            let comp_txs = comp_tx_of_worker.clone();
+            scope.spawn(move || {
+                while let Ok((w, job)) = job_rx.recv() {
+                    let completion = workers
+                        .get_mut(&w)
+                        .expect("job routed to its owning executor")
+                        .execute(&job);
+                    if comp_txs[w].send(completion).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(comp_tx_of_worker);
+
+        // scheduler shards: one per pool group
+        let mut handles = Vec::with_capacity(n_groups);
+        for (g, (comp_rx, seed)) in shard_comp_rxs.into_iter().zip(shard_seeds).enumerate() {
+            let lane = ShardLane::Threaded {
+                job_txs: exec_txs.clone(),
+                comp_rx,
+                threads,
+            };
+            handles.push(scope.spawn(move || run_shard(shared, g, seed, lane)));
+        }
+        drop(exec_txs);
+
+        for handle in handles {
+            merge(handle.join().expect("scheduler shard panicked"));
+        }
+    });
+    EngineOutput {
+        completions: completions
+            .into_iter()
+            .map(|c| c.expect("every dispatched job completes"))
+            .collect(),
+        assignment,
+        outcomes,
+        batched_requests,
+        ewma_entries_seeded,
+        cost_snapshot,
+    }
+}
+
+/// One scheduler shard: replays the oracle's loop over group `g`'s
+/// subsequence of the arrival order, against a full-width scheduler (so
+/// platform indices match the oracle's) that only ever routes within the
+/// group's candidates.
+fn run_shard(
+    shared: Shared<'_>,
+    g: usize,
+    seed: Vec<CostSnapshotEntry>,
+    mut lane: ShardLane,
+) -> ShardResult {
+    let Shared {
+        stream,
+        order,
+        modules,
+        group_idx,
+        groups,
+        worker_descs,
+        cfg,
+        worker_count,
+    } = shared;
+    let module_of = |i: usize| modules[i].as_ref().expect("resolved by the prologue");
+    let members = &groups[g];
+
+    let mut scheduler = Scheduler::new(cfg.policy, worker_descs, groups.len())
+        .with_refinement(cfg.refine_cost)
+        .with_slack(cfg.load_slack);
+    scheduler.seed_refiner(&seed);
+    let elide = scheduler.elides();
+    let max_batch = cfg.max_batch.max(1);
+
+    // this group's subsequence of the arrival order
+    let my_order: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| group_idx[i] == g)
+        .collect();
+
+    // completions arrive on one lane for all member workers, in
+    // execution order, which need not match the simulated-clock order the
+    // shard consumes them in — buffer strays by slot until needed
+    let mut pending: HashMap<usize, Completion> = HashMap::new();
+    fn wait_for(
+        slot: usize,
+        lane: &mut ShardLane,
+        pending: &mut HashMap<usize, Completion>,
+    ) -> Completion {
+        loop {
+            if let Some(completion) = pending.remove(&slot) {
+                return completion;
+            }
+            let completion = lane.recv();
+            pending.insert(completion.slot, completion);
+        }
+    }
+
+    let mut slots: Vec<(usize, usize, CommitOutcome, Completion)> =
+        Vec::with_capacity(my_order.len());
+    let mut assignment: HashMap<usize, usize> = HashMap::new();
+    let mut outcomes: HashMap<usize, CommitOutcome> = HashMap::new();
+    let mut completions: HashMap<usize, Completion> = HashMap::new();
+    let mut inflight: Vec<VecDeque<usize>> = vec![VecDeque::new(); worker_count];
+    let mut finish_known = vec![0u64; worker_count];
+    let mut unretired: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut scheduled = vec![false; stream.len()];
+    let mut batched_requests = 0u64;
+
+    let mut cursor = 0usize;
+    loop {
+        while cursor < my_order.len() && scheduled[my_order[cursor]] {
+            cursor += 1;
+        }
+        if cursor == my_order.len() {
+            break;
+        }
+        let head = my_order[cursor];
+        let now = stream[head].arrival;
+
+        // pull every member completion the clock proves has started —
+        // exactly the oracle's pull rule, restricted to this group's
+        // workers
+        for &w in members {
+            while let Some(&slot) = inflight[w].front() {
+                let start = finish_known[w].max(stream[slot].arrival);
+                if start > now {
+                    break;
+                }
+                let completion = wait_for(slot, &mut lane, &mut pending);
+                debug_assert_eq!(completion.slot, slot);
+                let finish = start + completion.counters.cycles;
+                finish_known[w] = finish;
+                if completion.sim_error.is_none() {
+                    unretired.insert((finish, slot));
+                }
+                completions.insert(slot, completion);
+                inflight[w].pop_front();
+            }
+        }
+        // retire completed dispatches into this shard's cost refiner, in
+        // simulated completion order
+        while let Some(&(finish, slot)) = unretired.iter().next() {
+            if finish > now {
+                break;
+            }
+            unretired.remove(&(finish, slot));
+            let cycles = completions[&slot].counters.cycles;
+            scheduler.observe(
+                assignment[&slot],
+                module_of(slot),
+                outcomes[&slot].bucket,
+                cycles,
+            );
+        }
+
+        // route the batch head, then coalesce — the oracle's scan over
+        // this group's subsequence, verbatim
+        let worker = scheduler.choose(g, members, module_of(head), now);
+        let mut batch = 0usize;
+        let mut scan = cursor;
+        while scan < my_order.len() {
+            let slot = my_order[scan];
+            scan += 1;
+            if scheduled[slot] {
+                continue;
+            }
+            if batch > 0 {
+                if batch >= max_batch || module_of(slot).key != module_of(head).key {
+                    break;
+                }
+                if let Some(cutoff) = cfg.batch_cutoff {
+                    if scheduler.outstanding(worker, stream[slot].arrival) >= cutoff {
+                        break;
+                    }
+                }
+            }
+            outcomes.insert(
+                slot,
+                scheduler.commit(worker, module_of(slot), stream[slot].arrival),
+            );
+            assignment.insert(slot, worker);
+            scheduled[slot] = true;
+            inflight[worker].push_back(slot);
+            lane.dispatch(
+                worker,
+                Job {
+                    request: stream[slot].clone(),
+                    module: Arc::clone(module_of(slot)),
+                    slot,
+                    elide,
+                },
+            );
+            batch += 1;
+        }
+        batched_requests += (batch - 1) as u64;
+    }
+
+    // drain the tail: everything dispatched executes before the lane
+    // closes, so each remaining inflight slot's completion is already on
+    // its way (or, inline, already stashed)
+    for &w in members {
+        while let Some(slot) = inflight[w].pop_front() {
+            let completion = wait_for(slot, &mut lane, &mut pending);
+            completions.insert(slot, completion);
+        }
+    }
+
+    let snapshot = snapshot_by_name(&scheduler);
+    for (slot, completion) in completions {
+        slots.push((slot, assignment[&slot], outcomes[&slot], completion));
+    }
+    ShardResult {
+        slots,
+        batched_requests,
+        snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::runtime::{PoolConfig, Runtime, ServeConfig};
+    use accfg_workloads::{mixed_serving_classes, TrafficConfig};
+
+    fn pool() -> PoolConfig {
+        PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+    }
+
+    fn stream(requests: usize, seed: u64) -> Vec<TrafficRequest> {
+        TrafficConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            mean_gap: 80,
+            seed,
+        }
+        .open_loop_stream()
+        .unwrap()
+    }
+
+    fn serve(pool: PoolConfig, stream: &[TrafficRequest], cfg: &ServeConfig) -> crate::ServeReport {
+        Runtime::new(pool).serve(stream, cfg).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_the_oracle_per_request() {
+        let stream = stream(250, 21);
+        for policy in [
+            Policy::Fifo,
+            Policy::FifoElide,
+            Policy::ConfigAffinity,
+            Policy::Cost,
+        ] {
+            let base = ServeConfig {
+                policy,
+                ..ServeConfig::default()
+            };
+            let oracle = serve(pool(), &stream, &base);
+            for threads in [1, 3] {
+                let parallel = serve(
+                    pool(),
+                    &stream,
+                    &ServeConfig {
+                        mode: ServeMode::Parallel { threads },
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    oracle.metrics,
+                    parallel.metrics,
+                    "{} x{threads}",
+                    policy.label()
+                );
+                assert_eq!(oracle.latencies, parallel.latencies);
+                assert_eq!(oracle.predictions, parallel.predictions);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_the_oracle_with_batching() {
+        let stream = stream(300, 22);
+        let base = ServeConfig {
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        let oracle = serve(pool(), &stream, &base);
+        let parallel = serve(
+            pool(),
+            &stream,
+            &ServeConfig {
+                mode: ServeMode::Parallel { threads: 2 },
+                ..base
+            },
+        );
+        assert_eq!(oracle.metrics, parallel.metrics);
+        assert_eq!(oracle.latencies, parallel.latencies);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let stream = stream(60, 23);
+        let oracle = serve(pool(), &stream, &ServeConfig::default());
+        let parallel = serve(
+            pool(),
+            &stream,
+            &ServeConfig {
+                mode: ServeMode::Parallel { threads: 0 },
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(oracle.metrics, parallel.metrics);
+    }
+
+    #[test]
+    fn duplicate_base_names_fall_back_to_the_oracle() {
+        // two groups fielding the same base platform cannot be sharded
+        // (their modules share refiner rows); the parallel engine must
+        // still serve them correctly — by falling back
+        let gemmini = AcceleratorDescriptor::gemmini();
+        let pool = PoolConfig {
+            groups: vec![
+                crate::runtime::PoolGroup {
+                    family: "a".into(),
+                    members: vec![gemmini.clone(), gemmini.clone()],
+                },
+                crate::runtime::PoolGroup {
+                    family: "b".into(),
+                    members: vec![gemmini.clone(), gemmini],
+                },
+            ],
+            mem_bytes: 1 << 21,
+            fuel: 100_000_000,
+        };
+        let mut stream = stream(80, 24);
+        for (i, request) in stream.iter_mut().enumerate() {
+            request.accelerator = if i % 2 == 0 { "a".into() } else { "b".into() };
+            request.spec = accfg_workloads::MatmulSpec::gemmini_paper(16).unwrap();
+        }
+        let oracle = serve(pool.clone(), &stream, &ServeConfig::default());
+        let parallel = serve(
+            pool,
+            &stream,
+            &ServeConfig {
+                mode: ServeMode::Parallel { threads: 4 },
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(oracle.metrics, parallel.metrics);
+        assert_eq!(oracle.latencies, parallel.latencies);
+    }
+}

@@ -144,6 +144,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod persist;
@@ -157,6 +158,7 @@ pub use cache::{
     build_module, CacheKey, CacheStats, CompiledModule, CostModel, CostRefiner, ModuleCache,
     WARMTH_BUCKETS,
 };
+pub use engine::ServeMode;
 pub use error::ServeError;
 pub use metrics::{
     class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,

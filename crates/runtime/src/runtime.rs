@@ -32,6 +32,7 @@
 //! [`SchedulePolicy`]: crate::policy::SchedulePolicy
 
 use crate::cache::{CacheKey, CacheStats, CompiledModule, ModuleCache};
+use crate::engine::{self, ServeMode};
 use crate::error::ServeError;
 use crate::metrics::{
     class_label, ClassLatency, DepthHistogram, LatencyStats, PredictionStats, ServeMetrics,
@@ -39,17 +40,15 @@ use crate::metrics::{
 };
 use crate::persist::{self, CostSnapshotEntry};
 use crate::policy::Policy;
-use crate::scheduler::{CommitOutcome, Scheduler, LOAD_SLACK_CYCLES};
-use crate::worker::{Completion, Job, Worker};
+use crate::scheduler::LOAD_SLACK_CYCLES;
+use crate::worker::{Completion, Worker};
 use accfg::pipeline::OptLevel;
 use accfg_store::{KeyValueStore, LogStore};
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{TrafficClass, TrafficRequest};
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet};
 use std::path::PathBuf;
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
 
 /// One routing group of the pool: the *family* name requests address,
 /// plus the per-worker platform descriptors serving it.
@@ -246,6 +245,14 @@ pub struct ServeConfig {
     /// [`WarmStartStats`]. `None` (the default) serves fully cold and
     /// keeps the run byte-identical to the pre-store behaviour.
     pub store: Option<PathBuf>,
+    /// Which serve engine processes the dispatch loop:
+    /// [`ServeMode::Deterministic`] (the default) is the single-threaded
+    /// simulated-clock oracle whose reports are byte-identical across
+    /// runs; [`ServeMode::Parallel`] shards the scheduler per pool group
+    /// and spreads execution over executor threads, producing identical
+    /// per-request outcomes at real wall-clock parallelism (see
+    /// [`crate::engine`] for the contract).
+    pub mode: ServeMode,
 }
 
 impl Default for ServeConfig {
@@ -258,6 +265,7 @@ impl Default for ServeConfig {
             batch_cutoff: Some(LOAD_SLACK_CYCLES),
             refine_cost: true,
             store: None,
+            mode: ServeMode::Deterministic,
         }
     }
 }
@@ -426,7 +434,6 @@ impl Runtime {
             modules[i] = Some(module);
             group_idx[i] = g;
         }
-        let module_of = |i: usize| modules[i].as_ref().expect("resolved above");
 
         // compile builds the restored modules saved this run: distinct
         // stream keys a restored entry satisfied instead of a fresh build
@@ -444,159 +451,30 @@ impl Runtime {
             .collect();
         let worker_count = workers.len();
 
-        // The serve loop proper: scheduling interleaved with execution.
-        // Each batch head's arrival cycle advances the simulated clock;
-        // before routing, every dispatch the clock proves *complete*
-        // retires its measured cycles into the scheduler's cost refiner,
-        // so later queue estimates learn from the stream itself. All
-        // blocking points are functions of simulated time, which keeps
-        // the schedule — and every metric — deterministic.
-        let mut scheduler = Scheduler::new(cfg.policy, &worker_descs, groups.len())
-            .with_refinement(cfg.refine_cost)
-            .with_slack(cfg.load_slack);
-        warm_start.ewma_entries_seeded = scheduler.seed_refiner(&cost_seed);
-        let elide = scheduler.elides();
-        let mut assignment = vec![0usize; stream.len()];
-        let mut outcomes = vec![CommitOutcome::default(); stream.len()];
-        let mut batched_requests = 0u64;
-        let max_batch = cfg.max_batch.max(1);
-        let mut completions: Vec<Option<Completion>> = (0..stream.len()).map(|_| None).collect();
-        thread::scope(|scope| {
-            let mut job_txs = Vec::new();
-            let mut result_rxs = Vec::new();
-            for worker in workers {
-                let (job_tx, job_rx) = mpsc::channel::<Job>();
-                let (result_tx, result_rx) = mpsc::channel::<Completion>();
-                job_txs.push(job_tx);
-                result_rxs.push(result_rx);
-                scope.spawn(move || worker.run_loop(job_rx, result_tx));
-            }
-
-            // per-worker dispatches sent but not yet pulled back, oldest
-            // first; `finish_known[w]` is the simulated finish of the last
-            // pulled dispatch, so the head's start cycle is exact
-            let mut inflight: Vec<VecDeque<usize>> = vec![VecDeque::new(); worker_count];
-            let mut finish_known = vec![0u64; worker_count];
-            // pulled completions whose finish is still in the future,
-            // retired in deterministic (finish, slot) order
-            let mut unretired: BTreeSet<(u64, usize)> = BTreeSet::new();
-            let mut scheduled = vec![false; stream.len()];
-
-            let mut cursor = 0usize;
-            loop {
-                while cursor < order.len() && scheduled[order[cursor]] {
-                    cursor += 1;
-                }
-                if cursor == order.len() {
-                    break;
-                }
-                // heads are taken at advancing positions of the
-                // arrival-sorted order (batch coalescing skips ahead only
-                // for *members*), so this clock is monotone
-                let head = order[cursor];
-                let now = stream[head].arrival;
-
-                // pull every completion the clock proves has *started*
-                // (its worker-queue predecessors all finished by now) —
-                // the worker thread is already executing it, so the recv
-                // blocks at most for real work already in progress
-                for w in 0..worker_count {
-                    while let Some(&slot) = inflight[w].front() {
-                        let start = finish_known[w].max(stream[slot].arrival);
-                        if start > now {
-                            break;
-                        }
-                        let completion =
-                            result_rxs[w].recv().expect("worker alive while jobs pend");
-                        debug_assert_eq!(completion.slot, slot);
-                        let finish = start + completion.counters.cycles;
-                        finish_known[w] = finish;
-                        if completion.sim_error.is_none() {
-                            unretired.insert((finish, slot));
-                        }
-                        completions[slot] = Some(completion);
-                        inflight[w].pop_front();
-                    }
-                }
-                // retire completed dispatches into the cost refiner, in
-                // simulated completion order
-                while let Some(&(finish, slot)) = unretired.iter().next() {
-                    if finish > now {
-                        break;
-                    }
-                    unretired.remove(&(finish, slot));
-                    let cycles = completions[slot]
-                        .as_ref()
-                        .expect("pulled above")
-                        .counters
-                        .cycles;
-                    scheduler.observe(
-                        assignment[slot],
-                        module_of(slot),
-                        outcomes[slot].bucket,
-                        cycles,
-                    );
-                }
-
-                // route the batch head, then coalesce same-module requests
-                // adjacent in this group's arrival order (requests bound
-                // for other accelerator groups never interpose), stopping
-                // at the batch cutoff: once the worker's estimated
-                // outstanding cycles reach the horizon, further requests
-                // are better served by a fresh routing decision than by
-                // joining the queue
-                let g = group_idx[head];
-                let worker = scheduler.choose(g, &groups[g], module_of(head), now);
-                let mut members = 0usize;
-                let mut scan = cursor;
-                while scan < order.len() {
-                    let slot = order[scan];
-                    scan += 1;
-                    if scheduled[slot] || group_idx[slot] != g {
-                        continue;
-                    }
-                    if members > 0 {
-                        if members >= max_batch || module_of(slot).key != module_of(head).key {
-                            break;
-                        }
-                        if let Some(cutoff) = cfg.batch_cutoff {
-                            if scheduler.outstanding(worker, stream[slot].arrival) >= cutoff {
-                                break;
-                            }
-                        }
-                    }
-                    outcomes[slot] =
-                        scheduler.commit(worker, module_of(slot), stream[slot].arrival);
-                    assignment[slot] = worker;
-                    scheduled[slot] = true;
-                    inflight[worker].push_back(slot);
-                    job_txs[worker]
-                        .send(Job {
-                            request: stream[slot].clone(),
-                            module: Arc::clone(module_of(slot)),
-                            slot,
-                            elide,
-                        })
-                        .expect("worker thread alive while jobs pend");
-                    members += 1;
-                }
-                batched_requests += (members - 1) as u64;
-            }
-
-            // drain the tail: close the job channels and collect whatever
-            // is still in flight
-            drop(job_txs);
-            for result_rx in result_rxs {
-                while let Ok(completion) = result_rx.recv() {
-                    let slot = completion.slot;
-                    completions[slot] = Some(completion);
-                }
-            }
+        // The serve loop proper: scheduling interleaved with execution,
+        // behind the engine `cfg.mode` selects. The deterministic oracle
+        // advances one simulated clock over the whole pool; the parallel
+        // engine shards it per group with identical per-request outcomes
+        // (see `crate::engine`). Either way, every dispatch the clock
+        // proves *complete* retires its measured cycles into the
+        // scheduler's cost refiner, so later queue estimates learn from
+        // the stream itself.
+        let engine_out = engine::run(engine::EngineInput {
+            stream,
+            order: &order,
+            modules: &modules,
+            group_idx: &group_idx,
+            groups: &groups,
+            worker_descs: &worker_descs,
+            workers,
+            cost_seed: &cost_seed,
+            cfg,
         });
-        let completions: Vec<Completion> = completions
-            .into_iter()
-            .map(|c| c.expect("every dispatched job completes"))
-            .collect();
+        warm_start.ewma_entries_seeded = engine_out.ewma_entries_seeded;
+        let completions: Vec<Completion> = engine_out.completions;
+        let assignment = engine_out.assignment;
+        let outcomes = engine_out.outcomes;
+        let batched_requests = engine_out.batched_requests;
 
         // per-worker dispatch sequences (for latency replay)
         let mut dispatch_order: Vec<Vec<usize>> = vec![Vec::new(); worker_count];
@@ -690,14 +568,7 @@ impl Runtime {
         // leaves the file byte-for-byte unchanged.
         if let Some(store) = &mut store {
             persist::save_modules(store, &self.cache)?;
-            let variants = scheduler.load().variants();
-            let entries: Vec<CostSnapshotEntry> = scheduler
-                .refiner()
-                .snapshot()
-                .into_iter()
-                .map(|(key, platform, buckets)| (variants[platform].name.clone(), key, buckets))
-                .collect();
-            persist::save_costs(store, &entries)?;
+            persist::save_costs(store, &engine_out.cost_snapshot)?;
             store.sync()?;
         }
 

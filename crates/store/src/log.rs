@@ -119,6 +119,16 @@ impl LogStore {
         if bytes.is_empty() {
             fs::write(&path, MAGIC).map_err(|e| StoreError::io("create", &path, &e))?;
             valid_len = MAGIC.len() as u64;
+        } else if bytes.len() < MAGIC.len() && MAGIC.starts_with(&bytes) {
+            // a strict prefix of the magic is a torn initial create (the
+            // process died mid-way through writing the header), not a
+            // foreign file: rewrite the magic and recover an empty store
+            fs::write(&path, MAGIC).map_err(|e| StoreError::io("create", &path, &e))?;
+            valid_len = MAGIC.len() as u64;
+            recovery = Some(TailCorruption {
+                offset: bytes.len() as u64,
+                detail: "truncated store magic".to_string(),
+            });
         } else {
             if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
                 return Err(StoreError::BadMagic {

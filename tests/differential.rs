@@ -1,0 +1,387 @@
+//! Differential testing of the parallel serve engine against the
+//! deterministic oracle.
+//!
+//! The single-threaded simulated-clock loop (`ServeMode::Deterministic`)
+//! is the *oracle*: its per-request outcomes define correct behaviour.
+//! The sharded parallel engine (`ServeMode::Parallel`) must reproduce
+//! those outcomes exactly — writes, cycles, latencies, prediction
+//! samples, routing — at every thread budget. This suite pins that
+//! contract over every `serve_bench` stream × policy pair (at reduced
+//! request counts), and property-tests it over random streams, pool
+//! shapes, slack horizons, and batch settings with the thread budget
+//! varied across 1/2/8.
+
+use configuration_wall::prelude::*;
+use configuration_wall::runtime::{measured_class_service_times, Policy, ServeMode, ServeReport};
+use configuration_wall::workloads::{
+    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
+    ClosedLoopConfig, TrafficClass, TrafficRequest,
+};
+use proptest::prelude::*;
+
+/// The thread budgets the contract is pinned at: fully serial, fewer
+/// executors than workers, and one executor per worker with headroom.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+const POLICIES: [Policy; 4] = [
+    Policy::Fifo,
+    Policy::FifoElide,
+    Policy::ConfigAffinity,
+    Policy::Cost,
+];
+
+fn uniform_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ])
+    .with_workers_per_accelerator(2)
+}
+
+fn hetero_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ])
+    .with_workers_per_accelerator(2)
+    .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+    .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
+}
+
+fn contention_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini().with_reference_timing(),
+        AcceleratorDescriptor::opengemm().with_reference_timing(),
+    ])
+    .with_workers_per_accelerator(2)
+}
+
+/// Outcome-by-outcome equality: aggregate metrics (module-cache
+/// provenance included — both serves run on fresh runtimes), per-request
+/// latencies and prediction samples, and per-request completions down to
+/// routing, emitted/cold writes, and simulated cycles.
+fn assert_identical(oracle: &ServeReport, parallel: &ServeReport, context: &str) {
+    assert_eq!(
+        oracle.metrics, parallel.metrics,
+        "{context}: metrics diverge"
+    );
+    assert_eq!(
+        oracle.latencies, parallel.latencies,
+        "{context}: latencies diverge"
+    );
+    assert_eq!(
+        oracle.predictions, parallel.predictions,
+        "{context}: prediction samples diverge"
+    );
+    assert_eq!(oracle.completions.len(), parallel.completions.len());
+    for (slot, (o, p)) in oracle
+        .completions
+        .iter()
+        .zip(&parallel.completions)
+        .enumerate()
+    {
+        assert_eq!(
+            o.worker, p.worker,
+            "{context}: request {slot} routed differently"
+        );
+        assert_eq!(
+            o.emitted_writes, p.emitted_writes,
+            "{context}: request {slot} emitted different writes"
+        );
+        assert_eq!(
+            o.cold_writes, p.cold_writes,
+            "{context}: request {slot} reports different cold writes"
+        );
+        assert_eq!(
+            o.counters.cycles, p.counters.cycles,
+            "{context}: request {slot} took different cycles"
+        );
+        assert_eq!(
+            o.check_error.is_none(),
+            p.check_error.is_none(),
+            "{context}: request {slot} check outcomes diverge"
+        );
+        assert_eq!(
+            o.sim_error.is_none(),
+            p.sim_error.is_none(),
+            "{context}: request {slot} sim outcomes diverge"
+        );
+    }
+}
+
+/// Serves `stream` under `cfg` on the oracle once, then on the parallel
+/// engine at each thread budget in `threads` — every serve on a fresh
+/// runtime, so cache statistics match — and asserts each parallel report
+/// is identical to the oracle's.
+fn serve_both(
+    pool: &PoolConfig,
+    stream: &[TrafficRequest],
+    cfg: &ServeConfig,
+    threads: &[usize],
+    context: &str,
+) {
+    let oracle = Runtime::new(pool.clone())
+        .serve(stream, cfg)
+        .expect("oracle serve succeeds");
+    for &t in threads {
+        let parallel = Runtime::new(pool.clone())
+            .serve(
+                stream,
+                &ServeConfig {
+                    mode: ServeMode::Parallel { threads: t },
+                    ..cfg.clone()
+                },
+            )
+            .expect("parallel serve succeeds");
+        assert_identical(&oracle, &parallel, &format!("{context} x{t}"));
+    }
+}
+
+/// Every policy × thread budget over one stream.
+fn check_stream(name: &str, pool: PoolConfig, stream: &[TrafficRequest], threads: &[usize]) {
+    for policy in POLICIES {
+        let cfg = ServeConfig {
+            policy,
+            ..ServeConfig::default()
+        };
+        serve_both(
+            &pool,
+            stream,
+            &cfg,
+            threads,
+            &format!("{name}/{}", policy.label()),
+        );
+    }
+}
+
+fn open_loop(
+    classes: Vec<TrafficClass>,
+    requests: usize,
+    mean_gap: u64,
+    seed: u64,
+) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes,
+        requests,
+        mean_gap,
+        seed,
+    }
+    .open_loop_stream()
+    .expect("valid mix")
+}
+
+#[test]
+fn mixed_stream_matches() {
+    // the flagship stream gets the full thread sweep; the other streams
+    // pin the inline (1) and shared-executor (2) paths and leave the
+    // wide budget to the proptests and the CI differential smoke
+    check_stream(
+        "mixed",
+        uniform_pool(),
+        &open_loop(mixed_serving_classes(), 400, 200, 0xC0FFEE),
+        &THREADS,
+    );
+}
+
+#[test]
+fn mixed_stream_matches_with_batching() {
+    // the batch scan is the one decision that reads ahead in the group's
+    // arrival order — pin it separately from the plain per-policy sweep
+    let stream = open_loop(mixed_serving_classes(), 400, 200, 0xC0FFEE);
+    for policy in [Policy::FifoElide, Policy::ConfigAffinity] {
+        let cfg = ServeConfig {
+            policy,
+            max_batch: 8,
+            ..ServeConfig::default()
+        };
+        serve_both(
+            &uniform_pool(),
+            &stream,
+            &cfg,
+            &[2, 8],
+            &format!("mixed+batch/{}", policy.label()),
+        );
+    }
+}
+
+#[test]
+fn shape_heavy_stream_matches() {
+    check_stream(
+        "shape_heavy",
+        uniform_pool(),
+        &open_loop(shape_heavy_classes(), 300, 400, 0x5EED),
+        &[1, 2],
+    );
+}
+
+#[test]
+fn bursty_stream_matches() {
+    let stream = BurstyConfig {
+        classes: mixed_serving_classes(),
+        requests: 300,
+        burst_len: 24,
+        burst_gap: 60,
+        idle_gap: 12_000,
+        seed: 0xB0257,
+    }
+    .stream()
+    .expect("valid bursty mix");
+    check_stream("bursty", uniform_pool(), &stream, &[1, 2]);
+}
+
+fn closed_loop_config(requests: usize) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        clients: 12,
+        think_time: 400,
+        service_estimate: 250,
+        seed: 0xC105ED,
+    }
+}
+
+#[test]
+fn closed_loop_stream_matches() {
+    let stream = closed_loop_config(300)
+        .stream()
+        .expect("valid closed-loop mix");
+    check_stream("closed_loop", uniform_pool(), &stream, &[1, 2]);
+}
+
+#[test]
+fn closed_loop_measured_stream_matches() {
+    // calibrated exactly as serve_bench builds the stream: measured mean
+    // service times from a fifo+elide serve of the static-estimate stream
+    let cfg = closed_loop_config(300);
+    let calibration_stream = cfg.stream().expect("valid closed-loop mix");
+    let calibration = Runtime::new(uniform_pool())
+        .serve(
+            &calibration_stream,
+            &ServeConfig {
+                policy: Policy::FifoElide,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("calibration serve succeeds");
+    let service_times = measured_class_service_times(
+        &cfg.classes,
+        &calibration_stream,
+        &calibration,
+        cfg.service_estimate,
+    );
+    let stream = cfg
+        .stream_with_service_times(&service_times)
+        .expect("valid measured closed-loop mix");
+    check_stream("closed_loop_measured", uniform_pool(), &stream, &[1, 2]);
+}
+
+#[test]
+fn hetero_stream_matches() {
+    check_stream(
+        "hetero",
+        hetero_pool(),
+        &open_loop(mixed_platform_classes(), 300, 300, 0x4E7E60),
+        &[1, 2],
+    );
+}
+
+#[test]
+fn contention_stream_matches() {
+    // the reference timing models (contention + DVFS) make observed
+    // cycles load-dependent — the hardest stream for the refiner, and
+    // therefore for outcome equality through the shards' observe order
+    check_stream(
+        "contention",
+        contention_pool(),
+        &open_loop(mixed_serving_classes(), 250, 120, 0xC047E47),
+        &[1, 2],
+    );
+}
+
+fn stream_from_picks(
+    classes: &[TrafficClass],
+    picks: &[usize],
+    mean_gap: u64,
+    seed: u64,
+) -> Vec<TrafficRequest> {
+    picks
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| TrafficRequest {
+            id: i as u64,
+            accelerator: classes[c].accelerator.clone(),
+            spec: classes[c].spec,
+            arrival: i as u64 * mean_gap,
+            seed: seed ^ (i as u64),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The contract holds on arbitrary open-loop streams over arbitrary
+    /// pool shapes (1–3 workers per family, optionally heterogeneous),
+    /// slack horizons, and batch settings, at every thread budget.
+    #[test]
+    fn parallel_matches_the_oracle_on_random_streams(
+        picks in prop::collection::vec(0usize..6, 20..100),
+        gap in 1u64..400,
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        hetero in any::<bool>(),
+        slack in 64u64..1024,
+        max_batch in 1usize..8,
+        policy_idx in 0usize..4,
+        threads_idx in 0usize..3,
+    ) {
+        let stream = stream_from_picks(&mixed_serving_classes(), &picks, gap, seed);
+        let mut pool = PoolConfig::new(vec![
+            AcceleratorDescriptor::gemmini(),
+            AcceleratorDescriptor::opengemm(),
+        ])
+        .with_workers_per_accelerator(workers);
+        if hetero && workers >= 2 {
+            pool = pool
+                .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+                .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite());
+        }
+        let cfg = ServeConfig {
+            policy: POLICIES[policy_idx],
+            load_slack: slack,
+            batch_cutoff: Some(slack),
+            max_batch,
+            ..ServeConfig::default()
+        };
+        serve_both(&pool, &stream, &cfg, &[THREADS[threads_idx]], "random open-loop");
+    }
+
+    /// The same property under bursty arrivals — deep queues make the
+    /// shards' completion-pull and retire order work hardest.
+    #[test]
+    fn parallel_matches_the_oracle_on_random_bursty_streams(
+        requests in 20usize..80,
+        burst_len in 1usize..24,
+        burst_gap in 0u64..100,
+        idle_gap in 0u64..20_000,
+        seed in any::<u64>(),
+        policy_idx in 0usize..4,
+        threads_idx in 0usize..3,
+    ) {
+        let stream = BurstyConfig {
+            classes: mixed_serving_classes(),
+            requests,
+            burst_len,
+            burst_gap,
+            idle_gap,
+            seed,
+        }
+        .stream()
+        .unwrap();
+        let cfg = ServeConfig {
+            policy: POLICIES[policy_idx],
+            ..ServeConfig::default()
+        };
+        serve_both(&uniform_pool(), &stream, &cfg, &[THREADS[threads_idx]], "random bursty");
+    }
+}

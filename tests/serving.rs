@@ -13,6 +13,7 @@ use configuration_wall::workloads::{
     TrafficRequest,
 };
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn runtime() -> Runtime {
     Runtime::new(
@@ -62,6 +63,83 @@ fn serve(rt: &mut Runtime, stream: &[TrafficRequest], policy: Policy) -> ServeRe
         },
     )
     .expect("serve succeeds")
+}
+
+/// Serve reports for the canonical mixed 4k stream (4,000 requests, mean
+/// gap 200, seed `0xC0FFEE`), computed once and shared by the three tests
+/// that pin bars on it. Every serve is deterministic — the shared fixture
+/// only deduplicates work, it cannot change any report. None of the
+/// consuming tests read module-cache statistics, so serving all seven
+/// configurations off one runtime is safe.
+struct Mixed4k {
+    fifo: ServeReport,
+    elide: ServeReport,
+    affinity: ServeReport,
+    cost: ServeReport,
+    /// fifo+elide with `max_batch: 8` and the default cutoff.
+    batched: ServeReport,
+    /// fifo+elide with `max_batch: 8` and the cutoff disabled.
+    uncapped: ServeReport,
+    /// The `refine_cost: false` ablation under the default policy.
+    unrefined: ServeReport,
+}
+
+fn mixed_4k() -> &'static Mixed4k {
+    static FIXTURE: OnceLock<Mixed4k> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let stream = TrafficConfig {
+            classes: mixed_serving_classes(),
+            requests: 4_000,
+            mean_gap: 200,
+            seed: 0xC0FFEE,
+        }
+        .open_loop_stream()
+        .unwrap();
+        let mut rt = runtime();
+        let fifo = serve(&mut rt, &stream, Policy::Fifo);
+        let elide = serve(&mut rt, &stream, Policy::FifoElide);
+        let affinity = serve(&mut rt, &stream, Policy::ConfigAffinity);
+        let cost = serve(&mut rt, &stream, Policy::Cost);
+        let batched = rt
+            .serve(
+                &stream,
+                &ServeConfig {
+                    policy: Policy::FifoElide,
+                    max_batch: 8,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("serve succeeds");
+        let uncapped = rt
+            .serve(
+                &stream,
+                &ServeConfig {
+                    policy: Policy::FifoElide,
+                    max_batch: 8,
+                    batch_cutoff: None,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("serve succeeds");
+        let unrefined = rt
+            .serve(
+                &stream,
+                &ServeConfig {
+                    refine_cost: false,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("serve succeeds");
+        Mixed4k {
+            fifo,
+            elide,
+            affinity,
+            cost,
+            batched,
+            uncapped,
+            unrefined,
+        }
+    })
 }
 
 /// The acceptance-criteria run: ≥10,000 requests across both accelerator
@@ -141,19 +219,12 @@ fn policies_agree_functionally() {
 /// `BENCH_runtime.json`.)
 #[test]
 fn affinity_and_cost_tail_latency_stay_near_round_robin() {
-    let stream = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests: 4_000,
-        mean_gap: 200,
-        seed: 0xC0FFEE,
-    }
-    .open_loop_stream()
-    .unwrap();
-    let mut rt = runtime();
-    let fifo = serve(&mut rt, &stream, Policy::Fifo);
-    let elide = serve(&mut rt, &stream, Policy::FifoElide);
-    for (policy, p99_bound) in [(Policy::ConfigAffinity, 1.15), (Policy::Cost, 1.10)] {
-        let report = serve(&mut rt, &stream, policy);
+    let fx = mixed_4k();
+    let (fifo, elide) = (&fx.fifo, &fx.elide);
+    for (policy, report, p99_bound) in [
+        (Policy::ConfigAffinity, &fx.affinity, 1.15),
+        (Policy::Cost, &fx.cost, 1.10),
+    ] {
         assert_eq!(report.metrics.check_failures, 0);
         let p99_ratio = report.metrics.latency.p99 as f64 / elide.metrics.latency.p99 as f64;
         assert!(
@@ -240,27 +311,8 @@ fn bursty_serving_is_reproducible() {
 /// longer build behind a popular shape.
 #[test]
 fn batch_cutoff_recovers_the_tail_and_keeps_the_writes() {
-    let stream = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests: 4_000,
-        mean_gap: 200,
-        seed: 0xC0FFEE,
-    }
-    .open_loop_stream()
-    .unwrap();
-    let mut rt = runtime();
-    let fifo = serve(&mut rt, &stream, Policy::Fifo);
-    let elide = serve(&mut rt, &stream, Policy::FifoElide);
-    let batched = rt
-        .serve(
-            &stream,
-            &ServeConfig {
-                policy: Policy::FifoElide,
-                max_batch: 8,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("serve succeeds");
+    let fx = mixed_4k();
+    let (fifo, elide, batched) = (&fx.fifo, &fx.elide, &fx.batched);
     assert!(batched.metrics.batched_requests > 0);
     let p99_ratio = batched.metrics.latency.p99 as f64 / elide.metrics.latency.p99 as f64;
     assert!(
@@ -274,18 +326,7 @@ fn batch_cutoff_recovers_the_tail_and_keeps_the_writes() {
 
     // ablation: the same batching with the cutoff disabled writes no
     // less, so the cutoff costs nothing on the write side
-    let uncapped = rt
-        .serve(
-            &stream,
-            &ServeConfig {
-                policy: Policy::FifoElide,
-                max_batch: 8,
-                batch_cutoff: None,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("serve succeeds");
-    assert!(uncapped.metrics.batched_requests >= batched.metrics.batched_requests);
+    assert!(fx.uncapped.metrics.batched_requests >= batched.metrics.batched_requests);
 }
 
 /// The online-refinement acceptance bound: on the canonical mixed stream
@@ -294,16 +335,8 @@ fn batch_cutoff_recovers_the_tail_and_keeps_the_writes() {
 /// stream predicts better than the first).
 #[test]
 fn ewma_refinement_beats_static_anchors_on_mixed() {
-    let stream = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests: 4_000,
-        mean_gap: 200,
-        seed: 0xC0FFEE,
-    }
-    .open_loop_stream()
-    .unwrap();
-    let mut rt = runtime();
-    let report = serve(&mut rt, &stream, Policy::ConfigAffinity);
+    let fx = mixed_4k();
+    let report = &fx.affinity;
     let p = report.metrics.prediction;
     assert_eq!(p.samples, 4_000);
     assert!(
@@ -330,18 +363,9 @@ fn ewma_refinement_beats_static_anchors_on_mixed() {
     // the ablation with refinement disabled reports equal errors for both
     // predictors, pinned so the comparison in BENCH_runtime.json is
     // meaningful
-    let fixed = rt
-        .serve(
-            &stream,
-            &ServeConfig {
-                refine_cost: false,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("serve succeeds");
     assert_eq!(
-        fixed.metrics.prediction.ewma_abs_error,
-        fixed.metrics.prediction.anchor_abs_error
+        fx.unrefined.metrics.prediction.ewma_abs_error,
+        fx.unrefined.metrics.prediction.anchor_abs_error
     );
 }
 
