@@ -19,7 +19,12 @@
 //!   and `benches/figures.rs` subjects, measured in simulated cycles);
 //! - `timing_model` — the identity vs. reference [`TimingModel`]: what
 //!   shared-bandwidth contention and DVFS cost a back-to-back dispatch
-//!   pair, per platform.
+//!   pair, per platform;
+//! - `dvfs_sensitivity` — the reference OpenGeMM DVFS table against
+//!   swept boost/cooldown thresholds: how the warm/boost ramp points and
+//!   the cooldown window move the launch-state mix and total cycles of
+//!   one tiled matmul (the table the `thermal` policy's heat mirror and
+//!   the frequency-keyed EWMA rows key on).
 //!
 //! Run with `cargo run --release -p accfg-bench --bin microbench`.
 //!
@@ -27,7 +32,7 @@
 
 use accfg::pipeline::{pipeline, OptLevel};
 use accfg_bench::markdown_table;
-use accfg_sim::{AccelSim, Counters, HostModel, Machine};
+use accfg_sim::{AccelSim, Counters, DvfsParams, HostModel, Machine};
 use accfg_targets::{compile, AcceleratorDescriptor};
 use accfg_workloads::{
     check_result, fill_inputs, gemmini_ws_ir, matmul_ir, MatmulLayout, MatmulSpec,
@@ -239,10 +244,98 @@ fn timing_model() {
     println!();
 }
 
+fn dvfs_sensitivity() {
+    println!("== dvfs_sensitivity: OpenGeMM 64³, swept boost/cooldown thresholds ==");
+    let reference = AcceleratorDescriptor::opengemm()
+        .with_reference_timing()
+        .timing
+        .dvfs
+        .expect("reference timing carries a DVFS table");
+    // the reference table plus one-knob perturbations: ramp points moved
+    // both ways, and a cooldown window short enough to fire in the
+    // config-write gaps *between* launches of a single program
+    let variants: [(&str, DvfsParams); 4] = [
+        ("reference", reference),
+        (
+            "eager-ramp",
+            DvfsParams {
+                warm_busy_cycles: reference.warm_busy_cycles / 4,
+                boost_busy_cycles: reference.boost_busy_cycles / 4,
+                ..reference
+            },
+        ),
+        (
+            "lazy-ramp",
+            DvfsParams {
+                warm_busy_cycles: reference.warm_busy_cycles * 4,
+                boost_busy_cycles: reference.boost_busy_cycles * 4,
+                ..reference
+            },
+        ),
+        (
+            "skittish-cooldown",
+            DvfsParams {
+                cooldown_idle_cycles: 4,
+                ..reference
+            },
+        ),
+    ];
+    let spec = MatmulSpec::opengemm_paper(64).expect("valid size");
+    let runs: Vec<(&str, Counters)> = variants
+        .iter()
+        .map(|&(label, dvfs)| {
+            let mut desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+            desc.timing.dvfs = Some(dvfs);
+            let c = run_once(&desc, &spec, OptLevel::All);
+            assert_eq!(c, run_once(&desc, &spec, OptLevel::All), "nondeterminism");
+            (label, c)
+        })
+        .collect();
+    let launches = |c: &Counters| c.freq_launches.iter().sum::<u64>();
+    let boosts = |c: &Counters| c.freq_launches[2];
+    let reference_run = &runs[0].1;
+    for (label, c) in &runs {
+        // the table changes when launches run, never how many there are
+        assert_eq!(
+            launches(c),
+            launches(reference_run),
+            "{label}: launch count drifted"
+        );
+    }
+    // lower ramp points can only reach boost sooner, higher ones later,
+    // and a hair-trigger cooldown can only lose heat between launches
+    assert!(boosts(&runs[1].1) >= boosts(reference_run), "eager-ramp");
+    assert!(boosts(&runs[2].1) <= boosts(reference_run), "lazy-ramp");
+    assert!(
+        runs[3].1.freq_launches[0] >= reference_run.freq_launches[0],
+        "skittish-cooldown must not launch colder than the reference"
+    );
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(label, c)| {
+            vec![
+                label.to_string(),
+                c.cycles.to_string(),
+                c.contention_cycles.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    c.freq_launches[0], c.freq_launches[1], c.freq_launches[2]
+                ),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        markdown_table(&["variant", "cycles", "cont cyc", "freq c/w/b"], &rows)
+    );
+    println!();
+}
+
 fn main() {
     println!("microbench: deterministic simulated-cycle micro-benchmarks\n");
     cosimulation();
     host_cpi_sensitivity();
     pipeline_levels();
     timing_model();
+    dvfs_sensitivity();
 }

@@ -16,7 +16,15 @@
 //! - `affinity+batch` — affinity with batching;
 //! - `cost` — cycle-cost routing: minimize refined predicted cycles to
 //!   completion over per-platform cost models, the policy heterogeneous
-//!   pools need.
+//!   pools need;
+//! - `thermal` — frequency-aware cycle-cost routing: each candidate is
+//!   priced at the DVFS mode the scheduler's shadow automaton predicts
+//!   for it (frequency-keyed EWMA rows, agnostic fallback while cold),
+//!   plus the contention penalty of pushing the dispatch's config
+//!   traffic into a busy window; ties prefer the hotter worker, so
+//!   boost residency concentrates instead of scattering. Identical to
+//!   `cost` on identity-timing pools — it earns its keep on the
+//!   `contention` stream.
 //!
 //! Streams:
 //!
@@ -57,9 +65,11 @@
 //! `--requests <n>` for a reduced smoke run, `--out <path>` to write the
 //! report elsewhere (CI uses both to avoid clobbering the committed
 //! artifact), `--policies <a,b,...>` to exercise a subset of the policy
-//! labels without paying for all of them, and `--slack <cycles>` to
-//! sweep the load-slack horizon (sets both `load_slack` and the batch
-//! cutoff) without recompiling.
+//! labels without paying for all of them, `--streams <a,b,...>` to
+//! serve a subset of the stream names the same way (CI's thermal smoke
+//! runs `--policies thermal --streams contention`), and
+//! `--slack <cycles>` to sweep the load-slack horizon (sets both
+//! `load_slack` and the batch cutoff) without recompiling.
 //!
 //! `--mode` selects the serve engine and what the binary measures:
 //!
@@ -105,6 +115,23 @@ use accfg_workloads::{
 const DEFAULT_REQUESTS: usize = 12_000;
 const DEFAULT_THREADS: usize = 8;
 
+/// Every stream name the sim/wall/diff modes can serve, in report order —
+/// the vocabulary `--streams` validates against.
+const STREAM_NAMES: [&str; 7] = [
+    "mixed",
+    "shape_heavy",
+    "bursty",
+    "closed_loop",
+    "closed_loop_measured",
+    "hetero",
+    "contention",
+];
+
+/// Whether `--streams` (when given) selects this stream name.
+fn stream_selected(filter: Option<&[String]>, name: &str) -> bool {
+    filter.is_none_or(|f| f.iter().any(|s| s == name))
+}
+
 /// What the binary measures (`--mode`).
 #[derive(Clone, Copy, PartialEq)]
 enum BenchMode {
@@ -145,6 +172,7 @@ fn policies(include_batch: bool, slack: u64) -> Vec<(&'static str, ServeConfig)>
         out.push(("affinity+batch", batched(Policy::ConfigAffinity)));
     }
     out.push(("cost", base(Policy::Cost)));
+    out.push(("thermal", base(Policy::Thermal)));
     out
 }
 
@@ -226,16 +254,23 @@ fn hetero_pool() -> PoolConfig {
 type PolicyRow = (String, ServeMetrics, f64);
 
 /// Runs every (selected) policy over one stream and prints its table.
+/// A stream deselected by `--streams` serves nothing and returns no
+/// rows, so the caller drops its report section entirely.
+#[allow(clippy::too_many_arguments)]
 fn run_stream(
     runtime: &mut Runtime,
     stream_name: &str,
     stream: &[TrafficRequest],
     include_batch: bool,
     filter: Option<&[String]>,
+    streams: Option<&[String]>,
     slack: u64,
     serve_mode: ServeMode,
 ) -> Vec<PolicyRow> {
     let mut results: Vec<PolicyRow> = Vec::new();
+    if !stream_selected(streams, stream_name) {
+        return results;
+    }
     for (label, cfg) in &policies(include_batch, slack) {
         if let Some(filter) = filter {
             if !filter.iter().any(|f| f == label) {
@@ -337,7 +372,7 @@ fn run_stream(
     if let Some(fifo) = &fifo {
         // elision guarantees the resident-aware policies never write more
         // than the cold baseline
-        for label in ["affinity", "cost"] {
+        for label in ["affinity", "cost", "thermal"] {
             if let Some(m) = find(label) {
                 assert!(
                     m.setup_writes <= fifo.setup_writes,
@@ -411,6 +446,7 @@ fn run_diff(
     out_path: &str,
     slack: u64,
     filter: Option<&[String]>,
+    stream_filter: Option<&[String]>,
 ) {
     let uniform = || {
         PoolConfig::new(vec![
@@ -422,63 +458,70 @@ fn run_diff(
     let mut streams: Vec<(&'static str, Vec<TrafficRequest>, bool, PoolConfig)> =
         uniform_streams(requests)
             .into_iter()
+            .filter(|(name, _, _)| stream_selected(stream_filter, name))
             .map(|(name, stream, include_batch)| (name, stream, include_batch, uniform()))
             .collect();
-    // the measured closed loop calibrates off a fifo+elide oracle serve,
-    // exactly as the sim-mode report does
-    let closed_cfg = closed_loop_config(requests);
-    let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
-    let calibration = Runtime::new(uniform())
-        .serve(
+    if stream_selected(stream_filter, "closed_loop_measured") {
+        // the measured closed loop calibrates off a fifo+elide oracle
+        // serve, exactly as the sim-mode report does
+        let closed_cfg = closed_loop_config(requests);
+        let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
+        let calibration = Runtime::new(uniform())
+            .serve(
+                &calibration_stream,
+                &ServeConfig {
+                    policy: Policy::FifoElide,
+                    load_slack: slack,
+                    batch_cutoff: Some(slack),
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("calibration serve succeeds");
+        let service_times = measured_class_service_times(
+            &closed_cfg.classes,
             &calibration_stream,
-            &ServeConfig {
-                policy: Policy::FifoElide,
-                load_slack: slack,
-                batch_cutoff: Some(slack),
-                ..ServeConfig::default()
-            },
-        )
-        .expect("calibration serve succeeds");
-    let service_times = measured_class_service_times(
-        &closed_cfg.classes,
-        &calibration_stream,
-        &calibration,
-        closed_cfg.service_estimate,
-    );
-    streams.push((
-        "closed_loop_measured",
-        closed_cfg
-            .stream_with_service_times(&service_times)
-            .expect("valid measured closed-loop mix"),
-        false,
-        uniform(),
-    ));
-    streams.push((
-        "hetero",
-        TrafficConfig {
-            classes: mixed_platform_classes(),
-            requests,
-            mean_gap: 300,
-            seed: 0x4E7E60,
-        }
-        .open_loop_stream()
-        .expect("valid mixed-platform mix"),
-        false,
-        hetero_pool(),
-    ));
-    streams.push((
-        "contention",
-        TrafficConfig {
-            classes: mixed_serving_classes(),
-            requests,
-            mean_gap: 120,
-            seed: 0xC047E47,
-        }
-        .open_loop_stream()
-        .expect("valid contention mix"),
-        false,
-        contention_pool(),
-    ));
+            &calibration,
+            closed_cfg.service_estimate,
+        );
+        streams.push((
+            "closed_loop_measured",
+            closed_cfg
+                .stream_with_service_times(&service_times)
+                .expect("valid measured closed-loop mix"),
+            false,
+            uniform(),
+        ));
+    }
+    if stream_selected(stream_filter, "hetero") {
+        streams.push((
+            "hetero",
+            TrafficConfig {
+                classes: mixed_platform_classes(),
+                requests,
+                mean_gap: 300,
+                seed: 0x4E7E60,
+            }
+            .open_loop_stream()
+            .expect("valid mixed-platform mix"),
+            false,
+            hetero_pool(),
+        ));
+    }
+    if stream_selected(stream_filter, "contention") {
+        streams.push((
+            "contention",
+            TrafficConfig {
+                classes: mixed_serving_classes(),
+                requests,
+                mean_gap: 120,
+                seed: 0xC047E47,
+            }
+            .open_loop_stream()
+            .expect("valid contention mix"),
+            false,
+            contention_pool(),
+        ));
+    }
 
     let mut pairs = 0usize;
     for (stream_name, stream, include_batch, pool) in &streams {
@@ -540,7 +583,7 @@ fn run_diff(
     }
     assert!(
         pairs > 0,
-        "every stream × policy pair was skipped by --policies"
+        "every stream × policy pair was skipped by --policies/--streams"
     );
 
     let out = format!(
@@ -702,6 +745,7 @@ fn main() {
     let mut requests = DEFAULT_REQUESTS;
     let mut out_path = String::from(DEFAULT_OUT);
     let mut policy_filter: Option<Vec<String>> = None;
+    let mut stream_filter: Option<Vec<String>> = None;
     let mut slack = LOAD_SLACK_CYCLES;
     let mut store_path: Option<String> = None;
     let mut mode = BenchMode::Sim;
@@ -763,10 +807,23 @@ fn main() {
                 }
                 policy_filter = Some(selected);
             }
+            "--streams" => {
+                let list = args.next().expect("--streams takes a comma-separated list");
+                let selected: Vec<String> = list.split(',').map(str::to_string).collect();
+                for name in &selected {
+                    assert!(
+                        STREAM_NAMES.contains(&name.as_str()),
+                        "unknown stream `{name}` (known: {})",
+                        STREAM_NAMES.join(", ")
+                    );
+                }
+                stream_filter = Some(selected);
+            }
             other => panic!(
                 "unknown argument `{other}` (supported: --requests <n>, \
-                 --out <path>, --policies <a,b,...>, --slack <cycles>, \
-                 --store <path>, --mode <sim|wall|diff>, --threads <n>)"
+                 --out <path>, --policies <a,b,...>, --streams <a,b,...>, \
+                 --slack <cycles>, --store <path>, --mode <sim|wall|diff>, \
+                 --threads <n>)"
             ),
         }
     }
@@ -778,6 +835,7 @@ fn main() {
     // deterministic artifact either.
     assert!(
         (policy_filter.is_none()
+            && stream_filter.is_none()
             && slack == LOAD_SLACK_CYCLES
             && requests == DEFAULT_REQUESTS
             && store_path.is_none()
@@ -785,15 +843,20 @@ fn main() {
             && threads.is_none())
             || std::path::Path::new(&out_path).file_name()
                 != std::path::Path::new(DEFAULT_OUT).file_name(),
-        "--policies/--slack/--requests/--store/--mode/--threads write a \
-         non-canonical report; pass --out with a file name other than \
-         {DEFAULT_OUT} so it cannot clobber the committed artifact"
+        "--policies/--streams/--slack/--requests/--store/--mode/--threads \
+         write a non-canonical report; pass --out with a file name other \
+         than {DEFAULT_OUT} so it cannot clobber the committed artifact"
     );
     if let Some(store) = &store_path {
         assert!(
             policy_filter.is_none(),
             "--store runs the warm-start passes under the affinity policy; \
              it cannot be combined with --policies"
+        );
+        assert!(
+            stream_filter.is_none(),
+            "--store always serves the contention stream for both passes; \
+             it cannot be combined with --streams"
         );
         assert!(
             mode == BenchMode::Sim,
@@ -804,9 +867,10 @@ fn main() {
         return;
     }
     let filter = policy_filter.as_deref();
+    let streams_wanted = stream_filter.as_deref();
     let threads = threads.unwrap_or(DEFAULT_THREADS);
     if mode == BenchMode::Diff {
-        run_diff(requests, threads, &out_path, slack, filter);
+        run_diff(requests, threads, &out_path, slack, filter, streams_wanted);
         return;
     }
     let serve_mode = match mode {
@@ -843,6 +907,7 @@ fn main() {
             stream,
             *include_batch,
             filter,
+            streams_wanted,
             slack,
             serve_mode,
         );
@@ -857,53 +922,57 @@ fn main() {
     // closed-loop fidelity: re-drive the client feedback with the
     // *measured* mean service time of each class, taken from a
     // calibration serve (fifo+elide — routing-neutral state tracking) of
-    // the static-estimate stream above
-    let closed_cfg = closed_loop_config(requests);
-    let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
-    let calibration = runtime
-        .serve(
+    // the static-estimate stream above. A `--streams` filter that drops
+    // this stream also skips the calibration serve it would pay for.
+    if stream_selected(streams_wanted, "closed_loop_measured") {
+        let closed_cfg = closed_loop_config(requests);
+        let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
+        let calibration = runtime
+            .serve(
+                &calibration_stream,
+                &ServeConfig {
+                    policy: Policy::FifoElide,
+                    load_slack: slack,
+                    batch_cutoff: Some(slack),
+                    mode: serve_mode,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("calibration serve succeeds");
+        let service_times = measured_class_service_times(
+            &closed_cfg.classes,
             &calibration_stream,
-            &ServeConfig {
-                policy: Policy::FifoElide,
-                load_slack: slack,
-                batch_cutoff: Some(slack),
-                mode: serve_mode,
-                ..ServeConfig::default()
-            },
-        )
-        .expect("calibration serve succeeds");
-    let service_times = measured_class_service_times(
-        &closed_cfg.classes,
-        &calibration_stream,
-        &calibration,
-        closed_cfg.service_estimate,
-    );
-    println!(
-        "closed-loop calibration: measured per-class service times {service_times:?} \
-         (static estimate was {})\n",
-        closed_cfg.service_estimate
-    );
-    let measured_stream = closed_cfg
-        .stream_with_service_times(&service_times)
-        .expect("valid measured closed-loop mix");
-    let measured_results = run_stream(
-        &mut runtime,
-        "closed_loop_measured",
-        &measured_stream,
-        false,
-        filter,
-        slack,
-        serve_mode,
-    );
-    if mode == BenchMode::Wall {
-        report_wall("closed_loop_measured", &measured_results, threads);
-    }
-    if !measured_results.is_empty() {
-        all.push((
+            &calibration,
+            closed_cfg.service_estimate,
+        );
+        println!(
+            "closed-loop calibration: measured per-class service times {service_times:?} \
+             (static estimate was {})\n",
+            closed_cfg.service_estimate
+        );
+        let measured_stream = closed_cfg
+            .stream_with_service_times(&service_times)
+            .expect("valid measured closed-loop mix");
+        let measured_results = run_stream(
+            &mut runtime,
             "closed_loop_measured",
-            stream_static_analysis(&measured_stream),
-            measured_results,
-        ));
+            &measured_stream,
+            false,
+            filter,
+            streams_wanted,
+            slack,
+            serve_mode,
+        );
+        if mode == BenchMode::Wall {
+            report_wall("closed_loop_measured", &measured_results, threads);
+        }
+        if !measured_results.is_empty() {
+            all.push((
+                "closed_loop_measured",
+                stream_static_analysis(&measured_stream),
+                measured_results,
+            ));
+        }
     }
 
     // the heterogeneous pool: same capacity (2 workers/family), but each
@@ -924,6 +993,7 @@ fn main() {
         &hetero_stream,
         false,
         filter,
+        streams_wanted,
         slack,
         serve_mode,
     );
@@ -982,6 +1052,7 @@ fn main() {
         &contention_stream,
         false,
         filter,
+        streams_wanted,
         slack,
         serve_mode,
     );
@@ -1016,7 +1087,10 @@ fn main() {
             contention_results,
         ));
     }
-    assert!(!all.is_empty(), "every stream was skipped by --policies");
+    assert!(
+        !all.is_empty(),
+        "every stream was skipped by --policies/--streams"
+    );
 
     // per-class SLO view of the canonical mix under affinity
     if let Some(mixed_affinity) = all

@@ -14,7 +14,7 @@ use crate::error::ServeError;
 use crate::plan::{DispatchPlan, RegMap};
 use accfg::interp::interpret;
 use accfg::pipeline::{pipeline, OptLevel};
-use accfg_sim::Program;
+use accfg_sim::{FreqState, Program, FREQ_STATES};
 use accfg_targets::{compile, AcceleratorDescriptor, ConfigStyle};
 use accfg_workloads::{matmul_ir, MatmulLayout, MatmulSpec};
 use std::collections::HashMap;
@@ -55,6 +55,26 @@ const EWMA_ALPHA_SHIFT: u32 = 3;
 /// fixed-point keeps the refiner bit-deterministic: the same request
 /// stream always produces the same estimates, on any host.
 const EWMA_FRAC_BITS: u32 = 8;
+
+/// Rows the refiner learns per `(module, platform)`: one mode-agnostic
+/// row (index [`COST_ROW_AGNOSTIC`]) plus one row per DVFS frequency
+/// state. Every observation lands in the agnostic row *and* its mode's
+/// keyed row, so the agnostic row always reproduces the un-keyed
+/// refiner's estimates bit-exactly and the keyed rows sharpen on top.
+pub const COST_ROWS: usize = FREQ_STATES + 1;
+
+/// Index of the mode-agnostic row in a [`CostRow`].
+pub const COST_ROW_AGNOSTIC: usize = 0;
+
+/// One `(module, platform)`'s learned fixed-point EWMA state: the
+/// mode-agnostic warmth buckets first, then one keyed bucket set per
+/// frequency state (`1 + FreqState::index()`).
+pub type CostRow = [[i64; WARMTH_BUCKETS]; COST_ROWS];
+
+/// Row index of frequency state `mode` within a [`CostRow`].
+fn mode_row(mode: FreqState) -> usize {
+    1 + mode.index()
+}
 
 /// Predicted execution cycles of one dispatch as a function of the
 /// configuration writes it must emit.
@@ -188,6 +208,18 @@ impl CostModel {
 /// one platform index per module, which reduces to the old behaviour
 /// exactly.
 ///
+/// Under a DVFS timing model one warmth bucket still mixes launches that
+/// ran cold, warm, and boosted — three different compute rates — so the
+/// agnostic EWMA tracks a drifting mixture mean. Observations therefore
+/// also land in a *frequency-keyed* row per [`FreqState`]
+/// ([`CostRefiner::observe`] takes the mode the launch actually ran at):
+/// [`CostRefiner::predict_for_mode`] quotes the keyed row when it has
+/// been observed, falls back to the mode-agnostic row while the keyed
+/// row is cold, and to the anchors before any observation at all. The
+/// mode-agnostic row is updated exactly as before, so every consumer of
+/// [`CostRefiner::predict`] is bit-identical with or without the keyed
+/// rows.
+///
 /// Estimates are integer fixed-point, so refinement is a pure function of
 /// the request stream: two serves of the same stream produce bit-identical
 /// estimates, predictions, and therefore schedules.
@@ -196,9 +228,9 @@ impl CostModel {
 #[derive(Debug, Clone, Default)]
 pub struct CostRefiner {
     /// Per-module, per-platform fixed-point EWMA cycles (outer index:
-    /// platform), `UNSEEN` where no dispatch of that warmth has retired
-    /// yet.
-    ewma: HashMap<CacheKey, Vec<[i64; WARMTH_BUCKETS]>>,
+    /// platform; inner: agnostic + per-mode rows), `UNSEEN` where no
+    /// dispatch of that warmth has retired yet.
+    ewma: HashMap<CacheKey, Vec<CostRow>>,
 }
 
 /// Sentinel for a bucket with no observations (cycles are nonnegative).
@@ -212,34 +244,66 @@ impl CostRefiner {
     }
 
     /// Folds one measured dispatch (`cycles`, landing in `bucket`, run on
-    /// platform variant `platform`) into the module's estimate. The first
-    /// observation seeds the EWMA exactly; later ones move it by α = 1/8
-    /// of the residual.
-    pub fn observe(&mut self, key: &CacheKey, platform: usize, bucket: usize, cycles: u64) {
+    /// platform variant `platform` in frequency state `mode`) into the
+    /// module's estimates: the mode-agnostic row first (exactly the
+    /// un-keyed refiner's update), then `mode`'s keyed row. The first
+    /// observation of a slot seeds the EWMA exactly; later ones move it
+    /// by α = 1/8 of the residual.
+    pub fn observe(
+        &mut self,
+        key: &CacheKey,
+        platform: usize,
+        bucket: usize,
+        mode: FreqState,
+        cycles: u64,
+    ) {
         let platforms = self.ewma.entry(key.clone()).or_default();
         if platforms.len() <= platform {
-            platforms.resize(platform + 1, [UNSEEN; WARMTH_BUCKETS]);
+            platforms.resize(platform + 1, [[UNSEEN; WARMTH_BUCKETS]; COST_ROWS]);
         }
-        let slot = &mut platforms[platform][bucket.min(WARMTH_BUCKETS - 1)];
+        let bucket = bucket.min(WARMTH_BUCKETS - 1);
         let observed = (cycles as i64) << EWMA_FRAC_BITS;
-        if *slot == UNSEEN {
-            *slot = observed;
-        } else {
-            *slot += (observed - *slot) >> EWMA_ALPHA_SHIFT;
+        for row in [COST_ROW_AGNOSTIC, mode_row(mode)] {
+            let slot = &mut platforms[platform][row][bucket];
+            if *slot == UNSEEN {
+                *slot = observed;
+            } else {
+                *slot += (observed - *slot) >> EWMA_ALPHA_SHIFT;
+            }
         }
     }
 
-    /// The refined estimate for `bucket` of the module keyed by `key` on
-    /// `platform`, or `None` while that bucket has no observations there.
+    /// The mode-agnostic refined estimate for `bucket` of the module keyed
+    /// by `key` on `platform`, or `None` while that bucket has no
+    /// observations there.
     pub fn refined(&self, key: &CacheKey, platform: usize, bucket: usize) -> Option<u64> {
-        let slot = *self.ewma.get(key)?.get(platform)?.get(bucket)?;
+        self.row_slot(key, platform, COST_ROW_AGNOSTIC, bucket)
+    }
+
+    /// The frequency-keyed refined estimate for `bucket` at `mode`,
+    /// falling back to the mode-agnostic row while the keyed slot is
+    /// cold, or `None` when neither has an observation.
+    pub fn refined_for_mode(
+        &self,
+        key: &CacheKey,
+        platform: usize,
+        bucket: usize,
+        mode: FreqState,
+    ) -> Option<u64> {
+        self.row_slot(key, platform, mode_row(mode), bucket)
+            .or_else(|| self.refined(key, platform, bucket))
+    }
+
+    fn row_slot(&self, key: &CacheKey, platform: usize, row: usize, bucket: usize) -> Option<u64> {
+        let slot = *self.ewma.get(key)?.get(platform)?.get(row)?.get(bucket)?;
         (slot != UNSEEN).then_some((slot >> EWMA_FRAC_BITS) as u64)
     }
 
     /// Predicted cycles for a dispatch of the module keyed by `key`
     /// emitting `writes` configuration writes on `platform`: the warmth
-    /// bucket's EWMA when it has been observed there, the interpolation
-    /// of `anchors` (the platform's analytic cost model) otherwise.
+    /// bucket's mode-agnostic EWMA when it has been observed there, the
+    /// interpolation of `anchors` (the platform's analytic cost model)
+    /// otherwise.
     pub fn predict(
         &self,
         key: &CacheKey,
@@ -251,40 +315,59 @@ impl CostRefiner {
             .unwrap_or_else(|| anchors.predict(writes))
     }
 
+    /// Predicted cycles for the same dispatch assuming it launches in
+    /// frequency state `mode`: keyed row first, mode-agnostic row while
+    /// the keyed row is cold, anchors before any observation at all.
+    pub fn predict_for_mode(
+        &self,
+        key: &CacheKey,
+        platform: usize,
+        anchors: &CostModel,
+        writes: u64,
+        mode: FreqState,
+    ) -> u64 {
+        self.refined_for_mode(key, platform, anchors.bucket(writes), mode)
+            .unwrap_or_else(|| anchors.predict(writes))
+    }
+
     /// Number of modules with at least one observed bucket.
     pub fn modules_observed(&self) -> usize {
         self.ewma.len()
     }
 
-    /// The refiner's learned state as `(module, platform, buckets)` rows —
-    /// raw fixed-point EWMA values, one row per platform that has at least
-    /// one observed bucket. Rows come out in arbitrary (hash-map) order;
-    /// the persistence layer sorts them by encoded key, which is what makes
-    /// identical runs write byte-identical store files.
-    pub fn snapshot(&self) -> Vec<(CacheKey, usize, [i64; WARMTH_BUCKETS])> {
+    /// The refiner's learned state as `(module, platform, rows)` entries —
+    /// raw fixed-point EWMA values (agnostic + per-mode rows), one entry
+    /// per platform that has at least one observed slot. Entries come out
+    /// in arbitrary (hash-map) order; the persistence layer sorts them by
+    /// encoded key, which is what makes identical runs write
+    /// byte-identical store files.
+    pub fn snapshot(&self) -> Vec<(CacheKey, usize, CostRow)> {
         self.ewma
             .iter()
             .flat_map(|(key, platforms)| {
                 platforms
                     .iter()
                     .enumerate()
-                    .filter(|(_, buckets)| buckets.iter().any(|&slot| slot != UNSEEN))
-                    .map(move |(platform, buckets)| (key.clone(), platform, *buckets))
+                    .filter(|(_, rows)| {
+                        rows.iter()
+                            .any(|buckets| buckets.iter().any(|&slot| slot != UNSEEN))
+                    })
+                    .map(move |(platform, rows)| (key.clone(), platform, *rows))
             })
             .collect()
     }
 
-    /// Restores one snapshot row: installs `buckets` (raw fixed-point EWMA
+    /// Restores one snapshot entry: installs `rows` (raw fixed-point EWMA
     /// values, `-1` for unseen) as the module's estimates on `platform`,
     /// replacing whatever was there. Restoring a snapshot and then taking
-    /// one yields the identical rows back — the round-trip identity the
+    /// one yields the identical entries back — the round-trip identity the
     /// persistence tests pin.
-    pub fn seed(&mut self, key: CacheKey, platform: usize, buckets: [i64; WARMTH_BUCKETS]) {
+    pub fn seed(&mut self, key: CacheKey, platform: usize, rows: CostRow) {
         let platforms = self.ewma.entry(key).or_default();
         if platforms.len() <= platform {
-            platforms.resize(platform + 1, [UNSEEN; WARMTH_BUCKETS]);
+            platforms.resize(platform + 1, [[UNSEEN; WARMTH_BUCKETS]; COST_ROWS]);
         }
-        platforms[platform] = buckets;
+        platforms[platform] = rows;
     }
 }
 
@@ -609,7 +692,7 @@ mod tests {
         assert_eq!(refiner.modules_observed(), 0);
         // the first observation seeds the bucket exactly
         let cold_bucket = anchors.bucket(anchors.cold_writes);
-        refiner.observe(&module.key, 0, cold_bucket, 400);
+        refiner.observe(&module.key, 0, cold_bucket, FreqState::Cold, 400);
         assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(400));
         assert_eq!(
             refiner.predict(&module.key, 0, &anchors, anchors.cold_writes),
@@ -617,10 +700,10 @@ mod tests {
         );
         assert_eq!(refiner.modules_observed(), 1);
         // repeated identical observations keep the estimate fixed
-        refiner.observe(&module.key, 0, cold_bucket, 400);
+        refiner.observe(&module.key, 0, cold_bucket, FreqState::Cold, 400);
         assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(400));
         // a shifted observation moves the estimate toward it by α = 1/8
-        refiner.observe(&module.key, 0, cold_bucket, 480);
+        refiner.observe(&module.key, 0, cold_bucket, FreqState::Cold, 480);
         assert_eq!(refiner.refined(&module.key, 0, cold_bucket), Some(410));
         // other buckets are untouched
         assert_eq!(refiner.refined(&module.key, 0, 0), None);
@@ -643,7 +726,7 @@ mod tests {
         .unwrap();
         let anchors = module.cost;
         let mut refiner = CostRefiner::new();
-        refiner.observe(&module.key, 1, 0, 777);
+        refiner.observe(&module.key, 1, 0, FreqState::Cold, 777);
         assert_eq!(refiner.refined(&module.key, 1, 0), Some(777));
         assert_eq!(refiner.refined(&module.key, 0, 0), None);
         assert_eq!(
@@ -664,15 +747,74 @@ mod tests {
         )
         .unwrap();
         let mut refiner = CostRefiner::new();
-        refiner.observe(&module.key, 0, 0, 1000);
+        refiner.observe(&module.key, 0, 0, FreqState::Cold, 1000);
         for _ in 0..64 {
-            refiner.observe(&module.key, 0, 0, 200);
+            refiner.observe(&module.key, 0, 0, FreqState::Cold, 200);
         }
         let estimate = refiner.refined(&module.key, 0, 0).unwrap();
         assert!(
             estimate.abs_diff(200) <= 2,
             "estimate {estimate} far from 200"
         );
+    }
+
+    #[test]
+    fn frequency_keyed_rows_separate_the_modes() {
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let anchors = module.cost;
+        let mut refiner = CostRefiner::new();
+        // a bucket fed a mix of boosted (fast) and cold (slow) launches:
+        // the agnostic row tracks the mixture, the keyed rows stay pure
+        refiner.observe(&module.key, 0, 0, FreqState::Boost, 100);
+        refiner.observe(&module.key, 0, 0, FreqState::Cold, 900);
+        assert_eq!(
+            refiner.refined_for_mode(&module.key, 0, 0, FreqState::Boost),
+            Some(100)
+        );
+        assert_eq!(
+            refiner.refined_for_mode(&module.key, 0, 0, FreqState::Cold),
+            Some(900)
+        );
+        // the agnostic row saw both and drifted off either cluster
+        let mixed = refiner.refined(&module.key, 0, 0).unwrap();
+        assert!(mixed > 100 && mixed < 900, "agnostic estimate {mixed}");
+        // an unobserved mode falls back to the agnostic row…
+        assert_eq!(
+            refiner.refined_for_mode(&module.key, 0, 0, FreqState::Warm),
+            Some(mixed)
+        );
+        assert_eq!(
+            refiner.predict_for_mode(&module.key, 0, &anchors, 0, FreqState::Warm),
+            mixed
+        );
+        // …and an unobserved bucket falls all the way back to the anchors
+        assert_eq!(
+            refiner.predict_for_mode(
+                &module.key,
+                0,
+                &anchors,
+                anchors.cold_writes,
+                FreqState::Boost
+            ),
+            anchors.cold_cycles
+        );
+        // keyed observations round-trip through snapshot/seed
+        let rows = refiner.snapshot();
+        assert_eq!(rows.len(), 1);
+        let mut restored = CostRefiner::new();
+        for (key, platform, row) in rows {
+            restored.seed(key, platform, row);
+        }
+        assert_eq!(
+            restored.refined_for_mode(&module.key, 0, 0, FreqState::Boost),
+            Some(100)
+        );
+        assert_eq!(restored.refined(&module.key, 0, 0), Some(mixed));
     }
 
     #[test]

@@ -109,7 +109,20 @@ pub(crate) struct EngineInput<'a> {
     pub workers: Vec<Worker>,
     /// Persisted cost rows to seed the refiner(s) with.
     pub cost_seed: &'a [CostSnapshotEntry],
+    /// Per-group boost power caps (`None` leaves boosting unbounded).
+    pub power_caps: &'a [Option<usize>],
     pub cfg: &'a ServeConfig,
+}
+
+/// Per-worker group membership, inverted from the per-group lists.
+fn group_of_worker(groups: &[Vec<usize>], worker_count: usize) -> Vec<usize> {
+    let mut worker_group = vec![0usize; worker_count];
+    for (g, group) in groups.iter().enumerate() {
+        for &w in group {
+            worker_group[w] = g;
+        }
+    }
+    worker_group
 }
 
 /// What the serve loop produced, consumed by `Runtime::serve`'s epilogue
@@ -151,6 +164,7 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
         worker_descs,
         workers,
         cost_seed,
+        power_caps,
         cfg,
     } = input;
     let module_of = |i: usize| modules[i].as_ref().expect("resolved by the prologue");
@@ -158,7 +172,8 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
 
     let mut scheduler = Scheduler::new(cfg.policy, worker_descs, groups.len())
         .with_refinement(cfg.refine_cost)
-        .with_slack(cfg.load_slack);
+        .with_slack(cfg.load_slack)
+        .with_power_caps(group_of_worker(groups, worker_count), power_caps.to_vec());
     let ewma_entries_seeded = scheduler.seed_refiner(cost_seed);
     let elide = scheduler.elides();
     let mut assignment = vec![0usize; stream.len()];
@@ -229,16 +244,13 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
                     break;
                 }
                 unretired.remove(&(finish, slot));
-                let cycles = completions[slot]
-                    .as_ref()
-                    .expect("pulled above")
-                    .counters
-                    .cycles;
+                let completion = completions[slot].as_ref().expect("pulled above");
                 scheduler.observe(
                     assignment[slot],
                     module_of(slot),
                     outcomes[slot].bucket,
-                    cycles,
+                    completion.freq,
+                    completion.counters.cycles,
                 );
             }
 
@@ -330,6 +342,7 @@ struct Shared<'a> {
     group_idx: &'a [usize],
     groups: &'a [Vec<usize>],
     worker_descs: &'a [AcceleratorDescriptor],
+    power_caps: &'a [Option<usize>],
     cfg: &'a ServeConfig,
     worker_count: usize,
 }
@@ -456,6 +469,7 @@ fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
         group_idx: input.group_idx,
         groups: input.groups,
         worker_descs: input.worker_descs,
+        power_caps: input.power_caps,
         cfg: input.cfg,
         worker_count,
     };
@@ -602,6 +616,7 @@ fn run_shard(
         group_idx,
         groups,
         worker_descs,
+        power_caps,
         cfg,
         worker_count,
     } = shared;
@@ -610,7 +625,8 @@ fn run_shard(
 
     let mut scheduler = Scheduler::new(cfg.policy, worker_descs, groups.len())
         .with_refinement(cfg.refine_cost)
-        .with_slack(cfg.load_slack);
+        .with_slack(cfg.load_slack)
+        .with_power_caps(group_of_worker(groups, worker_count), power_caps.to_vec());
     scheduler.seed_refiner(&seed);
     let elide = scheduler.elides();
     let max_batch = cfg.max_batch.max(1);
@@ -689,12 +705,13 @@ fn run_shard(
                 break;
             }
             unretired.remove(&(finish, slot));
-            let cycles = completions[&slot].counters.cycles;
+            let completion = &completions[&slot];
             scheduler.observe(
                 assignment[&slot],
                 module_of(slot),
                 outcomes[&slot].bucket,
-                cycles,
+                completion.freq,
+                completion.counters.cycles,
             );
         }
 
@@ -798,6 +815,7 @@ mod tests {
             Policy::FifoElide,
             Policy::ConfigAffinity,
             Policy::Cost,
+            Policy::Thermal,
         ] {
             let base = ServeConfig {
                 policy,
@@ -871,10 +889,12 @@ mod tests {
                 crate::runtime::PoolGroup {
                     family: "a".into(),
                     members: vec![gemmini.clone(), gemmini.clone()],
+                    power_cap: None,
                 },
                 crate::runtime::PoolGroup {
                     family: "b".into(),
                     members: vec![gemmini.clone(), gemmini],
+                    power_cap: None,
                 },
             ],
             mem_bytes: 1 << 21,

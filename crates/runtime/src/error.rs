@@ -55,6 +55,19 @@ pub enum ServeError {
         /// The shared descriptor name.
         name: String,
     },
+    /// A pool group's boost power cap is out of range: a cap of 0 would
+    /// forbid boosting entirely (omit the cap or don't use reference
+    /// timing instead) and a cap above the group's worker count caps
+    /// nothing. Rejected at pool construction rather than silently
+    /// clamped.
+    InvalidPowerCap {
+        /// The routing family (group) carrying the cap.
+        family: String,
+        /// The configured cap.
+        cap: usize,
+        /// The group's worker count.
+        workers: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -83,6 +96,15 @@ impl fmt::Display for ServeError {
                 f,
                 "two differently provisioned worker platforms share the name `{name}`; \
                  variants must carry distinct names"
+            ),
+            ServeError::InvalidPowerCap {
+                family,
+                cap,
+                workers,
+            } => write!(
+                f,
+                "power cap {cap} for group `{family}` is out of range 1..={workers} \
+                 (omit the cap to leave boosting unbounded)"
             ),
         }
     }

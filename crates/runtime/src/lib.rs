@@ -18,9 +18,11 @@
 //!   register file and holds load as *estimated outstanding cycles*
 //!   (predicted by per-platform [`CostModel`] anchors); policies route
 //!   over it — round-robin (`fifo`, `fifo+elide`), write-minimizing
-//!   within the [`LOAD_SLACK_CYCLES`] horizon (`affinity`), or
+//!   within the [`LOAD_SLACK_CYCLES`] horizon (`affinity`),
 //!   completion-cycle-minimizing (`cost`), the policy heterogeneous
-//!   pools need;
+//!   pools need, or frequency-state-aware (`thermal`), which prices
+//!   each candidate at the DVFS mode the tracker's shadow automaton
+//!   predicts and steers traffic out of contended busy windows;
 //! - **heterogeneous pools** ([`PoolGroup`]): one routing family may mix
 //!   differently provisioned platform variants (same configuration
 //!   interface, different geometry/speed — e.g.
@@ -155,8 +157,8 @@ pub mod scheduler;
 pub mod worker;
 
 pub use cache::{
-    build_module, CacheKey, CacheStats, CompiledModule, CostModel, CostRefiner, ModuleCache,
-    WARMTH_BUCKETS,
+    build_module, CacheKey, CacheStats, CompiledModule, CostModel, CostRefiner, CostRow,
+    ModuleCache, COST_ROWS, COST_ROW_AGNOSTIC, WARMTH_BUCKETS,
 };
 pub use engine::ServeMode;
 pub use error::ServeError;
@@ -169,7 +171,7 @@ pub use persist::{
     CostSnapshotEntry,
 };
 pub use plan::{delta_writes, DispatchPlan, LaunchSpec, RegMap, WriteCmd};
-pub use policy::{AffinityPolicy, CostPolicy, FifoPolicy, Policy, SchedulePolicy};
+pub use policy::{AffinityPolicy, CostPolicy, FifoPolicy, Policy, SchedulePolicy, ThermalPolicy};
 pub use runtime::{
     measured_class_service_times, PoolConfig, PoolGroup, PredictionSample, Runtime, ServeConfig,
     ServeReport,

@@ -240,6 +240,13 @@ pub struct ServeMetrics {
     pub queue_depth: DepthHistogram,
     /// Observed-vs-predicted dispatch-cycle error (anchors vs. EWMA).
     pub prediction: PredictionStats,
+    /// Prediction error broken down by the DVFS frequency state each
+    /// dispatch actually launched in, with the EWMA column scored
+    /// against the *frequency-keyed* refined prediction. All-zero under
+    /// identity timing (every launch is cold and keyed rows equal the
+    /// agnostic row); rendered only inside the conditional `timing`
+    /// JSON object, so identity-timing reports keep their exact bytes.
+    pub freq_prediction: [PredictionStats; accfg_sim::FREQ_STATES],
     /// Module-cache statistics for the run.
     pub cache: CacheStats,
     /// Warm-start provenance; `None` when the run used no persistent
@@ -299,10 +306,25 @@ impl ServeMetrics {
         // four uniform serve_bench streams) stay byte-identical to the
         // pre-timing-model artifact
         if self.contention_cycles > 0 || self.freq_launches.iter().any(|&n| n > 0) {
+            let modes = ["cold", "warm", "boost"]
+                .iter()
+                .zip(self.freq_prediction.iter())
+                .map(|(label, p)| {
+                    format!(
+                        "\"{label}\": {{ \"samples\": {}, \"anchor_mae\": {:.2}, \
+                         \"ewma_mae\": {:.2} }}",
+                        p.samples,
+                        p.anchor_mae(),
+                        p.ewma_mae()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = writeln!(
                 out,
                 "  \"timing\": {{ \"contention_cycles\": {}, \"freq_launches\": \
-                 {{ \"cold\": {}, \"warm\": {}, \"boost\": {} }} }},",
+                 {{ \"cold\": {}, \"warm\": {}, \"boost\": {} }}, \
+                 \"freq_prediction\": {{ {modes} }} }},",
                 self.contention_cycles,
                 self.freq_launches[0],
                 self.freq_launches[1],
@@ -426,6 +448,7 @@ mod tests {
                 anchor_abs_error: 2_000,
                 ewma_abs_error: 500,
             },
+            freq_prediction: [PredictionStats::default(); accfg_sim::FREQ_STATES],
             cache: CacheStats {
                 hits: 95,
                 misses: 5,
@@ -534,11 +557,31 @@ mod tests {
         let mut m = metrics();
         m.contention_cycles = 42;
         m.freq_launches = [7, 2, 3];
+        m.freq_prediction = [
+            PredictionStats {
+                samples: 7,
+                anchor_abs_error: 70,
+                ewma_abs_error: 7,
+            },
+            PredictionStats {
+                samples: 2,
+                anchor_abs_error: 10,
+                ewma_abs_error: 1,
+            },
+            PredictionStats {
+                samples: 3,
+                anchor_abs_error: 9,
+                ewma_abs_error: 3,
+            },
+        ];
         let j = m.to_json();
         assert!(
             j.contains(
                 "\"timing\": { \"contention_cycles\": 42, \"freq_launches\": \
-                 { \"cold\": 7, \"warm\": 2, \"boost\": 3 } },"
+                 { \"cold\": 7, \"warm\": 2, \"boost\": 3 }, \"freq_prediction\": \
+                 { \"cold\": { \"samples\": 7, \"anchor_mae\": 10.00, \"ewma_mae\": 1.00 }, \
+                 \"warm\": { \"samples\": 2, \"anchor_mae\": 5.00, \"ewma_mae\": 0.50 }, \
+                 \"boost\": { \"samples\": 3, \"anchor_mae\": 3.00, \"ewma_mae\": 1.00 } } },"
             ),
             "{j}"
         );

@@ -8,8 +8,14 @@
 //!   `(family, shape, opt)`;
 //! - `c` + platform name + encoded [`CacheKey`] → one platform row of the
 //!   [`CostRefiner`]'s learned EWMA state, keyed by
-//!   `(platform, module, bucket)` with the eight warmth buckets packed
-//!   into the value.
+//!   `(platform, module, bucket)`: the mode-agnostic warmth buckets
+//!   followed by one bucket row per DVFS frequency state, packed into
+//!   the value. Stores written before frequency-keyed refinement carry
+//!   only the agnostic buckets; [`load_costs`] detects the short value
+//!   and fills the keyed rows with unseen sentinels, so old store files
+//!   keep warm-starting new processes (the key encoding is unchanged,
+//!   preserving sort order and byte-equality elision for rows whose
+//!   learned state did not change).
 //!
 //! Cost rows are keyed by platform *name*, not the pool-local platform
 //! index: indices are assigned per serve call by first appearance, so they
@@ -32,7 +38,7 @@
 //! [`ServeError::AmbiguousVariantName`]: crate::ServeError::AmbiguousVariantName
 //! [`CostRefiner`]: crate::CostRefiner
 
-use crate::cache::{CacheKey, CompiledModule, CostModel, ModuleCache, WARMTH_BUCKETS};
+use crate::cache::{CacheKey, CompiledModule, CostModel, CostRow, ModuleCache, WARMTH_BUCKETS};
 use crate::plan::{DispatchPlan, LaunchSpec, RegMap};
 use accfg::pipeline::OptLevel;
 use accfg_sim::{AluOp, BranchCond, Inst, Label, Program, Reg, Width};
@@ -45,9 +51,11 @@ pub const MODULE_PREFIX: u8 = b'm';
 /// Key-namespace prefix for cost-refiner records.
 pub const COST_PREFIX: u8 = b'c';
 
-/// One persisted cost-refiner row: the EWMA buckets of `module` on the
-/// platform named `platform` (raw fixed-point, `-1` for unseen buckets).
-pub type CostSnapshotEntry = (String, CacheKey, [i64; WARMTH_BUCKETS]);
+/// One persisted cost-refiner row: the EWMA bucket rows of `module` on
+/// the platform named `platform` — the mode-agnostic row followed by one
+/// row per DVFS frequency state (raw fixed-point, `-1` for unseen
+/// buckets).
+pub type CostSnapshotEntry = (String, CacheKey, CostRow);
 
 fn put_spec(w: &mut ByteWriter, spec: &MatmulSpec) {
     w.put_i64(spec.m);
@@ -543,8 +551,10 @@ pub fn save_costs(
         .iter()
         .map(|(platform, key, buckets)| {
             let mut w = ByteWriter::new();
-            for &slot in buckets {
-                w.put_i64(slot);
+            for row in buckets {
+                for &slot in row {
+                    w.put_i64(slot);
+                }
             }
             (cost_key_bytes(platform, key), w.finish())
         })
@@ -575,11 +585,21 @@ pub fn load_costs(store: &dyn KeyValueStore) -> Result<Vec<CostSnapshotEntry>, S
         let cache_key = read_cache_key(&mut kr)?;
         kr.expect_exhausted("cost key")?;
         let mut r = ByteReader::new(value);
-        let mut buckets = [0i64; WARMTH_BUCKETS];
-        for slot in &mut buckets {
+        // the mode-agnostic row comes first in both formats; unseen
+        // sentinels (`-1`) fill the keyed rows when the value predates
+        // frequency-keyed refinement and carries only the agnostic row
+        let mut buckets: CostRow = [[-1i64; WARMTH_BUCKETS]; crate::cache::COST_ROWS];
+        for slot in &mut buckets[crate::cache::COST_ROW_AGNOSTIC] {
             *slot = r.i64()?;
         }
-        r.expect_exhausted("cost row")?;
+        if !r.is_exhausted() {
+            for row in buckets.iter_mut().skip(1) {
+                for slot in row {
+                    *slot = r.i64()?;
+                }
+            }
+            r.expect_exhausted("cost row")?;
+        }
         entries.push((platform, cache_key, buckets));
     }
     Ok(entries)
@@ -588,7 +608,8 @@ pub fn load_costs(store: &dyn KeyValueStore) -> Result<Vec<CostSnapshotEntry>, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::{build_module, CostRefiner};
+    use crate::cache::{build_module, CostRefiner, COST_ROWS, COST_ROW_AGNOSTIC};
+    use accfg_sim::FreqState;
     use accfg_store::MemStore;
 
     #[test]
@@ -657,8 +678,8 @@ mod tests {
         )
         .unwrap();
         let mut refiner = CostRefiner::new();
-        refiner.observe(&module.key, 0, 0, 500);
-        refiner.observe(&module.key, 1, WARMTH_BUCKETS - 1, 900);
+        refiner.observe(&module.key, 0, 0, FreqState::Cold, 500);
+        refiner.observe(&module.key, 1, WARMTH_BUCKETS - 1, FreqState::Boost, 900);
 
         let entries: Vec<CostSnapshotEntry> = refiner
             .snapshot()
@@ -674,6 +695,44 @@ mod tests {
         loaded.sort_by_key(|(p, k, _)| (p.clone(), cost_key_bytes(p, k)));
         expected.sort_by_key(|(p, k, _)| (p.clone(), cost_key_bytes(p, k)));
         assert_eq!(loaded, expected);
+    }
+
+    #[test]
+    fn old_format_cost_values_load_with_unseen_keyed_rows() {
+        // a store written before frequency-keyed refinement packs only
+        // the agnostic warmth buckets into each cost value; loading it
+        // must fill every keyed row with unseen sentinels rather than
+        // fail — old fleet stores keep warm-starting new binaries
+        let module = build_module(
+            &AcceleratorDescriptor::opengemm(),
+            MatmulSpec::opengemm_paper(16).unwrap(),
+            OptLevel::All,
+        )
+        .unwrap();
+        let agnostic: [i64; WARMTH_BUCKETS] = std::array::from_fn(|b| (b as i64 + 2) << 8);
+        let mut w = ByteWriter::new();
+        for &slot in &agnostic {
+            w.put_i64(slot);
+        }
+        let mut store = MemStore::new();
+        store
+            .put(&cost_key_bytes("opengemm", &module.key), &w.finish())
+            .unwrap();
+
+        let loaded = load_costs(&store).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (platform, key, buckets) = &loaded[0];
+        assert_eq!(platform, "opengemm");
+        assert_eq!(key, &module.key);
+        assert_eq!(buckets[COST_ROW_AGNOSTIC], agnostic);
+        for row in &buckets[COST_ROW_AGNOSTIC + 1..COST_ROWS] {
+            assert_eq!(row, &[-1i64; WARMTH_BUCKETS]);
+        }
+
+        // saving the loaded entry upgrades the value to the keyed format
+        save_costs(&mut store, &loaded).unwrap();
+        let reloaded = load_costs(&store).unwrap();
+        assert_eq!(reloaded, loaded);
     }
 
     #[test]

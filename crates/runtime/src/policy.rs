@@ -20,7 +20,14 @@
 //!   group's shortest queue (`affinity`);
 //! - [`CostPolicy`] — minimize *refined predicted cycles to completion*
 //!   (queue drain plus the platform's predicted dispatch cycles), the
-//!   policy heterogeneous pools need (`cost`).
+//!   policy heterogeneous pools need (`cost`);
+//! - [`ThermalPolicy`] — like `cost`, but frequency-state-aware: each
+//!   candidate's dispatch is priced at the DVFS mode the tracker's shadow
+//!   automaton predicts it would launch in, a busy worker's score is
+//!   charged the contention penalty of pushing this dispatch's
+//!   configuration traffic into its busy window, and ties prefer the
+//!   hotter worker — concentrating load to hold boost instead of
+//!   spreading it (`thermal`).
 //!
 //! [`Policy`] is the serializable configuration handle: a `Copy` enum the
 //! `ServeConfig` carries, turned into a boxed policy object per serve run
@@ -30,6 +37,7 @@
 
 use crate::cache::CompiledModule;
 use crate::scheduler::LoadTracker;
+use accfg_sim::FREQ_STATES;
 use std::fmt;
 
 /// The routing-and-dispatch policy selector carried by `ServeConfig`.
@@ -66,6 +74,17 @@ pub enum Policy {
     ///
     /// [`ConfigAffinity`]: Policy::ConfigAffinity
     Cost,
+    /// Route by *frequency-state-aware* predicted completion: price each
+    /// candidate's dispatch at the DVFS mode the scheduler's shadow
+    /// automaton predicts it would launch in (frequency-keyed EWMA where
+    /// observed), charge busy workers the memory-contention penalty of
+    /// co-scheduling this dispatch's configuration traffic into their
+    /// busy window, and break ties toward the hotter worker so load
+    /// concentrates enough to hold boost. Identical to [`Cost`] under
+    /// the identity timing model (every mode is cold, no contention).
+    ///
+    /// [`Cost`]: Policy::Cost
+    Thermal,
 }
 
 impl Policy {
@@ -76,6 +95,7 @@ impl Policy {
             Policy::FifoElide => "fifo+elide",
             Policy::ConfigAffinity => "affinity",
             Policy::Cost => "cost",
+            Policy::Thermal => "thermal",
         }
     }
 
@@ -93,6 +113,7 @@ impl Policy {
             Policy::FifoElide => Box::new(FifoPolicy::new(true, groups)),
             Policy::ConfigAffinity => Box::new(AffinityPolicy),
             Policy::Cost => Box::new(CostPolicy),
+            Policy::Thermal => Box::new(ThermalPolicy),
         }
     }
 }
@@ -333,6 +354,101 @@ impl SchedulePolicy for CostPolicy {
     }
 }
 
+/// Frequency-aware cycle-cost routing: [`CostPolicy`]'s completion score,
+/// evaluated under the timing state the dispatch would actually run in.
+///
+/// Three refinements over `cost`, all read from the tracker's shadow DVFS
+/// mirror and the platform's timing tables:
+///
+/// - **Mode-keyed pricing.** The dispatch's predicted cycles are quoted
+///   at the DVFS mode [`LoadTracker::predicted_mode`] says the candidate
+///   would launch in (power cap applied), using the frequency-keyed EWMA
+///   rows where observed. A boosted worker's genuinely cheaper dispatch
+///   is visible to the score instead of being averaged into one drifting
+///   bucket mean — which is what lets the policy keep feeding a hot
+///   worker rather than spreading load and cooling every clock down.
+/// - **Contention windows.** A candidate that is still busy charges the
+///   host-side contention penalty of pushing this dispatch's
+///   configuration traffic into its busy window
+///   ([`ContentionParams::host_penalty`] over the writes' payload
+///   bytes); an idle candidate configures at full bandwidth. Traffic-
+///   heavy dispatches therefore steer away from workers in the middle of
+///   a busy window even when raw queue depth ties.
+/// - **Heat tie-break.** Within the slack horizon, equal scores prefer
+///   the *hotter* worker, so sustained streams concentrate instead of
+///   ping-ponging — concentration is what reaches (and holds) boost.
+///
+/// Under the identity timing model every term degenerates (all modes
+/// cold, no contention, constant tie-break) and the policy scores
+/// exactly like [`CostPolicy`].
+///
+/// [`ContentionParams::host_penalty`]:
+///     accfg_sim::ContentionParams::host_penalty
+#[derive(Debug)]
+pub struct ThermalPolicy;
+
+impl SchedulePolicy for ThermalPolicy {
+    fn label(&self) -> &'static str {
+        "thermal"
+    }
+
+    fn choose(
+        &mut self,
+        load: &LoadTracker,
+        _group: usize,
+        candidates: &[usize],
+        module: &CompiledModule,
+        now: u64,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "scheduling against an empty group");
+        let scored: Vec<(u64, u64, u64, u64, usize)> = candidates
+            .iter()
+            .map(|&w| {
+                let writes = load.writes_for(w, module);
+                let outstanding = load.outstanding(w, now);
+                let mode = load.predicted_mode(w, now);
+                let dispatch = load.predicted_cycles_for_mode(w, module, writes, mode);
+                // a busy worker's configuration traffic lands inside its
+                // busy window and runs at leftover bandwidth
+                let desc = load.descriptor(w);
+                let contended = match desc.timing.contention {
+                    Some(c) if outstanding > 0 => {
+                        c.host_penalty(writes * desc.accel.csr_payload_bytes)
+                    }
+                    _ => 0,
+                };
+                let finish = outstanding + dispatch + contended;
+                // prefer hotter candidates on ties (smaller rank = hotter)
+                let chill = (FREQ_STATES - 1 - mode.index()) as u64;
+                (finish, writes, chill, outstanding, w)
+            })
+            .collect();
+        let min_completion = scored
+            .iter()
+            .map(|&(finish, ..)| finish)
+            .min()
+            .expect("nonempty");
+        scored
+            .into_iter()
+            .map(|(finish, writes, chill, outstanding, w)| {
+                (
+                    (
+                        pressure(finish - min_completion, load.slack()),
+                        writes,
+                        chill,
+                        finish,
+                        outstanding,
+                        w,
+                    ),
+                    w,
+                )
+            })
+            .min_by_key(|(key, _)| *key)
+            .expect("nonempty")
+            .1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +456,7 @@ mod tests {
     use crate::scheduler::{Scheduler, LOAD_SLACK_CYCLES};
     use crate::testutil::{single_tile_module, uniform};
     use accfg::pipeline::OptLevel;
+    use accfg_sim::FreqState;
     use accfg_targets::AcceleratorDescriptor;
     use accfg_workloads::MatmulSpec;
 
@@ -349,16 +466,19 @@ mod tests {
         assert!(Policy::FifoElide.elides());
         assert!(Policy::ConfigAffinity.elides());
         assert!(Policy::Cost.elides());
+        assert!(Policy::Thermal.elides());
         assert_eq!(Policy::Fifo.label(), "fifo");
         assert_eq!(Policy::FifoElide.label(), "fifo+elide");
         assert_eq!(Policy::ConfigAffinity.label(), "affinity");
         assert_eq!(Policy::Cost.label(), "cost");
+        assert_eq!(Policy::Thermal.label(), "thermal");
         // the built objects agree with the enum metadata
         for policy in [
             Policy::Fifo,
             Policy::FifoElide,
             Policy::ConfigAffinity,
             Policy::Cost,
+            Policy::Thermal,
         ] {
             let built = policy.build(1);
             assert_eq!(built.label(), policy.label());
@@ -449,6 +569,87 @@ mod tests {
         // affinity is blind to the difference and takes the lower index
         let mut a = Scheduler::new(Policy::ConfigAffinity, &workers, 1);
         assert_eq!(a.choose(0, &[0, 1], &heavy, 0), 0);
+    }
+
+    #[test]
+    fn thermal_matches_cost_under_identity_timing() {
+        // no DVFS, no contention: every thermal term degenerates and the
+        // two policies pick the same worker at every step
+        let m8 = single_tile_module(8);
+        let m16 = single_tile_module(16);
+        let mut t = Scheduler::new(Policy::Thermal, &uniform(3), 1);
+        let mut c = Scheduler::new(Policy::Cost, &uniform(3), 1);
+        let mut now = 0;
+        for i in 0..60 {
+            let m = if i % 3 == 0 { &m16 } else { &m8 };
+            let tw = t.choose(0, &[0, 1, 2], m, now);
+            let cw = c.choose(0, &[0, 1, 2], m, now);
+            assert_eq!(tw, cw, "diverged at step {i}");
+            t.commit(tw, m, now);
+            c.commit(cw, m, now);
+            now += 40;
+        }
+    }
+
+    #[test]
+    fn thermal_ties_prefer_the_hotter_worker() {
+        // both workers end with identical resident state and drained
+        // queues, but worker 1's shadow automaton was heated by far more
+        // committed work: completion and writes tie exactly, and the heat
+        // tie-break alone routes to the warm clock (cost, scored on the
+        // same inputs, would take the lower index)
+        let m = single_tile_module(8);
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let workers = vec![desc.clone(), desc];
+        let mut s = Scheduler::new(Policy::Thermal, &workers, 1);
+        s.commit(0, &m, 0);
+        for _ in 0..256 {
+            s.commit(1, &m, 0);
+        }
+        let drained = (0..2).map(|w| s.outstanding(w, 0)).max().unwrap();
+        // inside the cooldown window worker 1's heat survives the drain
+        assert_eq!(s.load().predicted_mode(0, drained), FreqState::Cold);
+        assert_ne!(s.load().predicted_mode(1, drained), FreqState::Cold);
+        // identical shadows: a repeat ties on writes (0) and predicted
+        // completion, so only the tie-break separates the candidates
+        assert_eq!(s.load().writes_for(0, &m), 0);
+        assert_eq!(s.load().writes_for(1, &m), 0);
+        assert_eq!(s.choose(0, &[0, 1], &m, drained), 1);
+    }
+
+    #[test]
+    fn thermal_kicks_traffic_heavy_dispatches_off_a_busy_window() {
+        // worker 0 is mid-busy-window holding part of the probe's
+        // configuration (fewer writes — cost stays sticky); worker 1 is
+        // idle and blank. The queue gap alone is inside the slack
+        // horizon, but charging the contention penalty of pushing the
+        // probe's remaining config traffic into worker 0's busy window
+        // crosses the boundary — thermal routes to the idle worker where
+        // cost does not.
+        let warm_shape = single_tile_module(8);
+        let probe = single_tile_module(16);
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let workers = [desc.clone(), desc.clone()];
+        let mut load = LoadTracker::new(&workers);
+        load.commit(0, &warm_shape, 0, true);
+        let w0 = load.writes_for(0, &probe);
+        let w1 = load.writes_for(1, &probe);
+        assert!(
+            w0 > 0 && w0 < w1,
+            "probe must partially overlap: {w0} vs {w1}"
+        );
+        let contention = desc.timing.contention.expect("reference timing");
+        let penalty = contention.host_penalty(w0 * desc.accel.csr_payload_bytes);
+        assert!(penalty > 0, "config traffic must contend");
+        // park worker 0's queue so the completion gap is one cycle short
+        // of the slack horizon before the penalty and past it after
+        let d0 = load.predicted_cycles(0, &probe, w0);
+        let d1 = load.predicted_cycles(1, &probe, w1);
+        load.set_ready(0, LOAD_SLACK_CYCLES - 1 + d1 - d0);
+        let mut thermal = ThermalPolicy;
+        let mut cost = CostPolicy;
+        assert_eq!(cost.choose(&load, 0, &[0, 1], &probe, 0), 0);
+        assert_eq!(thermal.choose(&load, 0, &[0, 1], &probe, 0), 1);
     }
 
     #[test]

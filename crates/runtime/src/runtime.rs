@@ -43,6 +43,7 @@ use crate::policy::Policy;
 use crate::scheduler::LOAD_SLACK_CYCLES;
 use crate::worker::{Completion, Worker};
 use accfg::pipeline::OptLevel;
+use accfg_sim::FREQ_STATES;
 use accfg_store::{KeyValueStore, LogStore};
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{TrafficClass, TrafficRequest};
@@ -67,6 +68,18 @@ pub struct PoolGroup {
     /// Per-worker platform descriptors; `members[0]` is the compile
     /// target for the family's modules.
     pub members: Vec<AcceleratorDescriptor>,
+    /// Boost power cap: the maximum number of this group's workers the
+    /// scheduler's shadow DVFS automaton will predict as simultaneously
+    /// boosted (`None` = unbounded). Enforced in the load tracker — a
+    /// candidate whose mirror would boost past the cap is predicted (and
+    /// charged) at warm — which is what makes frequency-aware routing a
+    /// real trade-off instead of "boost everything". Validated at serve
+    /// time: a cap of 0 or above the group's worker count is
+    /// [`ServeError::InvalidPowerCap`].
+    ///
+    /// [`ServeError::InvalidPowerCap`]:
+    ///     crate::error::ServeError::InvalidPowerCap
+    pub power_cap: Option<usize>,
 }
 
 /// Static configuration of the worker pool.
@@ -90,6 +103,7 @@ impl PoolConfig {
             .map(|d| PoolGroup {
                 family: d.name.clone(),
                 members: vec![d.clone(), d],
+                power_cap: None,
             })
             .collect();
         Self {
@@ -165,6 +179,25 @@ impl PoolConfig {
                 })
         };
         group.members[slot] = desc;
+        self
+    }
+
+    /// Sets `family`'s boost power cap: at most `cap` of the group's
+    /// workers are predicted simultaneously boosted by the scheduler's
+    /// shadow DVFS automaton (see [`PoolGroup::power_cap`]). Range
+    /// validation (`1..=` the group's worker count) happens at serve
+    /// time, after the pool's final shape is known.
+    ///
+    /// # Panics
+    /// Panics if no group is named `family`.
+    #[must_use]
+    pub fn with_power_cap(mut self, family: &str, cap: usize) -> Self {
+        let group = self
+            .groups
+            .iter_mut()
+            .find(|g| g.family == family)
+            .unwrap_or_else(|| panic!("no pool group for family `{family}`"));
+        group.power_cap = Some(cap);
         self
     }
 
@@ -350,6 +383,20 @@ impl Runtime {
                 }
             }
         }
+        // a power cap must actually bound something: 0 forbids boosting
+        // outright and a cap beyond the group's size caps nothing — both
+        // are configuration bugs, rejected instead of silently clamped
+        for group in &self.pool.groups {
+            if let Some(cap) = group.power_cap {
+                if cap == 0 || cap > group.members.len() {
+                    return Err(ServeError::InvalidPowerCap {
+                        family: group.family.clone(),
+                        cap,
+                        workers: group.members.len(),
+                    });
+                }
+            }
+        }
         // a descriptor name must identify exactly one provisioning: the
         // scheduler keys platform cost anchors and refinement state by
         // name, so a same-name-but-different variant would silently share
@@ -459,6 +506,7 @@ impl Runtime {
         // proves *complete* retires its measured cycles into the
         // scheduler's cost refiner, so later queue estimates learn from
         // the stream itself.
+        let power_caps: Vec<Option<usize>> = self.pool.groups.iter().map(|g| g.power_cap).collect();
         let engine_out = engine::run(engine::EngineInput {
             stream,
             order: &order,
@@ -468,6 +516,7 @@ impl Runtime {
             worker_descs: &worker_descs,
             workers,
             cost_seed: &cost_seed,
+            power_caps: &power_caps,
             cfg,
         });
         warm_start.ewma_entries_seeded = engine_out.ewma_entries_seeded;
@@ -537,8 +586,14 @@ impl Runtime {
             .collect();
 
         // observed-vs-predicted error, for both predictors on the same
-        // dispatch sequence (simulation failures carry no valid cycles)
+        // dispatch sequence (simulation failures carry no valid cycles).
+        // Each sample also lands in the per-frequency-mode breakdown,
+        // where the ewma column is the *frequency-keyed* estimate for the
+        // mode the dispatch actually ran in — summed across modes it is
+        // the keyed estimator's MAE, next to `prediction`'s mode-agnostic
+        // one.
         let mut prediction = PredictionStats::default();
+        let mut freq_prediction = [PredictionStats::default(); FREQ_STATES];
         let predictions: Vec<PredictionSample> = completions
             .iter()
             .enumerate()
@@ -556,6 +611,11 @@ impl Runtime {
                     prediction.samples += 1;
                     prediction.anchor_abs_error += sample.anchor.abs_diff(sample.observed);
                     prediction.ewma_abs_error += sample.ewma.abs_diff(sample.observed);
+                    let keyed = &mut freq_prediction[c.freq.index()];
+                    keyed.samples += 1;
+                    keyed.anchor_abs_error += sample.anchor.abs_diff(sample.observed);
+                    keyed.ewma_abs_error +=
+                        outcomes[i].keyed_cycles[c.freq.index()].abs_diff(sample.observed);
                 }
                 sample
             })
@@ -601,6 +661,7 @@ impl Runtime {
             per_class,
             queue_depth,
             prediction,
+            freq_prediction,
             cache: CacheStats {
                 hits: cache_after.hits - cache_before.hits,
                 misses: cache_after.misses - cache_before.misses,
@@ -751,6 +812,7 @@ mod tests {
             Policy::FifoElide,
             Policy::ConfigAffinity,
             Policy::Cost,
+            Policy::Thermal,
         ] {
             let report = rt
                 .serve(
@@ -874,6 +936,29 @@ mod tests {
         let _ = PoolConfig::new(vec![AcceleratorDescriptor::gemmini()])
             .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
             .with_workers_per_accelerator(4);
+    }
+
+    #[test]
+    fn out_of_range_power_caps_are_rejected() {
+        let stream = stream(1, 14);
+        // cap 0 forbids boosting outright
+        let mut rt = Runtime::new(pool().with_power_cap("gemmini", 0));
+        assert!(matches!(
+            rt.serve(&stream, &ServeConfig::default()),
+            Err(ServeError::InvalidPowerCap { family, cap, workers })
+                if family == "gemmini" && cap == 0 && workers == 2
+        ));
+        // a cap beyond the group's worker count caps nothing
+        let mut rt = Runtime::new(pool().with_power_cap("opengemm", 3));
+        assert!(matches!(
+            rt.serve(&stream, &ServeConfig::default()),
+            Err(ServeError::InvalidPowerCap { family, cap, workers })
+                if family == "opengemm" && cap == 3 && workers == 2
+        ));
+        // an in-range cap serves normally
+        let mut rt = Runtime::new(pool().with_power_cap("gemmini", 1));
+        let report = rt.serve(&stream, &ServeConfig::default()).unwrap();
+        assert_eq!(report.metrics.requests, 1);
     }
 
     #[test]

@@ -36,7 +36,13 @@
 //! the serve loop retires completed dispatches it feeds their measured
 //! cycles back through [`Scheduler::observe`], and the
 //! per-`(module, platform, warmth bucket)` EWMA held by [`CostRefiner`]
-//! takes over from the static interpolation wherever it has data. Because
+//! takes over from the static interpolation wherever it has data. Each
+//! observation carries the worker's DVFS frequency state at retirement,
+//! so the refiner additionally keeps frequency-keyed rows; the tracker
+//! mirrors every worker's DVFS automaton in shadow (advanced at commit
+//! with predicted busy windows, optionally bounded by a per-group boost
+//! power cap) so frequency-aware policies can ask what state a candidate
+//! would launch in — see [`LoadTracker::predicted_mode`]. Because
 //! retirement happens at deterministic points of the simulated clock, the
 //! refined estimates — and every routing decision made from them — remain
 //! a pure function of the request stream.
@@ -51,6 +57,7 @@
 use crate::cache::{CacheKey, CompiledModule, CostModel, CostRefiner};
 use crate::plan::RegMap;
 use crate::policy::{Policy, SchedulePolicy};
+use accfg_sim::{DvfsParams, DvfsState, FreqState, FREQ_STATES};
 use accfg_targets::AcceleratorDescriptor;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -98,6 +105,16 @@ pub struct CommitOutcome {
     /// refined (EWMA) estimate when refinement is on and the bucket has
     /// been observed, the anchor prediction otherwise.
     pub predicted_cycles: u64,
+    /// Frequency-keyed predictions, one per [`FreqState`] in index order:
+    /// what the refiner would quote if the dispatch's last launch ran
+    /// cold / warm / boost. The retirement path indexes this by the
+    /// *observed* frequency state ([`Completion::freq`]) to measure the
+    /// keyed estimator's error next to the mode-agnostic
+    /// `predicted_cycles`. With refinement off every entry equals
+    /// `anchor_cycles`.
+    ///
+    /// [`Completion::freq`]: crate::worker::Completion::freq
+    pub keyed_cycles: [u64; FREQ_STATES],
 }
 
 /// The policy-agnostic accounting core of the scheduler: shadow resident
@@ -128,6 +145,22 @@ pub struct LoadTracker {
     refiner: CostRefiner,
     /// The load-slack horizon policies bucket queue gaps by.
     slack: u64,
+    /// Per-platform DVFS table (`None` under the identity timing model).
+    dvfs: Vec<Option<DvfsParams>>,
+    /// Per-worker shadow DVFS automaton, advanced at commit with the
+    /// *predicted* busy window — the scheduler's estimate of the worker's
+    /// frequency heat, exactly as the shadow register file estimates its
+    /// resident state.
+    mirror: Vec<DvfsState>,
+    /// The frequency mode each worker's most recent commit was predicted
+    /// to launch at (power cap already applied) — what the cap counts as
+    /// "holding a boost slot" while that commit is still queued.
+    last_mode: Vec<FreqState>,
+    /// Per-worker routing-group index (all workers share group 0 unless
+    /// configured via [`LoadTracker::with_power_caps`]).
+    worker_group: Vec<usize>,
+    /// Per-group cap on simultaneously boosted workers (`None` = no cap).
+    power_cap: Vec<Option<usize>>,
 }
 
 impl LoadTracker {
@@ -165,16 +198,42 @@ impl LoadTracker {
             };
             worker_platform.push(platform);
         }
+        let dvfs = variants.iter().map(|v| v.timing.dvfs).collect();
         Self {
             shadows: vec![RegMap::new(); workers.len()],
             ready: vec![0; workers.len()],
-            variants,
             worker_platform,
             variant_anchors: RefCell::new(HashMap::new()),
             refine: true,
             refiner: CostRefiner::new(),
             slack: LOAD_SLACK_CYCLES,
+            dvfs,
+            mirror: vec![DvfsState::default(); workers.len()],
+            last_mode: vec![FreqState::Cold; workers.len()],
+            worker_group: vec![0; workers.len()],
+            power_cap: Vec::new(),
+            variants,
         }
+    }
+
+    /// Installs routing-group membership and per-group boost power caps
+    /// (`worker_group[w]` is worker `w`'s group; `caps[g]` is group `g`'s
+    /// cap, `None` for uncapped). The cap bounds how many of a group's
+    /// workers the *scheduler's shadow automaton* treats as boosted at
+    /// once: a candidate whose mirror would reach [`FreqState::Boost`]
+    /// while the group's cap is exhausted is predicted (and charged) at
+    /// [`FreqState::Warm`] instead, so frequency-aware scoring steers
+    /// load away from over-committing boost. Validation (cap in
+    /// `1..=group size`) happens at pool construction.
+    ///
+    /// # Panics
+    /// Panics if `worker_group` does not cover every worker.
+    #[must_use]
+    pub fn with_power_caps(mut self, worker_group: Vec<usize>, caps: Vec<Option<usize>>) -> Self {
+        assert_eq!(worker_group.len(), self.ready.len(), "one group per worker");
+        self.worker_group = worker_group;
+        self.power_cap = caps;
+        self
     }
 
     /// Sets the load-slack horizon (cycles) policies bucket queue gaps
@@ -273,6 +332,73 @@ impl LoadTracker {
         }
     }
 
+    /// Predicted execution cycles of a dispatch of `module` emitting
+    /// `writes` on `worker` *given* that its launches run at frequency
+    /// `mode`: the frequency-keyed EWMA where that keyed bucket has been
+    /// observed, falling back to the mode-agnostic EWMA, then the anchor
+    /// interpolation. The scoring primitive of the `thermal` policy.
+    pub fn predicted_cycles_for_mode(
+        &self,
+        worker: usize,
+        module: &CompiledModule,
+        writes: u64,
+        mode: FreqState,
+    ) -> u64 {
+        let anchors = self.anchors(worker, module);
+        if self.refine {
+            self.refiner.predict_for_mode(
+                &module.key,
+                self.worker_platform[worker],
+                &anchors,
+                writes,
+                mode,
+            )
+        } else {
+            anchors.predict(writes)
+        }
+    }
+
+    /// The frequency state the shadow DVFS automaton predicts `worker`'s
+    /// next dispatch would launch at, were it committed at serve-loop
+    /// cycle `now` (the launch itself happens once the queue drains, at
+    /// `max(ready, now)`). [`FreqState::Cold`] without a DVFS table. A
+    /// boost prediction is clamped to warm when the worker's group has a
+    /// power cap and its other workers already hold every boost slot.
+    pub fn predicted_mode(&self, worker: usize, now: u64) -> FreqState {
+        let Some(params) = self.dvfs[self.worker_platform[worker]] else {
+            return FreqState::Cold;
+        };
+        let mut mirror = self.mirror[worker];
+        let mode = mirror.launch_state(&params, self.ready[worker].max(now));
+        if mode == FreqState::Boost && !self.boost_slot_free(worker, now) {
+            return FreqState::Warm;
+        }
+        mode
+    }
+
+    /// `true` if `worker` may be counted boosted at `now` under its
+    /// group's power cap: either it already holds a boost slot (its last
+    /// commit was predicted boosted and is still queued), or the group
+    /// has a free slot left. Uncapped groups always have room.
+    fn boost_slot_free(&self, worker: usize, now: u64) -> bool {
+        let group = self.worker_group[worker];
+        let Some(cap) = self.power_cap.get(group).copied().flatten() else {
+            return true;
+        };
+        if self.last_mode[worker] == FreqState::Boost && self.ready[worker] > now {
+            return true;
+        }
+        let held = (0..self.ready.len())
+            .filter(|&w| {
+                w != worker
+                    && self.worker_group[w] == group
+                    && self.last_mode[w] == FreqState::Boost
+                    && self.ready[w] > now
+            })
+            .count();
+        held < cap
+    }
+
     /// The estimated cycles of committed work still queued on `worker` at
     /// serve-loop time `now` — completed work has drained.
     pub fn outstanding(&self, worker: usize, now: u64) -> u64 {
@@ -305,31 +431,71 @@ impl LoadTracker {
             module.plan.cold_writes
         };
         let anchors = self.anchors(worker, module);
+        let platform = self.worker_platform[worker];
         let bucket = anchors.bucket(writes);
         let anchor_cycles = anchors.predict(writes);
-        let predicted_cycles = if self.refine {
-            self.refiner
-                .predict(&module.key, self.worker_platform[worker], &anchors, writes)
+        let (predicted_cycles, keyed_cycles) = if self.refine {
+            let agnostic = self
+                .refiner
+                .predict(&module.key, platform, &anchors, writes);
+            let mut keyed = [0u64; FREQ_STATES];
+            for mode in FreqState::ALL {
+                keyed[mode.index()] =
+                    self.refiner
+                        .predict_for_mode(&module.key, platform, &anchors, writes, mode);
+            }
+            (agnostic, keyed)
         } else {
-            anchor_cycles
+            (anchor_cycles, [anchor_cycles; FREQ_STATES])
         };
-        self.ready[worker] = self.ready[worker].max(now) + predicted_cycles;
+        // advance the shadow DVFS automaton with the predicted busy
+        // window, mirroring the worker-side sequence (cool over the idle
+        // gap, read the launch state, account the busy cycles)
+        let start = self.ready[worker].max(now);
+        let mode = match self.dvfs[platform] {
+            Some(params) => {
+                let mut mode = self.mirror[worker].launch_state(&params, start);
+                if mode == FreqState::Boost && !self.boost_slot_free(worker, now) {
+                    mode = FreqState::Warm;
+                }
+                self.mirror[worker].note_busy(start + predicted_cycles, predicted_cycles);
+                mode
+            }
+            None => FreqState::Cold,
+        };
+        self.last_mode[worker] = mode;
+        self.ready[worker] = start + predicted_cycles;
         CommitOutcome {
             writes,
             bucket,
             anchor_cycles,
             predicted_cycles,
+            keyed_cycles,
         }
     }
 
     /// Feeds one retired dispatch's measured `cycles` (of `module`,
-    /// landing in `bucket`, executed on `worker`) back into the cost
-    /// refiner, keyed by the worker's platform. A no-op when refinement
-    /// is disabled.
-    pub fn observe(&mut self, worker: usize, module: &CompiledModule, bucket: usize, cycles: u64) {
+    /// landing in `bucket`, executed on `worker` whose last launch ran at
+    /// frequency `mode`) back into the cost refiner, keyed by the
+    /// worker's platform. The observation updates both the mode-agnostic
+    /// row and the frequency-keyed row for `mode`. A no-op when
+    /// refinement is disabled.
+    pub fn observe(
+        &mut self,
+        worker: usize,
+        module: &CompiledModule,
+        bucket: usize,
+        mode: FreqState,
+        cycles: u64,
+    ) {
         if self.refine {
-            self.refiner
-                .observe(&module.key, self.worker_platform[worker], bucket, cycles);
+            self.refiner.observe(
+                &module.key,
+                self.worker_platform[worker],
+                bucket,
+                mode,
+                cycles,
+            );
         }
     }
 
@@ -411,6 +577,14 @@ impl Scheduler {
         self
     }
 
+    /// Installs routing-group membership and per-group boost power caps
+    /// (see [`LoadTracker::with_power_caps`]).
+    #[must_use]
+    pub fn with_power_caps(mut self, worker_group: Vec<usize>, caps: Vec<Option<usize>>) -> Self {
+        self.load = self.load.with_power_caps(worker_group, caps);
+        self
+    }
+
     /// `true` if dispatches under the active policy skip writes already
     /// resident on the worker.
     pub fn elides(&self) -> bool {
@@ -449,8 +623,15 @@ impl Scheduler {
 
     /// Feeds one retired dispatch's measured `cycles` back into the cost
     /// refiner (see [`LoadTracker::observe`]).
-    pub fn observe(&mut self, worker: usize, module: &CompiledModule, bucket: usize, cycles: u64) {
-        self.load.observe(worker, module, bucket, cycles);
+    pub fn observe(
+        &mut self,
+        worker: usize,
+        module: &CompiledModule,
+        bucket: usize,
+        mode: FreqState,
+        cycles: u64,
+    ) {
+        self.load.observe(worker, module, bucket, mode, cycles);
     }
 
     /// The cost refiner's current estimates (for tests and diagnostics).
@@ -691,7 +872,13 @@ mod tests {
         // a retired dispatch reports very different measured cycles for
         // the warm bucket; the next warm commit quotes the EWMA
         let warm_probe = s.commit(0, &m, 0);
-        s.observe(0, &m, warm_probe.bucket, warm_probe.anchor_cycles + 500);
+        s.observe(
+            0,
+            &m,
+            warm_probe.bucket,
+            FreqState::Cold,
+            warm_probe.anchor_cycles + 500,
+        );
         let refined = s.commit(0, &m, 0);
         assert_eq!(refined.bucket, warm_probe.bucket);
         assert_eq!(refined.predicted_cycles, warm_probe.anchor_cycles + 500);
@@ -701,7 +888,13 @@ mod tests {
             Scheduler::new(Policy::ConfigAffinity, &uniform(1), 1).with_refinement(false);
         fixed.commit(0, &m, 0);
         let probe = fixed.commit(0, &m, 0);
-        fixed.observe(0, &m, probe.bucket, probe.anchor_cycles + 500);
+        fixed.observe(
+            0,
+            &m,
+            probe.bucket,
+            FreqState::Cold,
+            probe.anchor_cycles + 500,
+        );
         assert_eq!(fixed.refiner().modules_observed(), 0);
         let unrefined = fixed.commit(0, &m, 0);
         assert_eq!(unrefined.predicted_cycles, unrefined.anchor_cycles);
@@ -780,9 +973,117 @@ mod tests {
         ];
         let mut load = LoadTracker::new(&workers);
         let bucket = m.cost.bucket(m.plan.cold_writes);
-        load.observe(0, &m, bucket, 100);
-        load.observe(1, &m, bucket, 900);
+        load.observe(0, &m, bucket, FreqState::Cold, 100);
+        load.observe(1, &m, bucket, FreqState::Cold, 900);
         assert_eq!(load.predicted_cycles(0, &m, m.plan.cold_writes), 100);
         assert_eq!(load.predicted_cycles(1, &m, m.plan.cold_writes), 900);
+    }
+
+    #[test]
+    fn mode_keyed_observations_sharpen_commit_predictions() {
+        // the same bucket observed under two frequency modes keeps two
+        // keyed estimates; the agnostic charge is the drifting mix
+        let m = single_tile_module(8);
+        let mut load = LoadTracker::new(&uniform(1));
+        let bucket = m.cost.bucket(m.plan.cold_writes);
+        load.observe(0, &m, bucket, FreqState::Boost, 100);
+        load.observe(0, &m, bucket, FreqState::Cold, 900);
+        let writes = m.plan.cold_writes;
+        assert_eq!(
+            load.predicted_cycles_for_mode(0, &m, writes, FreqState::Boost),
+            100
+        );
+        assert_eq!(
+            load.predicted_cycles_for_mode(0, &m, writes, FreqState::Cold),
+            900
+        );
+        // an unobserved mode falls back to the agnostic EWMA
+        let agnostic = load.predicted_cycles(0, &m, writes);
+        assert_eq!(
+            load.predicted_cycles_for_mode(0, &m, writes, FreqState::Warm),
+            agnostic
+        );
+        assert!((100..=900).contains(&agnostic));
+    }
+
+    #[test]
+    fn identity_timing_predicts_cold_and_commits_record_it() {
+        // without a DVFS table the shadow automaton is inert: every
+        // predicted mode is cold and keyed predictions match the agnostic
+        let m = single_tile_module(8);
+        let mut s = Scheduler::new(Policy::Cost, &uniform(2), 1);
+        assert_eq!(s.load().predicted_mode(0, 0), FreqState::Cold);
+        let outcome = s.commit(0, &m, 0);
+        assert_eq!(
+            outcome.keyed_cycles,
+            [outcome.predicted_cycles; FREQ_STATES]
+        );
+        assert_eq!(s.load().predicted_mode(0, 0), FreqState::Cold);
+    }
+
+    #[test]
+    fn shadow_mirror_heats_through_warm_into_boost() {
+        // sustained predicted load walks the mirror cold → warm → boost,
+        // and a long idle gap cools it back down — all without running a
+        // single simulated instruction
+        let m = single_tile_module(8);
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let dvfs = desc.timing.dvfs.expect("reference timing has DVFS");
+        let mut s = Scheduler::new(Policy::Cost, &[desc], 1);
+        assert_eq!(s.load().predicted_mode(0, 0), FreqState::Cold);
+        let mut seen_boost = false;
+        for _ in 0..4096 {
+            s.commit(0, &m, 0);
+            if s.load().predicted_mode(0, 0) == FreqState::Boost {
+                seen_boost = true;
+                break;
+            }
+        }
+        assert!(seen_boost, "mirror never predicted boost");
+        // a cooldown-length gap after the queue drains predicts cold again
+        let drained = s.outstanding(0, 0);
+        assert_eq!(
+            s.load()
+                .predicted_mode(0, drained + dvfs.cooldown_idle_cycles),
+            FreqState::Cold
+        );
+    }
+
+    #[test]
+    fn power_cap_clamps_excess_boost_predictions() {
+        let m = single_tile_module(8);
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let workers = vec![desc.clone(), desc];
+        let mut s =
+            Scheduler::new(Policy::Cost, &workers, 1).with_power_caps(vec![0, 0], vec![Some(1)]);
+        // heat both mirrors past the boost threshold with queued work
+        for _ in 0..8192 {
+            s.commit(0, &m, 0);
+            s.commit(1, &m, 0);
+            if s.load().predicted_mode(0, 0) == FreqState::Boost {
+                break;
+            }
+        }
+        assert_eq!(s.load().predicted_mode(0, 0), FreqState::Boost);
+        // until someone *commits* a boost launch the slot is unclaimed,
+        // so the equally hot worker 1 may also predict boost; one more
+        // commit on worker 0 takes the group's single slot
+        s.commit(0, &m, 0);
+        assert_eq!(s.load().predicted_mode(0, 0), FreqState::Boost);
+        // worker 0 holds the group's one boost slot; worker 1's equally
+        // hot mirror is clamped to warm
+        assert_eq!(s.load().predicted_mode(1, 0), FreqState::Warm);
+        // an uncapped tracker lets both boost
+        let desc = AcceleratorDescriptor::opengemm().with_reference_timing();
+        let mut open = Scheduler::new(Policy::Cost, &[desc.clone(), desc], 1);
+        for _ in 0..8192 {
+            open.commit(0, &m, 0);
+            open.commit(1, &m, 0);
+            if open.load().predicted_mode(1, 0) == FreqState::Boost {
+                break;
+            }
+        }
+        assert_eq!(open.load().predicted_mode(0, 0), FreqState::Boost);
+        assert_eq!(open.load().predicted_mode(1, 0), FreqState::Boost);
     }
 }

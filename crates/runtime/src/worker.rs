@@ -18,7 +18,7 @@
 
 use crate::cache::CompiledModule;
 use crate::plan::RegMap;
-use accfg_sim::{AccelSim, Counters, Machine};
+use accfg_sim::{AccelSim, Counters, FreqState, Machine};
 use accfg_targets::AcceleratorDescriptor;
 use accfg_workloads::{check_result, fill_inputs, TrafficRequest};
 use std::sync::mpsc::{Receiver, Sender};
@@ -59,6 +59,11 @@ pub struct Completion {
     pub emitted_writes: u64,
     /// Writes a cold (blank-state) dispatch of the same module performs.
     pub cold_writes: u64,
+    /// DVFS frequency state the dispatch's last launch ran at
+    /// ([`FreqState::Cold`] under the identity timing model) — the key the
+    /// frequency-keyed cost refiner files this completion's measured
+    /// cycles under.
+    pub freq: FreqState,
     /// Functional-check failure, if any.
     pub check_error: Option<String>,
     /// Simulator failure, if any (the functional check is skipped then).
@@ -132,6 +137,7 @@ impl Worker {
             counters: Counters::default(),
             emitted_writes: 0,
             cold_writes: module.plan.cold_writes,
+            freq: FreqState::Cold,
             check_error: None,
             sim_error: None,
         };
@@ -163,6 +169,7 @@ impl Worker {
         match self.machine.run(&program, self.fuel) {
             Ok(counters) => {
                 completion.counters = counters;
+                completion.freq = self.machine.accel.last_launch_state();
                 self.clock = start + counters.cycles;
                 // the program drained the accelerator; re-base its busy
                 // window so the next dispatch starts from a clean clock

@@ -49,6 +49,9 @@ pub enum FreqState {
 pub const FREQ_STATES: usize = 3;
 
 impl FreqState {
+    /// Every state in index order — for iterating per-state tables.
+    pub const ALL: [FreqState; FREQ_STATES] = [FreqState::Cold, FreqState::Warm, FreqState::Boost];
+
     /// Index into per-state tables (`0` = cold, `2` = boost).
     pub fn index(self) -> usize {
         match self {

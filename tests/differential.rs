@@ -23,11 +23,12 @@ use proptest::prelude::*;
 /// executors than workers, and one executor per worker with headroom.
 const THREADS: [usize; 3] = [1, 2, 8];
 
-const POLICIES: [Policy; 4] = [
+const POLICIES: [Policy; 5] = [
     Policy::Fifo,
     Policy::FifoElide,
     Policy::ConfigAffinity,
     Policy::Cost,
+    Policy::Thermal,
 ];
 
 fn uniform_pool() -> PoolConfig {
@@ -332,7 +333,7 @@ proptest! {
         hetero in any::<bool>(),
         slack in 64u64..1024,
         max_batch in 1usize..8,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..5,
         threads_idx in 0usize..3,
     ) {
         let stream = stream_from_picks(&mixed_serving_classes(), &picks, gap, seed);
@@ -365,7 +366,7 @@ proptest! {
         burst_gap in 0u64..100,
         idle_gap in 0u64..20_000,
         seed in any::<u64>(),
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..5,
         threads_idx in 0usize..3,
     ) {
         let stream = BurstyConfig {

@@ -8,7 +8,7 @@
 use configuration_wall::core::pipeline::OptLevel;
 use configuration_wall::runtime::{
     build_module, encode_module, load_costs, load_modules, save_costs, save_modules, CacheKey,
-    CostSnapshotEntry, ModuleCache, WARMTH_BUCKETS,
+    CostRow, CostSnapshotEntry, ModuleCache, COST_ROWS, COST_ROW_AGNOSTIC, WARMTH_BUCKETS,
 };
 use configuration_wall::store::{LogStore, MemStore};
 use configuration_wall::targets::AcceleratorDescriptor;
@@ -91,15 +91,19 @@ proptest! {
         prop_assert_eq!(canonical(&original), canonical(&restored));
     }
 
-    /// Arbitrary learned cost rows survive save → reopen → load through
-    /// the on-disk log store, raw fixed-point EWMA words included.
+    /// Arbitrary learned cost rows — the agnostic row plus every
+    /// frequency-keyed row — survive save → reopen → load through the
+    /// on-disk log store, raw fixed-point EWMA words included.
     #[test]
     fn cost_rows_round_trip_through_a_log_store(
         rows in prop::collection::vec(
             (
                 0usize..6,
                 0usize..2,
-                prop::collection::vec(-1i64..5_000_000, 8..9),
+                prop::collection::vec(
+                    -1i64..5_000_000,
+                    (COST_ROWS * WARMTH_BUCKETS)..(COST_ROWS * WARMTH_BUCKETS + 1),
+                ),
             ),
             1..12,
         ),
@@ -110,9 +114,11 @@ proptest! {
         // later duplicates of a (platform, key) pair overwrite earlier
         // ones in the store, so collapse them the same way up front
         let mut expected: HashMap<(String, CacheKey), CostSnapshotEntry> = HashMap::new();
-        for (class, platform, buckets) in &rows {
-            let buckets: [i64; WARMTH_BUCKETS] =
-                buckets.clone().try_into().expect("eight buckets");
+        for (class, platform, words) in &rows {
+            let mut buckets: CostRow = [[0; WARMTH_BUCKETS]; COST_ROWS];
+            for (row, chunk) in buckets.iter_mut().zip(words.chunks(WARMTH_BUCKETS)) {
+                row.copy_from_slice(chunk);
+            }
             let (class, platform) = (*class, *platform);
             let class = &classes[class];
             let key = CacheKey {
@@ -206,13 +212,62 @@ fn unseen_bucket_sentinels_survive_the_round_trip() {
         spec: classes[0].spec,
         opt: OptLevel::All,
     };
-    // bucket 0 observed, the rest unseen (-1 sentinel): exactly what a
-    // steady-state repeat-only stream learns
-    let mut buckets = [-1i64; WARMTH_BUCKETS];
-    buckets[0] = 9_216; // 36 cycles in 8-bit fixed point
+    // agnostic bucket 0 and one cold-mode bucket observed, the rest
+    // unseen (-1 sentinel): exactly what a steady-state repeat-only
+    // stream learns
+    let mut buckets: CostRow = [[-1i64; WARMTH_BUCKETS]; COST_ROWS];
+    buckets[COST_ROW_AGNOSTIC][0] = 9_216; // 36 cycles in 8-bit fixed point
+    buckets[COST_ROW_AGNOSTIC + 1][0] = 9_216;
     let entries = vec![("gemmini".to_string(), key, buckets)];
     let mut store = MemStore::new();
     save_costs(&mut store, &entries).expect("save");
     let loaded = load_costs(&store).expect("load");
     assert_eq!(loaded, entries);
+}
+
+/// A store file written before frequency-keyed refinement (values carry
+/// only the agnostic warmth buckets) still warm-starts a new process:
+/// the short value decodes with every keyed row filled by unseen
+/// sentinels, and the next flush upgrades it to the keyed format in
+/// place.
+#[test]
+fn old_format_cost_store_files_keep_loading() {
+    let classes = mixed_serving_classes();
+    let key = CacheKey {
+        accelerator: classes[0].accelerator.clone(),
+        spec: classes[0].spec,
+        opt: OptLevel::All,
+    };
+    let agnostic: [i64; WARMTH_BUCKETS] = std::array::from_fn(|b| (b as i64 + 1) * 256);
+    // hand-write the pre-keyed-refinement value: eight raw i64 words
+    let value: Vec<u8> = agnostic.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let store_key = configuration_wall::runtime::persist::cost_key_bytes("gemmini", &key);
+
+    let path = temp_store("old_format_cost");
+    {
+        let mut store = LogStore::open(&path).expect("open store");
+        use configuration_wall::store::KeyValueStore;
+        store.put(&store_key, &value).expect("put old-format row");
+    }
+    let reopened = LogStore::open(&path).expect("reopen store");
+    let loaded = load_costs(&reopened).expect("old format loads");
+    assert_eq!(loaded.len(), 1);
+    let (platform, loaded_key, buckets) = &loaded[0];
+    assert_eq!(platform, "gemmini");
+    assert_eq!(loaded_key, &key);
+    assert_eq!(buckets[COST_ROW_AGNOSTIC], agnostic);
+    for row in &buckets[COST_ROW_AGNOSTIC + 1..] {
+        assert_eq!(row, &[-1i64; WARMTH_BUCKETS]);
+    }
+    drop(reopened);
+
+    // flushing the loaded entry upgrades the value to the keyed format
+    {
+        let mut store = LogStore::open(&path).expect("reopen to upgrade");
+        save_costs(&mut store, &loaded).expect("save upgraded");
+    }
+    let upgraded = LogStore::open(&path).expect("reopen upgraded");
+    assert!(upgraded.recovery().is_none());
+    assert_eq!(load_costs(&upgraded).expect("load upgraded"), loaded);
+    let _ = std::fs::remove_file(&path);
 }

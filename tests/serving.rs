@@ -466,12 +466,95 @@ fn timed_serving_is_reproducible() {
         let mut rt = contention_runtime();
         serve(&mut rt, &stream, policy)
     };
-    for policy in [Policy::ConfigAffinity, Policy::Cost] {
+    for policy in [Policy::ConfigAffinity, Policy::Cost, Policy::Thermal] {
         let a = run(policy);
         let b = run(policy);
         assert_eq!(a.metrics, b.metrics, "{}", policy.label());
         assert_eq!(a.latencies, b.latencies);
         assert_eq!(a.predictions, b.predictions);
+    }
+}
+
+/// The frequency-aware scheduling acceptance bars, pinned at serve_bench
+/// scale (the full 12,000-request `contention` stream):
+///
+/// (a) `thermal` — which prices every candidate at the DVFS mode the
+///     tracker's shadow automaton predicts and pushes traffic-heavy
+///     dispatches out of contended busy windows — must hold the tail at
+///     least as well as `cost`, whose mode-agnostic estimates chase
+///     averaged costs across frequency states;
+/// (b) frequency-keyed EWMA refinement must land strictly inside the
+///     mode-agnostic rows it falls back to: scoring each retired
+///     dispatch's keyed prediction against the observed cycles, summed
+///     over the per-mode breakdown, beats the agnostic refinement error
+///     (the 2.3-cycle residual the mode-blind rows plateau at — the
+///     residual *is* the per-mode cost spread the keyed rows resolve).
+///
+/// `cost`'s own bars on `mixed` and `hetero` are pinned by
+/// `affinity_and_cost_tail_latency_stay_near_round_robin` and
+/// `cost_beats_affinity_on_heterogeneous_pools`; the frequency machinery
+/// leaves every existing policy's routing bit-identical, so those tests
+/// double as the no-regression guard.
+#[test]
+fn thermal_beats_cost_on_the_contention_tail() {
+    let stream = TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests: 12_000,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .unwrap();
+    let mut rt = contention_runtime();
+    let cost = serve(&mut rt, &stream, Policy::Cost);
+    let thermal = serve(&mut rt, &stream, Policy::Thermal);
+    for report in [&cost, &thermal] {
+        assert_eq!(report.metrics.check_failures, 0);
+        assert_eq!(report.metrics.sim_failures, 0);
+        assert_eq!(report.metrics.requests, 12_000);
+    }
+
+    // (a) frequency-state-aware routing holds the contended tail
+    assert!(
+        thermal.metrics.latency.p99 <= cost.metrics.latency.p99,
+        "thermal p99 {} vs cost p99 {}",
+        thermal.metrics.latency.p99,
+        cost.metrics.latency.p99
+    );
+
+    // (b) keyed refinement beats the agnostic rows on both serves; the
+    // per-mode breakdown partitions exactly the retired sample set
+    for report in [&cost, &thermal] {
+        let agnostic = report.metrics.prediction;
+        let keyed_samples: u64 = report
+            .metrics
+            .freq_prediction
+            .iter()
+            .map(|p| p.samples)
+            .sum();
+        let keyed_error: u64 = report
+            .metrics
+            .freq_prediction
+            .iter()
+            .map(|p| p.ewma_abs_error)
+            .sum();
+        assert_eq!(keyed_samples, agnostic.samples, "{}", report.metrics.policy);
+        assert!(
+            keyed_error < agnostic.ewma_abs_error,
+            "{}: keyed ewma error {} !< agnostic ewma error {}",
+            report.metrics.policy,
+            keyed_error,
+            agnostic.ewma_abs_error
+        );
+        // the stream actually exercised more than one frequency state,
+        // or the comparison above would be vacuous
+        let active_modes = report
+            .metrics
+            .freq_prediction
+            .iter()
+            .filter(|p| p.samples > 0)
+            .count();
+        assert!(active_modes >= 2, "{}", report.metrics.policy);
     }
 }
 
@@ -1033,6 +1116,54 @@ proptest! {
             fifo.metrics.setup_writes
         );
         for c in &affinity.completions {
+            prop_assert!(c.emitted_writes <= c.cold_writes);
+        }
+    }
+
+    /// The `thermal` policy is deterministic end to end on arbitrary
+    /// reference-timing streams: two serves of the same stream produce
+    /// bit-identical reports, shadow-mirror history included.
+    #[test]
+    fn thermal_is_deterministic_on_reference_timing_streams(
+        picks in class_picks(),
+        gap in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_from_picks(&mixed_serving_classes(), &picks, gap, seed);
+        let run = || {
+            let mut rt = contention_runtime();
+            serve(&mut rt, &stream, Policy::Thermal)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.metrics, &b.metrics);
+        prop_assert_eq!(&a.latencies, &b.latencies);
+        prop_assert_eq!(&a.predictions, &b.predictions);
+    }
+
+    /// The elision guarantee survives frequency-aware routing: on
+    /// arbitrary reference-timing streams `thermal` never emits more
+    /// setup writes than the cold FIFO baseline — heat steering changes
+    /// *where* dispatches land, never what a warm dispatch may skip.
+    #[test]
+    fn thermal_never_writes_more_than_fifo_on_reference_timing_streams(
+        picks in class_picks(),
+        gap in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let stream = stream_from_picks(&mixed_serving_classes(), &picks, gap, seed);
+        let mut rt = contention_runtime();
+        let fifo = serve(&mut rt, &stream, Policy::Fifo);
+        let thermal = serve(&mut rt, &stream, Policy::Thermal);
+        prop_assert_eq!(fifo.metrics.check_failures, 0);
+        prop_assert_eq!(thermal.metrics.check_failures, 0);
+        prop_assert!(
+            thermal.metrics.setup_writes <= fifo.metrics.setup_writes,
+            "thermal wrote {} setup registers, fifo {}",
+            thermal.metrics.setup_writes,
+            fifo.metrics.setup_writes
+        );
+        for c in &thermal.completions {
             prop_assert!(c.emitted_writes <= c.cold_writes);
         }
     }
