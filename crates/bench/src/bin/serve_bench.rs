@@ -69,7 +69,20 @@
 //! serve a subset of the stream names the same way (CI's thermal smoke
 //! runs `--policies thermal --streams contention`), and
 //! `--slack <cycles>` to sweep the load-slack horizon (sets both
-//! `load_slack` and the batch cutoff) without recompiling.
+//! `load_slack` and the batch cutoff, via
+//! [`ServeConfig::with_load_slack`]) without recompiling.
+//! `--batch-cutoff <cycles|none>` decouples the cutoff from the horizon:
+//! it overrides the queue-depth cutoff for every policy row (`none`
+//! disables the cap, i.e. uncapped coalescing) while `--slack` keeps
+//! governing the routing horizon alone.
+//!
+//! `--tuned <TUNED.json>` replays the `autotune` binary's winning knob
+//! configurations: every stream named in the table gains a `tuned` row —
+//! served on a fresh runtime built from the tuned pool knobs (power cap,
+//! DVFS variant) with the tuned `ServeConfig` knobs (policy, slack,
+//! cutoff, batch) — next to the stock policy rows, so the tuned-vs-default
+//! comparison lands in the same report. Like every non-default invocation
+//! it refuses to write the committed artifact.
 //!
 //! `--mode` selects the serve engine and what the binary measures:
 //!
@@ -101,16 +114,14 @@
 //! that is the cross-process warm start the CI smoke checks.
 
 use accfg_analyze::{lint_module, LintKind};
-use accfg_bench::{json, markdown_table};
+use accfg_bench::tune::{parse_table, KnobConfig};
+use accfg_bench::{json, markdown_table, streams};
 use accfg_runtime::{
     measured_class_service_times, Policy, PoolConfig, Runtime, ServeConfig, ServeMetrics,
     ServeMode, LOAD_SLACK_CYCLES,
 };
 use accfg_targets::AcceleratorDescriptor;
-use accfg_workloads::{
-    matmul_ir, mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
-    ClosedLoopConfig, MatmulSpec, TrafficConfig, TrafficRequest,
-};
+use accfg_workloads::{matmul_ir, MatmulSpec, TrafficRequest};
 
 const DEFAULT_REQUESTS: usize = 12_000;
 const DEFAULT_THREADS: usize = 8;
@@ -146,19 +157,26 @@ enum BenchMode {
     Diff,
 }
 
-fn policies(include_batch: bool, slack: u64) -> Vec<(&'static str, ServeConfig)> {
+fn policies(
+    include_batch: bool,
+    slack: u64,
+    cutoff: Option<Option<u64>>,
+) -> Vec<(&'static str, ServeConfig)> {
+    // with_load_slack keeps the cutoff pinned to the horizon; an explicit
+    // --batch-cutoff decouples them for every policy row
+    let slacked = ServeConfig::default().with_load_slack(slack);
+    let slacked = ServeConfig {
+        batch_cutoff: cutoff.unwrap_or(slacked.batch_cutoff),
+        ..slacked
+    };
     let base = |policy| ServeConfig {
         policy,
-        load_slack: slack,
-        batch_cutoff: Some(slack),
-        ..ServeConfig::default()
+        ..slacked.clone()
     };
     let batched = |policy| ServeConfig {
         policy,
         max_batch: 8,
-        load_slack: slack,
-        batch_cutoff: Some(slack),
-        ..ServeConfig::default()
+        ..slacked.clone()
     };
     let mut out = vec![
         ("fifo", base(Policy::Fifo)),
@@ -177,75 +195,17 @@ fn policies(include_batch: bool, slack: u64) -> Vec<(&'static str, ServeConfig)>
 }
 
 fn uniform_streams(requests: usize) -> Vec<(&'static str, Vec<TrafficRequest>, bool)> {
-    let mixed = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        mean_gap: 200,
-        seed: 0xC0FFEE,
-    }
-    .open_loop_stream()
-    .expect("valid traffic mix");
-    let shape_heavy = TrafficConfig {
-        classes: shape_heavy_classes(),
-        requests,
-        mean_gap: 400,
-        seed: 0x5EED,
-    }
-    .open_loop_stream()
-    .expect("valid shape-heavy mix");
-    let bursty = BurstyConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        burst_len: 24,
-        burst_gap: 60,
-        idle_gap: 12_000,
-        seed: 0xB0257,
-    }
-    .stream()
-    .expect("valid bursty mix");
-    let closed_loop = closed_loop_config(requests)
+    let closed_loop = streams::closed_loop_config(requests)
         .stream()
         .expect("valid closed-loop mix");
     // the batch variants only on the canonical mix: they change placement,
     // not the routing-vs-balance story the extra streams characterize
     vec![
-        ("mixed", mixed, true),
-        ("shape_heavy", shape_heavy, false),
-        ("bursty", bursty, false),
+        ("mixed", streams::mixed_stream(requests), true),
+        ("shape_heavy", streams::shape_heavy_stream(requests), false),
+        ("bursty", streams::bursty_stream(requests), false),
         ("closed_loop", closed_loop, false),
     ]
-}
-
-fn closed_loop_config(requests: usize) -> ClosedLoopConfig {
-    ClosedLoopConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        clients: 12,
-        think_time: 400,
-        service_estimate: 250,
-        seed: 0xC105ED,
-    }
-}
-
-/// The timing-model pool: the two base platforms with their reference
-/// contention budgets and DVFS tables enabled — same capacity as the
-/// uniform pool, but dispatch cost now depends on each worker's load.
-fn contention_pool() -> PoolConfig {
-    PoolConfig::new(vec![
-        AcceleratorDescriptor::gemmini().with_reference_timing(),
-        AcceleratorDescriptor::opengemm().with_reference_timing(),
-    ])
-    .with_workers_per_accelerator(2)
-}
-
-fn hetero_pool() -> PoolConfig {
-    PoolConfig::new(vec![
-        AcceleratorDescriptor::gemmini(),
-        AcceleratorDescriptor::opengemm(),
-    ])
-    .with_workers_per_accelerator(2)
-    .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
-    .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
 }
 
 /// One policy's measurements over a stream: label, the (deterministic)
@@ -255,7 +215,9 @@ type PolicyRow = (String, ServeMetrics, f64);
 
 /// Runs every (selected) policy over one stream and prints its table.
 /// A stream deselected by `--streams` serves nothing and returns no
-/// rows, so the caller drops its report section entirely.
+/// rows, so the caller drops its report section entirely. With `tuned`
+/// (from `--tuned`), a `tuned` row joins the table: the tuned knobs
+/// served on a fresh runtime over the tuned pool.
 #[allow(clippy::too_many_arguments)]
 fn run_stream(
     runtime: &mut Runtime,
@@ -265,13 +227,15 @@ fn run_stream(
     filter: Option<&[String]>,
     streams: Option<&[String]>,
     slack: u64,
+    cutoff: Option<Option<u64>>,
     serve_mode: ServeMode,
+    tuned: Option<(KnobConfig, PoolConfig)>,
 ) -> Vec<PolicyRow> {
     let mut results: Vec<PolicyRow> = Vec::new();
     if !stream_selected(streams, stream_name) {
         return results;
     }
-    for (label, cfg) in &policies(include_batch, slack) {
+    for (label, cfg) in &policies(include_batch, slack, cutoff) {
         if let Some(filter) = filter {
             if !filter.iter().any(|f| f == label) {
                 continue;
@@ -293,6 +257,28 @@ fn run_stream(
             "{stream_name}/{label}: simulation failed"
         );
         results.push((label.to_string(), report.metrics, wall));
+    }
+    if let Some((knobs, base_pool)) = &tuned {
+        // the tuned knobs span the pool too (power cap, DVFS variant), so
+        // the row gets its own runtime over the tuned pool — a policy
+        // filter never hides it: replaying the table is the row's point
+        let mut tuned_runtime = Runtime::new(knobs.apply_pool(base_pool));
+        let cfg = ServeConfig {
+            mode: serve_mode,
+            ..knobs.serve_config()
+        };
+        let started = std::time::Instant::now();
+        let report = tuned_runtime.serve(stream, &cfg).expect("serve succeeds");
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(
+            report.metrics.check_failures, 0,
+            "{stream_name}/tuned: functional checks failed"
+        );
+        assert_eq!(
+            report.metrics.sim_failures, 0,
+            "{stream_name}/tuned: simulation failed"
+        );
+        results.push(("tuned".to_string(), report.metrics, wall));
     }
     if results.is_empty() {
         // e.g. --policies affinity+batch on a stream that runs no batch
@@ -445,35 +431,29 @@ fn run_diff(
     threads: usize,
     out_path: &str,
     slack: u64,
+    cutoff: Option<Option<u64>>,
     filter: Option<&[String]>,
     stream_filter: Option<&[String]>,
 ) {
-    let uniform = || {
-        PoolConfig::new(vec![
-            AcceleratorDescriptor::gemmini(),
-            AcceleratorDescriptor::opengemm(),
-        ])
-        .with_workers_per_accelerator(2)
-    };
-    let mut streams: Vec<(&'static str, Vec<TrafficRequest>, bool, PoolConfig)> =
+    let mut pairs_under_test: Vec<(&'static str, Vec<TrafficRequest>, bool, PoolConfig)> =
         uniform_streams(requests)
             .into_iter()
             .filter(|(name, _, _)| stream_selected(stream_filter, name))
-            .map(|(name, stream, include_batch)| (name, stream, include_batch, uniform()))
+            .map(|(name, stream, include_batch)| {
+                (name, stream, include_batch, streams::uniform_pool())
+            })
             .collect();
     if stream_selected(stream_filter, "closed_loop_measured") {
         // the measured closed loop calibrates off a fifo+elide oracle
         // serve, exactly as the sim-mode report does
-        let closed_cfg = closed_loop_config(requests);
+        let closed_cfg = streams::closed_loop_config(requests);
         let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
-        let calibration = Runtime::new(uniform())
+        let calibration = Runtime::new(streams::uniform_pool())
             .serve(
                 &calibration_stream,
                 &ServeConfig {
                     policy: Policy::FifoElide,
-                    load_slack: slack,
-                    batch_cutoff: Some(slack),
-                    ..ServeConfig::default()
+                    ..ServeConfig::default().with_load_slack(slack)
                 },
             )
             .expect("calibration serve succeeds");
@@ -483,49 +463,35 @@ fn run_diff(
             &calibration,
             closed_cfg.service_estimate,
         );
-        streams.push((
+        pairs_under_test.push((
             "closed_loop_measured",
             closed_cfg
                 .stream_with_service_times(&service_times)
                 .expect("valid measured closed-loop mix"),
             false,
-            uniform(),
+            streams::uniform_pool(),
         ));
     }
     if stream_selected(stream_filter, "hetero") {
-        streams.push((
+        pairs_under_test.push((
             "hetero",
-            TrafficConfig {
-                classes: mixed_platform_classes(),
-                requests,
-                mean_gap: 300,
-                seed: 0x4E7E60,
-            }
-            .open_loop_stream()
-            .expect("valid mixed-platform mix"),
+            streams::hetero_stream(requests),
             false,
-            hetero_pool(),
+            streams::hetero_pool(),
         ));
     }
     if stream_selected(stream_filter, "contention") {
-        streams.push((
+        pairs_under_test.push((
             "contention",
-            TrafficConfig {
-                classes: mixed_serving_classes(),
-                requests,
-                mean_gap: 120,
-                seed: 0xC047E47,
-            }
-            .open_loop_stream()
-            .expect("valid contention mix"),
+            streams::contention_stream(requests),
             false,
-            contention_pool(),
+            streams::contention_pool(),
         ));
     }
 
     let mut pairs = 0usize;
-    for (stream_name, stream, include_batch, pool) in &streams {
-        for (label, cfg) in &policies(*include_batch, slack) {
+    for (stream_name, stream, include_batch, pool) in &pairs_under_test {
+        for (label, cfg) in &policies(*include_batch, slack, cutoff) {
             if let Some(filter) = filter {
                 if !filter.iter().any(|f| f == label) {
                     continue;
@@ -589,7 +555,7 @@ fn run_diff(
     let out = format!(
         "{{\n  \"differential\": {{\"requests\": {requests}, \"threads\": {threads}, \
          \"streams\": {}, \"pairs\": {pairs}, \"identical\": true}}\n}}\n",
-        streams.len()
+        pairs_under_test.len()
     );
     json::validate(&out).expect("differential report must be strict JSON");
     std::fs::write(out_path, &out).expect("write differential report");
@@ -645,27 +611,18 @@ const DEFAULT_OUT: &str = "BENCH_runtime.json";
 /// left by an earlier invocation even the "cold" pass starts warm;
 /// the cross-pass assertions only apply to a genuinely cold first pass.
 fn run_warm_start(requests: usize, store_path: &str, out_path: &str, slack: u64) {
-    let stream = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        mean_gap: 120,
-        seed: 0xC047E47,
-    }
-    .open_loop_stream()
-    .expect("valid contention mix");
+    let stream = streams::contention_stream(requests);
     let cfg = ServeConfig {
         policy: Policy::ConfigAffinity,
-        load_slack: slack,
-        batch_cutoff: Some(slack),
         store: Some(std::path::PathBuf::from(store_path)),
-        ..ServeConfig::default()
+        ..ServeConfig::default().with_load_slack(slack)
     };
 
     let mut results: Vec<(&'static str, ServeMetrics)> = Vec::new();
     for pass in ["cold", "warm"] {
         // a fresh runtime per pass: nothing carries over in memory, so
         // everything the warm pass knows came back through the store
-        let mut runtime = Runtime::new(contention_pool());
+        let mut runtime = Runtime::new(streams::contention_pool());
         let report = runtime.serve(&stream, &cfg).expect("serve succeeds");
         let m = report.metrics;
         assert_eq!(m.check_failures, 0, "{pass} pass: functional checks failed");
@@ -750,6 +707,10 @@ fn main() {
     let mut store_path: Option<String> = None;
     let mut mode = BenchMode::Sim;
     let mut threads: Option<usize> = None;
+    // outer None = flag absent (cutoff follows the slack horizon);
+    // Some(None) = `--batch-cutoff none` (uncapped coalescing)
+    let mut batch_cutoff: Option<Option<u64>> = None;
+    let mut tuned_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -773,6 +734,24 @@ fn main() {
             "--store" => {
                 store_path = Some(args.next().expect("--store takes a file path"));
             }
+            "--batch-cutoff" => {
+                let value = args
+                    .next()
+                    .expect("--batch-cutoff takes a cycle count or `none`");
+                batch_cutoff = Some(match value.as_str() {
+                    "none" => None,
+                    _ => Some(
+                        value
+                            .parse()
+                            .ok()
+                            .filter(|&c: &u64| c > 0)
+                            .expect("--batch-cutoff takes a positive cycle count or `none`"),
+                    ),
+                });
+            }
+            "--tuned" => {
+                tuned_path = Some(args.next().expect("--tuned takes a tuned-table path"));
+            }
             "--mode" => {
                 mode = match args.next().as_deref() {
                     Some("sim") => BenchMode::Sim,
@@ -793,7 +772,7 @@ fn main() {
                 let list = args
                     .next()
                     .expect("--policies takes a comma-separated list");
-                let known: Vec<&str> = policies(true, LOAD_SLACK_CYCLES)
+                let known: Vec<&str> = policies(true, LOAD_SLACK_CYCLES, None)
                     .iter()
                     .map(|(l, _)| *l)
                     .collect();
@@ -822,7 +801,8 @@ fn main() {
             other => panic!(
                 "unknown argument `{other}` (supported: --requests <n>, \
                  --out <path>, --policies <a,b,...>, --streams <a,b,...>, \
-                 --slack <cycles>, --store <path>, --mode <sim|wall|diff>, \
+                 --slack <cycles>, --batch-cutoff <cycles|none>, \
+                 --tuned <path>, --store <path>, --mode <sim|wall|diff>, \
                  --threads <n>)"
             ),
         }
@@ -840,13 +820,21 @@ fn main() {
             && requests == DEFAULT_REQUESTS
             && store_path.is_none()
             && mode == BenchMode::Sim
-            && threads.is_none())
+            && threads.is_none()
+            && batch_cutoff.is_none()
+            && tuned_path.is_none())
             || std::path::Path::new(&out_path).file_name()
                 != std::path::Path::new(DEFAULT_OUT).file_name(),
-        "--policies/--streams/--slack/--requests/--store/--mode/--threads \
-         write a non-canonical report; pass --out with a file name other \
-         than {DEFAULT_OUT} so it cannot clobber the committed artifact"
+        "--policies/--streams/--slack/--batch-cutoff/--tuned/--requests/\
+         --store/--mode/--threads write a non-canonical report; pass --out \
+         with a file name other than {DEFAULT_OUT} so it cannot clobber \
+         the committed artifact"
     );
+    let tuned_table: Option<Vec<(String, KnobConfig)>> = tuned_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--tuned: cannot read {path}: {e}"));
+        parse_table(&text).unwrap_or_else(|e| panic!("--tuned: {path}: {e}"))
+    });
     if let Some(store) = &store_path {
         assert!(
             policy_filter.is_none(),
@@ -863,6 +851,11 @@ fn main() {
             "--store runs its passes on the deterministic engine; \
              it cannot be combined with --mode"
         );
+        assert!(
+            batch_cutoff.is_none() && tuned_table.is_none(),
+            "--store serves a fixed affinity configuration; it cannot be \
+             combined with --batch-cutoff or --tuned"
+        );
         run_warm_start(requests, store, &out_path, slack);
         return;
     }
@@ -870,7 +863,20 @@ fn main() {
     let streams_wanted = stream_filter.as_deref();
     let threads = threads.unwrap_or(DEFAULT_THREADS);
     if mode == BenchMode::Diff {
-        run_diff(requests, threads, &out_path, slack, filter, streams_wanted);
+        assert!(
+            tuned_table.is_none(),
+            "--tuned adds report rows to the sim/wall tables; \
+             it cannot be combined with --mode diff"
+        );
+        run_diff(
+            requests,
+            threads,
+            &out_path,
+            slack,
+            batch_cutoff,
+            filter,
+            streams_wanted,
+        );
         return;
     }
     let serve_mode = match mode {
@@ -878,13 +884,16 @@ fn main() {
         _ => ServeMode::Parallel { threads },
     };
 
-    let mut runtime = Runtime::new(
-        PoolConfig::new(vec![
-            AcceleratorDescriptor::gemmini(),
-            AcceleratorDescriptor::opengemm(),
-        ])
-        .with_workers_per_accelerator(2),
-    );
+    // a stream appears in the tuned table -> its section gains a `tuned`
+    // row served over the given base pool with the table's knobs applied
+    let tuned_knobs = |name: &str| {
+        tuned_table
+            .as_ref()
+            .and_then(|t| t.iter().find(|(n, _)| n == name))
+            .map(|(_, k)| *k)
+    };
+
+    let mut runtime = Runtime::new(streams::uniform_pool());
 
     println!(
         "serve_bench: {requests} requests per stream, 2 workers/accelerator, \
@@ -909,7 +918,9 @@ fn main() {
             filter,
             streams_wanted,
             slack,
+            batch_cutoff,
             serve_mode,
+            tuned_knobs(stream_name).map(|k| (k, streams::uniform_pool())),
         );
         if mode == BenchMode::Wall {
             report_wall(stream_name, &results, threads);
@@ -925,17 +936,15 @@ fn main() {
     // the static-estimate stream above. A `--streams` filter that drops
     // this stream also skips the calibration serve it would pay for.
     if stream_selected(streams_wanted, "closed_loop_measured") {
-        let closed_cfg = closed_loop_config(requests);
+        let closed_cfg = streams::closed_loop_config(requests);
         let calibration_stream = closed_cfg.stream().expect("valid closed-loop mix");
         let calibration = runtime
             .serve(
                 &calibration_stream,
                 &ServeConfig {
                     policy: Policy::FifoElide,
-                    load_slack: slack,
-                    batch_cutoff: Some(slack),
                     mode: serve_mode,
-                    ..ServeConfig::default()
+                    ..ServeConfig::default().with_load_slack(slack)
                 },
             )
             .expect("calibration serve succeeds");
@@ -961,7 +970,9 @@ fn main() {
             filter,
             streams_wanted,
             slack,
+            batch_cutoff,
             serve_mode,
+            tuned_knobs("closed_loop_measured").map(|k| (k, streams::uniform_pool())),
         );
         if mode == BenchMode::Wall {
             report_wall("closed_loop_measured", &measured_results, threads);
@@ -978,15 +989,8 @@ fn main() {
     // the heterogeneous pool: same capacity (2 workers/family), but each
     // family pairs its base platform with a differently provisioned
     // variant — its own runtime, so module caches stay per-pool
-    let mut hetero_runtime = Runtime::new(hetero_pool());
-    let hetero_stream = TrafficConfig {
-        classes: mixed_platform_classes(),
-        requests,
-        mean_gap: 300,
-        seed: 0x4E7E60,
-    }
-    .open_loop_stream()
-    .expect("valid mixed-platform mix");
+    let mut hetero_runtime = Runtime::new(streams::hetero_pool());
+    let hetero_stream = streams::hetero_stream(requests);
     let hetero_results = run_stream(
         &mut hetero_runtime,
         "hetero",
@@ -995,7 +999,9 @@ fn main() {
         filter,
         streams_wanted,
         slack,
+        batch_cutoff,
         serve_mode,
+        tuned_knobs("hetero").map(|k| (k, streams::hetero_pool())),
     );
     if mode == BenchMode::Wall {
         report_wall("hetero", &hetero_results, threads);
@@ -1037,15 +1043,8 @@ fn main() {
     // gap over the reference contention + DVFS pool — dispatch cost now
     // depends on worker load, so the analytic anchors drift and the
     // EWMA refiner has a real gap to close
-    let mut contention_runtime = Runtime::new(contention_pool());
-    let contention_stream = TrafficConfig {
-        classes: mixed_serving_classes(),
-        requests,
-        mean_gap: 120,
-        seed: 0xC047E47,
-    }
-    .open_loop_stream()
-    .expect("valid contention mix");
+    let mut contention_runtime = Runtime::new(streams::contention_pool());
+    let contention_stream = streams::contention_stream(requests);
     let contention_results = run_stream(
         &mut contention_runtime,
         "contention",
@@ -1054,7 +1053,9 @@ fn main() {
         filter,
         streams_wanted,
         slack,
+        batch_cutoff,
         serve_mode,
+        tuned_knobs("contention").map(|k| (k, streams::contention_pool())),
     );
     if mode == BenchMode::Wall {
         report_wall("contention", &contention_results, threads);

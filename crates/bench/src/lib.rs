@@ -20,11 +20,14 @@
 //! | `make_experiments` | regenerates EXPERIMENTS.md from all of the above |
 //! | `serve_bench` | the serving-runtime characterization (`BENCH_runtime.json`) |
 //! | `microbench` | deterministic simulated-cycle micro-benchmarks (replaces the old criterion benches) |
+//! | `autotune` | the deterministic serving-knob autotuner (`TUNED.json`) |
 
 #![warn(missing_docs)]
 
 pub mod csv;
 pub mod json;
+pub mod streams;
+pub mod tune;
 
 use accfg::pipeline::{pipeline, OptLevel};
 use accfg_roofline::ConfigRoofline;

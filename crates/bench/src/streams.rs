@@ -1,0 +1,137 @@
+//! The canonical benchmark streams and pools, shared by `serve_bench`,
+//! `autotune`, and the integration tests.
+//!
+//! Every builder here is deterministic — fixed seeds, fixed gaps — so two
+//! binaries (or a binary and a test) constructing "the `mixed` stream at
+//! 4000 requests" get byte-identical request sequences. Centralizing the
+//! constants is what makes `autotune`'s tuned-config table directly
+//! consumable by `serve_bench --tuned`: both sides agree on what each
+//! stream name means at every request count.
+
+use accfg_runtime::PoolConfig;
+use accfg_targets::AcceleratorDescriptor;
+use accfg_workloads::{
+    mixed_platform_classes, mixed_serving_classes, shape_heavy_classes, BurstyConfig,
+    ClosedLoopConfig, TrafficConfig, TrafficRequest,
+};
+
+/// The uniform evaluation pool: both base platforms, two workers each.
+pub fn uniform_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ])
+    .with_workers_per_accelerator(2)
+}
+
+/// The heterogeneous pool: same capacity as [`uniform_pool`], but each
+/// family pairs its base platform with a differently provisioned variant.
+pub fn hetero_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini(),
+        AcceleratorDescriptor::opengemm(),
+    ])
+    .with_workers_per_accelerator(2)
+    .with_variant("gemmini", AcceleratorDescriptor::gemmini_turbo())
+    .with_variant("opengemm", AcceleratorDescriptor::opengemm_lite())
+}
+
+/// The timing-model pool: the two base platforms with their reference
+/// contention budgets and DVFS tables enabled — same capacity as the
+/// uniform pool, but dispatch cost now depends on each worker's load.
+pub fn contention_pool() -> PoolConfig {
+    PoolConfig::new(vec![
+        AcceleratorDescriptor::gemmini().with_reference_timing(),
+        AcceleratorDescriptor::opengemm().with_reference_timing(),
+    ])
+    .with_workers_per_accelerator(2)
+}
+
+/// The canonical six-shape open-loop mix.
+pub fn mixed_stream(requests: usize) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        mean_gap: 200,
+        seed: 0xC0FFEE,
+    }
+    .open_loop_stream()
+    .expect("valid traffic mix")
+}
+
+/// Sixteen shapes over four workers: the routing term dominates.
+pub fn shape_heavy_stream(requests: usize) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes: shape_heavy_classes(),
+        requests,
+        mean_gap: 400,
+        seed: 0x5EED,
+    }
+    .open_loop_stream()
+    .expect("valid shape-heavy mix")
+}
+
+/// On/off arrivals that build deep queues — sticky routing's worst case.
+pub fn bursty_stream(requests: usize) -> Vec<TrafficRequest> {
+    BurstyConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        burst_len: 24,
+        burst_gap: 60,
+        idle_gap: 12_000,
+        seed: 0xB0257,
+    }
+    .stream()
+    .expect("valid bursty mix")
+}
+
+/// The closed-loop generator configuration (static service estimate).
+pub fn closed_loop_config(requests: usize) -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        clients: 12,
+        think_time: 400,
+        service_estimate: 250,
+        seed: 0xC105ED,
+    }
+}
+
+/// The mixed-platform mix the heterogeneous pool serves.
+pub fn hetero_stream(requests: usize) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes: mixed_platform_classes(),
+        requests,
+        mean_gap: 300,
+        seed: 0x4E7E60,
+    }
+    .open_loop_stream()
+    .expect("valid mixed-platform mix")
+}
+
+/// The canonical mix at a tighter arrival gap, for the timing-model pool.
+pub fn contention_stream(requests: usize) -> Vec<TrafficRequest> {
+    TrafficConfig {
+        classes: mixed_serving_classes(),
+        requests,
+        mean_gap: 120,
+        seed: 0xC047E47,
+    }
+    .open_loop_stream()
+    .expect("valid contention mix")
+}
+
+/// Resolves a tunable stream name to its request stream and serving pool
+/// (`None` for names the autotuner does not handle — the closed-loop
+/// streams depend on calibration serves and are out of scope). The names
+/// and their streams/pools match `serve_bench`'s exactly.
+pub fn named_stream(name: &str, requests: usize) -> Option<(Vec<TrafficRequest>, PoolConfig)> {
+    match name {
+        "mixed" => Some((mixed_stream(requests), uniform_pool())),
+        "shape_heavy" => Some((shape_heavy_stream(requests), uniform_pool())),
+        "bursty" => Some((bursty_stream(requests), uniform_pool())),
+        "hetero" => Some((hetero_stream(requests), hetero_pool())),
+        "contention" => Some((contention_stream(requests), contention_pool())),
+        _ => None,
+    }
+}

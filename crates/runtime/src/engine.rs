@@ -53,8 +53,9 @@
 //! [`ServeConfig::mode`]: crate::runtime::ServeConfig::mode
 
 use crate::cache::CompiledModule;
+use crate::error::ServeError;
 use crate::persist::CostSnapshotEntry;
-use crate::runtime::ServeConfig;
+use crate::runtime::{ServeBudget, ServeConfig};
 use crate::scheduler::{CommitOutcome, Scheduler};
 use crate::worker::{Completion, Job, Worker};
 use accfg_targets::AcceleratorDescriptor;
@@ -143,10 +144,78 @@ pub(crate) struct EngineOutput {
     pub cost_snapshot: Vec<CostSnapshotEntry>,
 }
 
-/// Runs the serve loop under the engine `input.cfg.mode` selects.
-pub(crate) fn run(input: EngineInput<'_>) -> EngineOutput {
+/// Tracks a [`ServeBudget`]'s running totals against the full stream
+/// length, deciding — exactly, thanks to determinism — when the final
+/// metrics are already beyond a bound.
+struct BudgetTracker {
+    budget: ServeBudget,
+    /// Latencies above `p99_bound` seen so far; each pulled completion's
+    /// latency is final, so this count only grows.
+    exceed_count: u64,
+    /// How many over-bound latencies the nearest-rank p99 tolerates:
+    /// `n - ceil(0.99 * n)`. One more proves p99 > bound.
+    allowed_exceed: u64,
+    /// Running sum of setup writes across pulled completions.
+    writes: u64,
+    /// Completions pulled so far.
+    completed: u64,
+}
+
+impl BudgetTracker {
+    fn new(budget: ServeBudget, stream_len: usize) -> Self {
+        // the same nearest-rank convention as LatencyStats::percentile:
+        // rank = ceil(0.99 * n) clamped to 1..=n
+        let n = stream_len as u64;
+        let rank = (((stream_len as f64) * 0.99).ceil() as u64).clamp(1.min(n), n);
+        Self {
+            budget,
+            exceed_count: 0,
+            allowed_exceed: n - rank,
+            writes: 0,
+            completed: 0,
+        }
+    }
+
+    /// Folds one pulled completion in; `Err` the moment a bound is
+    /// provably exceeded by the *final* metrics.
+    fn admit(&mut self, latency: u64, setup_writes: u64) -> Result<(), ServeError> {
+        self.completed += 1;
+        self.writes += setup_writes;
+        if let Some(bound) = self.budget.p99_bound {
+            if latency > bound {
+                self.exceed_count += 1;
+            }
+        }
+        let p99_exceeded = self
+            .budget
+            .p99_bound
+            .is_some_and(|_| self.exceed_count > self.allowed_exceed);
+        let writes_exceeded = self
+            .budget
+            .max_setup_writes
+            .is_some_and(|max| self.writes > max);
+        if p99_exceeded || writes_exceeded {
+            return Err(ServeError::BudgetExceeded {
+                completed: self.completed,
+                p99_exceeded,
+                writes_exceeded,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs the serve loop under the engine `input.cfg.mode` selects. A
+/// budgeted serve always runs on the deterministic oracle — the abort
+/// argument (`BudgetTracker`) is stated against the oracle's pull order,
+/// so like the duplicate-base-name case this overrides the performance
+/// knob rather than weakening the contract.
+pub(crate) fn run(input: EngineInput<'_>) -> Result<EngineOutput, ServeError> {
     match input.cfg.mode {
         ServeMode::Deterministic => run_deterministic(input),
+        ServeMode::Parallel { .. } if input.cfg.budget.is_some_and(|b| !b.is_unbounded()) => {
+            run_deterministic(input)
+        }
         ServeMode::Parallel { threads } => run_parallel(input, threads.max(1)),
     }
 }
@@ -154,7 +223,13 @@ pub(crate) fn run(input: EngineInput<'_>) -> EngineOutput {
 /// The deterministic oracle: one scheduler over the whole pool, one
 /// thread per worker running ahead eagerly, the loop pulling completions
 /// only when the simulated clock proves their dispatch has started.
-fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
+///
+/// With a [`ServeBudget`] configured, every pulled completion's (final)
+/// latency and setup writes feed a [`BudgetTracker`]; the loop stops
+/// scheduling the moment a bound is provably exceeded, drains the
+/// in-flight tail to join the worker threads cleanly, and returns
+/// [`ServeError::BudgetExceeded`] instead of an output.
+fn run_deterministic(input: EngineInput<'_>) -> Result<EngineOutput, ServeError> {
     let EngineInput {
         stream,
         order,
@@ -181,6 +256,11 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
     let mut batched_requests = 0u64;
     let max_batch = cfg.max_batch.max(1);
     let mut completions: Vec<Option<Completion>> = (0..stream.len()).map(|_| None).collect();
+    let mut budget = cfg
+        .budget
+        .filter(|b| !b.is_unbounded())
+        .map(|b| BudgetTracker::new(b, stream.len()));
+    let mut abort: Option<ServeError> = None;
     thread::scope(|scope| {
         let mut job_txs = Vec::new();
         let mut result_rxs = Vec::new();
@@ -233,9 +313,29 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
                     if completion.sim_error.is_none() {
                         unretired.insert((finish, slot));
                     }
+                    // a pulled completion's latency is final — the clock
+                    // proved its start — so the budget verdict is exact
+                    if let Some(tracker) = budget.as_mut() {
+                        if let Err(e) =
+                            tracker.admit(finish - stream[slot].arrival, completion.emitted_writes)
+                        {
+                            abort = Some(e);
+                        }
+                    }
                     completions[slot] = Some(completion);
                     inflight[w].pop_front();
+                    if abort.is_some() {
+                        break;
+                    }
                 }
+                if abort.is_some() {
+                    break;
+                }
+            }
+            if abort.is_some() {
+                // stop scheduling; fall through to the tail drain so the
+                // worker threads join cleanly
+                break;
             }
             // retire completed dispatches into the cost refiner, in
             // simulated completion order
@@ -298,18 +398,37 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
             batched_requests += (members - 1) as u64;
         }
 
-        // drain the tail: close the job channels and collect whatever
-        // is still in flight
+        // drain the tail: close the job channels and collect whatever is
+        // still in flight, in per-worker dispatch order so the budget
+        // tracker sees every completion's exact latency — the bounds are
+        // thereby *exact*: a budgeted run completes if and only if its
+        // final metrics are within budget
         drop(job_txs);
-        for result_rx in result_rxs {
-            while let Ok(completion) = result_rx.recv() {
-                let slot = completion.slot;
+        for (w, result_rx) in result_rxs.into_iter().enumerate() {
+            while let Some(slot) = inflight[w].pop_front() {
+                let completion = result_rx.recv().expect("worker alive while jobs pend");
+                debug_assert_eq!(completion.slot, slot);
+                let start = finish_known[w].max(stream[slot].arrival);
+                let finish = start + completion.counters.cycles;
+                finish_known[w] = finish;
+                if abort.is_none() {
+                    if let Some(tracker) = budget.as_mut() {
+                        if let Err(e) =
+                            tracker.admit(finish - stream[slot].arrival, completion.emitted_writes)
+                        {
+                            abort = Some(e);
+                        }
+                    }
+                }
                 completions[slot] = Some(completion);
             }
         }
     });
+    if let Some(e) = abort {
+        return Err(e);
+    }
     let cost_snapshot = snapshot_by_name(&scheduler);
-    EngineOutput {
+    Ok(EngineOutput {
         completions: completions
             .into_iter()
             .map(|c| c.expect("every dispatched job completes"))
@@ -319,7 +438,7 @@ fn run_deterministic(input: EngineInput<'_>) -> EngineOutput {
         batched_requests,
         ewma_entries_seeded,
         cost_snapshot,
-    }
+    })
 }
 
 /// The refiner's rows re-keyed from platform index to platform name.
@@ -406,8 +525,10 @@ struct ShardResult {
 }
 
 /// The parallel engine: one scheduler shard per pool group, execution
-/// spread over `threads` executor threads owning the workers.
-fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
+/// spread over `threads` executor threads owning the workers. Budgeted
+/// serves never reach this engine (`run` routes them to the oracle), so
+/// the only error path is the fallback's.
+fn run_parallel(input: EngineInput<'_>, threads: usize) -> Result<EngineOutput, ServeError> {
     // Two groups sharing a base platform *name* would share refiner rows
     // (module keys name the base platform), coupling the shards' cost
     // state. That shape cannot be decomposed, so serve it on the oracle
@@ -506,7 +627,7 @@ fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
             };
             merge(run_shard(shared, g, seed, lane));
         }
-        return EngineOutput {
+        return Ok(EngineOutput {
             completions: completions
                 .into_iter()
                 .map(|c| c.expect("every dispatched job completes"))
@@ -516,7 +637,7 @@ fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
             batched_requests,
             ewma_entries_seeded,
             cost_snapshot,
-        };
+        });
     }
     thread::scope(|scope| {
         // executor channels: worker `w` is owned by executor `w % threads`
@@ -586,7 +707,7 @@ fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
             merge(handle.join().expect("scheduler shard panicked"));
         }
     });
-    EngineOutput {
+    Ok(EngineOutput {
         completions: completions
             .into_iter()
             .map(|c| c.expect("every dispatched job completes"))
@@ -596,7 +717,7 @@ fn run_parallel(input: EngineInput<'_>, threads: usize) -> EngineOutput {
         batched_requests,
         ewma_entries_seeded,
         cost_snapshot,
-    }
+    })
 }
 
 /// One scheduler shard: replays the oracle's loop over group `g`'s

@@ -242,6 +242,55 @@ pub fn measured_class_service_times(
         .collect()
 }
 
+/// Early-termination bounds for a *capped* serve run, in the style of
+/// LeapsAndBounds racing: the engine tracks the running latency
+/// distribution and cumulative setup writes, and aborts the serve with
+/// [`ServeError::BudgetExceeded`] the moment either final metric is
+/// *provably* beyond its bound — no matter how the rest of the stream
+/// plays out. Because the serve is deterministic, an abort is exact
+/// evidence (not a noisy sample) that the full run would have violated
+/// the bound, which is what lets an autotuner race candidate
+/// configurations against an incumbent without ever finishing a loser.
+///
+/// The p99 rule: with `n` stream requests, the nearest-rank p99 exceeds
+/// `bound` if and only if more than `n - ceil(0.99 * n)` latencies
+/// exceed `bound`. Every pulled completion's latency is final (the
+/// simulated clock has proved its start cycle), so the observed
+/// exceed-count only ever grows — crossing the threshold mid-run is
+/// conclusive. Setup writes are monotone in completed requests, so the
+/// write rule is a plain running-sum comparison. Both bounds are *exact*,
+/// not merely sound: every completion (including the drained tail) feeds
+/// the tracker, so a budgeted serve completes if and only if the full
+/// run's final p99 and setup-write totals are within the bounds.
+///
+/// Budgeted serves always run on the deterministic oracle engine
+/// regardless of [`ServeConfig::mode`] — like the parallel engine's
+/// duplicate-base-name fallback, the budget makes engine choice a
+/// correctness matter, and the oracle is the engine whose pull order the
+/// abort argument is stated against.
+///
+/// An aborted run flushes nothing to a warm-start store (the flush sits
+/// after the engine in [`Runtime::serve`], and the abort returns early),
+/// so capped tuning runs cannot poison persisted EWMA state.
+///
+/// [`ServeError::BudgetExceeded`]: crate::error::ServeError::BudgetExceeded
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeBudget {
+    /// Abort once the final p99 latency provably exceeds this bound
+    /// (`None` leaves the latency tail unbounded).
+    pub p99_bound: Option<u64>,
+    /// Abort once cumulative setup writes across pulled completions
+    /// exceed this bound (`None` leaves writes unbounded).
+    pub max_setup_writes: Option<u64>,
+}
+
+impl ServeBudget {
+    /// `true` if no bound is set — the budget can never trigger.
+    pub fn is_unbounded(&self) -> bool {
+        self.p99_bound.is_none() && self.max_setup_writes.is_none()
+    }
+}
+
 /// Per-serve-run configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -256,8 +305,10 @@ pub struct ServeConfig {
     /// worker's queue may run ahead of its group's best candidate before
     /// policy scoring prefers balance over resident-state overlap.
     /// Defaults to [`LOAD_SLACK_CYCLES`] (256, the PR 2 sweep's choice).
-    /// Note `batch_cutoff` does not follow this knob automatically — set
-    /// both when sweeping the horizon (as `serve_bench --slack` does).
+    /// Note `batch_cutoff` does not follow this field automatically when
+    /// set directly — use [`ServeConfig::with_load_slack`] to sweep the
+    /// horizon with both knobs in lockstep (as `serve_bench --slack`
+    /// does).
     pub load_slack: u64,
     /// Queue-depth-aware batch cutoff: stop coalescing further requests
     /// into a batch once the target worker's estimated outstanding cycles
@@ -286,6 +337,15 @@ pub struct ServeConfig {
     /// per-request outcomes at real wall-clock parallelism (see
     /// [`crate::engine`] for the contract).
     pub mode: ServeMode,
+    /// Early-termination bounds for capped tuning runs (see
+    /// [`ServeBudget`]). `None` (the default) serves the full stream
+    /// unconditionally; `Some` routes the serve to the deterministic
+    /// oracle and aborts with [`ServeError::BudgetExceeded`] as soon as
+    /// a bound is provably violated.
+    ///
+    /// [`ServeError::BudgetExceeded`]:
+    ///     crate::error::ServeError::BudgetExceeded
+    pub budget: Option<ServeBudget>,
 }
 
 impl Default for ServeConfig {
@@ -299,7 +359,23 @@ impl Default for ServeConfig {
             refine_cost: true,
             store: None,
             mode: ServeMode::Deterministic,
+            budget: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the load-slack horizon *and* keeps `batch_cutoff` in lockstep:
+    /// a capped cutoff follows `slack`, while an uncapped (`None`) cutoff
+    /// stays uncapped — sweeping the horizon should not silently re-enable
+    /// the cutoff ablation. Setting `load_slack` directly instead leaves
+    /// `batch_cutoff` untouched, which is almost never what a knob sweep
+    /// wants.
+    #[must_use]
+    pub fn with_load_slack(mut self, slack: u64) -> Self {
+        self.load_slack = slack;
+        self.batch_cutoff = self.batch_cutoff.map(|_| slack);
+        self
     }
 }
 
@@ -361,7 +437,10 @@ impl Runtime {
     /// Fails on an empty pool, a request for an unknown accelerator, or a
     /// module compilation failure. Per-request simulator or functional
     /// failures do *not* abort the run — they are reported in the metrics
-    /// and completions.
+    /// and completions. A serve with a [`ServeBudget`] additionally fails
+    /// with [`ServeError::BudgetExceeded`] when a bound is provably
+    /// violated mid-run; nothing is flushed to the warm-start store in
+    /// that case.
     pub fn serve(
         &mut self,
         stream: &[TrafficRequest],
@@ -507,6 +586,8 @@ impl Runtime {
         // scheduler's cost refiner, so later queue estimates learn from
         // the stream itself.
         let power_caps: Vec<Option<usize>> = self.pool.groups.iter().map(|g| g.power_cap).collect();
+        // A budget abort returns here — before the flush-on-finish block
+        // below — so a capped run can never persist partial EWMA state.
         let engine_out = engine::run(engine::EngineInput {
             stream,
             order: &order,
@@ -518,7 +599,7 @@ impl Runtime {
             cost_seed: &cost_seed,
             power_caps: &power_caps,
             cfg,
-        });
+        })?;
         warm_start.ewma_entries_seeded = engine_out.ewma_entries_seeded;
         let completions: Vec<Completion> = engine_out.completions;
         let assignment = engine_out.assignment;
@@ -1020,6 +1101,163 @@ mod tests {
             measured_class_service_times(&[absent], &stream, &report, 250),
             vec![250]
         );
+    }
+
+    #[test]
+    fn with_load_slack_keeps_batch_cutoff_in_lockstep() {
+        let cfg = ServeConfig::default().with_load_slack(512);
+        assert_eq!(cfg.load_slack, 512);
+        assert_eq!(cfg.batch_cutoff, Some(512));
+        // an uncapped cutoff is an explicit ablation choice; sweeping the
+        // horizon must not silently re-enable it
+        let uncapped = ServeConfig {
+            batch_cutoff: None,
+            ..ServeConfig::default()
+        }
+        .with_load_slack(64);
+        assert_eq!(uncapped.load_slack, 64);
+        assert_eq!(uncapped.batch_cutoff, None);
+    }
+
+    #[test]
+    fn budget_p99_bound_is_exact() {
+        // fresh runtimes per serve: the module cache persists across
+        // serves, so reusing one would skew the reports' cache deltas
+        let stream = stream(300, 8);
+        let full = Runtime::new(pool())
+            .serve(&stream, &ServeConfig::default())
+            .unwrap();
+        let p99 = full.metrics.latency.p99;
+        // bounded at the true p99, the bound is never provably exceeded
+        // and the budgeted run reproduces the full run exactly
+        let ok = Runtime::new(pool())
+            .serve(
+                &stream,
+                &ServeConfig {
+                    budget: Some(ServeBudget {
+                        p99_bound: Some(p99),
+                        max_setup_writes: None,
+                    }),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(ok.metrics, full.metrics);
+        // one cycle tighter, the true distribution must cross the bound
+        let err = Runtime::new(pool())
+            .serve(
+                &stream,
+                &ServeConfig {
+                    budget: Some(ServeBudget {
+                        p99_bound: Some(p99 - 1),
+                        max_setup_writes: None,
+                    }),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::BudgetExceeded {
+                p99_exceeded: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_write_bound_is_exact() {
+        let stream = stream(300, 8);
+        let full = Runtime::new(pool())
+            .serve(&stream, &ServeConfig::default())
+            .unwrap();
+        let writes = full.metrics.setup_writes;
+        let budget = |max| ServeConfig {
+            budget: Some(ServeBudget {
+                p99_bound: None,
+                max_setup_writes: Some(max),
+            }),
+            ..ServeConfig::default()
+        };
+        let ok = Runtime::new(pool())
+            .serve(&stream, &budget(writes))
+            .unwrap();
+        assert_eq!(ok.metrics, full.metrics);
+        let err = Runtime::new(pool())
+            .serve(&stream, &budget(writes - 1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::BudgetExceeded {
+                writes_exceeded: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budgeted_serves_run_on_the_oracle() {
+        // a budget overrides the engine knob: parallel mode with a budget
+        // must reproduce the oracle's outcomes (the abort argument is
+        // stated against the oracle's pull order)
+        let stream = stream(200, 15);
+        let oracle = Runtime::new(pool())
+            .serve(&stream, &ServeConfig::default())
+            .unwrap();
+        let budgeted = Runtime::new(pool())
+            .serve(
+                &stream,
+                &ServeConfig {
+                    mode: ServeMode::Parallel { threads: 4 },
+                    budget: Some(ServeBudget {
+                        p99_bound: Some(u64::MAX),
+                        max_setup_writes: Some(u64::MAX),
+                    }),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(oracle.metrics, budgeted.metrics);
+        assert_eq!(oracle.latencies, budgeted.latencies);
+    }
+
+    #[test]
+    fn aborted_budgeted_serve_flushes_nothing_to_the_store() {
+        let dir = std::env::temp_dir().join("accfg-runtime-budget-store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("aborted.store");
+        let _ = std::fs::remove_file(&path);
+        let stream = stream(200, 7);
+        let mut rt = Runtime::new(pool());
+        // an impossible p99 bound aborts almost immediately, after the
+        // store has been opened and modules compiled
+        let err = rt
+            .serve(
+                &stream,
+                &ServeConfig {
+                    store: Some(path.clone()),
+                    budget: Some(ServeBudget {
+                        p99_bound: Some(0),
+                        max_setup_writes: None,
+                    }),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BudgetExceeded { .. }));
+        // the aborted run opened (and possibly created) the store but
+        // flushed neither modules nor partial EWMA state into it
+        let store = LogStore::open(&path).unwrap();
+        let gemmini = AcceleratorDescriptor::gemmini();
+        let opengemm = AcceleratorDescriptor::opengemm();
+        let restored = persist::load_modules(&store, &[&gemmini, &opengemm]).unwrap();
+        assert!(restored.is_empty(), "aborted run persisted modules");
+        assert!(
+            persist::load_costs(&store).unwrap().is_empty(),
+            "aborted run persisted partial EWMA state"
+        );
+        drop(store);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1168,3 +1168,43 @@ proptest! {
         }
     }
 }
+
+/// The autotuner's pinned bar: the committed `TUNED.json` knobs for the
+/// canonical mixed stream strictly dominate the default serving
+/// configuration at the scale they were tuned at — no worse on p99 *and*
+/// setup writes, strictly better on at least one. The default side is the
+/// Mixed4k affinity report (`ServeConfig::default()` *is* affinity at the
+/// default slack), the tuned side re-serves the same 4,000-request stream
+/// under the table's knobs on a fresh runtime over the tuned pool.
+#[test]
+fn tuned_mixed_knobs_dominate_the_default_configuration() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/TUNED.json");
+    let text = std::fs::read_to_string(path).expect("committed TUNED.json exists");
+    let rows = accfg_bench::tune::parse_table(&text).expect("committed TUNED.json parses");
+    let knobs = rows
+        .iter()
+        .find(|(name, _)| name == "mixed")
+        .map(|(_, knobs)| *knobs)
+        .expect("TUNED.json has a mixed row");
+
+    let stream = accfg_bench::streams::mixed_stream(4_000);
+    let default = &mixed_4k().affinity.metrics;
+    let mut rt = Runtime::new(knobs.apply_pool(&accfg_bench::streams::uniform_pool()));
+    let tuned = rt
+        .serve(&stream, &knobs.serve_config())
+        .expect("tuned serve succeeds")
+        .metrics;
+    assert_eq!(tuned.check_failures, 0, "tuned serve failed checks");
+    assert_eq!(tuned.sim_failures, 0, "tuned serve failed simulation");
+    assert!(
+        tuned.latency.p99 <= default.latency.p99
+            && tuned.setup_writes <= default.setup_writes
+            && (tuned.latency.p99 < default.latency.p99
+                || tuned.setup_writes < default.setup_writes),
+        "tuned knobs do not dominate the default: p99 {} vs {}, writes {} vs {}",
+        tuned.latency.p99,
+        default.latency.p99,
+        tuned.setup_writes,
+        default.setup_writes
+    );
+}
